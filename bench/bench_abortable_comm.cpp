@@ -1,0 +1,224 @@
+// E6 -- The abortable-register communication mechanisms of Section 6
+// (Figures 4 and 5).
+//
+// Part A: final-value messaging. A writer pushes one value to a reader
+// through a SWSR abortable register while both run continuously; we
+// sweep the abort-policy aggressiveness and report the delivery latency
+// (steps until the reader holds the value) and the abort traffic. The
+// adaptive read backoff must beat even the always-abort-on-overlap
+// adversary.
+//
+// Part B: heartbeats. We compare the paper's two-register scheme with
+// the rejected one-register scheme against (i) a healthy sender and
+// (ii) a sender stuck forever inside a single write. The one-register
+// scheme is fooled by (ii) -- "my read aborted" only proves the writer
+// is alive, not timely.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "omega/hb_channel.hpp"
+#include "omega/msg_channel.hpp"
+
+using namespace tbwf;
+using namespace tbwf::bench;
+
+namespace {
+
+sim::Task msg_writer(sim::SimEnv& env, omega::MsgEndpoint<std::int64_t>& ep,
+                     const std::vector<std::int64_t>& source) {
+  for (;;) {
+    co_await omega::write_msgs(env, ep, source);
+    co_await env.yield();
+  }
+}
+
+sim::Task msg_reader(sim::SimEnv& env, omega::MsgEndpoint<std::int64_t>& ep) {
+  for (;;) {
+    co_await omega::read_msgs(env, ep);
+    co_await env.yield();
+  }
+}
+
+struct DeliveryResult {
+  bool delivered = false;
+  sim::Step latency = 0;
+  std::uint64_t read_aborts = 0;
+  std::uint64_t write_aborts = 0;
+};
+
+DeliveryResult run_delivery(registers::AbortPolicy* policy,
+                            std::uint64_t seed) {
+  sim::World world(2, std::make_unique<sim::RandomSchedule>(seed));
+  auto eps = omega::make_msg_mesh<std::int64_t>(world, policy, 0);
+  std::vector<std::int64_t> source(2, 0);
+  source[1] = 4242;
+  world.spawn(0, "w", [&](sim::SimEnv& env) {
+    return msg_writer(env, eps[0], source);
+  });
+  world.spawn(1, "r", [&](sim::SimEnv& env) {
+    return msg_reader(env, eps[1]);
+  });
+  DeliveryResult r;
+  r.delivered = world.run_until(
+      [&] { return eps[1].prev_msg_from[0] == 4242; }, 3000000);
+  r.latency = world.now();
+  r.read_aborts = world.total_read_aborts();
+  r.write_aborts = world.total_write_aborts();
+  return r;
+}
+
+// -- part B ------------------------------------------------------------------
+
+sim::Task hb_sender(sim::SimEnv& env, omega::HbEndpoint& ep,
+                    const std::vector<bool>& dest) {
+  for (;;) {
+    co_await omega::send_heartbeat(env, ep, dest);
+    co_await env.yield();
+  }
+}
+
+sim::Task hb_receiver(sim::SimEnv& env, omega::HbEndpoint& ep) {
+  for (;;) {
+    co_await omega::receive_heartbeat(env, ep);
+    co_await env.yield();
+  }
+}
+
+sim::Task single_receiver(sim::SimEnv& env, omega::SingleRegHbReceiver& r) {
+  for (;;) {
+    co_await omega::receive_heartbeat_single(env, r);
+    co_await env.yield();
+  }
+}
+
+sim::Task stuck_writer(sim::SimEnv& env,
+                       sim::AbortableReg<omega::HbCounter> reg) {
+  (void)co_await env.write(reg, 1);  // the response step never arrives
+}
+
+struct HbResult {
+  double two_reg_active_fraction = 0;
+  double one_reg_active_fraction = 0;
+};
+
+HbResult run_heartbeat(bool sender_stuck, std::uint64_t seed) {
+  std::vector<sim::Pid> script;
+  script.push_back(0);  // one step for p0: invoke (and stall if stuck)
+  sim::World world(2,
+                   sender_stuck
+                       ? std::unique_ptr<sim::Schedule>(
+                             std::make_unique<sim::ScriptedSchedule>(
+                                 [] {
+                                   std::vector<sim::Pid> s;
+                                   s.push_back(0);
+                                   for (int i = 0; i < 400000; ++i)
+                                     s.push_back(1);
+                                   return s;
+                                 }()))
+                       : std::unique_ptr<sim::Schedule>(
+                             std::make_unique<sim::RandomSchedule>(seed)));
+  registers::AlwaysAbortPolicy policy(
+      registers::AlwaysAbortPolicy::Effect::Never);
+  auto eps = omega::make_hb_mesh(world, &policy);
+  omega::SingleRegHbReceiver single{eps[1].in1[0]};
+  std::vector<bool> dest(2, true);
+
+  if (sender_stuck) {
+    auto reg = eps[0].out1[1];
+    world.spawn(0, "stuck", [reg](sim::SimEnv& env) {
+      return stuck_writer(env, reg);
+    });
+  } else {
+    world.spawn(0, "hb", [&](sim::SimEnv& env) {
+      return hb_sender(env, eps[0], dest);
+    });
+  }
+  world.spawn(1, "recv2", [&](sim::SimEnv& env) {
+    return hb_receiver(env, eps[1]);
+  });
+  world.spawn(1, "recv1", [&](sim::SimEnv& env) {
+    return single_receiver(env, single);
+  });
+
+  // Sample both verdicts over the run (after a warmup quarter).
+  std::uint64_t samples = 0, two_active = 0, one_active = 0;
+  const sim::Step total = 400000;
+  world.run(total / 4);
+  world.add_step_observer([&](sim::Step, sim::Pid) {
+    ++samples;
+    if (eps[1].active_set[0]) ++two_active;
+    if (single.active) ++one_active;
+  });
+  world.run(total * 3 / 4);
+  HbResult r;
+  r.two_reg_active_fraction =
+      samples ? static_cast<double>(two_active) / samples : 0;
+  r.one_reg_active_fraction =
+      samples ? static_cast<double>(one_active) / samples : 0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  banner("E6a: final-value messaging over abortable registers (Figure 4)",
+         "adaptive read backoff delivers the final value even against the "
+         "always-abort-on-overlap adversary.");
+
+  Table table_a({"abort policy", "delivered?", "steps to delivery",
+                 "read aborts", "write aborts"});
+  {
+    registers::NeverAbortPolicy p;
+    const auto r = run_delivery(&p, 11);
+    table_a.row({"never abort (control)", r.delivered ? "yes" : "NO",
+                 fmt_u(r.latency), fmt_u(r.read_aborts),
+                 fmt_u(r.write_aborts)});
+  }
+  for (double prob : {0.3, 0.6, 0.9}) {
+    registers::ProbabilisticAbortPolicy p(21, prob, prob, 0.5);
+    const auto r = run_delivery(&p, 13);
+    table_a.row({fmt("abort w.p. %.1f", prob), r.delivered ? "yes" : "NO",
+                 fmt_u(r.latency), fmt_u(r.read_aborts),
+                 fmt_u(r.write_aborts)});
+  }
+  {
+    registers::AlwaysAbortPolicy p(
+        registers::AlwaysAbortPolicy::Effect::Alternate);
+    const auto r = run_delivery(&p, 17);
+    table_a.row({"ALWAYS abort on overlap", r.delivered ? "yes" : "NO",
+                 fmt_u(r.latency), fmt_u(r.read_aborts),
+                 fmt_u(r.write_aborts)});
+  }
+  table_a.print();
+
+  banner("E6b: heartbeat schemes (Figure 5 vs the rejected one-register "
+         "scheme)",
+         "an abort only proves the writer is alive; one register cannot "
+         "distinguish a timely writer from one stuck inside a write.");
+
+  Table table_b({"sender", "2-register: judged active",
+                 "1-register: judged active", "correct verdict"});
+  {
+    const auto r = run_heartbeat(/*sender_stuck=*/false, 23);
+    table_b.row({"healthy & timely",
+                 fmt("%.0f%% of time", 100 * r.two_reg_active_fraction),
+                 fmt("%.0f%% of time", 100 * r.one_reg_active_fraction),
+                 "active"});
+  }
+  {
+    const auto r = run_heartbeat(/*sender_stuck=*/true, 29);
+    table_b.row({"stuck inside one write forever",
+                 fmt("%.0f%% of time", 100 * r.two_reg_active_fraction),
+                 fmt("%.0f%% of time", 100 * r.one_reg_active_fraction),
+                 "INACTIVE"});
+  }
+  table_b.print();
+
+  std::printf(
+      "\nreading (B): for the stuck sender the one-register receiver stays\n"
+      "at ~100%% active (every read overlaps the immortal write and aborts)\n"
+      "while the paper's two-register receiver drops to ~0%%: its reads of\n"
+      "the second register return the same stale value and expose the "
+      "stall.\n");
+  return 0;
+}

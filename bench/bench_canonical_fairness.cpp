@@ -1,0 +1,84 @@
+// E8 -- Canonical use of Omega-Delta (Definition 6, Theorem 7, and the
+// closing discussion of Section 7).
+//
+// All-timely runs of the TBWF object with and without Figure 7's line 2
+// (wait until LEADER != self before re-candidating). With the wait,
+// leadership rotates and the object is shared fairly; without it, the
+// incumbent re-candidates before Omega-Delta can observe its retirement,
+// keeps its low counter, and monopolizes the object.
+#include <memory>
+
+#include "bench_util.hpp"
+
+using namespace tbwf;
+using namespace tbwf::bench;
+
+namespace {
+
+struct FairnessResult {
+  std::vector<std::uint64_t> suffix_ops;
+  double jain = 0;
+  std::uint64_t total = 0;
+};
+
+FairnessResult run(int n, bool canonical, std::uint64_t seed,
+                   sim::Step steps) {
+  auto specs = sim::uniform_specs(n, sim::ActivitySpec::timely(4 * n));
+  sim::World world(n, std::make_unique<sim::TimelinessSchedule>(specs, seed));
+  core::TbwfSystem<qa::Counter> sys(world, 0,
+                                    core::OmegaBackend::AtomicRegisters);
+  sys.object().set_canonical(canonical);
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](sim::SimEnv& env) {
+      return counter_worker(env, sys.object());
+    });
+  }
+  world.run(steps);
+  FairnessResult r;
+  r.suffix_ops = completions_since(sys.object().log(), steps / 2);
+  r.jain = util::jain_fairness(r.suffix_ops);
+  r.total = sum_over(r.suffix_ops);
+  return r;
+}
+
+std::string dist_cell(const std::vector<std::uint64_t>& xs) {
+  std::string out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += "/";
+    out += fmt_u(xs[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("E8: the canonical wait is load-bearing (Figure 7 line 2)",
+         "without the canonical use of Omega-Delta, one timely process "
+         "monopolizes the object and starves the other timely processes.");
+
+  Table table({"n", "mode", "suffix ops per process", "Jain fairness",
+               "suffix total"});
+  for (int n : {3, 4, 6, 8}) {
+    const sim::Step steps = 2000000ULL * n;
+    {
+      const auto r = run(n, true, 70 + n, steps);
+      table.row({fmt_i(n), "canonical", dist_cell(r.suffix_ops),
+                 fmt_f(r.jain, 3), fmt_u(r.total)});
+    }
+    {
+      const auto r = run(n, false, 70 + n, steps);
+      table.row({fmt_i(n), "NON-canonical", dist_cell(r.suffix_ops),
+                 fmt_f(r.jain, 3), fmt_u(r.total)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: canonical fairness stays near 1.0 (perfect sharing);\n"
+      "non-canonical fairness collapses towards 1/n as one process hogs\n"
+      "the leadership. Note the monopolist often posts a HIGHER total --\n"
+      "monopolization is cheap for the monopolist, which is exactly why\n"
+      "the discipline has to be imposed by the transformation.\n");
+  return 0;
+}

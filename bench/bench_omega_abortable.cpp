@@ -1,0 +1,124 @@
+// E7 -- Omega-Delta from abortable registers (Figure 6, Theorem 13).
+//
+// Same election scenario as E3, but over the Section 6 stack. We sweep
+// the abort-policy aggressiveness and report stabilization latency and
+// the abort-rate trajectory: the adaptive backoffs make the abort rate
+// decline after stabilization, even under always-abort-on-overlap.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_abortable.hpp"
+#include "omega/omega_spec.hpp"
+
+using namespace tbwf;
+using namespace tbwf::bench;
+
+namespace {
+
+struct AbortableElection {
+  sim::Pid leader = omega::kNoLeader;
+  sim::Step stabilized_at = 0;
+  bool spec_ok = false;
+  std::vector<double> abort_rate_per_window;  // aborts / ops
+};
+
+AbortableElection run(int n, registers::AbortPolicy* policy,
+                      std::uint64_t seed, sim::Step steps) {
+  auto specs = sim::uniform_specs(n, sim::ActivitySpec::timely(6 * n));
+  auto sched = std::make_unique<sim::TimelinessSchedule>(specs, seed);
+  const auto timely = sched->intended_timely();
+  sim::World world(n, std::move(sched));
+  omega::OmegaAbortable om(world, policy);
+  om.install_all();
+  omega::OmegaRecord record(world, om.ios());
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "cand", [&om](sim::SimEnv& env) {
+      return omega::permanent_candidate(env, om.io(env.pid()));
+    });
+  }
+
+  AbortableElection result;
+  const int windows = 8;
+  std::uint64_t prev_ops = 0, prev_aborts = 0;
+  for (int w = 0; w < windows; ++w) {
+    world.run(steps / windows);
+    const std::uint64_t ops = world.total_reads() + world.total_writes();
+    const std::uint64_t aborts =
+        world.total_read_aborts() + world.total_write_aborts();
+    const double rate =
+        (ops - prev_ops) == 0
+            ? 0
+            : static_cast<double>(aborts - prev_aborts) / (ops - prev_ops);
+    result.abort_rate_per_window.push_back(rate);
+    prev_ops = ops;
+    prev_aborts = aborts;
+  }
+
+  omega::CandidateClassification classes;
+  for (sim::Pid p = 0; p < n; ++p) classes.pcandidates.push_back(p);
+  for (const sim::Pid p : timely) {
+    result.stabilized_at =
+        std::max(result.stabilized_at, record.leader(p).last_change());
+  }
+  result.spec_ok = omega::check_omega_spec(
+                       record, classes, timely,
+                       (result.stabilized_at + world.now()) / 2)
+                       .ok;
+  result.leader = record.leader(0).final_value();
+  return result;
+}
+
+std::string rates_cell(const std::vector<double>& rates) {
+  std::string out;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (i) out += " ";
+    out += fmt("%.3f", rates[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  banner("E7: Omega-Delta from abortable registers (Figure 6)",
+         "Definition 5 holds over abortable registers for every abort "
+         "adversary; adaptive backoff makes the abort rate decay.");
+
+  const int n = 3;
+  const sim::Step steps = 4000000;
+
+  Table table({"abort policy", "elected", "stabilized at", "spec holds?",
+               "abort rate per window (time ->)"});
+  {
+    registers::NeverAbortPolicy p;
+    const auto r = run(n, &p, 7, steps);
+    table.row({"never abort (control)", fmt("p%d", r.leader),
+               fmt_u(r.stabilized_at), r.spec_ok ? "yes" : "NO",
+               rates_cell(r.abort_rate_per_window)});
+  }
+  for (double prob : {0.3, 0.6, 0.9}) {
+    registers::ProbabilisticAbortPolicy p(41, prob, prob, 0.5);
+    const auto r = run(n, &p, 7, steps);
+    table.row({fmt("abort w.p. %.1f", prob), fmt("p%d", r.leader),
+               fmt_u(r.stabilized_at), r.spec_ok ? "yes" : "NO",
+               rates_cell(r.abort_rate_per_window)});
+  }
+  {
+    registers::AlwaysAbortPolicy p(
+        registers::AlwaysAbortPolicy::Effect::Alternate);
+    const auto r = run(n, &p, 7, steps);
+    table.row({"ALWAYS abort on overlap", fmt("p%d", r.leader),
+               fmt_u(r.stabilized_at), r.spec_ok ? "yes" : "NO",
+               rates_cell(r.abort_rate_per_window)});
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: every adversary yields a stable timely leader (Theorem\n"
+      "13). The per-window abort rate declines over time as the Figure\n"
+      "4/5 backoffs spread readers and writers apart; it does not reach\n"
+      "zero here because permanent candidates keep exchanging heartbeats\n"
+      "forever, and each heartbeat read can still overlap a write.\n");
+  return 0;
+}

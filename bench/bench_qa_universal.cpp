@@ -1,0 +1,112 @@
+// E10 -- The query-abortable universal construction (the substrate the
+// paper takes from [2]; ours is a register-based abort-on-contention
+// Paxos -- see src/qa/qa_universal.hpp).
+//
+// Wait-freedom and contention behaviour: per concurrency level we
+// report steps per *attempted* operation (bounded regardless of
+// contention -- that is wait-freedom), the fraction of attempts that
+// returned bottom, and the end-to-end accounting check (counter value
+// == applied increments). Both base-register families are measured.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "qa/qa_universal.hpp"
+
+using namespace tbwf;
+using namespace tbwf::bench;
+
+namespace {
+
+struct QaStats {
+  util::Histogram steps_per_attempt;
+  std::uint64_t attempts = 0;
+  std::uint64_t bottoms = 0;
+  std::uint64_t applied = 0;
+  bool consistent = false;
+};
+
+template <class Base>
+sim::Task qa_worker(sim::SimEnv& env, qa::QaUniversal<qa::Counter, Base>& obj,
+                    int ops, QaStats& stats, int& done) {
+  for (int i = 0; i < ops; ++i) {
+    const sim::Step before = env.local_steps();
+    auto r = co_await obj.invoke(env, qa::Counter::Op{1});
+    stats.steps_per_attempt.add(env.local_steps() - before);
+    ++stats.attempts;
+    while (r.bottom()) {
+      ++stats.bottoms;
+      const sim::Step qbefore = env.local_steps();
+      r = co_await obj.query(env);
+      stats.steps_per_attempt.add(env.local_steps() - qbefore);
+      ++stats.attempts;
+      if (r.bottom()) co_await env.yield();
+    }
+    if (r.ok()) ++stats.applied;
+  }
+  ++done;
+}
+
+template <class Base>
+QaStats run(int n, int ops_per_proc, registers::AbortPolicy* policy,
+            std::uint64_t seed) {
+  sim::World world(n, std::make_unique<sim::RandomSchedule>(seed));
+  qa::QaUniversal<qa::Counter, Base> obj(world, 0, policy);
+  QaStats stats;
+  int done = 0;
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&, ops_per_proc](sim::SimEnv& env) {
+      return qa_worker<Base>(env, obj, ops_per_proc, stats, done);
+    });
+  }
+  world.run_until([&] { return done == n; }, 200000000);
+  stats.consistent =
+      obj.peek_frontier().state == static_cast<std::int64_t>(stats.applied);
+  return stats;
+}
+
+void emit(Table& table, const char* base, int n, const QaStats& s) {
+  table.row({base, fmt_i(n), fmt_u(s.attempts),
+             fmt("%.1f%%", s.attempts
+                               ? 100.0 * s.bottoms / s.attempts
+                               : 0.0),
+             fmt_u(s.steps_per_attempt.p50()),
+             fmt_u(s.steps_per_attempt.p99()),
+             fmt_u(s.steps_per_attempt.max()),
+             s.consistent ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main() {
+  banner("E10: the query-abortable universal object -- wait-freedom under "
+         "contention",
+         "every attempt returns in O(n) of the caller's steps (possibly "
+         "with bottom); solo attempts never abort; successful ops "
+         "linearize.");
+
+  Table table({"base registers", "n procs", "attempts", "bottom rate",
+               "steps/attempt p50", "p99", "max", "state==applied?"});
+
+  for (int n : {1, 2, 4, 6, 8}) {
+    const int ops = 400 / n;
+    {
+      const auto s = run<qa::AtomicBase>(n, ops, nullptr, 50 + n);
+      emit(table, "atomic", n, s);
+    }
+    {
+      registers::ProbabilisticAbortPolicy policy(60 + n, 0.5, 0.5, 0.5);
+      const auto s = run<qa::AbortableBase>(n, ops, &policy, 50 + n);
+      emit(table, "abortable (p=0.5)", n, s);
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: the max steps/attempt column stays ~linear in n at every\n"
+      "contention level -- that bounded per-attempt cost IS wait-freedom\n"
+      "(attempts may abort, but they always return). The bottom rate is 0\n"
+      "for n=1 (solo never aborts) and grows with contention; the caller\n"
+      "recovers the fate of every aborted op through query, and the final\n"
+      "accounting is exact in every configuration.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E11 -- Wall-clock cost on real threads (google-benchmark).
+//
+// The paper positions TBWF as the progress condition you can afford
+// when strong primitives are costly and synchrony is imperfect. This
+// bench prices the TBWF-style leased-leader counter (src/rt) against a
+// mutex, a CAS loop and a hardware fetch_add across thread counts.
+// Expect the TBWF-style design to trail the hardware primitives on raw
+// throughput -- the paper's trade is progress guarantees under partial
+// synchrony, not speed -- while staying within an order of magnitude.
+#include <benchmark/benchmark.h>
+
+#include "qa/sequential_type.hpp"
+#include "rt/rt_baselines.hpp"
+#include "rt/rt_tbwf.hpp"
+
+namespace {
+
+using namespace tbwf::rt;
+
+RtMutexCounter g_mutex_counter;
+RtCasCounter g_cas_counter;
+RtFaaCounter g_faa_counter;
+RtTbwfCounter g_tbwf_counter;
+RtTbwfObject<tbwf::qa::Counter> g_tbwf_object(8, 0);
+
+void BM_MutexCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_mutex_counter.fetch_add(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CasCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_cas_counter.fetch_add(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FaaCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_faa_counter.fetch_add(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TbwfLeaseCounter(benchmark::State& state) {
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_tbwf_counter.fetch_add(tid, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TbwfUniversalObject(benchmark::State& state) {
+  const auto tid = static_cast<std::uint32_t>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_tbwf_object.invoke(tid, tbwf::qa::Counter::Op{1}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_MutexCounter)->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_CasCounter)->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_FaaCounter)->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_TbwfLeaseCounter)->Threads(1)->Threads(2)->Threads(4)
+    ->Threads(8)->UseRealTime();
+BENCHMARK(BM_TbwfUniversalObject)->Threads(1)->Threads(2)->Threads(4)
+    ->Threads(8)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Simulator throughput (google-benchmark): steps/second of the
+// deterministic kernel across representative configurations. Not a
+// paper experiment -- an engineering dial that tells users how many
+// model steps their budget buys (all sim-based experiments are priced
+// in steps).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/tbwf.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace tbwf;
+
+sim::Task spin(sim::SimEnv& env) {
+  for (;;) co_await env.yield();
+}
+
+sim::Task hammer(sim::SimEnv& env, sim::AtomicReg<std::int64_t> reg) {
+  for (;;) {
+    const auto v = co_await env.read(reg);
+    co_await env.write(reg, v + 1);
+  }
+}
+
+void BM_YieldOnlySteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::World world(n, std::make_unique<sim::RoundRobinSchedule>());
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "spin", [](sim::SimEnv& env) { return spin(env); });
+  }
+  for (auto _ : state) {
+    world.run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_RegisterOpSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::World world(n, std::make_unique<sim::RoundRobinSchedule>());
+  auto reg = world.make_atomic<std::int64_t>("r", 0);
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "rw", [reg](sim::SimEnv& env) {
+      return hammer(env, reg);
+    });
+  }
+  for (auto _ : state) {
+    world.run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_FullTbwfStackSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto specs = sim::uniform_specs(n, sim::ActivitySpec::timely(4 * n));
+  sim::World world(n,
+                   std::make_unique<sim::TimelinessSchedule>(specs, 1));
+  core::TbwfSystem<qa::Counter> sys(world, 0,
+                                    core::OmegaBackend::AtomicRegisters);
+  struct Worker {
+    static sim::Task run(sim::SimEnv& env,
+                         core::TbwfObject<qa::Counter>& obj) {
+      for (;;) (void)co_await obj.invoke(env, qa::Counter::Op{1});
+    }
+  };
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](sim::SimEnv& env) {
+      return Worker::run(env, sys.object());
+    });
+  }
+  for (auto _ : state) {
+    world.run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+}  // namespace
+
+BENCHMARK(BM_YieldOnlySteps)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_RegisterOpSteps)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_FullTbwfStackSteps)->Arg(2)->Arg(4)->Arg(8);
+
+BENCHMARK_MAIN();

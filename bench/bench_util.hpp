@@ -1,0 +1,120 @@
+// Shared helpers for the experiment harnesses: fixed-width table
+// printing and common workload drivers. Each bench binary regenerates
+// one experiment row-set recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/progress.hpp"
+#include "core/tbwf.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::bench {
+
+inline void banner(const std::string& title, const std::string& claim) {
+  std::printf("\n==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("================================================================"
+              "================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += std::string(width[c], '-') + "  ";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+inline std::string fmt_u(std::uint64_t v) {
+  return fmt("%llu", static_cast<unsigned long long>(v));
+}
+inline std::string fmt_i(std::int64_t v) {
+  return fmt("%lld", static_cast<long long>(v));
+}
+inline std::string fmt_f(double v, int digits = 2) {
+  return fmt("%.*f", digits, v);
+}
+
+/// Endless counter-increment worker usable with any object exposing
+/// Co<Result> invoke(env, Counter::Op).
+template <class Obj>
+sim::Task counter_worker(sim::SimEnv& env, Obj& obj) {
+  for (;;) {
+    (void)co_await obj.invoke(env, qa::Counter::Op{1});
+  }
+}
+
+/// Completions per process restricted to steps >= cutoff.
+inline std::vector<std::uint64_t> completions_since(const core::OpLog& log,
+                                                    sim::Step cutoff) {
+  std::vector<std::uint64_t> out;
+  for (const auto& cs : log.completions) {
+    std::uint64_t k = 0;
+    for (const auto s : cs) {
+      if (s >= cutoff) ++k;
+    }
+    out.push_back(k);
+  }
+  return out;
+}
+
+inline std::uint64_t min_over(const std::vector<std::uint64_t>& xs,
+                              const std::vector<sim::Pid>& pids) {
+  std::uint64_t best = ~0ULL;
+  for (const auto p : pids) best = std::min(best, xs[p]);
+  return pids.empty() ? 0 : best;
+}
+
+inline std::uint64_t sum_over(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t total = 0;
+  for (const auto x : xs) total += x;
+  return total;
+}
+
+}  // namespace tbwf::bench

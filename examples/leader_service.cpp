@@ -1,0 +1,134 @@
+// Leader service: Omega-Delta as a standalone dynamic leader elector.
+//
+// Processes join and leave the competition for leadership at their own
+// pace (canonical use); one process flickers with growing gaps. The
+// example prints the leadership timeline seen by each process and runs
+// the same scenario on both implementations: Figure 3 (atomic
+// registers + activity monitors) and Figure 6 (abortable registers).
+//
+//   ./leader_service [steps] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_abortable.hpp"
+#include "omega/omega_registers.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/world.hpp"
+
+using namespace tbwf;
+
+namespace {
+
+std::vector<sim::ActivitySpec> scenario_specs() {
+  return {
+      sim::ActivitySpec::timely(8),                 // p0: timely, permanent
+      sim::ActivitySpec::timely(8),                 // p1: timely, joins/leaves
+      sim::ActivitySpec::growing_flicker(3000, 700),// p2: flaky, permanent
+      sim::ActivitySpec::timely(8),                 // p3: never competes
+  };
+}
+
+void print_timeline(const char* name,
+                    const std::vector<sim::Trajectory<sim::Pid>>& leaders,
+                    sim::Step run_end) {
+  std::printf("\n[%s] leadership timeline (sampled):\n", name);
+  for (std::size_t p = 0; p < leaders.size(); ++p) {
+    std::printf("  p%zu: ", p);
+    int shown = 0;
+    for (const auto& [step, value] : leaders[p].points()) {
+      if (shown++ > 8) {
+        std::printf("...");
+        break;
+      }
+      if (value == omega::kNoLeader) {
+        std::printf("[%llu:?] ", static_cast<unsigned long long>(step));
+      } else {
+        std::printf("[%llu:p%d] ", static_cast<unsigned long long>(step),
+                    value);
+      }
+    }
+    const auto final = leaders[p].final_value();
+    std::printf(" => final %s (stable since %llu / %llu)\n",
+                final == omega::kNoLeader
+                    ? "?"
+                    : ("p" + std::to_string(final)).c_str(),
+                static_cast<unsigned long long>(leaders[p].last_change()),
+                static_cast<unsigned long long>(run_end));
+  }
+}
+
+template <class OmegaImpl>
+void drive(sim::World& world, OmegaImpl& omega) {
+  // p0: permanent candidate. p1: joins/leaves canonically. p2: flaky
+  // but permanently willing. p3: never competes.
+  world.spawn(0, "cand", [&](sim::SimEnv& env) {
+    return omega::permanent_candidate(env, omega.io(0));
+  });
+  world.spawn(1, "cand", [&](sim::SimEnv& env) {
+    return omega::canonical_repeated_candidate(env, omega.io(1), 30000,
+                                               30000);
+  });
+  world.spawn(2, "cand", [&](sim::SimEnv& env) {
+    return omega::permanent_candidate(env, omega.io(2));
+  });
+  world.spawn(3, "cand", [&](sim::SimEnv& env) {
+    return omega::never_candidate(env, omega.io(3));
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sim::Step steps = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 3000000ULL;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 3;
+  const int n = 4;
+
+  {
+    sim::World world(
+        n, std::make_unique<sim::TimelinessSchedule>(scenario_specs(), seed));
+    omega::OmegaRegisters omega(world);
+    omega.install_all();
+    drive(world, omega);
+    std::vector<sim::Trajectory<sim::Pid>> leaders(n);
+    for (sim::Pid p = 0; p < n; ++p) {
+      leaders[p].sample(0, omega.io(p).leader);
+      leaders[p].attach(world, &omega.io(p).leader);
+    }
+    world.run(steps);
+    print_timeline("Figure 3: atomic registers + activity monitors",
+                   leaders, world.now());
+  }
+
+  {
+    sim::World world(
+        n, std::make_unique<sim::TimelinessSchedule>(scenario_specs(), seed));
+    registers::ProbabilisticAbortPolicy policy(seed, 0.6, 0.6, 0.5);
+    omega::OmegaAbortable omega(world, &policy);
+    omega.install_all();
+    drive(world, omega);
+    std::vector<sim::Trajectory<sim::Pid>> leaders(n);
+    for (sim::Pid p = 0; p < n; ++p) {
+      leaders[p].sample(0, omega.io(p).leader);
+      leaders[p].attach(world, &omega.io(p).leader);
+    }
+    world.run(steps * 2);  // abortable stack stabilizes more slowly
+    print_timeline("Figure 6: abortable registers", leaders, world.now());
+    std::printf("\n  register ops: %llu reads (%llu aborted), "
+                "%llu writes (%llu aborted)\n",
+                static_cast<unsigned long long>(world.total_reads()),
+                static_cast<unsigned long long>(world.total_read_aborts()),
+                static_cast<unsigned long long>(world.total_writes()),
+                static_cast<unsigned long long>(world.total_write_aborts()));
+  }
+
+  std::printf("\nnote: the flaky p2 competes forever, yet a timely process "
+              "ends up leading --\nthe graceful-degradation property of "
+              "Omega-Delta (Definition 5 / Theorem 7).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Task ledger: a shared FIFO work queue on the TBWF stack.
+//
+// The scenario from the paper's motivation: a mostly-synchronous system
+// where workers occasionally degrade. Producers enqueue jobs, consumers
+// dequeue and "execute" them; one consumer flickers with growing gaps.
+// The ledger (queue) stays consistent -- every job is dispatched exactly
+// once -- and the healthy consumers keep draining it at full speed no
+// matter how sick the flaky one gets.
+//
+//   ./task_ledger [steps] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/tbwf.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+using namespace tbwf;
+
+namespace {
+
+struct LedgerStats {
+  std::vector<std::int64_t> produced;
+  std::vector<std::int64_t> consumed;
+};
+
+sim::Task producer(sim::SimEnv& env, core::TbwfObject<qa::Queue>& queue,
+                   LedgerStats& stats) {
+  std::int64_t job = 0;
+  for (;;) {
+    const std::int64_t id = env.pid() * 1000000 + job++;
+    (void)co_await queue.invoke(env, qa::Queue::enqueue(id));
+    stats.produced.push_back(id);
+    // Think time between submissions.
+    for (int i = 0; i < 32; ++i) co_await env.yield();
+  }
+}
+
+sim::Task consumer(sim::SimEnv& env, core::TbwfObject<qa::Queue>& queue,
+                   LedgerStats& stats) {
+  for (;;) {
+    const std::int64_t id = co_await queue.invoke(env, qa::Queue::dequeue());
+    if (id >= 0) stats.consumed.push_back(id);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sim::Step steps = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 6000000ULL;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                      : 7;
+
+  // p0, p1: producers (timely). p2, p3: consumers -- p3 flickers.
+  const int n = 4;
+  std::vector<sim::ActivitySpec> specs = {
+      sim::ActivitySpec::timely(8), sim::ActivitySpec::timely(8),
+      sim::ActivitySpec::timely(8),
+      sim::ActivitySpec::growing_flicker(4000, 1000)};
+  sim::World world(n, std::make_unique<sim::TimelinessSchedule>(specs, seed));
+  core::TbwfSystem<qa::Queue> system(world, qa::Queue::State{},
+                                     core::OmegaBackend::AtomicRegisters);
+
+  std::vector<LedgerStats> stats(n);
+  for (sim::Pid p = 0; p < 2; ++p) {
+    world.spawn(p, "producer", [&, p](sim::SimEnv& env) {
+      return producer(env, system.object(), stats[p]);
+    });
+  }
+  for (sim::Pid p = 2; p < 4; ++p) {
+    world.spawn(p, "consumer", [&, p](sim::SimEnv& env) {
+      return consumer(env, system.object(), stats[p]);
+    });
+  }
+
+  std::printf("running %llu steps...\n",
+              static_cast<unsigned long long>(steps));
+  world.run(steps);
+
+  // Audit the ledger: every consumed job was produced, exactly once.
+  std::multiset<std::int64_t> produced, consumed;
+  std::size_t total_produced = 0;
+  for (const auto& s : stats) {
+    produced.insert(s.produced.begin(), s.produced.end());
+    consumed.insert(s.consumed.begin(), s.consumed.end());
+    total_produced += s.produced.size();
+  }
+  bool sound = true;
+  std::int64_t duplicates = 0, phantoms = 0;
+  for (const auto id : consumed) {
+    if (consumed.count(id) > 1) ++duplicates;
+    if (produced.count(id) == 0) ++phantoms;
+  }
+  sound = (duplicates == 0 && phantoms == 0);
+
+  const auto backlog = system.object().qa().peek_frontier().state.size();
+  std::printf("\njobs produced:   %zu\n", total_produced);
+  std::printf("jobs dispatched: %zu  (healthy consumer: %zu, flaky: %zu)\n",
+              consumed.size(), stats[2].consumed.size(),
+              stats[3].consumed.size());
+  std::printf("backlog:         %zu\n", backlog);
+  std::printf("duplicates: %lld, phantoms: %lld -> ledger %s\n",
+              static_cast<long long>(duplicates),
+              static_cast<long long>(phantoms),
+              sound ? "CONSISTENT" : "CORRUPT");
+  std::printf("\nthe flaky consumer dispatched %.1f%% of what a healthy one "
+              "did,\nwithout slowing the healthy one down.\n",
+              stats[2].consumed.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(stats[3].consumed.size()) /
+                        static_cast<double>(stats[2].consumed.size()));
+  return sound ? 0 : 1;
+}

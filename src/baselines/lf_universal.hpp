@@ -1,0 +1,174 @@
+// Baselines built on compare-and-swap.
+//
+// The paper's Section 1.2 observes that any object has a wait-free
+// implementation from strong primitives like CAS [9], but that such
+// primitives are stronger than what TBWF needs. These two baselines
+// quantify that trade in the benches:
+//
+//   * LfUniversal -- the classic lock-free CAS loop: read the state
+//     record, apply the operation, CAS it in; retry on failure. Some
+//     process always makes progress, but an individual process can
+//     starve under contention.
+//
+//   * WfHerlihy -- a wait-free helping construction: processes announce
+//     operations; each CAS transition applies EVERY pending announced
+//     operation (combining), so any successful transition -- whoever
+//     performs it -- completes the announced op too. Bounded retries
+//     per operation regardless of timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tbwf_object.hpp"
+#include "qa/sequential_type.hpp"
+#include "sim/co.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::baselines {
+
+namespace detail {
+
+template <class S>
+struct VersionedState {
+  std::uint64_t seq = 0;
+  typename S::State state{};
+  /// uid of the last applied op per process, and its result.
+  std::vector<std::uint64_t> applied_uid;
+  std::vector<typename S::Result> result;
+
+  bool operator==(const VersionedState& other) const {
+    // seq uniquely identifies a record in a CAS chain.
+    return seq == other.seq;
+  }
+};
+
+template <class S>
+struct Announce {
+  std::uint64_t uid = 0;  ///< 0 = nothing pending
+  typename S::Op op{};
+
+  bool operator==(const Announce& other) const {
+    return uid == other.uid;
+  }
+};
+
+}  // namespace detail
+
+/// Lock-free CAS-loop universal construction.
+template <qa::Sequential S>
+class LfUniversal {
+ public:
+  using State = typename S::State;
+  using Op = typename S::Op;
+  using Result = typename S::Result;
+  using Rec = detail::VersionedState<S>;
+
+  LfUniversal(sim::World& world, State initial) : log_(world.n()) {
+    Rec rec;
+    rec.state = std::move(initial);
+    rec.applied_uid.assign(world.n(), 0);
+    rec.result.assign(world.n(), Result{});
+    cell_ = world.make_atomic<Rec>("LfState", std::move(rec));
+    uid_.assign(world.n(), 0);
+  }
+
+  sim::Co<Result> invoke(sim::SimEnv& env, Op op) {
+    const sim::Pid p = env.pid();
+    ++log_.started[p];
+    for (;;) {
+      Rec current = co_await env.read(cell_);
+      Rec next = current;
+      next.seq = current.seq + 1;
+      const Result r = S::apply(next.state, op);
+      next.result[p] = r;
+      auto [ok, witnessed] = co_await env.cas(cell_, current, next);
+      (void)witnessed;
+      if (ok) {
+        log_.completions[p].push_back(env.now());
+        co_return r;
+      }
+    }
+  }
+
+  const core::OpLog& log() const { return log_; }
+  const Rec& peek(sim::World& w) const { return w.peek(cell_); }
+
+ private:
+  sim::AtomicReg<Rec> cell_;
+  std::vector<std::uint64_t> uid_;
+  core::OpLog log_;
+};
+
+/// Wait-free universal construction with helping (Herlihy-style,
+/// flattened into an announce array + combining CAS).
+template <qa::Sequential S>
+class WfHerlihy {
+ public:
+  using State = typename S::State;
+  using Op = typename S::Op;
+  using Result = typename S::Result;
+  using Rec = detail::VersionedState<S>;
+  using Ann = detail::Announce<S>;
+
+  WfHerlihy(sim::World& world, State initial)
+      : n_(world.n()), log_(world.n()) {
+    Rec rec;
+    rec.state = std::move(initial);
+    rec.applied_uid.assign(n_, 0);
+    rec.result.assign(n_, Result{});
+    cell_ = world.make_atomic<Rec>("WfState", std::move(rec));
+    announce_.reserve(n_);
+    for (sim::Pid p = 0; p < n_; ++p) {
+      announce_.push_back(world.make_atomic<Ann>(
+          "WfAnnounce[" + std::to_string(p) + "]", Ann{}));
+    }
+    uid_.assign(n_, 0);
+  }
+
+  sim::Co<Result> invoke(sim::SimEnv& env, Op op) {
+    const sim::Pid p = env.pid();
+    ++log_.started[p];
+    const std::uint64_t uid = ++uid_[p] * n_ + p;
+    co_await env.write(announce_[p], Ann{uid, op});
+
+    for (;;) {
+      Rec current = co_await env.read(cell_);
+      if (current.applied_uid[p] == uid) {
+        // Someone (possibly a helper) applied our op.
+        log_.completions[p].push_back(env.now());
+        co_return current.result[p];
+      }
+      // Combine every pending announced operation into one transition.
+      Rec next = current;
+      next.seq = current.seq + 1;
+      for (sim::Pid q = 0; q < n_; ++q) {
+        Ann a = co_await env.read(announce_[q]);
+        if (a.uid != 0 && current.applied_uid[q] != a.uid) {
+          next.result[q] = S::apply(next.state, a.op);
+          next.applied_uid[q] = a.uid;
+        }
+      }
+      auto [ok, witnessed] = co_await env.cas(cell_, current, next);
+      (void)ok;
+      (void)witnessed;
+      // Whether our CAS won or a competitor's did, our announced op is
+      // either applied now or will be combined into the next
+      // transition; at most a bounded number of retries suffice.
+    }
+  }
+
+  const core::OpLog& log() const { return log_; }
+  const Rec& peek(sim::World& w) const { return w.peek(cell_); }
+
+ private:
+  int n_;
+  sim::AtomicReg<Rec> cell_;
+  std::vector<sim::AtomicReg<Ann>> announce_;
+  std::vector<std::uint64_t> uid_;
+  core::OpLog log_;
+};
+
+}  // namespace tbwf::baselines

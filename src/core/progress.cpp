@@ -1,0 +1,71 @@
+#include "core/progress.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tbwf::core {
+
+ProgressReport analyze_progress(const OpLog& log, sim::Step run_end,
+                                sim::Step warmup, sim::Step max_gap,
+                                const std::vector<sim::Pid>& issuing) {
+  ProgressReport report;
+  const int n = static_cast<int>(log.completions.size());
+  report.per_process.resize(n);
+  for (sim::Pid p = 0; p < n; ++p) {
+    ProcessProgress& pp = report.per_process[p];
+    pp.pid = p;
+    pp.completed = log.completed(p);
+    const bool issues =
+        std::find(issuing.begin(), issuing.end(), p) != issuing.end();
+    if (!issues) continue;
+
+    // Gap analysis over [warmup, run_end].
+    sim::Step last = warmup;
+    sim::Step worst = 0;
+    for (const sim::Step c : log.completions[p]) {
+      if (c < warmup) continue;
+      if (c - last > worst) worst = c - last;
+      last = c;
+    }
+    if (run_end > last && run_end - last > worst) worst = run_end - last;
+    pp.max_completion_gap = worst;
+    pp.progressing = (worst <= max_gap);
+    if (pp.progressing) report.progressing.push_back(p);
+  }
+  return report;
+}
+
+std::string ProgressReport::summary() const {
+  std::ostringstream os;
+  for (const auto& pp : per_process) {
+    os << "p" << pp.pid << ": completed=" << pp.completed
+       << " max_gap=" << pp.max_completion_gap
+       << (pp.progressing ? " [progressing]" : "") << "\n";
+  }
+  return os.str();
+}
+
+TbwfVerdict check_tbwf(const ProgressReport& report,
+                       const std::vector<sim::Pid>& timely) {
+  TbwfVerdict verdict;
+  verdict.holds = true;
+  for (const sim::Pid p : timely) {
+    if (!report.of(p).progressing) {
+      verdict.holds = false;
+      verdict.violators.push_back(p);
+    }
+  }
+  return verdict;
+}
+
+std::string TbwfVerdict::summary() const {
+  std::ostringstream os;
+  os << (holds ? "TBWF holds" : "TBWF VIOLATED");
+  if (!violators.empty()) {
+    os << "; starved timely processes:";
+    for (const auto p : violators) os << " p" << p;
+  }
+  return os.str();
+}
+
+}  // namespace tbwf::core

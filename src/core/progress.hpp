@@ -1,0 +1,57 @@
+// Progress-condition checkers over finite runs.
+//
+// Definition 3 operationalized: a process is "wait-free in this run" if,
+// while it keeps issuing operations, its completions never stop -- we
+// check that after a warm-up prefix, the gap between consecutive
+// completions (and from the last completion to the end of the run) never
+// exceeds a given bound. TBWF then requires this of every timely
+// process. The same machinery classifies runs as exhibiting
+// obstruction-free / lock-free / wait-free amounts of progress, which is
+// what the graceful-degradation experiments report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/tbwf_object.hpp"
+#include "sim/types.hpp"
+
+namespace tbwf::core {
+
+struct ProcessProgress {
+  sim::Pid pid = sim::kNoPid;
+  std::uint64_t completed = 0;
+  sim::Step max_completion_gap = 0;  ///< within [warmup, run_end]
+  bool progressing = false;          ///< gap bound respected
+};
+
+struct ProgressReport {
+  std::vector<ProcessProgress> per_process;
+  /// pids that kept completing operations (bounded gaps).
+  std::vector<sim::Pid> progressing;
+
+  const ProcessProgress& of(sim::Pid p) const { return per_process[p]; }
+  std::string summary() const;
+};
+
+/// Analyze completion streams. `warmup` excludes the stabilization
+/// prefix; `max_gap` is the bound on steps between completions for a
+/// process to count as progressing. Only processes in `issuing` (those
+/// that kept issuing operations to the end) are classified; others get
+/// progressing = false and max gap 0.
+ProgressReport analyze_progress(const OpLog& log, sim::Step run_end,
+                                sim::Step warmup, sim::Step max_gap,
+                                const std::vector<sim::Pid>& issuing);
+
+struct TbwfVerdict {
+  bool holds = false;
+  std::vector<sim::Pid> violators;  ///< timely but not progressing
+  std::string summary() const;
+};
+
+/// Definition 3: every timely process (that keeps issuing operations)
+/// must be progressing.
+TbwfVerdict check_tbwf(const ProgressReport& report,
+                       const std::vector<sim::Pid>& timely);
+
+}  // namespace tbwf::core

@@ -1,0 +1,84 @@
+// Public facade: build a complete TBWF system in a few lines.
+//
+//   sim::World world(n, std::make_unique<sim::TimelinessSchedule>(specs, 1));
+//   core::TbwfSystem<qa::Counter> sys(world, 0,
+//                                     core::OmegaBackend::AtomicRegisters);
+//   world.spawn(p, "app", [&](sim::SimEnv& env) -> sim::Task {
+//     auto v = co_await sys.object().invoke(env, qa::Counter::Op{1});
+//     ...
+//   });
+//   world.run(steps);
+//
+// The system owns an Omega-Delta implementation (Figure 3 over atomic
+// registers, or Figure 6 over abortable registers), the query-abortable
+// universal object (over atomic or abortable base registers, chosen by
+// the Base template parameter), and the Figure 7 transformation tying
+// them together. With OmegaBackend::AbortableRegisters and
+// Base = qa::AbortableBase, the entire stack runs on abortable registers
+// only -- Theorem 15.
+#pragma once
+
+#include <memory>
+#include <variant>
+
+#include "core/tbwf_object.hpp"
+#include "omega/omega_abortable.hpp"
+#include "omega/omega_registers.hpp"
+#include "qa/qa_universal.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+
+namespace tbwf::core {
+
+enum class OmegaBackend {
+  AtomicRegisters,     ///< Figure 3 (activity monitors + registers)
+  AbortableRegisters,  ///< Figure 6 (messages + heartbeats, Section 6)
+};
+
+template <qa::Sequential S, class Base = qa::AtomicBase>
+class TbwfSystem {
+ public:
+  /// `omega_policy` is required for OmegaBackend::AbortableRegisters;
+  /// `qa_policy` is required when Base = qa::AbortableBase. Both must
+  /// outlive the system. Omega-Delta is installed on every process.
+  TbwfSystem(sim::World& world, typename S::State initial,
+             OmegaBackend backend,
+             registers::AbortPolicy* qa_policy = nullptr,
+             registers::AbortPolicy* omega_policy = nullptr) {
+    if (backend == OmegaBackend::AtomicRegisters) {
+      omega_.template emplace<std::unique_ptr<omega::OmegaRegisters>>(
+          std::make_unique<omega::OmegaRegisters>(world));
+      std::get<std::unique_ptr<omega::OmegaRegisters>>(omega_)
+          ->install_all();
+    } else {
+      TBWF_ASSERT(omega_policy != nullptr,
+                  "abortable Omega-Delta needs an abort policy");
+      omega_.template emplace<std::unique_ptr<omega::OmegaAbortable>>(
+          std::make_unique<omega::OmegaAbortable>(world, omega_policy));
+      std::get<std::unique_ptr<omega::OmegaAbortable>>(omega_)
+          ->install_all();
+    }
+    object_ = std::make_unique<TbwfObject<S, Base>>(
+        world, std::move(initial),
+        [this](sim::Pid p) -> omega::OmegaIO& { return omega_io(p); },
+        qa_policy);
+  }
+
+  TbwfObject<S, Base>& object() { return *object_; }
+
+  omega::OmegaIO& omega_io(sim::Pid p) {
+    if (auto* regs =
+            std::get_if<std::unique_ptr<omega::OmegaRegisters>>(&omega_)) {
+      return (*regs)->io(p);
+    }
+    return std::get<std::unique_ptr<omega::OmegaAbortable>>(omega_)->io(p);
+  }
+
+ private:
+  std::variant<std::unique_ptr<omega::OmegaRegisters>,
+               std::unique_ptr<omega::OmegaAbortable>>
+      omega_;
+  std::unique_ptr<TbwfObject<S, Base>> object_;
+};
+
+}  // namespace tbwf::core

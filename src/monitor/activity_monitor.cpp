@@ -1,0 +1,131 @@
+#include "monitor/activity_monitor.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace tbwf::monitor {
+
+// Figure 2, lines 1-6 (monitored process q).
+sim::Task monitored_side(sim::SimEnv& env, sim::AtomicReg<HbValue> hb_reg,
+                         const ActiveForFlag& input) {
+  HbValue hb_counter = 0;
+  for (;;) {
+    co_await env.write(hb_reg, HbValue{-1});                    // line 2
+    while (!input.active_for) co_await env.yield();             // line 3
+    while (input.active_for) {                                  // line 4
+      ++hb_counter;                                             // line 5
+      co_await env.write(hb_reg, hb_counter);                   // line 6
+    }
+  }
+}
+
+// Figure 2, lines 7-26 (monitoring process p).
+sim::Task monitoring_side(sim::SimEnv& env, sim::AtomicReg<HbValue> hb_reg,
+                          MonitorIO& io) {
+  std::int64_t hb_timeout = 1;
+  std::int64_t hb_timer = 1;
+  HbValue hb_counter = 0;
+  HbValue prev_hb_counter = 0;
+  bool allow_increment = true;
+
+  for (;;) {                                                    // line 7
+    io.status = Status::Unknown;                                // line 8
+    while (!io.monitoring) co_await env.yield();                // line 9
+    hb_timer = hb_timeout;                                      // line 10
+
+    while (io.monitoring) {                                     // line 11
+      if (hb_timer >= 1) --hb_timer;                            // line 12
+      if (hb_timer == 0) {                                      // line 13
+        hb_timer = hb_timeout;                                  // line 14
+        prev_hb_counter = hb_counter;                           // line 15
+        hb_counter = co_await env.read(hb_reg);                 // line 16
+        if (hb_counter < 0) {                                   // line 17
+          io.status = Status::Inactive;
+        }
+        if (hb_counter >= 0 && hb_counter > prev_hb_counter) {  // line 18
+          io.status = Status::Active;                           // line 19
+          allow_increment = true;                               // line 20
+        }
+        if (hb_counter >= 0 && hb_counter <= prev_hb_counter) { // line 21
+          io.status = Status::Inactive;                         // line 22
+          if (allow_increment) {                                // line 23
+            ++io.fault_cntr;                                    // line 24
+            ++hb_timeout;                                       // line 25
+            allow_increment = false;                            // line 26
+          }
+        }
+      } else {
+        // Iterations that only tick the timer still cost one step of p,
+        // so the adaptive timeout is measured in p's own steps --
+        // timeliness in this model is relative to process speed.
+        co_await env.yield();
+      }
+    }
+  }
+}
+
+MonitorMatrix::MonitorMatrix(sim::World& world)
+    : world_(world), n_(world.n()) {
+  hb_.resize(static_cast<std::size_t>(n_) * n_);
+  io_.resize(static_cast<std::size_t>(n_) * n_);
+  active_for_.resize(static_cast<std::size_t>(n_) * n_);
+  for (sim::Pid q = 0; q < n_; ++q) {
+    for (sim::Pid p = 0; p < n_; ++p) {
+      if (p == q) continue;
+      hb_[index(q, p)] = world_.make_atomic<HbValue>(
+          "Hb[" + std::to_string(q) + "," + std::to_string(p) + "]",
+          HbValue{-1});
+    }
+  }
+}
+
+std::size_t MonitorMatrix::index(sim::Pid a, sim::Pid b) const {
+  TBWF_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_ && a != b,
+              "bad monitor pair");
+  return static_cast<std::size_t>(a) * n_ + b;
+}
+
+void MonitorMatrix::install(sim::Pid p) {
+  for (sim::Pid q = 0; q < n_; ++q) {
+    if (q == p) continue;
+    // p monitors q: the monitoring side of A(p,q), reading HbRegister[q,p].
+    auto reg_in = hb_[index(q, p)];
+    MonitorIO* io = &io_[index(p, q)];
+    world_.spawn(p, "monitor(" + std::to_string(q) + ")",
+                 [reg_in, io](sim::SimEnv& env) {
+                   return monitoring_side(env, reg_in, *io);
+                 });
+    // p is monitored by q: the monitored side of A(q,p), writing
+    // HbRegister[p,q].
+    auto reg_out = hb_[index(p, q)];
+    const ActiveForFlag* flag = &active_for_[index(p, q)];
+    world_.spawn(p, "heartbeat(" + std::to_string(q) + ")",
+                 [reg_out, flag](sim::SimEnv& env) {
+                   return monitored_side(env, reg_out, *flag);
+                 });
+  }
+}
+
+void MonitorMatrix::install_all() {
+  for (sim::Pid p = 0; p < n_; ++p) install(p);
+}
+
+MonitorIO& MonitorMatrix::io(sim::Pid p, sim::Pid q) {
+  return io_[index(p, q)];
+}
+
+const MonitorIO& MonitorMatrix::io(sim::Pid p, sim::Pid q) const {
+  return io_[index(p, q)];
+}
+
+ActiveForFlag& MonitorMatrix::active_for(sim::Pid q, sim::Pid p) {
+  return active_for_[index(q, p)];
+}
+
+sim::AtomicReg<HbValue> MonitorMatrix::hb_register(sim::Pid q,
+                                                   sim::Pid p) const {
+  return hb_[index(q, p)];
+}
+
+}  // namespace tbwf::monitor

@@ -1,0 +1,108 @@
+// Dynamic activity monitors A(p,q) -- Section 5.1, Figure 2.
+//
+// For an ordered pair of processes (p, q), A(p, q) helps p determine
+// whether q is currently active (for p) and whether q is p-timely. Both
+// sides are fully dynamic: p can turn monitoring on/off at any time via
+// MONITORING[q]; q can declare itself active/inactive for p at any time
+// via ACTIVE-FOR[p].
+//
+// Outputs at p: STATUS[q] in {active, inactive, ?} and FAULTCNTR[q], the
+// number of times A(p,q) has suspected q of not being p-timely. The
+// guarantees are Definition 9's properties 1-6; tests/monitor_test.cpp
+// checks each of them over the full 9-case input matrix.
+//
+// Implementation (paper's key ideas): while active for p, q writes an
+// increasing heartbeat counter into an atomic register; to stop
+// willingly, q writes the sentinel -1 (distinguishing "stopped" from
+// "crashed", which is what keeps FAULTCNTR bounded in cases 5b/5c).
+// p polls the register with an adaptive timeout that grows by one on
+// every suspicion; FAULTCNTR increments only when the register is not
+// the sentinel and has increased since the previous increment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/co.hpp"
+#include "sim/env.hpp"
+#include "sim/task.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::monitor {
+
+/// STATUS[q] values; Unknown renders the paper's "?".
+enum class Status : std::uint8_t { Unknown, Active, Inactive };
+
+inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::Unknown:  return "?";
+    case Status::Active:   return "active";
+    case Status::Inactive: return "inactive";
+  }
+  return "<bad>";
+}
+
+/// A(p,q)'s variables at the monitoring process p (about target q).
+/// `monitoring` is the input; `status` / `fault_cntr` are the outputs.
+/// Plain fields: sub-tasks of one process interleave single-threadedly.
+struct MonitorIO {
+  bool monitoring = false;
+  Status status = Status::Unknown;
+  std::uint64_t fault_cntr = 0;
+};
+
+/// A(p,q)'s input at the monitored process q: ACTIVE-FOR[p].
+struct ActiveForFlag {
+  bool active_for = false;
+};
+
+/// Heartbeat register value type. -1 is the "stopped willingly" sentinel.
+using HbValue = std::int64_t;
+
+/// Figure 2 (top): code for the monitored process q. `hb_reg` is
+/// HbRegister[q,p], written by q and read by p.
+sim::Task monitored_side(sim::SimEnv& env, sim::AtomicReg<HbValue> hb_reg,
+                         const ActiveForFlag& input);
+
+/// Figure 2 (bottom): code for the monitoring process p.
+sim::Task monitoring_side(sim::SimEnv& env, sim::AtomicReg<HbValue> hb_reg,
+                          MonitorIO& io);
+
+/// Builds and installs the full matrix of activity monitors for a world:
+/// one A(p,q) per ordered pair p != q, i.e. per process 2(n-1) sub-tasks
+/// (monitoring each other process + being monitored by each other
+/// process). Owns all register handles and local-variable structs in
+/// stable storage; must outlive the world run.
+class MonitorMatrix {
+ public:
+  explicit MonitorMatrix(sim::World& world);
+
+  /// Spawn all monitor sub-tasks. Call once, before running the world.
+  void install_all();
+
+  /// Spawn only process p's monitor sub-tasks (both directions).
+  void install(sim::Pid p);
+
+  /// p's view of q (inputs + outputs of A(p,q) at p). p != q.
+  MonitorIO& io(sim::Pid p, sim::Pid q);
+  const MonitorIO& io(sim::Pid p, sim::Pid q) const;
+
+  /// q's ACTIVE-FOR[p] flag (input of A(p,q) at q). q != p.
+  ActiveForFlag& active_for(sim::Pid q, sim::Pid p);
+
+  /// HbRegister[q,p]: written by q, read by p.
+  sim::AtomicReg<HbValue> hb_register(sim::Pid q, sim::Pid p) const;
+
+  int n() const { return n_; }
+
+ private:
+  std::size_t index(sim::Pid a, sim::Pid b) const;
+
+  sim::World& world_;
+  int n_;
+  std::vector<sim::AtomicReg<HbValue>> hb_;  // [q*n + p]: written by q
+  std::vector<MonitorIO> io_;                // [p*n + q]: at p, about q
+  std::vector<ActiveForFlag> active_for_;    // [q*n + p]: at q, towards p
+};
+
+}  // namespace tbwf::monitor

@@ -1,0 +1,57 @@
+// Candidate drivers: sub-tasks that drive a process's CANDIDATE input in
+// the patterns of Definition 4 (permanent / repeated / never candidates),
+// including the *canonical use* discipline of Definition 6 (wait until
+// LEADER != self before re-candidating). Used by tests, benches and
+// examples.
+#pragma once
+
+#include "omega/omega.hpp"
+#include "sim/env.hpp"
+#include "sim/task.hpp"
+
+namespace tbwf::omega {
+
+/// Pcandidate: candidate = true forever.
+inline sim::Task permanent_candidate(sim::SimEnv& env, OmegaIO& io) {
+  io.candidate = true;
+  for (;;) co_await env.yield();
+}
+
+/// Ncandidate: candidate = false forever (after an optional initial
+/// dabble of `dabble_steps` steps as a candidate).
+inline sim::Task never_candidate(sim::SimEnv& env, OmegaIO& io,
+                                 sim::Step dabble_steps = 0) {
+  if (dabble_steps > 0) {
+    io.candidate = true;
+    for (sim::Step i = 0; i < dabble_steps; ++i) co_await env.yield();
+  }
+  io.candidate = false;
+  for (;;) co_await env.yield();
+}
+
+/// Rcandidate: toggles candidacy forever, `on` of its own steps in, `off`
+/// of its own steps out.
+inline sim::Task repeated_candidate(sim::SimEnv& env, OmegaIO& io,
+                                    sim::Step on, sim::Step off) {
+  for (;;) {
+    io.candidate = true;
+    for (sim::Step i = 0; i < on; ++i) co_await env.yield();
+    io.candidate = false;
+    for (sim::Step i = 0; i < off; ++i) co_await env.yield();
+  }
+}
+
+/// Rcandidate under canonical use (Definition 6): after leaving, wait
+/// until LEADER != self before re-joining.
+inline sim::Task canonical_repeated_candidate(sim::SimEnv& env, OmegaIO& io,
+                                              sim::Step on, sim::Step off) {
+  for (;;) {
+    while (io.leader == env.pid()) co_await env.yield();
+    io.candidate = true;
+    for (sim::Step i = 0; i < on; ++i) co_await env.yield();
+    io.candidate = false;
+    for (sim::Step i = 0; i < off; ++i) co_await env.yield();
+  }
+}
+
+}  // namespace tbwf::omega

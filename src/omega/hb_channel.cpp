@@ -1,0 +1,69 @@
+#include "omega/hb_channel.hpp"
+
+namespace tbwf::omega {
+
+std::vector<HbEndpoint> make_hb_mesh(sim::World& world,
+                                     registers::AbortPolicy* policy,
+                                     const std::string& prefix) {
+  const int n = world.n();
+  std::vector<HbEndpoint> endpoints(n);
+  for (sim::Pid p = 0; p < n; ++p) endpoints[p].init(n, p);
+  for (sim::Pid p = 0; p < n; ++p) {
+    for (sim::Pid q = 0; q < n; ++q) {
+      if (p == q) continue;
+      const std::string pair =
+          "[" + std::to_string(p) + "," + std::to_string(q) + "]";
+      auto r1 = world.make_abortable<HbCounter>(prefix + "1" + pair,
+                                                HbCounter{0}, policy,
+                                                /*writer=*/p, /*reader=*/q);
+      auto r2 = world.make_abortable<HbCounter>(prefix + "2" + pair,
+                                                HbCounter{0}, policy,
+                                                /*writer=*/p, /*reader=*/q);
+      endpoints[p].out1[q] = r1;
+      endpoints[p].out2[q] = r2;
+      endpoints[q].in1[p] = r1;
+      endpoints[q].in2[p] = r2;
+    }
+  }
+  return endpoints;
+}
+
+// Figure 5, lines 20-25.
+sim::Co<void> send_heartbeat(sim::SimEnv& env, HbEndpoint& ep,
+                             const std::vector<bool>& dest) {
+  const int n = env.n();
+  ++ep.send_counter;                                              // line 21
+  for (sim::Pid q = 0; q < n; ++q) {                              // line 22
+    if (q == ep.self || !dest[q]) continue;                       // line 23
+    (void)co_await env.write(ep.out1[q], ep.send_counter);        // line 24
+    (void)co_await env.write(ep.out2[q], ep.send_counter);        // line 25
+  }
+}
+
+// Figure 5, lines 26-40.
+sim::Co<void> receive_heartbeat(sim::SimEnv& env, HbEndpoint& ep) {
+  const int n = env.n();
+  for (sim::Pid q = 0; q < n; ++q) {                              // line 27
+    if (q == ep.self) continue;
+    if (ep.hb_timer[q] >= 1) --ep.hb_timer[q];                    // line 28
+    if (ep.hb_timer[q] == 0) {                                    // line 29
+      ep.hb_timer[q] = ep.hb_timeout[q];                          // line 30
+      ep.prev1[q] = ep.hb1[q];                                    // line 31
+      ep.prev2[q] = ep.hb2[q];                                    // line 32
+      ep.hb1[q] = co_await env.read(ep.in1[q]);                   // line 33
+      ep.hb2[q] = co_await env.read(ep.in2[q]);                   // line 34
+      const bool fresh1 =
+          !ep.hb1[q].has_value() || ep.hb1[q] != ep.prev1[q];     // line 35
+      const bool fresh2 =
+          !ep.hb2[q].has_value() || ep.hb2[q] != ep.prev2[q];
+      if (fresh1 && fresh2) {
+        ep.active_set[q] = true;                                  // line 36
+      } else {
+        ep.active_set[q] = false;                                 // line 38
+        ++ep.hb_timeout[q];                                       // line 39
+      }
+    }
+  }
+}
+
+}  // namespace tbwf::omega

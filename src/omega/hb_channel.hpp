@@ -1,0 +1,112 @@
+// Figure 5: communicating a heartbeat over abortable registers.
+//
+// A single abortable register cannot carry a heartbeat: all reads may
+// abort forever (problem (b) in Section 6), and an abort only proves the
+// writer is *alive*, not that it is timely -- a slow writer whose single
+// write straddles many reads would abort them all. The paper's fix is
+// two registers written in alternation: the reader deems the writer
+// q-timely only if, for BOTH registers, the read aborted or returned a
+// fresh value. A writer stuck inside one register's write cannot
+// disturb the other register, whose read then returns a stale value and
+// exposes the slowness.
+//
+// tests/hb_channel_test.cpp includes the one-register ablation showing
+// precisely this failure; bench_abortable_comm quantifies it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "registers/abort_policy.hpp"
+#include "sim/co.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+
+using HbCounter = std::int64_t;
+
+/// Per-process endpoint for the Figure 5 procedures.
+struct HbEndpoint {
+  sim::Pid self = sim::kNoPid;
+  std::vector<sim::AbortableReg<HbCounter>> out1, out2;  ///< HbRegister1/2[self,q]
+  std::vector<sim::AbortableReg<HbCounter>> in1, in2;    ///< HbRegister1/2[q,self]
+
+  std::vector<std::int64_t> hb_timeout;
+  std::vector<std::int64_t> hb_timer;
+  /// Stored read results; nullopt renders the paper's bottom.
+  std::vector<std::optional<HbCounter>> hb1, hb2, prev1, prev2;
+  HbCounter send_counter = 0;
+  /// activeSet: self is a permanent member (initial state in Figure 5).
+  std::vector<bool> active_set;
+
+  void init(int n, sim::Pid self_pid) {
+    self = self_pid;
+    out1.resize(n);
+    out2.resize(n);
+    in1.resize(n);
+    in2.resize(n);
+    hb_timeout.assign(n, 1);
+    hb_timer.assign(n, 1);
+    hb1.assign(n, HbCounter{0});
+    hb2.assign(n, HbCounter{0});
+    prev1.assign(n, HbCounter{0});
+    prev2.assign(n, HbCounter{0});
+    active_set.assign(n, false);
+    active_set[self] = true;
+  }
+};
+
+/// Wire the full mesh of paired SWSR heartbeat registers.
+std::vector<HbEndpoint> make_hb_mesh(sim::World& world,
+                                     registers::AbortPolicy* policy,
+                                     const std::string& prefix = "Hb");
+
+/// Figure 5, SendHeartbeat(dest): write the incremented counter to both
+/// registers towards every q with dest[q] set.
+sim::Co<void> send_heartbeat(sim::SimEnv& env, HbEndpoint& ep,
+                             const std::vector<bool>& dest);
+
+/// Figure 5, ReceiveHeartbeat(): update ep.active_set from the paired
+/// registers with adaptive per-peer timeouts.
+sim::Co<void> receive_heartbeat(sim::SimEnv& env, HbEndpoint& ep);
+
+}  // namespace tbwf::omega
+
+namespace tbwf::omega {
+
+/// ABLATION -- the broken one-register heartbeat scheme that Section 6
+/// explains and rejects: a reader that treats "my read aborted" as
+/// evidence of timeliness can be fooled forever by a writer that is
+/// merely *alive inside one slow write* (every read overlaps the stuck
+/// write and aborts). Kept as a library citizen so tests and
+/// bench_abortable_comm can quantify the failure against Figure 5's
+/// two-register scheme.
+struct SingleRegHbReceiver {
+  sim::AbortableReg<HbCounter> in;
+  std::optional<HbCounter> prev = HbCounter{0};
+  std::optional<HbCounter> last = HbCounter{0};
+  std::int64_t timeout = 1;
+  std::int64_t timer = 1;
+  bool active = false;
+};
+
+inline sim::Co<void> receive_heartbeat_single(sim::SimEnv& env,
+                                              SingleRegHbReceiver& r) {
+  if (r.timer >= 1) --r.timer;
+  if (r.timer == 0) {
+    r.timer = r.timeout;
+    r.prev = r.last;
+    r.last = co_await env.read(r.in);
+    if (!r.last.has_value() || r.last != r.prev) {
+      r.active = true;  // abort-or-fresh: the flawed judgment
+    } else {
+      r.active = false;
+      ++r.timeout;
+    }
+  }
+}
+
+}  // namespace tbwf::omega

@@ -1,0 +1,118 @@
+// Figure 4: communicating the final value of a variable that eventually
+// stops changing, over single-writer single-reader abortable registers.
+//
+// Writer discipline (WriteMsgs): whenever the source variable changes, p
+// repeatedly writes the pending value to MsgRegister[p,q] until one write
+// succeeds; only then does it pick up a newer value. Reader discipline
+// (ReadMsgs): q polls MsgRegister[p,q] every readTimeout[p] invocations;
+// an aborted or unchanged read grows the timeout by one (q suspects its
+// reads are colliding with p's writes and backs off), a fresh value
+// resets it to 1.
+//
+// Guarantee (used in Section 6): if p is q-timely and the source variable
+// stops changing, then q eventually learns its final value -- q's backoff
+// eventually leaves a window in which p's write runs solo, and solo
+// operations on abortable registers never abort. If p is not q-timely or
+// the variable changes forever, nothing is guaranteed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "registers/abort_policy.hpp"
+#include "sim/co.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+
+namespace tbwf::omega {
+
+/// Per-process endpoint state for the Figure 4 procedures. Index arrays
+/// by peer pid; the self slot is unused.
+template <class T>
+struct MsgEndpoint {
+  sim::Pid self = sim::kNoPid;
+  std::vector<sim::AbortableReg<T>> out;  ///< MsgRegister[self,q], writer self
+  std::vector<sim::AbortableReg<T>> in;   ///< MsgRegister[q,self], reader self
+
+  std::vector<T> msg_curr;                ///< value being pushed to q
+  std::vector<T> prev_msg_from;           ///< last successfully read from q
+  std::vector<std::int64_t> read_timer;
+  std::vector<std::int64_t> read_timeout;
+  std::vector<bool> prev_write_done;
+
+  void init(int n, sim::Pid self_pid, const T& initial) {
+    self = self_pid;
+    out.resize(n);
+    in.resize(n);
+    msg_curr.assign(n, initial);
+    prev_msg_from.assign(n, initial);
+    read_timer.assign(n, 1);
+    read_timeout.assign(n, 1);
+    prev_write_done.assign(n, true);
+  }
+};
+
+/// Wire a full mesh of SWSR abortable MsgRegisters among n processes.
+/// Every endpoint's out[q] is the same register as q's in[p].
+template <class T>
+std::vector<MsgEndpoint<T>> make_msg_mesh(sim::World& world,
+                                          registers::AbortPolicy* policy,
+                                          const T& initial,
+                                          const std::string& prefix = "Msg") {
+  const int n = world.n();
+  std::vector<MsgEndpoint<T>> endpoints(n);
+  for (sim::Pid p = 0; p < n; ++p) endpoints[p].init(n, p, initial);
+  for (sim::Pid p = 0; p < n; ++p) {
+    for (sim::Pid q = 0; q < n; ++q) {
+      if (p == q) continue;
+      auto reg = world.make_abortable<T>(
+          prefix + "[" + std::to_string(p) + "," + std::to_string(q) + "]",
+          initial, policy, /*writer=*/p, /*reader=*/q);
+      endpoints[p].out[q] = reg;
+      endpoints[q].in[p] = reg;
+    }
+  }
+  return endpoints;
+}
+
+/// Figure 4, WriteMsgs(msgTo): push msg_to[q] towards every q != self.
+/// Returns nothing; the per-peer success state is ep.prev_write_done.
+template <class T>
+sim::Co<void> write_msgs(sim::SimEnv& env, MsgEndpoint<T>& ep,
+                         const std::vector<T>& msg_to) {
+  const int n = env.n();
+  TBWF_ASSERT(static_cast<int>(msg_to.size()) == n, "msg_to size mismatch");
+  for (sim::Pid q = 0; q < n; ++q) {                              // line 2
+    if (q == ep.self) continue;
+    if (!ep.prev_write_done[q] || !(ep.msg_curr[q] == msg_to[q])) {  // line 3
+      if (ep.prev_write_done[q]) ep.msg_curr[q] = msg_to[q];      // line 4
+      const bool ok = co_await env.write(ep.out[q], ep.msg_curr[q]);  // line 5
+      ep.prev_write_done[q] = ok;                                 // line 6
+    }
+  }
+}
+
+/// Figure 4, ReadMsgs(): poll every peer's register with adaptive
+/// backoff; ep.prev_msg_from holds the last successfully read values.
+template <class T>
+sim::Co<void> read_msgs(sim::SimEnv& env, MsgEndpoint<T>& ep) {
+  const int n = env.n();
+  for (sim::Pid q = 0; q < n; ++q) {                              // line 9
+    if (q == ep.self) continue;
+    if (ep.read_timer[q] >= 1) --ep.read_timer[q];                // line 10
+    if (ep.read_timer[q] == 0) {                                  // line 11
+      ep.read_timer[q] = ep.read_timeout[q];                      // line 12
+      const std::optional<T> res = co_await env.read(ep.in[q]);   // line 13
+      if (!res.has_value() || *res == ep.prev_msg_from[q]) {      // line 14
+        ++ep.read_timeout[q];                                     // line 15
+      } else {
+        ep.prev_msg_from[q] = *res;                               // line 17
+        ep.read_timeout[q] = 1;                                   // line 18
+      }
+    }
+  }
+}
+
+}  // namespace tbwf::omega

@@ -1,0 +1,35 @@
+// The dynamic leader elector Omega-Delta -- Section 4.
+//
+// Each process p interacts with Omega-Delta through two local variables:
+// the input CANDIDATE (does p currently want to compete for leadership?)
+// and the output LEADER (who Omega-Delta currently believes leads, or "?"
+// when it offers no information).
+//
+// Definition 5 (the guarantee): in every run, if some timely process is a
+// permanent candidate, then there is a timely process l among the
+// permanent-or-repeated candidates such that eventually LEADER_l = l,
+// every permanent candidate's LEADER converges to l, and every repeated
+// candidate's LEADER is eventually in {?, l}; every eventual
+// non-candidate's LEADER converges to ?.
+//
+// Theorem 7: under *canonical use* -- after setting CANDIDATE to false, a
+// process waits until LEADER != itself before re-candidating -- the
+// elected l is a *permanent* timely candidate.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace tbwf::omega {
+
+/// The paper's "?" output.
+inline constexpr sim::Pid kNoLeader = sim::kNoPid;
+
+/// Omega-Delta's per-process interface variables. Plain fields: within a
+/// simulated process, sub-tasks interleave single-threadedly; tests and
+/// application tasks read/write them directly.
+struct OmegaIO {
+  bool candidate = false;      ///< input: CANDIDATE
+  sim::Pid leader = kNoLeader; ///< output: LEADER ("?" == kNoLeader)
+};
+
+}  // namespace tbwf::omega

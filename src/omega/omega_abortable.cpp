@@ -1,0 +1,97 @@
+#include "omega/omega_abortable.hpp"
+
+#include <algorithm>
+
+namespace tbwf::omega {
+
+OmegaAbortable::OmegaAbortable(sim::World& world,
+                               registers::AbortPolicy* policy)
+    : world_(world) {
+  msg_ = make_msg_mesh<CounterMsg>(world, policy, CounterMsg{},
+                                   "MsgRegister");
+  hb_ = make_hb_mesh(world, policy, "HbRegister");
+  io_.resize(world.n());
+  counter_.assign(world.n(),
+                  std::vector<std::int64_t>(world.n(), 0));
+}
+
+std::vector<OmegaIO*> OmegaAbortable::ios() {
+  std::vector<OmegaIO*> result;
+  result.reserve(io_.size());
+  for (auto& io : io_) result.push_back(&io);
+  return result;
+}
+
+std::int64_t OmegaAbortable::counter_view(sim::Pid p, sim::Pid q) const {
+  return counter_[p][q];
+}
+
+void OmegaAbortable::install(sim::Pid p) {
+  world_.spawn(p, "omega-abortable", [this](sim::SimEnv& env) {
+    return omega_abortable_task(env, *this);
+  });
+}
+
+void OmegaAbortable::install_all() {
+  for (sim::Pid p = 0; p < n(); ++p) install(p);
+}
+
+// Figure 6, faithful transcription (lines 41-59).
+sim::Task omega_abortable_task(sim::SimEnv& env, OmegaAbortable& sys) {
+  const sim::Pid p = env.pid();
+  const int n = env.n();
+  OmegaIO& io = sys.io_[p];
+  MsgEndpoint<CounterMsg>& msg = sys.msg_[p];
+  HbEndpoint& hb = sys.hb_[p];
+
+  sim::Pid leader = p;                       // local `leader`, init p
+  std::vector<std::int64_t>& counter = sys.counter_[p];  // counter[q]
+  std::vector<std::int64_t> actr_to(n, 0);   // actrTo[q]
+  std::vector<bool> write_done(n, false);    // writeDone[q]
+  std::vector<CounterMsg> msg_to(n);
+
+  for (;;) {                                                      // line 41
+    io.leader = kNoLeader;                                        // line 42
+    while (!io.candidate) co_await env.yield();                   // line 43
+    counter[p] = std::max(counter[p], counter[leader] + 1);       // line 44
+
+    do {                                                          // line 45
+      co_await send_heartbeat(env, hb, write_done);               // line 46
+      co_await receive_heartbeat(env, hb);                        // line 47
+
+      leader = p;                                                 // line 48
+      for (sim::Pid q = 0; q < n; ++q) {
+        if (!hb.active_set[q]) continue;
+        if (counter[q] < counter[leader] ||
+            (counter[q] == counter[leader] && q < leader)) {
+          leader = q;
+        }
+      }
+      io.leader = leader;                                         // line 49
+
+      for (sim::Pid q = 0; q < n; ++q) {                          // line 50
+        if (q == p) continue;
+        if (!hb.active_set[q]) {                                  // line 51
+          actr_to[q] = std::max(actr_to[q], counter[leader] + 1); // line 52
+        }
+        msg_to[q] = CounterMsg{counter[p], actr_to[q]};           // line 53
+      }
+      co_await write_msgs(env, msg, msg_to);                      // line 54
+      write_done = msg.prev_write_done;
+      co_await read_msgs(env, msg);                               // line 55
+      for (sim::Pid q = 0; q < n; ++q) {                          // line 56
+        if (q == p) continue;
+        counter[q] = msg.prev_msg_from[q].counter;                // line 57
+        counter[p] = std::max(counter[p],
+                              msg.prev_msg_from[q].punish);       // line 58
+      }
+      // One local step per round: the round may otherwise perform no
+      // shared-memory operation at all (nothing due to send, all poll
+      // timers above zero), and an iteration must consume at least one
+      // step of p for the adaptive timers to be measured in p's speed.
+      co_await env.yield();
+    } while (io.candidate);                                       // line 59
+  }
+}
+
+}  // namespace tbwf::omega

@@ -1,0 +1,80 @@
+// Omega-Delta from abortable registers -- Section 6, Figure 6
+// (Theorem 13).
+//
+// Candidates exchange two kinds of information over SWSR abortable
+// registers only:
+//   - (counter, punishment) pairs via the final-value message mechanism
+//     of Figure 4: each candidate publishes its own counter and, for
+//     every peer it considers inactive, a punishment value ("set your
+//     counter beyond my leader's");
+//   - liveness via the two-register alternating heartbeats of Figure 5.
+//
+// The leader is the active process with the smallest (counter, pid).
+// Self-punishment on (re-)candidacy bumps the counter past the current
+// leader's -- crucially WITHOUT making counter[p] change forever (it is
+// a max, not an increment chain), so WriteMsgs can still deliver its
+// final value. A candidate that cannot push its messages to q (the
+// write keeps aborting) stops heartbeating to q (dest = writeDone),
+// which preserves the key invariant: if q eventually considers p active
+// forever, then q learned the final value of p's counter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "omega/hb_channel.hpp"
+#include "omega/msg_channel.hpp"
+#include "omega/omega.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/env.hpp"
+#include "sim/task.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+
+/// Payload of MsgRegister[p,q]: <counter_p, actrTo_p[q]>.
+struct CounterMsg {
+  std::int64_t counter = 0;
+  std::int64_t punish = 0;  ///< actrTo: "set your counter to at least this"
+
+  bool operator==(const CounterMsg&) const = default;
+};
+
+/// Owns the abortable-register meshes and per-process state; installs
+/// the Figure 6 task per process. Must outlive the world run.
+class OmegaAbortable {
+ public:
+  /// `policy` governs every abortable register in both meshes.
+  OmegaAbortable(sim::World& world, registers::AbortPolicy* policy);
+
+  void install_all();
+  void install(sim::Pid p);
+
+  OmegaIO& io(sim::Pid p) { return io_[p]; }
+  const OmegaIO& io(sim::Pid p) const { return io_[p]; }
+  std::vector<OmegaIO*> ios();
+
+  // Introspection for tests and benches.
+  const HbEndpoint& hb(sim::Pid p) const { return hb_[p]; }
+  const MsgEndpoint<CounterMsg>& msgs(sim::Pid p) const { return msg_[p]; }
+  std::int64_t counter_view(sim::Pid p, sim::Pid q) const;
+
+  int n() const { return world_.n(); }
+
+ private:
+  friend sim::Task omega_abortable_task(sim::SimEnv& env,
+                                        OmegaAbortable& sys);
+
+  sim::World& world_;
+  std::vector<MsgEndpoint<CounterMsg>> msg_;
+  std::vector<HbEndpoint> hb_;
+  std::vector<OmegaIO> io_;
+  /// counter[p][q]: p's view of q's counter (Figure 6 local state),
+  /// hoisted into the system object so tests can inspect it.
+  std::vector<std::vector<std::int64_t>> counter_;
+};
+
+/// Figure 6: the main loop for process env.pid().
+sim::Task omega_abortable_task(sim::SimEnv& env, OmegaAbortable& sys);
+
+}  // namespace tbwf::omega

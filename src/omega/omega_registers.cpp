@@ -1,0 +1,119 @@
+#include "omega/omega_registers.hpp"
+
+#include <string>
+
+namespace tbwf::omega {
+
+using monitor::Status;
+
+OmegaRegisters::OmegaRegisters(sim::World& world)
+    : world_(world), matrix_(world) {
+  const int n = world.n();
+  counter_reg_.reserve(n);
+  for (sim::Pid p = 0; p < n; ++p) {
+    counter_reg_.push_back(world.make_atomic<std::int64_t>(
+        "CounterRegister[" + std::to_string(p) + "]", 0));
+  }
+  io_.resize(n);
+}
+
+std::vector<OmegaIO*> OmegaRegisters::ios() {
+  std::vector<OmegaIO*> result;
+  result.reserve(io_.size());
+  for (auto& io : io_) result.push_back(&io);
+  return result;
+}
+
+void OmegaRegisters::install(sim::Pid p) {
+  matrix_.install(p);
+  world_.spawn(p, "omega",
+               [this](sim::SimEnv& env) {
+                 return omega_registers_task(env, *this);
+               });
+}
+
+void OmegaRegisters::install_all() {
+  for (sim::Pid p = 0; p < n(); ++p) install(p);
+}
+
+// Figure 3, faithful transcription. Loops over "each q in Pi" skip q = p
+// for the monitor interactions: A(p,p) is trivial (the paper's footnote
+// 6) -- p is always active for itself (line 12 adds p to activeSet
+// unconditionally) and never suspects itself.
+sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
+  const sim::Pid p = env.pid();
+  const int n = env.n();
+  OmegaIO& io = sys.io(p);
+
+  std::vector<std::uint64_t> fault_cntr(n, 0);      // faultCntr[q]
+  std::vector<std::uint64_t> max_fault_cntr(n, 0);  // maxFaultCntr[q]
+  std::vector<std::int64_t> counter(n, 0);          // counter[q]
+  std::vector<Status> status(n, Status::Unknown);   // status[q]
+  std::vector<bool> active_set(n, false);           // activeSet
+
+  for (;;) {                                                      // line 1
+    io.leader = kNoLeader;                                        // line 2
+    for (sim::Pid q = 0; q < n; ++q) {                            // line 3
+      if (q != p) sys.matrix_.io(p, q).monitoring = false;
+    }
+    for (sim::Pid q = 0; q < n; ++q) {                            // line 4
+      if (q != p) sys.matrix_.active_for(p, q).active_for = false;
+    }
+
+    while (!io.candidate) co_await env.yield();                   // line 5
+
+    for (sim::Pid q = 0; q < n; ++q) {                            // line 6
+      if (q != p) sys.matrix_.io(p, q).monitoring = true;
+    }
+    if (sys.self_punishment_) {
+      counter[p] = co_await env.read(sys.counter_reg_[p]);        // line 7
+      co_await env.write(sys.counter_reg_[p], counter[p] + 1);    // line 8
+    }
+
+    while (io.candidate) {                                        // line 9
+      for (sim::Pid q = 0; q < n; ++q) {                          // line 10
+        if (q == p) continue;
+        for (;;) {                                                // line 11
+          status[q] = sys.matrix_.io(p, q).status;
+          fault_cntr[q] = sys.matrix_.io(p, q).fault_cntr;
+          if (status[q] != Status::Unknown) break;
+          co_await env.yield();
+        }
+      }
+
+      for (sim::Pid q = 0; q < n; ++q) {                          // line 12
+        active_set[q] = (q == p) || (status[q] == Status::Active);
+      }
+      for (sim::Pid q = 0; q < n; ++q) {                          // line 13
+        counter[q] = co_await env.read(sys.counter_reg_[q]);
+      }
+
+      sim::Pid leader = p;                                        // line 14
+      for (sim::Pid q = 0; q < n; ++q) {
+        if (!active_set[q]) continue;
+        if (counter[q] < counter[leader] ||
+            (counter[q] == counter[leader] && q < leader)) {
+          leader = q;
+        }
+      }
+      io.leader = leader;
+
+      const bool self_leading = (leader == p);                    // line 15
+      for (sim::Pid q = 0; q < n; ++q) {                          // lines 16-17
+        if (q != p) {
+          sys.matrix_.active_for(p, q).active_for = self_leading;
+        }
+      }
+
+      for (sim::Pid q = 0; q < n; ++q) {                          // line 18
+        if (q == p) continue;
+        if (fault_cntr[q] > max_fault_cntr[q]) {                  // line 19
+          co_await env.write(sys.counter_reg_[q], counter[q] + 1);  // line 20
+          max_fault_cntr[q] = fault_cntr[q];                      // line 21
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tbwf::omega

@@ -1,0 +1,76 @@
+// Omega-Delta from activity monitors and atomic registers -- Section 5.2,
+// Figure 3 (Theorems 11-12).
+//
+// One shared MWMR atomic register CounterRegister[p] per process counts
+// roughly how many times p has been considered "bad" for leadership:
+//   - p increments its own counter each time it (re-)becomes a candidate
+//     ("self-punishment"; keeps repeated candidates from being elected);
+//   - any candidate that sees A(p,q)'s faultCntr[q] grow increments
+//     CounterRegister[q] (punishing processes that are not timely).
+// A candidate's leader is the process with the lexicographically
+// smallest (counter, pid) among the processes its activity monitors
+// currently report active, plus itself. A process declares itself active
+// (heartbeats to everyone) exactly while it considers itself the leader,
+// which is what makes the implementation write-efficient: after
+// stabilization only the leader (and repeated candidates, transiently)
+// write to shared registers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/activity_monitor.hpp"
+#include "omega/omega.hpp"
+#include "sim/env.hpp"
+#include "sim/task.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+
+/// Owns the shared registers, the monitor matrix and the per-process
+/// OmegaIO variables; installs the per-process Figure 3 task plus the
+/// Figure 2 monitor tasks. Must outlive the world run.
+class OmegaRegisters {
+ public:
+  explicit OmegaRegisters(sim::World& world);
+
+  /// Spawn Omega-Delta (and its monitors) on every process.
+  void install_all();
+  /// Spawn on one process only (others can run different protocols).
+  void install(sim::Pid p);
+
+  OmegaIO& io(sim::Pid p) { return io_[p]; }
+  const OmegaIO& io(sim::Pid p) const { return io_[p]; }
+  std::vector<OmegaIO*> ios();
+
+  monitor::MonitorMatrix& monitors() { return matrix_; }
+  sim::AtomicReg<std::int64_t> counter_register(sim::Pid p) const {
+    return counter_reg_[p];
+  }
+
+  int n() const { return world_.n(); }
+
+  /// ABLATION -- disable the Figure 3 lines 7-8 self-punishment (the
+  /// increment of a process's own CounterRegister on every (re-)entry
+  /// into candidacy). The paper: "Without this self-punishment, it is
+  /// easy to find a scenario where r has the smallest CounterRegister
+  /// and leadership oscillates forever between r and another process."
+  /// tests/omega_ablation_test.cpp and the E3 commentary exhibit it.
+  void set_self_punishment(bool enabled) { self_punishment_ = enabled; }
+  bool self_punishment() const { return self_punishment_; }
+
+ private:
+  friend sim::Task omega_registers_task(sim::SimEnv& env,
+                                        OmegaRegisters& sys);
+
+  sim::World& world_;
+  monitor::MonitorMatrix matrix_;
+  std::vector<sim::AtomicReg<std::int64_t>> counter_reg_;
+  std::vector<OmegaIO> io_;
+  bool self_punishment_ = true;
+};
+
+/// Figure 3: the main Omega-Delta loop for process env.pid().
+sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys);
+
+}  // namespace tbwf::omega

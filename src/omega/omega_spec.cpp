@@ -1,0 +1,163 @@
+#include "omega/omega_spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tbwf::omega {
+
+namespace {
+
+bool contains(const std::vector<sim::Pid>& set, sim::Pid p) {
+  return std::find(set.begin(), set.end(), p) != set.end();
+}
+
+std::string pid_str(sim::Pid p) {
+  return p == kNoLeader ? std::string("?") : std::to_string(p);
+}
+
+/// True iff the trajectory satisfies pred at check_from and at every
+/// change-point in [check_from, end).
+template <class T, class Pred>
+bool suffix_satisfies(const sim::Trajectory<T>& traj, sim::Step check_from,
+                      Pred pred) {
+  if (traj.empty()) return false;
+  if (!pred(traj.value_at(check_from))) return false;
+  for (const auto& [step, value] : traj.points()) {
+    if (step >= check_from && !pred(value)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+OmegaRecord::OmegaRecord(sim::World& world,
+                         const std::vector<OmegaIO*>& ios) {
+  const int n = static_cast<int>(ios.size());
+  candidate_.resize(n);
+  leader_.resize(n);
+  for (sim::Pid p = 0; p < n; ++p) {
+    // Record the initial values as of step 0 so value_at() is total.
+    candidate_[p].sample(0, ios[p]->candidate);
+    leader_[p].sample(0, ios[p]->leader);
+    candidate_[p].attach(world, &ios[p]->candidate);
+    leader_[p].attach(world, &ios[p]->leader);
+  }
+}
+
+std::string SpecCheckResult::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "VIOLATED") << " elected=" << pid_str(elected);
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+SpecCheckResult check_omega_spec(const OmegaRecord& record,
+                                 const CandidateClassification& classes,
+                                 const std::vector<sim::Pid>& timely,
+                                 sim::Step check_from,
+                                 bool require_leader_permanent,
+                                 const sim::Trace* trace,
+                                 sim::Step min_suffix_steps) {
+  SpecCheckResult result;
+  result.ok = true;
+  auto fail = [&result](const std::string& msg) {
+    result.ok = false;
+    result.violations.push_back(msg);
+  };
+  // Processes that barely ran in the suffix cannot have updated their
+  // outputs; a finite run cannot falsify their convergence.
+  auto exempt = [&](sim::Pid p) {
+    return trace != nullptr &&
+           trace->steps_of_in(p, check_from, trace->now()) <
+               min_suffix_steps;
+  };
+
+  // Property 2: eventual non-candidates converge to "?".
+  for (sim::Pid p : classes.ncandidates) {
+    if (exempt(p)) continue;
+    if (!suffix_satisfies(record.leader(p), check_from,
+                          [](sim::Pid l) { return l == kNoLeader; })) {
+      fail("property 2: leader_" + std::to_string(p) +
+           " != ? in the suffix (final=" +
+           pid_str(record.leader(p).final_value()) + ")");
+    }
+  }
+
+  // Property 1 applies iff some permanent candidate is timely.
+  bool applicable = false;
+  for (sim::Pid p : classes.pcandidates) {
+    if (contains(timely, p)) applicable = true;
+  }
+  if (!applicable) return result;
+
+  // Discover l: the common suffix leader of the permanent candidates.
+  // Use a timely (else at least non-exempt) reference candidate -- an
+  // exempt flickering candidate's output is frozen and stale.
+  TBWF_ASSERT(!classes.pcandidates.empty(), "P-candidates empty");
+  sim::Pid reference = classes.pcandidates.front();
+  for (sim::Pid p : classes.pcandidates) {
+    if (contains(timely, p)) {
+      reference = p;
+      break;
+    }
+    if (!exempt(p) && exempt(reference)) reference = p;
+  }
+  const sim::Pid ell = record.leader(reference).value_at(check_from);
+  result.elected = ell;
+
+  if (ell == kNoLeader) {
+    fail("property 1b: permanent candidate " +
+         std::to_string(classes.pcandidates.front()) +
+         " has leader ? at check_from");
+    return result;
+  }
+
+  // l must be a (permanent or repeated) candidate and timely.
+  if (!contains(classes.pcandidates, ell) &&
+      !contains(classes.rcandidates, ell)) {
+    fail("elected " + pid_str(ell) + " is not a P- or R-candidate");
+  }
+  if (require_leader_permanent && !contains(classes.pcandidates, ell)) {
+    fail("canonical use: elected " + pid_str(ell) +
+         " is not a permanent candidate (Theorem 7)");
+  }
+  if (!contains(timely, ell)) {
+    fail("elected " + pid_str(ell) + " is not timely");
+  }
+
+  // 1(a): eventually leader_l = l.
+  if (!suffix_satisfies(record.leader(ell), check_from,
+                        [ell](sim::Pid l) { return l == ell; })) {
+    fail("property 1a: leader_" + pid_str(ell) + " != " + pid_str(ell) +
+         " in the suffix");
+  }
+
+  // 1(b): every permanent candidate converges to l.
+  for (sim::Pid p : classes.pcandidates) {
+    if (exempt(p)) continue;
+    if (!suffix_satisfies(record.leader(p), check_from,
+                          [ell](sim::Pid l) { return l == ell; })) {
+      fail("property 1b: leader_" + std::to_string(p) + " != " +
+           pid_str(ell) + " in the suffix (final=" +
+           pid_str(record.leader(p).final_value()) + ")");
+    }
+  }
+
+  // 1(c): every repeated candidate stays in {?, l}.
+  for (sim::Pid p : classes.rcandidates) {
+    if (exempt(p)) continue;
+    if (!suffix_satisfies(record.leader(p), check_from,
+                          [ell](sim::Pid l) {
+                            return l == kNoLeader || l == ell;
+                          })) {
+      fail("property 1c: leader_" + std::to_string(p) +
+           " leaves {?, " + pid_str(ell) + "} in the suffix");
+    }
+  }
+
+  return result;
+}
+
+}  // namespace tbwf::omega

@@ -1,0 +1,74 @@
+// Run-checkers for the Omega-Delta specification (Definition 5 and
+// Theorem 7) over finite simulated runs.
+//
+// "There is a time after which C" is verified as "C holds at every
+// sampled point in [check_from, end)"; the caller picks check_from long
+// enough after the last input perturbation for the algorithm to have
+// stabilized (every experiment reports its stabilization margin).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "omega/omega.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+
+/// Records candidate/leader trajectories for every process in a world.
+/// Construct *before* running; the OmegaIO objects must be stable.
+class OmegaRecord {
+ public:
+  OmegaRecord(sim::World& world, const std::vector<OmegaIO*>& ios);
+
+  const sim::Trajectory<bool>& candidate(sim::Pid p) const {
+    return candidate_[p];
+  }
+  const sim::Trajectory<sim::Pid>& leader(sim::Pid p) const {
+    return leader_[p];
+  }
+  int n() const { return static_cast<int>(leader_.size()); }
+
+ private:
+  std::vector<sim::Trajectory<bool>> candidate_;
+  std::vector<sim::Trajectory<sim::Pid>> leader_;
+};
+
+/// Declared candidate classification of a run (Definition 4). Tests and
+/// benches know the pattern they drove, so they declare it rather than
+/// inferring limit behaviour from a finite prefix.
+struct CandidateClassification {
+  std::vector<sim::Pid> pcandidates;  ///< eventually always candidates
+  std::vector<sim::Pid> rcandidates;  ///< candidates infinitely often, on/off
+  std::vector<sim::Pid> ncandidates;  ///< eventually never candidates
+};
+
+struct SpecCheckResult {
+  bool ok = false;
+  sim::Pid elected = kNoLeader;  ///< the l discovered (if property 1 applies)
+  std::vector<std::string> violations;
+
+  std::string summary() const;
+};
+
+/// Verify Definition 5 over the suffix [check_from, end of run).
+/// `timely` is the set of processes timely in the run (from the trace or
+/// the schedule's guarantee). If `require_leader_permanent` is set, also
+/// require l to be a permanent candidate (Theorem 7, canonical use).
+///
+/// Finite-run caveat: "there is a time after which leader_p = l" cannot
+/// be falsified by a process that took (almost) no steps in the checked
+/// suffix -- its output variable is frozen, and the infinite run would
+/// let it catch up. Pass the run's `trace` to exempt such processes
+/// (fewer than `min_suffix_steps` steps after check_from) from the
+/// convergence requirements; nullptr disables the exemption.
+SpecCheckResult check_omega_spec(const OmegaRecord& record,
+                                 const CandidateClassification& classes,
+                                 const std::vector<sim::Pid>& timely,
+                                 sim::Step check_from,
+                                 bool require_leader_permanent = false,
+                                 const sim::Trace* trace = nullptr,
+                                 sim::Step min_suffix_steps = 1000);
+
+}  // namespace tbwf::omega

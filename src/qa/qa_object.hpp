@@ -1,0 +1,50 @@
+// The query-abortable type T_QA -- interface semantics (Section 7,
+// footnote 3, after [2]).
+//
+// An object of type T_QA behaves like an object of type T except:
+//  (i)  an operation that runs concurrently with another operation may
+//       abort: it returns bottom and may or may not have taken effect;
+//  (ii) an extra operation `query` lets a process learn the fate of its
+//       last non-query operation: the response that operation should
+//       have returned if it took effect, or F if it did not (and never
+//       will) take effect. query itself may abort and return bottom.
+#pragma once
+
+#include <utility>
+
+namespace tbwf::qa {
+
+enum class QaTag {
+  Ok,          ///< a normal response v
+  Bottom,      ///< the paper's bottom: aborted, effect unknown
+  NotApplied,  ///< the paper's F: the queried operation did not take effect
+};
+
+inline const char* to_string(QaTag tag) {
+  switch (tag) {
+    case QaTag::Ok:         return "ok";
+    case QaTag::Bottom:     return "bottom";
+    case QaTag::NotApplied: return "F";
+  }
+  return "<bad>";
+}
+
+template <class R>
+struct QaResponse {
+  QaTag tag = QaTag::Bottom;
+  R value{};  ///< meaningful iff tag == Ok
+
+  bool ok() const { return tag == QaTag::Ok; }
+  bool bottom() const { return tag == QaTag::Bottom; }
+  bool not_applied() const { return tag == QaTag::NotApplied; }
+
+  static QaResponse make_ok(R v) {
+    return QaResponse{QaTag::Ok, std::move(v)};
+  }
+  static QaResponse make_bottom() { return QaResponse{QaTag::Bottom, R{}}; }
+  static QaResponse make_not_applied() {
+    return QaResponse{QaTag::NotApplied, R{}};
+  }
+};
+
+}  // namespace tbwf::qa

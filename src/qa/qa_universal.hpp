@@ -1,0 +1,440 @@
+// Wait-free universal construction of T_QA from registers.
+//
+// The paper obtains a wait-free implementation of O_QA (the
+// query-abortable counterpart of any type T) from the universal
+// construction of [2] (Aguilera, Frolund, Hadzilacos, Horn, Toueg,
+// PODC'07), whose text is outside this paper. This file provides our
+// own construction with the same interface guarantees, which is all the
+// TBWF transformation (Figure 7) relies on:
+//
+//   * every operation returns within a bounded number of its caller's
+//     steps (wait-free), possibly with bottom;
+//   * an operation that runs with no concurrent operation never aborts
+//     (in particular, solo runs always succeed);
+//   * successful operations are linearizable applications of T's
+//     sequential semantics;
+//   * query reports the fate of the caller's last operation: its
+//     response if it took (or will have taken) effect, F if it is
+//     permanently without effect, bottom if undetermined.
+//
+// Design: single-writer multi-reader "record" registers, one per
+// process, driven by an abort-on-contention variant of shared-memory
+// (disk) Paxos. The object's history is a chain of decided StateRecs,
+// one per slot; slot s's value is computed from slot s-1's decided
+// state. An attempt by p at slot s:
+//
+//   1. read all records; the decided frontier D fixes s = D.seq + 1 and
+//      a fresh round token (s, round, p);
+//   2. publish a promise for (s, round) in p's own record;
+//   3. read all records: abort on any higher promise/accept at slot s or
+//      any record at a later slot; otherwise adopt the highest-round
+//      accepted value at slot s if one exists, else propose
+//      apply(D.state, op);
+//   4. publish the accept (s, round, value) in p's own record;
+//   5. read all records: abort (effect now unknown -- the accept is
+//      adoptable) on any conflict; otherwise the value is DECIDED;
+//   6. publish the decision (best-effort: even if this write aborts, the
+//      surviving accept record forces every later round at slot s to
+//      re-decide the same value).
+//
+// Safety is the standard Paxos argument specialized to single-writer
+// registers: a decided value's accept is visible to every higher round's
+// read phase (otherwise that round's earlier promise would have aborted
+// the decider at step 5), so higher rounds can only re-propose it.
+// Abort-instead-of-wait preserves wait-freedom; adoption (finishing
+// another process's floating value, then retrying once at the next
+// slot) preserves solo success.
+//
+// The same code runs on atomic or abortable base registers via the Base
+// policy: with abortable registers a base-level abort simply aborts the
+// attempt, and since solo operations on abortable registers never abort,
+// solo attempts still succeed -- which is how Theorem 15 gets T_QA from
+// abortable registers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qa/qa_object.hpp"
+#include "qa/sequential_type.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/co.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+
+namespace tbwf::qa {
+
+// ---------------------------------------------------------------------------
+// Base-register policies.
+// ---------------------------------------------------------------------------
+
+/// Atomic base registers: reads/writes never abort.
+struct AtomicBase {
+  template <class Rec>
+  using Reg = sim::AtomicReg<Rec>;
+
+  template <class Rec>
+  static Reg<Rec> make(sim::World& world, const std::string& name, Rec init,
+                       registers::AbortPolicy*, sim::Pid /*writer*/) {
+    return world.make_atomic<Rec>(name, std::move(init));
+  }
+  template <class Rec>
+  static sim::Co<std::optional<Rec>> read(sim::SimEnv& env, Reg<Rec> r) {
+    co_return co_await env.read(r);
+  }
+  template <class Rec>
+  static sim::Co<bool> write(sim::SimEnv& env, Reg<Rec> r, Rec v) {
+    co_await env.write(r, std::move(v));
+    co_return true;
+  }
+};
+
+/// Abortable base registers (single-writer, any reader): any operation
+/// may abort under contention; an aborted base write may or may not
+/// have taken effect, which the protocol treats as "accept adoptable".
+struct AbortableBase {
+  template <class Rec>
+  using Reg = sim::AbortableReg<Rec>;
+
+  template <class Rec>
+  static Reg<Rec> make(sim::World& world, const std::string& name, Rec init,
+                       registers::AbortPolicy* policy, sim::Pid writer) {
+    return world.make_abortable<Rec>(name, std::move(init), policy, writer,
+                                     sim::kNoPid);
+  }
+  template <class Rec>
+  static sim::Co<std::optional<Rec>> read(sim::SimEnv& env, Reg<Rec> r) {
+    co_return co_await env.read(r);
+  }
+  template <class Rec>
+  static sim::Co<bool> write(sim::SimEnv& env, Reg<Rec> r, Rec v) {
+    co_return co_await env.write(r, std::move(v));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The universal construction.
+// ---------------------------------------------------------------------------
+
+template <Sequential S, class Base = AtomicBase>
+class QaUniversal {
+ public:
+  using State = typename S::State;
+  using Op = typename S::Op;
+  using Result = typename S::Result;
+  using Response = QaResponse<Result>;
+
+  /// Round token; comparisons are only meaningful within one slot.
+  struct Token {
+    std::uint64_t seq = 0;  ///< slot; 0 = none
+    std::uint64_t round = 0;
+    sim::Pid pid = sim::kNoPid;
+
+    bool gt(const Token& other) const {
+      return round > other.round ||
+             (round == other.round && pid > other.pid);
+    }
+  };
+
+  /// One link of the decided chain: the object state after `seq` decided
+  /// operations plus each process's last applied (uid, result).
+  struct StateRec {
+    std::uint64_t seq = 0;
+    State state{};
+    std::vector<std::uint64_t> last_uid;
+    std::vector<Result> last_result;
+  };
+
+  /// REG[p]: everything process p publishes.
+  struct Record {
+    Token promised;
+    Token accepted;
+    StateRec accepted_state;
+    StateRec decided;
+  };
+
+  QaUniversal(sim::World& world, State initial,
+              registers::AbortPolicy* policy = nullptr)
+      : world_(world), n_(world.n()) {
+    StateRec genesis;
+    genesis.seq = 0;
+    genesis.state = std::move(initial);
+    genesis.last_uid.assign(n_, 0);
+    genesis.last_result.assign(n_, Result{});
+    Record init;
+    init.decided = genesis;
+    init.accepted_state = genesis;
+    regs_.reserve(n_);
+    for (sim::Pid p = 0; p < n_; ++p) {
+      regs_.push_back(Base::template make<Record>(
+          world, "QaReg[" + std::to_string(p) + "]", init, policy, p));
+    }
+    mine_.assign(n_, init);
+    local_decided_.assign(n_, genesis);
+    round_.assign(n_, 0);
+    uid_counter_.assign(n_, 0);
+    last_real_uid_.assign(n_, 0);
+    pending_slot_.assign(n_, 0);
+    pending_uid_.assign(n_, 0);
+    ops_started_.assign(n_, 0);
+  }
+
+  /// Apply `op` to the object; may return bottom under contention.
+  sim::Co<Response> invoke(sim::SimEnv& env, Op op) {
+    const sim::Pid p = env.pid();
+    const std::uint64_t uid = ++uid_counter_[p] * n_ + p;
+    last_real_uid_[p] = uid;
+    pending_uid_[p] = 0;
+    pending_slot_[p] = 0;
+    ++ops_started_[p];
+
+    Proposal proposal;
+    proposal.has_op = true;
+    proposal.op = std::move(op);
+    proposal.uid = uid;
+
+    // Up to two attempts: the first may spend itself finishing another
+    // process's floating value (adoption); the second then runs on a
+    // fresh slot. Solo, this bounds the operation at two attempts.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const AttemptOutcome out = co_await attempt_once(env, p, proposal);
+      switch (out.kind) {
+        case AttemptKind::DecidedSelf:
+          co_return Response::make_ok(out.result);
+        case AttemptKind::DecidedOther:
+          continue;
+        case AttemptKind::AbortNoEffect:
+          co_return Response::make_bottom();
+        case AttemptKind::AbortMaybeEffect:
+          co_return Response::make_bottom();
+      }
+    }
+    co_return Response::make_bottom();
+  }
+
+  /// Determine the fate of this process's last invoke.
+  sim::Co<Response> query(sim::SimEnv& env) {
+    const sim::Pid p = env.pid();
+    const std::uint64_t uid = last_real_uid_[p];
+    if (uid == 0) co_return Response::make_not_applied();
+
+    // One no-op attempt: if our value is still floating at its slot,
+    // this either decides it (possibly by adoption through a peer) or
+    // seals the slot with a different value, making F final.
+    Proposal noop;
+    noop.has_op = false;
+    (void)co_await attempt_once(env, p, noop);
+
+    auto recs = co_await read_all(env, p);
+    if (!recs.has_value()) co_return Response::make_bottom();
+    const StateRec& d = frontier(*recs, p);
+    if (d.last_uid[p] == uid) {
+      co_return Response::make_ok(d.last_result[p]);
+    }
+    if (pending_uid_[p] != uid) {
+      // The op never reached an accept: it cannot ever take effect.
+      co_return Response::make_not_applied();
+    }
+    if (d.seq >= pending_slot_[p]) {
+      // The slot our accept targeted is sealed with someone else's
+      // value; stale accepts at sealed slots are never adopted.
+      co_return Response::make_not_applied();
+    }
+    co_return Response::make_bottom();
+  }
+
+  /// Non-step introspection for tests/benches: the highest decided
+  /// record currently visible in shared memory.
+  StateRec peek_frontier() const {
+    StateRec best;
+    for (sim::Pid q = 0; q < n_; ++q) {
+      const auto& rec = world_.template peek<Record>(regs_[q].idx);
+      if (rec.decided.seq >= best.seq) best = rec.decided;
+    }
+    for (sim::Pid q = 0; q < n_; ++q) {
+      if (local_decided_[q].seq > best.seq) best = local_decided_[q];
+    }
+    return best;
+  }
+
+  std::uint64_t ops_started(sim::Pid p) const { return ops_started_[p]; }
+  int n() const { return n_; }
+
+  /// Non-step test introspection: the raw record register of process p.
+  const Record& peek_record(sim::Pid p) const {
+    return world_.template peek<Record>(regs_[p].idx);
+  }
+
+ private:
+  struct Proposal {
+    bool has_op = false;
+    Op op{};
+    std::uint64_t uid = 0;
+  };
+
+  enum class AttemptKind {
+    DecidedSelf,       ///< our proposal decided; result valid
+    DecidedOther,      ///< we finished someone else's floating value
+    AbortNoEffect,     ///< aborted before our accept: no effect, ever
+    AbortMaybeEffect,  ///< aborted at/after our accept: effect unknown
+  };
+  struct AttemptOutcome {
+    AttemptKind kind = AttemptKind::AbortNoEffect;
+    Result result{};
+  };
+
+  sim::Co<std::optional<std::vector<Record>>> read_all(sim::SimEnv& env,
+                                                       sim::Pid self) {
+    std::vector<Record> recs(n_);
+    for (sim::Pid q = 0; q < n_; ++q) {
+      if (q == self) {
+        recs[q] = mine_[self];
+        continue;
+      }
+      std::optional<Record> r = co_await Base::template read<Record>(
+          env, regs_[q]);
+      if (!r.has_value()) co_return std::nullopt;
+      recs[q] = std::move(*r);
+    }
+    co_return recs;
+  }
+
+  /// Highest decided record across `recs` and p's local cache.
+  const StateRec& frontier(const std::vector<Record>& recs,
+                           sim::Pid p) const {
+    const StateRec* best = &local_decided_[p];
+    for (const auto& rec : recs) {
+      if (rec.decided.seq > best->seq) best = &rec.decided;
+    }
+    return *best;
+  }
+
+  /// Conflict: any evidence of a competitor that step 3/5 must yield to.
+  bool conflicts(const std::vector<Record>& recs, sim::Pid self,
+                 const Token& me) const {
+    for (sim::Pid q = 0; q < n_; ++q) {
+      if (q == self) continue;
+      const Record& rec = recs[q];
+      if (rec.decided.seq >= me.seq) return true;
+      if (rec.promised.seq > me.seq) return true;
+      if (rec.promised.seq == me.seq && rec.promised.gt(me)) return true;
+      if (rec.accepted.seq > me.seq) return true;
+      if (rec.accepted.seq == me.seq && rec.accepted.gt(me)) return true;
+    }
+    return false;
+  }
+
+  sim::Co<bool> publish(sim::SimEnv& env, sim::Pid p) {
+    // mine_[p] holds the record we want visible; the register write may
+    // abort under an abortable base.
+    co_return co_await Base::template write<Record>(env, regs_[p],
+                                                    mine_[p]);
+  }
+
+  sim::Co<AttemptOutcome> attempt_once(sim::SimEnv& env, sim::Pid p,
+                                       const Proposal& proposal) {
+    AttemptOutcome out;
+
+    // Step 1: read the frontier.
+    auto recs1 = co_await read_all(env, p);
+    if (!recs1.has_value()) {
+      out.kind = AttemptKind::AbortNoEffect;
+      co_return out;
+    }
+    StateRec d = frontier(*recs1, p);
+    if (d.seq > local_decided_[p].seq) local_decided_[p] = d;
+    const Token me{d.seq + 1, ++round_[p], p};
+
+    // Step 2: publish the promise (and the frontier, as catch-up help).
+    mine_[p].promised = me;
+    mine_[p].decided = local_decided_[p];
+    if (!co_await publish(env, p)) {
+      out.kind = AttemptKind::AbortNoEffect;
+      co_return out;
+    }
+
+    // Step 3: read; abort on conflict; adopt the highest floating accept.
+    auto recs2 = co_await read_all(env, p);
+    if (!recs2.has_value() || conflicts(*recs2, p, me)) {
+      out.kind = AttemptKind::AbortNoEffect;
+      co_return out;
+    }
+    const Record* adopt = nullptr;
+    for (sim::Pid q = 0; q < n_; ++q) {
+      if (q == p) continue;
+      const Record& rec = (*recs2)[q];
+      if (rec.accepted.seq == me.seq &&
+          (adopt == nullptr || rec.accepted.gt(adopt->accepted))) {
+        adopt = &rec;
+      }
+    }
+
+    StateRec value;
+    bool adopted = false;
+    if (adopt != nullptr) {
+      value = adopt->accepted_state;
+      adopted = true;
+    } else {
+      value = d;  // copy of the frontier
+      value.seq = me.seq;
+      if (proposal.has_op) {
+        value.last_result[p] = S::apply(value.state, proposal.op);
+        value.last_uid[p] = proposal.uid;
+      }
+    }
+
+    // Step 4: publish the accept. From here on our value is adoptable,
+    // so every failure is "maybe effect".
+    mine_[p].accepted = me;
+    mine_[p].accepted_state = value;
+    if (proposal.has_op && !adopted) {
+      pending_uid_[p] = proposal.uid;
+      pending_slot_[p] = me.seq;
+    }
+    if (!co_await publish(env, p)) {
+      out.kind = AttemptKind::AbortMaybeEffect;
+      co_return out;
+    }
+
+    // Step 5: validate.
+    auto recs3 = co_await read_all(env, p);
+    if (!recs3.has_value() || conflicts(*recs3, p, me)) {
+      out.kind = AttemptKind::AbortMaybeEffect;
+      co_return out;
+    }
+
+    // Decided. Step 6: publish (best effort -- see file comment).
+    local_decided_[p] = value;
+    mine_[p].decided = value;
+    (void)co_await publish(env, p);
+
+    if (adopted) {
+      out.kind = AttemptKind::DecidedOther;
+    } else if (proposal.has_op) {
+      out.kind = AttemptKind::DecidedSelf;
+      out.result = value.last_result[p];
+    } else {
+      out.kind = AttemptKind::DecidedSelf;  // no-op decided
+    }
+    co_return out;
+  }
+
+  sim::World& world_;
+  int n_;
+  std::vector<typename Base::template Reg<Record>> regs_;
+  /// Mirror of what p last tried to publish in its own register; with an
+  /// atomic base this equals the register content.
+  std::vector<Record> mine_;
+  std::vector<StateRec> local_decided_;
+  std::vector<std::uint64_t> round_;
+  std::vector<std::uint64_t> uid_counter_;
+  std::vector<std::uint64_t> last_real_uid_;
+  std::vector<std::uint64_t> pending_slot_;
+  std::vector<std::uint64_t> pending_uid_;
+  std::vector<std::uint64_t> ops_started_;
+};
+
+}  // namespace tbwf::qa

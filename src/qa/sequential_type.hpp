@@ -1,0 +1,186 @@
+// Sequential object types -- the "type T" of the paper's universal
+// constructions.
+//
+// A Sequential type supplies a State, an Op, a Result, and a pure-ish
+// static apply(State&, Op) -> Result. The canned types below cover the
+// spectrum used in tests, benches and examples: a counter and a
+// read/write register (consensus number 1), and a queue, a stack, and a
+// compare-and-swap cell (consensus number >= 2 -- the interesting cases
+// for a universal construction from registers, which is possible
+// precisely because T_QA operations are allowed to abort).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace tbwf::qa {
+
+template <class S>
+concept Sequential = requires(typename S::State& state,
+                              const typename S::Op& op) {
+  requires std::copyable<typename S::State>;
+  requires std::default_initializable<typename S::State>;
+  requires std::copyable<typename S::Op>;
+  requires std::copyable<typename S::Result>;
+  requires std::default_initializable<typename S::Result>;
+  { S::apply(state, op) } -> std::same_as<typename S::Result>;
+};
+
+/// Fetch-and-add counter. Get is Add{0}.
+struct Counter {
+  using State = std::int64_t;
+  struct Op {
+    std::int64_t delta = 0;
+  };
+  using Result = std::int64_t;  ///< value BEFORE the add
+
+  static Result apply(State& state, const Op& op) {
+    const Result before = state;
+    state += op.delta;
+    return before;
+  }
+};
+
+/// Read/write register object (not to be confused with the base shared
+/// registers; this is an implemented *object* of register type).
+struct RegisterType {
+  using State = std::int64_t;
+  struct Op {
+    bool is_write = false;
+    std::int64_t value = 0;
+  };
+  using Result = std::int64_t;  ///< previous value
+
+  static Result apply(State& state, const Op& op) {
+    const Result previous = state;
+    if (op.is_write) state = op.value;
+    return previous;
+  }
+};
+
+/// FIFO queue of integers. Dequeue on empty returns -1.
+struct Queue {
+  using State = std::deque<std::int64_t>;
+  struct Op {
+    bool is_enqueue = false;
+    std::int64_t value = 0;
+  };
+  using Result = std::int64_t;  ///< enqueue: value; dequeue: front or -1
+
+  static Result apply(State& state, const Op& op) {
+    if (op.is_enqueue) {
+      state.push_back(op.value);
+      return op.value;
+    }
+    if (state.empty()) return -1;
+    const Result front = state.front();
+    state.pop_front();
+    return front;
+  }
+
+  static Op enqueue(std::int64_t v) { return Op{true, v}; }
+  static Op dequeue() { return Op{false, 0}; }
+};
+
+/// LIFO stack of integers. Pop on empty returns -1.
+struct Stack {
+  using State = std::vector<std::int64_t>;
+  struct Op {
+    bool is_push = false;
+    std::int64_t value = 0;
+  };
+  using Result = std::int64_t;
+
+  static Result apply(State& state, const Op& op) {
+    if (op.is_push) {
+      state.push_back(op.value);
+      return op.value;
+    }
+    if (state.empty()) return -1;
+    const Result top = state.back();
+    state.pop_back();
+    return top;
+  }
+
+  static Op push(std::int64_t v) { return Op{true, v}; }
+  static Op pop() { return Op{false, 0}; }
+};
+
+/// Compare-and-swap cell: consensus number infinity, the canonical
+/// "cannot be built wait-free from registers" type -- unless aborts are
+/// allowed, which is the whole point of T_QA.
+struct CasCell {
+  using State = std::int64_t;
+  struct Op {
+    bool is_cas = false;  ///< false: plain read
+    std::int64_t expected = 0;
+    std::int64_t desired = 0;
+  };
+  struct Result {
+    bool success = false;
+    std::int64_t old_value = 0;
+  };
+
+  static Result apply(State& state, const Op& op) {
+    Result r;
+    r.old_value = state;
+    if (op.is_cas) {
+      if (state == op.expected) {
+        state = op.desired;
+        r.success = true;
+      }
+    } else {
+      r.success = true;
+    }
+    return r;
+  }
+
+  static Op cas(std::int64_t expected, std::int64_t desired) {
+    return Op{true, expected, desired};
+  }
+  static Op read() { return Op{}; }
+};
+
+/// Write-once ("sticky") register: the first successful propose wins and
+/// every later operation returns the winning value. A TBWF object of
+/// this type IS consensus among the timely processes -- the closing
+/// remark of Section 1.2 (Omega, and hence consensus, from abortable
+/// registers plus one timely process) made executable. See
+/// examples/consensus.cpp.
+struct OnceRegister {
+  static constexpr std::int64_t kUndecided = -1;
+
+  using State = std::int64_t;  ///< kUndecided until the first propose
+  struct Op {
+    std::int64_t proposal = kUndecided;  ///< kUndecided = pure read
+  };
+  struct Result {
+    bool won = false;            ///< this op's proposal was the first
+    std::int64_t value = kUndecided;  ///< the decided value (if any)
+  };
+
+  static Result apply(State& state, const Op& op) {
+    Result r;
+    if (state == kUndecided && op.proposal != kUndecided) {
+      state = op.proposal;
+      r.won = true;
+    }
+    r.value = state;
+    return r;
+  }
+
+  static Op propose(std::int64_t v) { return Op{v}; }
+  static Op read() { return Op{}; }
+};
+
+static_assert(Sequential<Counter>);
+static_assert(Sequential<RegisterType>);
+static_assert(Sequential<Queue>);
+static_assert(Sequential<Stack>);
+static_assert(Sequential<CasCell>);
+static_assert(Sequential<OnceRegister>);
+
+}  // namespace tbwf::qa

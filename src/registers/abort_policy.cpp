@@ -1,0 +1,53 @@
+#include "registers/abort_policy.hpp"
+
+#include <algorithm>
+
+namespace tbwf::registers {
+
+bool AbortPolicy::crashed_write_takes_effect(const OpContext&) {
+  return false;
+}
+
+WriteOutcome AlwaysAbortPolicy::on_contended_write(const OpContext&) {
+  switch (effect_) {
+    case Effect::Never:
+      return WriteOutcome::AbortNoEffect;
+    case Effect::Always:
+      return WriteOutcome::AbortWithEffect;
+    case Effect::Alternate:
+      flip_ = !flip_;
+      return flip_ ? WriteOutcome::AbortWithEffect
+                   : WriteOutcome::AbortNoEffect;
+  }
+  return WriteOutcome::AbortNoEffect;
+}
+
+ReadOutcome ProbabilisticAbortPolicy::on_contended_read(const OpContext&) {
+  return rng_.chance(p_abort_read_) ? ReadOutcome::Abort
+                                    : ReadOutcome::Success;
+}
+
+WriteOutcome ProbabilisticAbortPolicy::on_contended_write(const OpContext&) {
+  if (!rng_.chance(p_abort_write_)) return WriteOutcome::Success;
+  return rng_.chance(p_effect_) ? WriteOutcome::AbortWithEffect
+                                : WriteOutcome::AbortNoEffect;
+}
+
+bool ProbabilisticAbortPolicy::crashed_write_takes_effect(const OpContext&) {
+  return rng_.chance(p_effect_);
+}
+
+bool TargetedAbortPolicy::is_victim(sim::Pid p) const {
+  return std::find(victims_.begin(), victims_.end(), p) != victims_.end();
+}
+
+ReadOutcome TargetedAbortPolicy::on_contended_read(const OpContext& ctx) {
+  return is_victim(ctx.pid) ? ReadOutcome::Abort : ReadOutcome::Success;
+}
+
+WriteOutcome TargetedAbortPolicy::on_contended_write(const OpContext& ctx) {
+  return is_victim(ctx.pid) ? WriteOutcome::AbortNoEffect
+                            : WriteOutcome::Success;
+}
+
+}  // namespace tbwf::registers

@@ -1,0 +1,128 @@
+// Abort policies: the adversary inside an abortable register.
+//
+// The paper (Section 1.2, quoting [2]) specifies an abortable register as
+// behaving like an atomic register except that operations that are
+// *concurrent* with other operations may abort, returning bottom; an
+// aborted write may or may not have taken effect. Operations that run
+// solo never abort -- this is the property all of Section 6's adaptive
+// back-off mechanisms rely on, so the simulator enforces it structurally:
+// a policy is consulted only for operations that overlapped another
+// operation on the same register.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace tbwf::registers {
+
+/// Everything a policy may observe about one contended operation.
+struct OpContext {
+  sim::Pid pid = sim::kNoPid;
+  bool is_write = false;
+  sim::Step invoked_at = 0;
+  sim::Step responded_at = 0;
+  /// Processes whose operations on the same register overlapped this one.
+  std::vector<sim::Pid> overlap_pids;
+  /// True iff at least one overlapping operation was a write (safe
+  /// registers only corrupt reads that overlap a write).
+  bool any_overlap_write = false;
+};
+
+enum class WriteOutcome : std::uint8_t {
+  Success,          ///< returns ok, value installed
+  AbortNoEffect,    ///< returns bottom, register unchanged
+  AbortWithEffect,  ///< returns bottom, but the value IS installed
+};
+
+enum class ReadOutcome : std::uint8_t { Success, Abort };
+
+class AbortPolicy {
+ public:
+  virtual ~AbortPolicy() = default;
+
+  /// Consulted only when the read overlapped at least one other op.
+  virtual ReadOutcome on_contended_read(const OpContext& ctx) = 0;
+
+  /// Consulted only when the write overlapped at least one other op.
+  virtual WriteOutcome on_contended_write(const OpContext& ctx) = 0;
+
+  /// The owning process crashed between the write's invocation and its
+  /// response: does the value reach the register?
+  virtual bool crashed_write_takes_effect(const OpContext& ctx);
+};
+
+/// Degenerates the abortable register into an atomic register. Useful as
+/// a control in ablation benches.
+class NeverAbortPolicy final : public AbortPolicy {
+ public:
+  ReadOutcome on_contended_read(const OpContext&) override {
+    return ReadOutcome::Success;
+  }
+  WriteOutcome on_contended_write(const OpContext&) override {
+    return WriteOutcome::Success;
+  }
+};
+
+/// Maximal adversary: every contended operation aborts. The effect of
+/// aborted writes is configurable; `Alternate` flips per write, which
+/// exercises both branches of every caller.
+class AlwaysAbortPolicy final : public AbortPolicy {
+ public:
+  enum class Effect { Never, Always, Alternate };
+
+  explicit AlwaysAbortPolicy(Effect effect = Effect::Alternate)
+      : effect_(effect) {}
+
+  ReadOutcome on_contended_read(const OpContext&) override {
+    return ReadOutcome::Abort;
+  }
+  WriteOutcome on_contended_write(const OpContext&) override;
+
+ private:
+  Effect effect_;
+  bool flip_ = false;
+};
+
+/// Seeded random adversary: each contended read aborts with probability
+/// p_abort_read, each contended write with p_abort_write; an aborted
+/// write takes effect with probability p_effect.
+class ProbabilisticAbortPolicy final : public AbortPolicy {
+ public:
+  ProbabilisticAbortPolicy(std::uint64_t seed, double p_abort_read,
+                           double p_abort_write, double p_effect)
+      : rng_(seed),
+        p_abort_read_(p_abort_read),
+        p_abort_write_(p_abort_write),
+        p_effect_(p_effect) {}
+
+  ReadOutcome on_contended_read(const OpContext&) override;
+  WriteOutcome on_contended_write(const OpContext&) override;
+  bool crashed_write_takes_effect(const OpContext&) override;
+
+ private:
+  util::Rng rng_;
+  double p_abort_read_;
+  double p_abort_write_;
+  double p_effect_;
+};
+
+/// Adversary targeting specific victim processes: only *their* contended
+/// operations abort; everyone else succeeds. Used to show per-process
+/// graceful degradation (the victims stop progressing, others do not).
+class TargetedAbortPolicy final : public AbortPolicy {
+ public:
+  explicit TargetedAbortPolicy(std::vector<sim::Pid> victims)
+      : victims_(std::move(victims)) {}
+
+  ReadOutcome on_contended_read(const OpContext& ctx) override;
+  WriteOutcome on_contended_write(const OpContext& ctx) override;
+
+ private:
+  bool is_victim(sim::Pid p) const;
+  std::vector<sim::Pid> victims_;
+};
+
+}  // namespace tbwf::registers

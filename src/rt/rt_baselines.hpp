@@ -1,0 +1,56 @@
+// Real-threads baseline counters for the E11 wall-clock benchmark.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace tbwf::rt {
+
+/// Blocking baseline: std::mutex around a plain counter. Progress is
+/// neither wait-free nor gracefully degrading (a descheduled lock
+/// holder blocks everyone), but uncontended it is the yardstick.
+class RtMutexCounter {
+ public:
+  std::int64_t fetch_add(std::int64_t delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::int64_t before = value_;
+    value_ += delta;
+    return before;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::int64_t value_ = 0;
+};
+
+/// Lock-free baseline: explicit CAS loop (system-wide progress; an
+/// individual thread can starve under adversarial preemption).
+class RtCasCounter {
+ public:
+  std::int64_t fetch_add(std::int64_t delta) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+    return cur;
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Wait-free hardware baseline: a single fetch_add instruction; the
+/// hardware-assisted upper bound.
+class RtFaaCounter {
+ public:
+  std::int64_t fetch_add(std::int64_t delta) {
+    return value_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+}  // namespace tbwf::rt

@@ -1,0 +1,288 @@
+// Real-threads port of the query-abortable universal construction.
+//
+// The same protocol as src/qa/qa_universal.hpp (promise / accept /
+// decide per slot over single-writer records, abort on contention,
+// adoption of floating accepts), executed by std::threads over try-lock
+// abortable registers (RtAbortableReg). A base-register abort -- the
+// cell was busy -- simply aborts the attempt, exactly like the
+// simulator's AbortableBase. Solo operations never abort (an
+// uncontended try-lock always succeeds).
+//
+// Threading model: thread t owns REG[t] (single writer) and its slice
+// of the per-thread protocol state; cross-thread communication goes
+// exclusively through the registers. Per-thread slices are padded to
+// cache lines to avoid false sharing.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <vector>
+
+#include "qa/qa_object.hpp"
+#include "qa/sequential_type.hpp"
+#include "rt/rt_registers.hpp"
+#include "util/assert.hpp"
+
+namespace tbwf::rt {
+
+template <qa::Sequential S>
+class RtQaUniversal {
+ public:
+  using State = typename S::State;
+  using Op = typename S::Op;
+  using Result = typename S::Result;
+  using Response = qa::QaResponse<Result>;
+  using Tid = std::uint32_t;
+
+  struct Token {
+    std::uint64_t seq = 0;
+    std::uint64_t round = 0;
+    Tid tid = 0;
+
+    bool gt(const Token& other) const {
+      return round > other.round || (round == other.round && tid > other.tid);
+    }
+  };
+
+  struct StateRec {
+    std::uint64_t seq = 0;
+    State state{};
+    std::vector<std::uint64_t> last_uid;
+    std::vector<Result> last_result;
+  };
+
+  struct Record {
+    Token promised;
+    Token accepted;
+    StateRec accepted_state;
+    StateRec decided;
+  };
+
+  RtQaUniversal(int nthreads, State initial) : n_(nthreads) {
+    TBWF_ASSERT(nthreads >= 1, "need at least one thread");
+    StateRec genesis;
+    genesis.seq = 0;
+    genesis.state = std::move(initial);
+    genesis.last_uid.assign(n_, 0);
+    genesis.last_result.assign(n_, Result{});
+    Record init;
+    init.decided = genesis;
+    init.accepted_state = genesis;
+    regs_.reserve(n_);
+    locals_ = std::vector<Local>(n_);
+    for (int t = 0; t < n_; ++t) {
+      regs_.emplace_back(std::make_unique<RtAbortableReg<Record>>(init));
+      locals_[t].mine = init;
+      locals_[t].local_decided = genesis;
+    }
+  }
+
+  /// Apply `op`; returns bottom under contention. Called by thread
+  /// `tid` only (each tid must be driven by a single thread).
+  Response invoke(Tid tid, Op op) {
+    Local& me = locals_[tid];
+    const std::uint64_t uid = ++me.uid_counter * n_ + tid;
+    me.last_real_uid = uid;
+    me.pending_uid = 0;
+    me.pending_slot = 0;
+
+    Proposal proposal{true, std::move(op), uid};
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const AttemptOutcome out = attempt_once(tid, proposal);
+      switch (out.kind) {
+        case AttemptKind::DecidedSelf:
+          return Response::make_ok(out.result);
+        case AttemptKind::DecidedOther:
+          continue;
+        case AttemptKind::AbortNoEffect:
+        case AttemptKind::AbortMaybeEffect:
+          return Response::make_bottom();
+      }
+    }
+    return Response::make_bottom();
+  }
+
+  /// Fate of tid's last invoke (Ok / F / bottom).
+  Response query(Tid tid) {
+    Local& me = locals_[tid];
+    const std::uint64_t uid = me.last_real_uid;
+    if (uid == 0) return Response::make_not_applied();
+
+    Proposal noop{false, Op{}, 0};
+    (void)attempt_once(tid, noop);
+
+    auto recs = read_all(tid);
+    if (!recs.has_value()) return Response::make_bottom();
+    const StateRec& d = frontier(*recs, tid);
+    if (d.last_uid[tid] == uid) {
+      return Response::make_ok(d.last_result[tid]);
+    }
+    if (me.pending_uid != uid) return Response::make_not_applied();
+    if (d.seq >= me.pending_slot) return Response::make_not_applied();
+    return Response::make_bottom();
+  }
+
+  /// Best-effort snapshot of the decided frontier (retries briefly).
+  StateRec frontier_snapshot() {
+    StateRec best = locals_[0].local_decided;
+    for (int t = 0; t < n_; ++t) {
+      if (locals_[t].local_decided.seq > best.seq) {
+        best = locals_[t].local_decided;
+      }
+      for (int tries = 0; tries < 64; ++tries) {
+        auto r = regs_[t]->read();
+        if (r.has_value()) {
+          if (r->decided.seq > best.seq) best = r->decided;
+          break;
+        }
+      }
+    }
+    return best;
+  }
+
+  int n() const { return n_; }
+
+ private:
+  struct Proposal {
+    bool has_op = false;
+    Op op{};
+    std::uint64_t uid = 0;
+  };
+  enum class AttemptKind {
+    DecidedSelf,
+    DecidedOther,
+    AbortNoEffect,
+    AbortMaybeEffect,
+  };
+  struct AttemptOutcome {
+    AttemptKind kind = AttemptKind::AbortNoEffect;
+    Result result{};
+  };
+
+  struct alignas(64) Local {
+    Record mine;
+    StateRec local_decided;
+    std::uint64_t round = 0;
+    std::uint64_t uid_counter = 0;
+    std::uint64_t last_real_uid = 0;
+    std::uint64_t pending_uid = 0;
+    std::uint64_t pending_slot = 0;
+  };
+
+  std::optional<std::vector<Record>> read_all(Tid self) {
+    std::vector<Record> recs(n_);
+    for (int t = 0; t < n_; ++t) {
+      if (t == static_cast<int>(self)) {
+        recs[t] = locals_[self].mine;
+        continue;
+      }
+      auto r = regs_[t]->read();
+      if (!r.has_value()) return std::nullopt;
+      recs[t] = std::move(*r);
+    }
+    return recs;
+  }
+
+  const StateRec& frontier(const std::vector<Record>& recs,
+                           Tid self) const {
+    const StateRec* best = &locals_[self].local_decided;
+    for (const auto& rec : recs) {
+      if (rec.decided.seq > best->seq) best = &rec.decided;
+    }
+    return *best;
+  }
+
+  bool conflicts(const std::vector<Record>& recs, Tid self,
+                 const Token& me) const {
+    for (int t = 0; t < n_; ++t) {
+      if (t == static_cast<int>(self)) continue;
+      const Record& rec = recs[t];
+      if (rec.decided.seq >= me.seq) return true;
+      if (rec.promised.seq > me.seq) return true;
+      if (rec.promised.seq == me.seq && rec.promised.gt(me)) return true;
+      if (rec.accepted.seq > me.seq) return true;
+      if (rec.accepted.seq == me.seq && rec.accepted.gt(me)) return true;
+    }
+    return false;
+  }
+
+  bool publish(Tid tid) { return regs_[tid]->write(locals_[tid].mine); }
+
+  AttemptOutcome attempt_once(Tid tid, const Proposal& proposal) {
+    Local& me = locals_[tid];
+    AttemptOutcome out;
+
+    auto recs1 = read_all(tid);
+    if (!recs1.has_value()) return out;  // AbortNoEffect
+    StateRec d = frontier(*recs1, tid);
+    if (d.seq > me.local_decided.seq) me.local_decided = d;
+    const Token token{d.seq + 1, ++me.round, tid};
+
+    me.mine.promised = token;
+    me.mine.decided = me.local_decided;
+    if (!publish(tid)) return out;
+
+    auto recs2 = read_all(tid);
+    if (!recs2.has_value() || conflicts(*recs2, tid, token)) return out;
+
+    const Record* adopt = nullptr;
+    for (int t = 0; t < n_; ++t) {
+      if (t == static_cast<int>(tid)) continue;
+      const Record& rec = (*recs2)[t];
+      if (rec.accepted.seq == token.seq &&
+          (adopt == nullptr || rec.accepted.gt(adopt->accepted))) {
+        adopt = &rec;
+      }
+    }
+
+    StateRec value;
+    bool adopted = false;
+    if (adopt != nullptr) {
+      value = adopt->accepted_state;
+      adopted = true;
+    } else {
+      value = d;
+      value.seq = token.seq;
+      if (proposal.has_op) {
+        value.last_result[tid] = S::apply(value.state, proposal.op);
+        value.last_uid[tid] = proposal.uid;
+      }
+    }
+
+    me.mine.accepted = token;
+    me.mine.accepted_state = value;
+    if (proposal.has_op && !adopted) {
+      me.pending_uid = proposal.uid;
+      me.pending_slot = token.seq;
+    }
+    if (!publish(tid)) {
+      out.kind = AttemptKind::AbortMaybeEffect;
+      return out;
+    }
+
+    auto recs3 = read_all(tid);
+    if (!recs3.has_value() || conflicts(*recs3, tid, token)) {
+      out.kind = AttemptKind::AbortMaybeEffect;
+      return out;
+    }
+
+    me.local_decided = value;
+    me.mine.decided = value;
+    (void)publish(tid);
+
+    if (adopted) {
+      out.kind = AttemptKind::DecidedOther;
+    } else {
+      out.kind = AttemptKind::DecidedSelf;
+      if (proposal.has_op) out.result = value.last_result[tid];
+    }
+    return out;
+  }
+
+  int n_;
+  std::vector<std::unique_ptr<RtAbortableReg<Record>>> regs_;
+  std::vector<Local> locals_;
+};
+
+}  // namespace tbwf::rt

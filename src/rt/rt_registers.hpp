@@ -1,0 +1,72 @@
+// Real-threads backend: abortable registers over std::atomic.
+//
+// The simulator (src/sim) is the faithful reproduction vehicle -- it
+// controls steps, timeliness and abort adversaries exactly. This rt
+// backend exists for the wall-clock benchmark (E11): it runs the same
+// *ideas* on real threads to show the practical cost profile.
+//
+// RtAbortableReg implements the abortable-register contract with a
+// try-lock cell: an operation that cannot acquire the cell immediately
+// was, by construction, concurrent with another operation and aborts;
+// an operation that acquires the cell runs alone and succeeds. Solo
+// operations therefore never abort, and aborted writes never take
+// effect (one of the behaviours the spec allows).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace tbwf::rt {
+
+template <class T>
+class RtAbortableReg {
+ public:
+  explicit RtAbortableReg(T initial) : value_(std::move(initial)) {}
+
+  /// Returns nullopt iff the read aborted (cell busy).
+  std::optional<T> read() {
+    if (!try_acquire()) return std::nullopt;
+    T copy = value_;
+    release();
+    return copy;
+  }
+
+  /// Returns false iff the write aborted (cell busy; no effect).
+  bool write(const T& v) {
+    if (!try_acquire()) return false;
+    value_ = v;
+    release();
+    return true;
+  }
+
+ private:
+  bool try_acquire() {
+    std::uint32_t expected = 0;
+    return lock_.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+  void release() { lock_.store(0, std::memory_order_release); }
+
+  std::atomic<std::uint32_t> lock_{0};
+  T value_;
+};
+
+/// Single-writer heartbeat slot: the writer publishes a monotonically
+/// increasing counter; readers detect activity and staleness. Trivial
+/// over std::atomic, provided for symmetry with the simulator's
+/// monitored/monitoring split.
+class RtHeartbeat {
+ public:
+  void beat() { counter_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace tbwf::rt

@@ -1,0 +1,359 @@
+// SimEnv: the interface simulated algorithm code is written against.
+//
+// A process sub-task is a coroutine `Task body(SimEnv& env, ...)` that
+// performs shared-memory operations with co_await:
+//
+//   std::int64_t v = co_await env.read(atomic_reg);
+//   co_await env.write(atomic_reg, v + 1);
+//   std::optional<std::int64_t> r = co_await env.read(abortable_reg);
+//   bool ok = co_await env.write(abortable_reg, 7);
+//   co_await env.yield();   // one local step (the paper's "skip")
+//
+// Each co_await on a register operation consumes exactly two scheduled
+// steps of the process (invocation, then response); yield() consumes one.
+//
+// Lifetime rule: everything a sub-task coroutine references (the SimEnv,
+// shared registers' World, per-process local-variable structs) must
+// outlive the World run. Do not spawn capturing-lambda coroutines: a
+// lambda coroutine's captures live in the closure object, not the frame.
+// Use free functions / static members with explicit reference parameters.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "sim/world.hpp"
+
+namespace tbwf::sim {
+
+namespace detail {
+
+// -- awaiters ---------------------------------------------------------------
+
+template <class T>
+struct AtomicReadOp final : OpCompletion {
+  AtomicReadOp(World* w, RegCell<T>* c) : world(w), cell(c) {}
+  World* world;
+  RegCell<T>* cell;
+  T result{};
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->set_resume_handle(h);
+    world->begin_op(cell, /*is_write=*/false, this);
+  }
+  T await_resume() { return std::move(result); }
+
+  void complete(World& w, const registers::OpContext&, bool) override {
+    result = cell->value;
+    w.note_read(/*aborted=*/false, cell);
+  }
+  void settle_crash(World&, const registers::OpContext&) override {}
+};
+
+template <class T>
+struct AtomicWriteOp final : OpCompletion {
+  AtomicWriteOp(World* w, RegCell<T>* c, T v)
+      : world(w), cell(c), value(std::move(v)) {}
+  World* world;
+  RegCell<T>* cell;
+  T value;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->set_resume_handle(h);
+    world->begin_op(cell, /*is_write=*/true, this);
+  }
+  void await_resume() {}
+
+  void complete(World& w, const registers::OpContext& ctx, bool) override {
+    cell->value = std::move(value);
+    w.note_write(/*aborted=*/false, cell);
+    w.note_write_effect(cell->idx, ctx.pid);
+  }
+  void settle_crash(World& w, const registers::OpContext& ctx) override {
+    // A write interrupted by a crash may or may not take effect; decided
+    // deterministically from the world seed so runs replay exactly.
+    if (w.aux_rng().chance(0.5)) {
+      cell->value = std::move(value);
+      w.note_write_effect(cell->idx, ctx.pid);
+    }
+  }
+};
+
+template <class T>
+struct SafeReadOp final : OpCompletion {
+  SafeReadOp(World* w, RegCell<T>* c) : world(w), cell(c) {}
+  World* world;
+  RegCell<T>* cell;
+  T result{};
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->set_resume_handle(h);
+    world->begin_op(cell, /*is_write=*/false, this);
+  }
+  T await_resume() { return std::move(result); }
+
+  void complete(World& w, const registers::OpContext& ctx, bool) override {
+    if (ctx.any_overlap_write) {
+      // A safe-register read overlapping a write returns an arbitrary
+      // value of the type.
+      if constexpr (std::is_integral_v<T>) {
+        result = static_cast<T>(w.aux_rng().next());
+      } else {
+        result = T{};
+      }
+    } else {
+      result = cell->value;
+    }
+    w.note_read(/*aborted=*/false, cell);
+  }
+  void settle_crash(World&, const registers::OpContext&) override {}
+};
+
+template <class T>
+struct SafeWriteOp final : OpCompletion {
+  SafeWriteOp(World* w, RegCell<T>* c, T v)
+      : world(w), cell(c), value(std::move(v)) {}
+  World* world;
+  RegCell<T>* cell;
+  T value;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->set_resume_handle(h);
+    world->begin_op(cell, /*is_write=*/true, this);
+  }
+  void await_resume() {}
+
+  void complete(World& w, const registers::OpContext& ctx, bool) override {
+    cell->value = std::move(value);
+    w.note_write(/*aborted=*/false, cell);
+    w.note_write_effect(cell->idx, ctx.pid);
+  }
+  void settle_crash(World& w, const registers::OpContext& ctx) override {
+    cell->value = std::move(value);
+    w.note_write_effect(cell->idx, ctx.pid);
+  }
+};
+
+template <class T>
+struct AbortableReadOp final : OpCompletion {
+  AbortableReadOp(World* w, RegCell<T>* c) : world(w), cell(c) {}
+  World* world;
+  RegCell<T>* cell;
+  std::optional<T> result;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->set_resume_handle(h);
+    world->begin_op(cell, /*is_write=*/false, this);
+  }
+  std::optional<T> await_resume() { return std::move(result); }
+
+  void complete(World& w, const registers::OpContext& ctx,
+                bool overlapped) override {
+    if (!overlapped) {
+      // Solo operations never abort.
+      result = cell->value;
+      w.note_read(/*aborted=*/false, cell);
+      return;
+    }
+    const auto outcome = cell->policy->on_contended_read(ctx);
+    if (outcome == registers::ReadOutcome::Success) {
+      result = cell->value;
+      w.note_read(/*aborted=*/false, cell);
+    } else {
+      result.reset();
+      w.note_read(/*aborted=*/true, cell);
+    }
+  }
+  void settle_crash(World&, const registers::OpContext&) override {}
+};
+
+template <class T>
+struct AbortableWriteOp final : OpCompletion {
+  AbortableWriteOp(World* w, RegCell<T>* c, T v)
+      : world(w), cell(c), value(std::move(v)) {}
+  World* world;
+  RegCell<T>* cell;
+  T value;
+  bool ok = false;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->set_resume_handle(h);
+    world->begin_op(cell, /*is_write=*/true, this);
+  }
+  /// true  => the write took effect (the caller knows it succeeded)
+  /// false => bottom: the write may or may not have taken effect
+  bool await_resume() { return ok; }
+
+  void complete(World& w, const registers::OpContext& ctx,
+                bool overlapped) override {
+    using registers::WriteOutcome;
+    WriteOutcome outcome = WriteOutcome::Success;
+    if (overlapped) outcome = cell->policy->on_contended_write(ctx);
+    switch (outcome) {
+      case WriteOutcome::Success:
+        cell->value = value;
+        ok = true;
+        w.note_write(/*aborted=*/false, cell);
+        w.note_write_effect(cell->idx, ctx.pid);
+        break;
+      case WriteOutcome::AbortWithEffect:
+        cell->value = value;
+        ok = false;
+        w.note_write(/*aborted=*/true, cell);
+        w.note_write_effect(cell->idx, ctx.pid);
+        break;
+      case WriteOutcome::AbortNoEffect:
+        ok = false;
+        w.note_write(/*aborted=*/true, cell);
+        break;
+    }
+  }
+  void settle_crash(World& w, const registers::OpContext& ctx) override {
+    if (cell->policy->crashed_write_takes_effect(ctx)) {
+      cell->value = std::move(value);
+      w.note_write_effect(cell->idx, ctx.pid);
+    }
+  }
+};
+
+/// Compare-and-swap on an atomic register cell: used by the BASELINE
+/// implementations only (the paper's point is that TBWF needs no such
+/// primitive). Linearizes at the response step like every other op.
+template <class T>
+struct CasOp final : OpCompletion {
+  CasOp(World* w, RegCell<T>* c, T e, T d)
+      : world(w), cell(c), expected(std::move(e)), desired(std::move(d)) {}
+  World* world;
+  RegCell<T>* cell;
+  T expected;
+  T desired;
+  bool success = false;
+  T witnessed{};
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    world->set_resume_handle(h);
+    world->begin_op(cell, /*is_write=*/true, this);
+  }
+  /// (success, value observed at the linearization point)
+  std::pair<bool, T> await_resume() {
+    return {success, std::move(witnessed)};
+  }
+
+  void complete(World& w, const registers::OpContext& ctx, bool) override {
+    witnessed = cell->value;
+    if (cell->value == expected) {
+      cell->value = desired;
+      success = true;
+      w.note_write(/*aborted=*/false, cell);
+      w.note_write_effect(cell->idx, ctx.pid);
+    } else {
+      success = false;
+      w.note_read(/*aborted=*/false, cell);
+    }
+  }
+  void settle_crash(World& w, const registers::OpContext& ctx) override {
+    if (w.aux_rng().chance(0.5) && cell->value == expected) {
+      cell->value = std::move(desired);
+      w.note_write_effect(cell->idx, ctx.pid);
+    }
+  }
+};
+
+struct YieldOp {
+  World* world;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) noexcept {
+    world->set_resume_handle(h);
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// SimEnv
+// ---------------------------------------------------------------------------
+
+class SimEnv {
+ public:
+  SimEnv(World* world, Pid pid)
+      : world_(world), pid_(pid), rng_(world->aux_rng().next() ^
+                                       (0x9E3779B97F4A7C15ULL * (pid + 1))) {}
+
+  Pid pid() const { return pid_; }
+  int n() const { return world_->n(); }
+  Step now() const { return world_->now(); }
+  Step local_steps() const { return world_->local_steps(pid_); }
+  World& world() { return *world_; }
+
+  /// Deterministic per-process randomness for workload generation.
+  util::Rng& rng() { return rng_; }
+
+  /// One local step (the paper's "skip" / busy-wait step).
+  detail::YieldOp yield() { return {world_}; }
+
+  /// Same as yield() in the simulator; the rt backend additionally checks
+  /// for shutdown here. Algorithm code uses checkpoint() inside its
+  /// `repeat forever` loops.
+  detail::YieldOp checkpoint() { return {world_}; }
+
+  // -- atomic registers ------------------------------------------------------
+  template <class T>
+  detail::AtomicReadOp<T> read(AtomicReg<T> r) {
+    return {world_, world_->typed_cell<T>(r.idx)};
+  }
+  template <class T>
+  detail::AtomicWriteOp<T> write(AtomicReg<T> r, std::type_identity_t<T> value) {
+    return {world_, world_->typed_cell<T>(r.idx), std::move(value)};
+  }
+
+  /// Baseline-only CAS on an atomic register (requires T ==).
+  template <class T>
+  detail::CasOp<T> cas(AtomicReg<T> r, std::type_identity_t<T> expected,
+                       std::type_identity_t<T> desired) {
+    return {world_, world_->typed_cell<T>(r.idx), std::move(expected),
+            std::move(desired)};
+  }
+
+  // -- safe registers ----------------------------------------------------------
+  template <class T>
+  detail::SafeReadOp<T> read(SafeReg<T> r) {
+    return {world_, world_->typed_cell<T>(r.idx)};
+  }
+  template <class T>
+  detail::SafeWriteOp<T> write(SafeReg<T> r, std::type_identity_t<T> value) {
+    return {world_, world_->typed_cell<T>(r.idx), std::move(value)};
+  }
+
+  // -- abortable registers -------------------------------------------------------
+  template <class T>
+  detail::AbortableReadOp<T> read(AbortableReg<T> r) {
+    return {world_, world_->typed_cell<T>(r.idx)};
+  }
+  template <class T>
+  detail::AbortableWriteOp<T> write(AbortableReg<T> r, std::type_identity_t<T> value) {
+    return {world_, world_->typed_cell<T>(r.idx), std::move(value)};
+  }
+
+  /// Spawn a sibling sub-task on this process.
+  void spawn(std::string name, std::function<Task(SimEnv&)> factory) {
+    world_->spawn(pid_, std::move(name), std::move(factory));
+  }
+
+ private:
+  World* world_;
+  Pid pid_;
+  util::Rng rng_;
+};
+
+}  // namespace tbwf::sim

@@ -1,0 +1,167 @@
+#include "sim/schedule.hpp"
+
+#include "util/assert.hpp"
+
+namespace tbwf::sim {
+
+Pid RoundRobinSchedule::next(const WorldView& view) {
+  const int n = view.n();
+  for (int i = 1; i <= n; ++i) {
+    const Pid candidate = (last_ + i) % n;
+    if (view.runnable(candidate)) {
+      last_ = candidate;
+      return candidate;
+    }
+  }
+  return kNoPid;
+}
+
+Pid RandomSchedule::next(const WorldView& view) {
+  const int n = view.n();
+  double total = 0;
+  for (Pid p = 0; p < n; ++p) {
+    if (!view.runnable(p)) continue;
+    total += weights_.empty() ? 1.0 : weights_[p];
+  }
+  if (total <= 0) return kNoPid;
+  double target = rng_.uniform01() * total;
+  for (Pid p = 0; p < n; ++p) {
+    if (!view.runnable(p)) continue;
+    const double w = weights_.empty() ? 1.0 : weights_[p];
+    target -= w;
+    if (target <= 0) return p;
+  }
+  // Floating-point slack: return the last runnable pid.
+  for (Pid p = n - 1; p >= 0; --p) {
+    if (view.runnable(p)) return p;
+  }
+  return kNoPid;
+}
+
+Pid ScriptedSchedule::next(const WorldView& view) {
+  const std::size_t size = script_.size();
+  if (size == 0) return kNoPid;
+  // Skip script entries for processes that are not runnable; a scripted
+  // test is expected to keep its processes runnable, but crashes may
+  // invalidate a suffix of the script.
+  for (std::size_t tries = 0; tries < size; ++tries) {
+    if (pos_ >= size) {
+      if (!loop_) return kNoPid;
+      pos_ = 0;
+    }
+    const Pid p = script_[pos_++];
+    if (view.runnable(p)) return p;
+  }
+  return kNoPid;
+}
+
+Pid ContentionSchedule::next(const WorldView& view) {
+  // Phase 1: find a victim without a pending op and step it until its
+  // next operation opens (it becomes "armed").
+  for (std::size_t i = 0; i < victims_.size(); ++i) {
+    const Pid v = victims_[(cursor_ + i) % victims_.size()];
+    if (view.runnable(v) && !view.has_pending_op(v)) {
+      cursor_ = (cursor_ + i) % victims_.size();
+      return v;
+    }
+  }
+  // Phase 2: every runnable victim is armed -- release them one by one;
+  // their responses now all overlap.
+  for (std::size_t i = 0; i < victims_.size(); ++i) {
+    const Pid v = victims_[(cursor_ + i) % victims_.size()];
+    if (view.runnable(v)) {
+      cursor_ = (cursor_ + i + 1) % victims_.size();
+      return v;
+    }
+  }
+  // No victim runnable: round-robin the rest.
+  const int n = view.n();
+  for (int i = 1; i <= n; ++i) {
+    const Pid candidate = (rr_last_ + i) % n;
+    if (view.runnable(candidate)) {
+      rr_last_ = candidate;
+      return candidate;
+    }
+  }
+  return kNoPid;
+}
+
+TimelinessSchedule::TimelinessSchedule(std::vector<ActivitySpec> specs,
+                                       std::uint64_t seed)
+    : specs_(std::move(specs)), rng_(seed) {
+  last_step_.assign(specs_.size(), Trace::kNever);
+}
+
+Pid TimelinessSchedule::next(const WorldView& view) {
+  const int n = view.n();
+  TBWF_ASSERT(static_cast<std::size_t>(n) == specs_.size(),
+              "spec count must equal process count");
+  const Step t = view.now();
+
+  // 1. A process with a timeliness guarantee whose deadline has arrived
+  //    must be scheduled now; pick the most overdue (then smallest pid).
+  Pid due_pid = kNoPid;
+  Step due_slack = 0;
+  for (Pid p = 0; p < n; ++p) {
+    const auto& spec = specs_[p];
+    if (spec.timely_bound == 0) continue;
+    if (!view.runnable(p) || !spec.active_at(t)) continue;
+    // last == kNever means "no step yet": the prefix gap must also stay
+    // below the bound, so treat the virtual last step as step -1.
+    const Step last = last_step_[p];
+    const Step elapsed = (last == Trace::kNever) ? t + 1 : t - last;
+    if (elapsed >= spec.timely_bound) {
+      const Step slack = elapsed - spec.timely_bound;
+      if (due_pid == kNoPid || slack > due_slack) {
+        due_pid = p;
+        due_slack = slack;
+      }
+    }
+  }
+  if (due_pid != kNoPid) {
+    last_step_[due_pid] = t;
+    return due_pid;
+  }
+
+  // 2. Otherwise: weighted random among active, runnable processes.
+  double total = 0;
+  for (Pid p = 0; p < n; ++p) {
+    if (view.runnable(p) && specs_[p].active_at(t)) total += specs_[p].weight;
+  }
+  if (total > 0) {
+    double target = rng_.uniform01() * total;
+    for (Pid p = 0; p < n; ++p) {
+      if (!view.runnable(p) || !specs_[p].active_at(t)) continue;
+      target -= specs_[p].weight;
+      if (target <= 0) {
+        last_step_[p] = t;
+        return p;
+      }
+    }
+  }
+
+  // 3. Everyone active is blocked/silent. Rather than deadlock the run,
+  //    grant the step to any runnable process (time must advance: the
+  //    model has one step per time unit as long as someone is alive).
+  for (Pid p = 0; p < n; ++p) {
+    if (view.runnable(p)) {
+      last_step_[p] = t;
+      return p;
+    }
+  }
+  return kNoPid;
+}
+
+std::vector<Pid> TimelinessSchedule::intended_timely() const {
+  std::vector<Pid> result;
+  for (Pid p = 0; p < static_cast<Pid>(specs_.size()); ++p) {
+    const auto& s = specs_[p];
+    if (s.timely_bound > 0 && s.window == ActivitySpec::Window::Always &&
+        s.crash_at == Trace::kNever) {
+      result.push_back(p);
+    }
+  }
+  return result;
+}
+
+}  // namespace tbwf::sim

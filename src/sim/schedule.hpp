@@ -1,0 +1,123 @@
+// Schedules: the adversary that decides which process takes each step.
+//
+// A Schedule sees only scheduling-relevant state (via WorldView) and
+// returns the pid that takes the next step. All schedules are
+// deterministic functions of their seed, so any run can be replayed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/timeline.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace tbwf::sim {
+
+/// What a schedule may observe about the world.
+class WorldView {
+ public:
+  virtual ~WorldView() = default;
+  virtual Step now() const = 0;
+  virtual int n() const = 0;
+  /// Alive (not crashed) and has at least one unfinished sub-task.
+  virtual bool runnable(Pid p) const = 0;
+  /// True iff some sub-task of p has an invoked-but-unresponded register
+  /// operation. Adversarial schedules use this to engineer overlaps.
+  virtual bool has_pending_op(Pid p) const = 0;
+};
+
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+  /// Pick the process that takes the next step, or kNoPid if the schedule
+  /// declines to schedule anyone (the run then stops).
+  virtual Pid next(const WorldView& view) = 0;
+};
+
+/// Cycles through runnable processes in pid order. Every runnable process
+/// is timely with bound n under this schedule.
+class RoundRobinSchedule : public Schedule {
+ public:
+  Pid next(const WorldView& view) override;
+
+ private:
+  Pid last_ = kNoPid;
+};
+
+/// Seeded uniform (optionally weighted) random choice among runnable
+/// processes. With n processes and uniform weights, every process is
+/// timely with high probability for a run-dependent bound.
+class RandomSchedule : public Schedule {
+ public:
+  explicit RandomSchedule(std::uint64_t seed) : rng_(seed) {}
+  RandomSchedule(std::uint64_t seed, std::vector<double> weights)
+      : rng_(seed), weights_(std::move(weights)) {}
+
+  Pid next(const WorldView& view) override;
+
+ private:
+  util::Rng rng_;
+  std::vector<double> weights_;
+};
+
+/// Replays an explicit pid sequence; used by unit tests to force exact
+/// interleavings (e.g. to make two register operations overlap).
+class ScriptedSchedule : public Schedule {
+ public:
+  explicit ScriptedSchedule(std::vector<Pid> script,
+                            bool loop_forever = false)
+      : script_(std::move(script)), loop_(loop_forever) {}
+
+  Pid next(const WorldView& view) override;
+
+ private:
+  std::vector<Pid> script_;
+  bool loop_;
+  std::size_t pos_ = 0;
+};
+
+/// Contention adversary: drives its victim pids so that their register
+/// operations overlap as much as possible -- grant steps to a victim
+/// until it has an operation pending, then switch to the next victim,
+/// and only then let the operations respond. Against abortable
+/// registers this maximizes the abort rate; the paper's adaptive
+/// backoffs must still win eventually. Non-victim processes receive
+/// round-robin leftovers.
+class ContentionSchedule : public Schedule {
+ public:
+  explicit ContentionSchedule(std::vector<Pid> victims)
+      : victims_(std::move(victims)) {}
+
+  Pid next(const WorldView& view) override;
+
+ private:
+  std::vector<Pid> victims_;
+  std::size_t cursor_ = 0;
+  Pid rr_last_ = kNoPid;
+};
+
+/// The timeliness-controlled adversary. Each process follows an
+/// ActivitySpec; processes with a timely bound are guaranteed a step in
+/// every window of that many global steps (while active); other eligible
+/// processes receive leftover steps by weighted random choice. Silent /
+/// stalled / flicker-off processes take no steps.
+class TimelinessSchedule : public Schedule {
+ public:
+  TimelinessSchedule(std::vector<ActivitySpec> specs, std::uint64_t seed);
+
+  Pid next(const WorldView& view) override;
+
+  const ActivitySpec& spec(Pid p) const { return specs_[p]; }
+
+  /// Pids whose spec guarantees a timeliness bound (and never crashes or
+  /// goes silent): the set the TBWF property must protect.
+  std::vector<Pid> intended_timely() const;
+
+ private:
+  std::vector<ActivitySpec> specs_;
+  util::Rng rng_;
+  std::vector<Step> last_step_;  // last step index granted to each pid
+};
+
+}  // namespace tbwf::sim

@@ -1,0 +1,82 @@
+// Coroutine task type for simulated processes.
+//
+// Every process "sub-task" (application loop, Omega-Delta loop, activity
+// monitor loops, heartbeat loops) is a lazily-started coroutine. The
+// scheduler advances a sub-task by exactly one step per resumption, which
+// makes the paper's step-counting model exact: one resumption == one step
+// of the owning process. Register operations suspend the coroutine so the
+// invocation and the response land on distinct steps, as in the paper's
+// automaton model.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace tbwf::sim {
+
+/// Thrown out of a coroutine when its process is asked to stop cleanly
+/// (used by the rt backend and by tests that wind down infinite loops).
+struct StopRequested {};
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { exception = std::current_exception(); }
+
+    std::exception_ptr exception;
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  /// Resume the coroutine once. Rethrows any exception that escaped the
+  /// coroutine body, except StopRequested which is swallowed (it marks a
+  /// clean shutdown of a `repeat forever` loop).
+  void resume() {
+    handle_.resume();
+    if (handle_.done() && handle_.promise().exception) {
+      auto ex = std::exchange(handle_.promise().exception, nullptr);
+      try {
+        std::rethrow_exception(ex);
+      } catch (const StopRequested&) {
+        // clean stop
+      }
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+}  // namespace tbwf::sim

@@ -1,0 +1,100 @@
+#include "sim/timeline.hpp"
+
+#include "util/assert.hpp"
+
+namespace tbwf::sim {
+
+bool ActivitySpec::active_at(Step t) const {
+  if (crash_at != Trace::kNever && t >= crash_at) return false;
+  switch (window) {
+    case Window::Always:
+      return true;
+    case Window::Silent:
+      return false;
+    case Window::Stall:
+      return t < stall_from || t >= stall_to;
+    case Window::Flicker: {
+      const Step period = flicker_on + flicker_off;
+      TBWF_ASSERT(period > 0, "flicker pattern needs a non-empty period");
+      const Step pos = (t + phase) % period;
+      return pos < flicker_on;
+    }
+    case Window::GrowingFlicker: {
+      // Cycle k: `flicker_on` active steps, then flicker_off * 2^k silent
+      // steps. Walk cycles until t falls inside one (O(log t) cycles).
+      Step start = 0;
+      Step off = flicker_off;
+      for (;;) {
+        if (t < start + flicker_on) return true;
+        if (t < start + flicker_on + off) return false;
+        start += flicker_on + off;
+        if (off < (Step{1} << 62)) off *= 2;
+      }
+    }
+  }
+  return true;
+}
+
+ActivitySpec ActivitySpec::timely(Step bound, double weight) {
+  TBWF_ASSERT(bound >= 1, "timeliness bound must be >= 1");
+  ActivitySpec s;
+  s.timely_bound = bound;
+  s.weight = weight;
+  return s;
+}
+
+ActivitySpec ActivitySpec::eager(double weight) {
+  ActivitySpec s;
+  s.weight = weight;
+  return s;
+}
+
+ActivitySpec ActivitySpec::flicker(Step on, Step off, Step phase,
+                                   double weight) {
+  TBWF_ASSERT(on > 0 && off > 0, "flicker windows must be non-empty");
+  ActivitySpec s;
+  s.window = Window::Flicker;
+  s.flicker_on = on;
+  s.flicker_off = off;
+  s.phase = phase;
+  s.weight = weight;
+  return s;
+}
+
+ActivitySpec ActivitySpec::timely_flicker(Step bound, Step on, Step off,
+                                          Step phase) {
+  ActivitySpec s = flicker(on, off, phase);
+  s.timely_bound = bound;
+  return s;
+}
+
+ActivitySpec ActivitySpec::stall(Step from, Step to, double weight) {
+  TBWF_ASSERT(from < to, "stall interval must be non-empty");
+  ActivitySpec s;
+  s.window = Window::Stall;
+  s.stall_from = from;
+  s.stall_to = to;
+  s.weight = weight;
+  return s;
+}
+
+ActivitySpec ActivitySpec::silent() {
+  ActivitySpec s;
+  s.window = Window::Silent;
+  return s;
+}
+
+ActivitySpec ActivitySpec::growing_flicker(Step on, Step off0) {
+  TBWF_ASSERT(on > 0 && off0 > 0, "growing flicker windows must be non-empty");
+  ActivitySpec s;
+  s.window = Window::GrowingFlicker;
+  s.flicker_on = on;
+  s.flicker_off = off0;
+  return s;
+}
+
+std::vector<ActivitySpec> uniform_specs(int n, const ActivitySpec& spec) {
+  return std::vector<ActivitySpec>(static_cast<std::size_t>(n), spec);
+}
+
+}  // namespace tbwf::sim

@@ -1,0 +1,74 @@
+// Per-process activity patterns used to drive timeliness-controlled
+// schedules.
+//
+// The paper's adversary controls which process takes each step. An
+// ActivitySpec describes one process's behaviour over a run:
+//   - timely(bound):  guaranteed at least one step in every window of
+//                     `bound` global steps (Definition 1's bound i)
+//   - eager(weight):  competes for steps with the given weight but has no
+//                     guarantee (under a fair random schedule it is
+//                     usually timely with some run-dependent bound)
+//   - flicker(on,off): alternates active windows (eligible for steps) and
+//                     silent windows (takes no steps) forever -- the
+//                     "repeatedly oscillates between timely and very
+//                     slow" adversary from Section 1.1
+//   - stall(from,to): one long silent interval, active otherwise
+//   - silent():       never takes a step (present but starved)
+// Any spec can additionally crash at a given step.
+#pragma once
+
+#include <vector>
+
+#include "sim/types.hpp"
+#include "sim/trace.hpp"
+
+namespace tbwf::sim {
+
+struct ActivitySpec {
+  enum class Window { Always, Flicker, Stall, Silent, GrowingFlicker };
+
+  double weight = 1.0;
+  /// If > 0: while active, the schedule guarantees a step at least every
+  /// `timely_bound` global steps.
+  Step timely_bound = 0;
+
+  Window window = Window::Always;
+  Step flicker_on = 0;
+  Step flicker_off = 0;
+  Step phase = 0;
+  Step stall_from = 0;
+  Step stall_to = 0;
+
+  Step crash_at = Trace::kNever;
+
+  /// Is this process in an active window at global step t?
+  bool active_at(Step t) const;
+
+  static ActivitySpec timely(Step bound, double weight = 1.0);
+  static ActivitySpec eager(double weight = 1.0);
+  static ActivitySpec flicker(Step on, Step off, Step phase = 0,
+                              double weight = 1.0);
+  /// A flickering process that is guaranteed timely inside its active
+  /// windows: it looks perfectly healthy, then disappears, forever.
+  static ActivitySpec timely_flicker(Step bound, Step on, Step off,
+                                     Step phase = 0);
+  static ActivitySpec stall(Step from, Step to, double weight = 1.0);
+  static ActivitySpec silent();
+  /// Active windows of length `on` separated by silent windows that
+  /// double every cycle (off0, 2*off0, 4*off0, ...): the process is
+  /// *provably not timely* -- its step gaps grow without bound -- yet it
+  /// is correct (takes infinitely many steps). This is the adversary
+  /// needed for Definition 9's Property 6 and the paper's "flickering"
+  /// processes in Section 4.
+  static ActivitySpec growing_flicker(Step on, Step off0);
+
+  ActivitySpec& crash(Step t) {
+    crash_at = t;
+    return *this;
+  }
+};
+
+/// Convenience: n copies of the same spec.
+std::vector<ActivitySpec> uniform_specs(int n, const ActivitySpec& spec);
+
+}  // namespace tbwf::sim

@@ -1,0 +1,72 @@
+// Run trace: which process took each global step, plus crash times.
+//
+// The trace is the ground truth for the paper's timeliness definitions
+// (Definitions 1-2): process p is timely with bound i iff every window of
+// i consecutive steps contains a step of p. For a finite run we report
+// the smallest such empirical bound; experiment harnesses compare it
+// against the bound the schedule was asked to guarantee.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tbwf::sim {
+
+/// Verdict about one process's timeliness over a finite trace.
+struct TimelinessVerdict {
+  bool crashed = false;
+  Step steps_taken = 0;
+  /// Smallest i such that every window of i consecutive global steps in
+  /// the run contains a step of p. Infinite (max uint64) if p took no
+  /// steps at all.
+  Step empirical_bound = 0;
+
+  /// Timely relative to a target bound (and not crashed).
+  bool timely_with_bound(Step bound) const {
+    return !crashed && steps_taken > 0 && empirical_bound <= bound;
+  }
+};
+
+class Trace {
+ public:
+  explicit Trace(int n) : n_(n), crashed_at_(n, kNever) {}
+
+  void record_step(Pid p) { steps_.push_back(static_cast<std::uint16_t>(p)); }
+  void record_crash(Pid p) { crashed_at_[p] = now(); }
+
+  Step now() const { return static_cast<Step>(steps_.size()); }
+  int n() const { return n_; }
+  bool empty() const { return steps_.empty(); }
+
+  Pid step_owner(Step s) const { return static_cast<Pid>(steps_[s]); }
+
+  bool crashed(Pid p) const { return crashed_at_[p] != kNever; }
+  Step crash_time(Pid p) const { return crashed_at_[p]; }
+
+  /// Number of steps taken by p over the whole run.
+  Step steps_of(Pid p) const;
+
+  /// Number of steps taken by p in the half-open window [from, to).
+  Step steps_of_in(Pid p, Step from, Step to) const;
+
+  /// Maximum number of consecutive steps *not* taken by p, including the
+  /// prefix before p's first step and the suffix after p's last step.
+  Step max_gap(Pid p) const;
+
+  TimelinessVerdict timeliness(Pid p) const;
+
+  /// Processes whose empirical bound is <= `bound` and did not crash.
+  std::vector<Pid> timely_set(Step bound) const;
+
+  static constexpr Step kNever = std::numeric_limits<Step>::max();
+
+ private:
+  int n_;
+  std::vector<std::uint16_t> steps_;
+  std::vector<Step> crashed_at_;
+};
+
+}  // namespace tbwf::sim

@@ -1,0 +1,93 @@
+// Trajectory<T>: change-point recording of a sampled variable over model
+// time, used to verify "there is a time after which ..." properties
+// (Definitions 5 and 9) on finite runs.
+//
+// Attach a trajectory to a world and a variable; after the run, query
+// when the variable last changed, what it converged to, and how often it
+// changed inside any window.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+
+namespace tbwf::sim {
+
+template <class T>
+class Trajectory {
+ public:
+  /// Record `value` as of step `t` (only stores change-points).
+  void sample(Step t, const T& value) {
+    if (!points_.empty() && points_.back().second == value) return;
+    points_.emplace_back(t, value);
+  }
+
+  bool empty() const { return points_.empty(); }
+  std::size_t change_count() const {
+    return points_.empty() ? 0 : points_.size() - 1;
+  }
+
+  const T& final_value() const {
+    TBWF_ASSERT(!points_.empty(), "empty trajectory");
+    return points_.back().second;
+  }
+
+  /// Step at which the final value was established.
+  Step last_change() const {
+    TBWF_ASSERT(!points_.empty(), "empty trajectory");
+    return points_.back().first;
+  }
+
+  /// Value in effect at step t (last sample at or before t).
+  const T& value_at(Step t) const {
+    TBWF_ASSERT(!points_.empty() && points_.front().first <= t,
+                "no sample at or before t");
+    const T* best = &points_.front().second;
+    for (const auto& [s, v] : points_) {
+      if (s > t) break;
+      best = &v;
+    }
+    return *best;
+  }
+
+  /// True iff the variable never changes from step t to the end.
+  bool constant_since(Step t) const {
+    return !points_.empty() && last_change() <= t;
+  }
+
+  /// Number of change-points with step in [from, to).
+  std::size_t changes_in(Step from, Step to) const {
+    std::size_t count = 0;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (points_[i].first >= from && points_[i].first < to) ++count;
+    }
+    return count;
+  }
+
+  /// True iff the variable equals `v` at every sampled point in [from, to).
+  bool always_in(Step from, Step to, const T& v) const {
+    if (points_.empty()) return false;
+    for (Step t = from; t < to; ++t) {
+      if (points_.front().first > t) continue;
+      if (!(value_at(t) == v)) return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::pair<Step, T>>& points() const { return points_; }
+
+  /// Register a step observer on `world` that samples `*source` after
+  /// every step. Both this trajectory and *source must outlive the run.
+  void attach(World& world, const T* source) {
+    world.add_step_observer(
+        [this, source](Step t, Pid) { this->sample(t, *source); });
+  }
+
+ private:
+  std::vector<std::pair<Step, T>> points_;
+};
+
+}  // namespace tbwf::sim

@@ -1,0 +1,211 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+#include "sim/env.hpp"
+#include "util/logging.hpp"
+
+namespace tbwf::sim {
+
+World::World(int n, std::unique_ptr<Schedule> schedule, Options options)
+    : n_(n),
+      schedule_(std::move(schedule)),
+      options_(options),
+      trace_(n),
+      aux_rng_(options.seed) {
+  TBWF_ASSERT(n >= 1, "world needs at least one process");
+  TBWF_ASSERT(schedule_ != nullptr, "world needs a schedule");
+  envs_.reserve(static_cast<std::size_t>(n));
+  for (Pid p = 0; p < n; ++p) {
+    procs_.emplace_back();
+    procs_.back().pid = p;
+    envs_.push_back(std::make_unique<SimEnv>(this, p));
+  }
+}
+
+World::~World() = default;
+
+bool World::runnable(Pid p) const {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  const auto& ps = procs_[p];
+  return !ps.crashed && (!ps.subtasks.empty() || !ps.newborn.empty());
+}
+
+bool World::has_pending_op(Pid p) const {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  const auto& ps = procs_[p];
+  for (const auto& st : ps.subtasks) {
+    if (st.has_pending()) return true;
+  }
+  for (const auto& st : ps.newborn) {
+    if (st.has_pending()) return true;
+  }
+  return false;
+}
+
+SimEnv& World::env(Pid p) {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  return *envs_[p];
+}
+
+void World::spawn(Pid p, std::string name,
+                  std::function<Task(SimEnv&)> factory) {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  auto& ps = procs_[p];
+  TBWF_ASSERT(!ps.crashed, "cannot spawn on a crashed process");
+  detail::SubTask st;
+  st.task = factory(*envs_[p]);
+  st.name = std::move(name);
+  TBWF_ASSERT(st.task.valid(), "spawn factory returned an empty task");
+  st.resume_handle = st.task.handle();
+  // If process p is currently mid-step, appending directly to `subtasks`
+  // could reallocate under the running advance(); park newborns instead.
+  if (current_pid_ == p && current_subtask_ != nullptr) {
+    ps.newborn.push_back(std::move(st));
+  } else {
+    ps.subtasks.push_back(std::move(st));
+  }
+}
+
+void World::schedule_crash(Pid p, Step at) {
+  pending_crashes_.emplace_back(at, p);
+  std::sort(pending_crashes_.begin(), pending_crashes_.end());
+}
+
+void World::crash(Pid p) {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  auto& ps = procs_[p];
+  if (ps.crashed) return;
+  ps.crashed = true;
+  trace_.record_crash(p);
+
+  // Settle operations that were pending at the moment of the crash: the
+  // operation never responds, its interval ends here, and for writes the
+  // policy decides whether the value reached the register.
+  auto settle = [&](detail::SubTask& st) {
+    if (!st.has_pending()) return;
+    auto* cell = st.pending_cell;
+    auto it = std::find_if(cell->active.begin(), cell->active.end(),
+                           [&](const detail::ActiveOp& op) {
+                             return op.id == st.pending_op;
+                           });
+    TBWF_ASSERT(it != cell->active.end(), "pending op missing from cell");
+    registers::OpContext ctx;
+    ctx.pid = p;
+    ctx.is_write = it->is_write;
+    ctx.invoked_at = it->invoked_at;
+    ctx.responded_at = now();
+    ctx.overlap_pids = it->overlap_pids;
+    ctx.any_overlap_write = it->saw_overlap_write;
+    st.pending_completion->settle_crash(*this, ctx);
+    cell->active.erase(it);
+    st.pending_cell = nullptr;
+    st.pending_completion = nullptr;
+  };
+  for (auto& st : ps.subtasks) settle(st);
+  for (auto& st : ps.newborn) settle(st);
+
+  // Destroying the Task objects destroys the suspended coroutine frames
+  // (and the awaiters inside them) -- safe now that no cell refers to them.
+  ps.subtasks.clear();
+  ps.newborn.clear();
+}
+
+void World::apply_due_crashes() {
+  while (!pending_crashes_.empty() && pending_crashes_.front().first <= now()) {
+    const Pid p = pending_crashes_.front().second;
+    pending_crashes_.erase(pending_crashes_.begin());
+    crash(p);
+  }
+}
+
+void World::begin_op(detail::RegCellBase* cell, bool is_write,
+                     detail::OpCompletion* completion) {
+  TBWF_ASSERT(current_subtask_ != nullptr,
+              "register operation outside of a scheduled step");
+  TBWF_ASSERT(!current_subtask_->has_pending(),
+              "sub-task already has a pending operation");
+  const Pid p = current_pid_;
+
+  if (cell->kind == RegKind::Abortable) {
+    if (is_write) {
+      TBWF_CHECK(cell->writer == kNoPid || cell->writer == p,
+                 "process " + std::to_string(p) +
+                     " is not the designated writer of " + cell->name);
+    } else {
+      TBWF_CHECK(cell->reader == kNoPid || cell->reader == p,
+                 "process " + std::to_string(p) +
+                     " is not the designated reader of " + cell->name);
+    }
+  }
+
+  detail::ActiveOp op;
+  op.id = next_op_id_++;
+  op.pid = p;
+  op.is_write = is_write;
+  op.invoked_at = current_step_;
+  op.saw_overlap = !cell->active.empty();
+  op.completion = completion;
+  for (auto& other : cell->active) {
+    other.saw_overlap = true;
+    if (is_write) other.saw_overlap_write = true;
+    if (other.is_write) op.saw_overlap_write = true;
+    other.overlap_pids.push_back(p);
+    op.overlap_pids.push_back(other.pid);
+  }
+  cell->active.push_back(std::move(op));
+
+  current_subtask_->pending_cell = cell;
+  current_subtask_->pending_op = cell->active.back().id;
+  current_subtask_->pending_completion = completion;
+}
+
+void World::complete_pending(detail::SubTask& st) {
+  auto* cell = st.pending_cell;
+  auto it = std::find_if(
+      cell->active.begin(), cell->active.end(),
+      [&](const detail::ActiveOp& op) { return op.id == st.pending_op; });
+  TBWF_ASSERT(it != cell->active.end(), "pending op missing from cell");
+
+  registers::OpContext ctx;
+  ctx.pid = it->pid;
+  ctx.is_write = it->is_write;
+  ctx.invoked_at = it->invoked_at;
+  ctx.responded_at = current_step_;
+  ctx.overlap_pids = std::move(it->overlap_pids);
+  ctx.any_overlap_write = it->saw_overlap_write;
+  const bool overlapped = it->saw_overlap;
+  auto* completion = it->completion;
+  cell->active.erase(it);
+
+  st.pending_cell = nullptr;
+  st.pending_completion = nullptr;
+
+  completion->complete(*this, ctx, overlapped);
+}
+
+void World::note_write_effect(std::uint32_t reg_idx, Pid pid) {
+  if (options_.log_writes) {
+    write_log_.push_back(WriteEvent{current_step_, pid, reg_idx});
+  }
+}
+
+void World::note_read(bool aborted, detail::RegCellBase* cell) {
+  ++total_reads_;
+  ++cell->n_reads;
+  if (aborted) {
+    ++total_read_aborts_;
+    ++cell->n_read_aborts;
+  }
+}
+
+void World::note_write(bool aborted, detail::RegCellBase* cell) {
+  ++total_writes_;
+  ++cell->n_writes;
+  if (aborted) {
+    ++total_write_aborts_;
+    ++cell->n_write_aborts;
+  }
+}
+
+}  // namespace tbwf::sim

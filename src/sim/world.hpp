@@ -1,0 +1,360 @@
+// World: the deterministic shared-memory system simulator.
+//
+// A World owns n processes, the shared registers, the schedule (the
+// adversary choosing who steps), and the run trace. One call to step()
+// advances exactly one process by exactly one step:
+//
+//   - a *local* step: resume one of the process's sub-task coroutines,
+//     which runs local code until its next co_await;
+//   - an *invocation* step: the resumed coroutine reached a register
+//     operation; the operation's interval opens at the end of this step
+//     and the coroutine suspends;
+//   - a *response* step: the process's pending operation completes (its
+//     outcome decided now, with full knowledge of which operations
+//     overlapped it) and the coroutine resumes with the result.
+//
+// This matches the paper's Section 3 model: in each step a process
+// invokes an operation, receives a response, or takes a local step; at
+// most one step per time unit; a register operation spans at least two
+// distinct steps of its caller, so operations of different processes can
+// genuinely overlap -- which is what "concurrent" means for abortable
+// registers.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "registers/abort_policy.hpp"
+#include "sim/schedule.hpp"
+#include "sim/co.hpp"
+#include "sim/task.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+#include "util/assert.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tbwf::sim {
+
+class World;
+class SimEnv;
+
+// ---------------------------------------------------------------------------
+// Typed register handles. The type parameter is compile-time only; the
+// handle itself is a cheap index into the world's register arena.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kInvalidReg = 0xFFFFFFFFu;
+
+template <class T>
+struct AtomicReg {
+  std::uint32_t idx = kInvalidReg;
+  bool valid() const { return idx != kInvalidReg; }
+};
+
+template <class T>
+struct SafeReg {
+  std::uint32_t idx = kInvalidReg;
+  bool valid() const { return idx != kInvalidReg; }
+};
+
+template <class T>
+struct AbortableReg {
+  std::uint32_t idx = kInvalidReg;
+  bool valid() const { return idx != kInvalidReg; }
+};
+
+// ---------------------------------------------------------------------------
+// Internal register-cell representation.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Completion interface implemented by the register-operation awaiters.
+/// The awaiter object lives in the suspended coroutine frame, so it is
+/// stable while the operation is pending.
+struct OpCompletion {
+  virtual ~OpCompletion() = default;
+  /// Decide the operation's outcome and apply any effect. `overlapped`
+  /// is true iff some other operation's interval intersected this one.
+  virtual void complete(World& world, const registers::OpContext& ctx,
+                        bool overlapped) = 0;
+  /// The owning process crashed while the operation was pending.
+  virtual void settle_crash(World& world, const registers::OpContext& ctx) = 0;
+};
+
+struct ActiveOp {
+  OpId id = 0;
+  Pid pid = kNoPid;
+  bool is_write = false;
+  Step invoked_at = 0;
+  bool saw_overlap = false;
+  bool saw_overlap_write = false;
+  std::vector<Pid> overlap_pids;
+  OpCompletion* completion = nullptr;
+};
+
+struct RegCellBase {
+  RegKind kind = RegKind::Atomic;
+  std::string name;
+  std::uint32_t idx = kInvalidReg;
+  /// SWSR constraints for abortable registers; kNoPid = unconstrained.
+  Pid writer = kNoPid;
+  Pid reader = kNoPid;
+  registers::AbortPolicy* policy = nullptr;
+
+  std::vector<ActiveOp> active;
+
+  // Per-register statistics (E5 / E6 benches read these).
+  std::uint64_t n_reads = 0;
+  std::uint64_t n_writes = 0;
+  std::uint64_t n_read_aborts = 0;
+  std::uint64_t n_write_aborts = 0;
+
+  virtual ~RegCellBase() = default;
+};
+
+template <class T>
+struct RegCell final : RegCellBase {
+  explicit RegCell(T init) : value(std::move(init)) {}
+  T value;
+};
+
+struct SubTask {
+  Task task;
+  std::string name;
+  /// The deepest suspended coroutine in this sub-task's call stack; the
+  /// frame the next granted step resumes. Top-level handle initially;
+  /// every awaiter updates it on suspension.
+  std::coroutine_handle<> resume_handle;
+  RegCellBase* pending_cell = nullptr;
+  OpId pending_op = 0;
+  OpCompletion* pending_completion = nullptr;
+
+  bool has_pending() const { return pending_completion != nullptr; }
+};
+
+struct ProcessState {
+  Pid pid = kNoPid;
+  bool crashed = false;
+  Step steps = 0;  ///< local step count
+  std::size_t rr = 0;
+  std::deque<SubTask> subtasks;
+  /// Sub-tasks spawned while this process is mid-step; folded into
+  /// `subtasks` after the current resumption returns.
+  std::deque<SubTask> newborn;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+struct WorldOptions {
+  /// Record every successful register write in write_log() -- used by
+  /// the write-efficiency experiment (E5).
+  bool log_writes = false;
+  /// Seed for the world's auxiliary randomness (safe-register garbage).
+  std::uint64_t seed = 1;
+};
+
+class World final : public WorldView {
+ public:
+  using Options = WorldOptions;
+
+  struct WriteEvent {
+    Step step;
+    Pid pid;
+    std::uint32_t reg;
+  };
+
+  World(int n, std::unique_ptr<Schedule> schedule,
+        Options options = Options());
+  ~World() override;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // -- WorldView ------------------------------------------------------------
+  Step now() const override { return trace_.now(); }
+  int n() const override { return n_; }
+  bool runnable(Pid p) const override;
+  bool has_pending_op(Pid p) const override;
+
+  // -- register construction -------------------------------------------------
+  template <class T>
+  AtomicReg<T> make_atomic(std::string name, T init) {
+    auto* cell = add_cell<T>(RegKind::Atomic, std::move(name),
+                             std::move(init));
+    return AtomicReg<T>{cell->idx};
+  }
+
+  template <class T>
+  SafeReg<T> make_safe(std::string name, T init) {
+    auto* cell = add_cell<T>(RegKind::Safe, std::move(name), std::move(init));
+    return SafeReg<T>{cell->idx};
+  }
+
+  /// policy must outlive the world. writer/reader restrict access
+  /// (single-writer single-reader as used throughout Section 6);
+  /// kNoPid leaves the corresponding side unconstrained (MWMR).
+  template <class T>
+  AbortableReg<T> make_abortable(std::string name, T init,
+                                 registers::AbortPolicy* policy,
+                                 Pid writer = kNoPid, Pid reader = kNoPid) {
+    TBWF_ASSERT(policy != nullptr, "abortable register needs a policy");
+    auto* cell = add_cell<T>(RegKind::Abortable, std::move(name),
+                             std::move(init));
+    cell->policy = policy;
+    cell->writer = writer;
+    cell->reader = reader;
+    return AbortableReg<T>{cell->idx};
+  }
+
+  /// Direct (non-step) access to a register's current value; for tests,
+  /// checkers and benches only -- simulated processes must go through
+  /// their SimEnv.
+  template <class T>
+  const T& peek(std::uint32_t idx) const {
+    return typed_cell<T>(idx)->value;
+  }
+  template <class T>
+  const T& peek(AtomicReg<T> r) const { return peek<T>(r.idx); }
+  template <class T>
+  const T& peek(SafeReg<T> r) const { return peek<T>(r.idx); }
+  template <class T>
+  const T& peek(AbortableReg<T> r) const { return peek<T>(r.idx); }
+
+  const detail::RegCellBase& cell_info(std::uint32_t idx) const {
+    return *cells_.at(idx);
+  }
+  std::size_t register_count() const { return cells_.size(); }
+
+  // -- processes --------------------------------------------------------------
+  SimEnv& env(Pid p);
+
+  /// Add a sub-task to process p. The factory is invoked immediately; the
+  /// coroutine starts lazily on p's first granted step. Safe to call
+  /// while the world is running (e.g. from inside another coroutine).
+  void spawn(Pid p, std::string name, std::function<Task(SimEnv&)> factory);
+
+  void crash(Pid p);
+  void schedule_crash(Pid p, Step at);
+  bool crashed(Pid p) const { return procs_[p].crashed; }
+  Step local_steps(Pid p) const { return procs_[p].steps; }
+
+  // -- execution ---------------------------------------------------------------
+  /// One global step. Returns false if the schedule declined (nobody
+  /// runnable or script exhausted).
+  bool step();
+
+  /// Run up to max_steps; returns the number of steps actually taken.
+  Step run(Step max_steps);
+
+  /// Run until pred() holds (checked every `check_every` steps) or
+  /// max_steps elapse; returns true iff pred() held.
+  bool run_until(const std::function<bool()>& pred, Step max_steps,
+                 Step check_every = 64);
+
+  // -- observability -----------------------------------------------------------
+  const Trace& trace() const { return trace_; }
+
+  /// Observers run after every completed step (step index, stepping pid).
+  /// Spec checkers use them to sample algorithm outputs over model time.
+  using StepObserver = std::function<void(Step, Pid)>;
+  void add_step_observer(StepObserver observer) {
+    step_observers_.push_back(std::move(observer));
+  }
+
+  util::Counters& counters() { return counters_; }
+  const std::vector<WriteEvent>& write_log() const { return write_log_; }
+
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t total_writes() const { return total_writes_; }
+  std::uint64_t total_read_aborts() const { return total_read_aborts_; }
+  std::uint64_t total_write_aborts() const { return total_write_aborts_; }
+
+  // -- internal API used by the awaiters in env.hpp ------------------------------
+  /// Open an operation interval on `cell` for the currently-stepping
+  /// sub-task. Called from OpAwaiter::await_suspend.
+  void begin_op(detail::RegCellBase* cell, bool is_write,
+                detail::OpCompletion* completion);
+
+  template <class T>
+  detail::RegCell<T>* typed_cell(std::uint32_t idx) {
+    TBWF_ASSERT(idx < cells_.size(), "register index out of range");
+    auto* cell = static_cast<detail::RegCell<T>*>(cells_[idx].get());
+    return cell;
+  }
+  template <class T>
+  const detail::RegCell<T>* typed_cell(std::uint32_t idx) const {
+    TBWF_ASSERT(idx < cells_.size(), "register index out of range");
+    return static_cast<const detail::RegCell<T>*>(cells_[idx].get());
+  }
+
+  util::Rng& aux_rng() { return aux_rng_; }
+  Pid current_pid() const { return current_pid_; }
+  Step current_step() const { return current_step_; }
+
+  /// Record the frame to resume on this sub-task's next step; called by
+  /// every awaiter from await_suspend.
+  void set_resume_handle(std::coroutine_handle<> h) {
+    TBWF_ASSERT(current_subtask_ != nullptr,
+                "suspension outside of a scheduled step");
+    current_subtask_->resume_handle = h;
+  }
+
+  void note_write_effect(std::uint32_t reg_idx, Pid pid);
+  void note_read(bool aborted, detail::RegCellBase* cell);
+  void note_write(bool aborted, detail::RegCellBase* cell);
+
+ private:
+  template <class T>
+  detail::RegCell<T>* add_cell(RegKind kind, std::string name, T init) {
+    auto cell = std::make_unique<detail::RegCell<T>>(std::move(init));
+    cell->kind = kind;
+    cell->name = std::move(name);
+    cell->idx = static_cast<std::uint32_t>(cells_.size());
+    auto* raw = cell.get();
+    cells_.push_back(std::move(cell));
+    return raw;
+  }
+
+  void advance(Pid p);
+  void resume_subtask(detail::SubTask& st);
+  void complete_pending(detail::SubTask& st);
+  void apply_due_crashes();
+
+  int n_;
+  std::unique_ptr<Schedule> schedule_;
+  Options options_;
+  Trace trace_;
+  util::Counters counters_;
+  util::Rng aux_rng_;
+
+  std::deque<detail::ProcessState> procs_;
+  std::vector<std::unique_ptr<SimEnv>> envs_;
+  std::vector<std::unique_ptr<detail::RegCellBase>> cells_;
+  std::vector<std::pair<Step, Pid>> pending_crashes_;
+  std::vector<StepObserver> step_observers_;
+
+  std::vector<WriteEvent> write_log_;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_writes_ = 0;
+  std::uint64_t total_read_aborts_ = 0;
+  std::uint64_t total_write_aborts_ = 0;
+
+  OpId next_op_id_ = 1;
+  Pid current_pid_ = kNoPid;
+  Step current_step_ = 0;
+  detail::SubTask* current_subtask_ = nullptr;
+};
+
+}  // namespace tbwf::sim

@@ -1,0 +1,46 @@
+// Always-on invariant checking.
+//
+// Simulator and algorithm invariants are checked in every build type:
+// a reproduction whose correctness checks vanish in release mode is not
+// trustworthy. TBWF_ASSERT aborts with a message; TBWF_CHECK throws
+// (used where the caller can meaningfully handle spec violations).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tbwf::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "TBWF_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg.c_str());
+  std::abort();
+}
+
+/// Thrown by TBWF_CHECK on model/spec violations (e.g. writing to an
+/// abortable register from a process that is not its designated writer).
+class SpecViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+}  // namespace tbwf::util
+
+#define TBWF_ASSERT(expr, ...)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::tbwf::util::assert_fail(#expr, __FILE__, __LINE__,              \
+                                ::std::string(__VA_ARGS__));            \
+    }                                                                   \
+  } while (0)
+
+#define TBWF_CHECK(expr, msg)                                           \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      throw ::tbwf::util::SpecViolation(::std::string("TBWF_CHECK: ") + \
+                                        (msg));                         \
+    }                                                                   \
+  } while (0)

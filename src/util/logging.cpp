@@ -1,0 +1,38 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tbwf::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO ";
+    case LogLevel::Warn:  return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace tbwf::util

@@ -1,0 +1,44 @@
+// Minimal leveled logging.
+//
+// The simulator is deterministic and single-threaded, but the rt backend
+// logs from multiple threads, so emission is serialized internally.
+// Logging defaults to Warn to keep test and bench output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tbwf::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_emit(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace tbwf::util
+
+#define TBWF_LOG(level)                                               \
+  if (::tbwf::util::log_level() <= ::tbwf::util::LogLevel::level)     \
+  ::tbwf::util::detail::LogLine(::tbwf::util::LogLevel::level)

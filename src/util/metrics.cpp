@@ -1,0 +1,88 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace tbwf::util {
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<std::uint64_t>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+std::uint64_t Histogram::min() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+std::uint64_t Histogram::max() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  long double sum = 0;
+  for (auto s : samples_) sum += s;
+  return static_cast<double>(sum / samples_.size());
+}
+
+double Histogram::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  long double acc = 0;
+  for (auto s : samples_) {
+    const double d = static_cast<double>(s) - m;
+    acc += d * d;
+  }
+  return std::sqrt(static_cast<double>(acc / (samples_.size() - 1)));
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (samples_.empty()) return 0;
+  TBWF_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of range");
+  ensure_sorted();
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << p50()
+     << " p99=" << p99() << " max=" << max();
+  return os.str();
+}
+
+double jain_fairness(const std::vector<std::uint64_t>& xs) {
+  if (xs.empty()) return 1.0;
+  long double sum = 0, sumsq = 0;
+  for (auto x : xs) {
+    sum += x;
+    sumsq += static_cast<long double>(x) * x;
+  }
+  if (sumsq == 0) return 1.0;
+  const long double n = static_cast<long double>(xs.size());
+  return static_cast<double>((sum * sum) / (n * sumsq));
+}
+
+}  // namespace tbwf::util

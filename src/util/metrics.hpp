@@ -1,0 +1,76 @@
+// Lightweight metrics: counters, gauges and step-valued histograms.
+//
+// Benchmarks aggregate per-run measurements (steps per operation, election
+// latency, abort rates) through these types and print paper-style tables.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tbwf::util {
+
+/// Streaming histogram over non-negative integer samples (e.g. steps/op).
+/// Keeps all samples; runs are laptop-scale so memory is not a concern,
+/// and exact quantiles beat approximate sketches for a reproduction.
+class Histogram {
+ public:
+  void add(std::uint64_t sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Exact quantile, q in [0, 1]. Returns 0 on an empty histogram.
+  std::uint64_t quantile(double q) const;
+
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+
+  void merge(const Histogram& other);
+  void clear();
+
+  /// "n=... mean=... p50=... p99=... max=..." one-liner for tables.
+  std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<std::uint64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Named counter bag; used by the simulator to expose per-run statistics
+/// (register writes, aborts, elections, ...) without threading dozens of
+/// out-parameters through the stack.
+class Counters {
+ public:
+  void inc(const std::string& name, std::uint64_t delta = 1) {
+    values_[name] += delta;
+  }
+  std::uint64_t get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return values_; }
+  void clear() { values_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+/// Jain's fairness index over per-process throughput: 1.0 = perfectly
+/// fair, 1/n = one process monopolizes. Used by the canonical-use bench.
+double jain_fairness(const std::vector<std::uint64_t>& xs);
+
+}  // namespace tbwf::util

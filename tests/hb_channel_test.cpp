@@ -1,0 +1,167 @@
+// Tests of Figure 5's two-register heartbeat over abortable registers,
+// including the one-register ablation that motivates the design.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "omega/hb_channel.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+namespace {
+
+using sim::ActivitySpec;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Task;
+using sim::World;
+
+Task sender_proc(SimEnv& env, HbEndpoint& ep, const std::vector<bool>& dest) {
+  for (;;) {
+    co_await send_heartbeat(env, ep, dest);
+    co_await env.yield();
+  }
+}
+
+Task receiver_proc(SimEnv& env, HbEndpoint& ep) {
+  for (;;) {
+    co_await receive_heartbeat(env, ep);
+    co_await env.yield();
+  }
+}
+
+struct HbHarness {
+  std::unique_ptr<World> world;
+  registers::AlwaysAbortPolicy policy{
+      registers::AlwaysAbortPolicy::Effect::Alternate};
+  std::vector<HbEndpoint> eps;
+  std::vector<std::vector<bool>> dest;
+
+  explicit HbHarness(std::vector<ActivitySpec> specs, std::uint64_t seed = 1) {
+    const int n = static_cast<int>(specs.size());
+    world = std::make_unique<World>(
+        n, std::make_unique<sim::TimelinessSchedule>(specs, seed));
+    for (int p = 0; p < n; ++p) {
+      if (specs[p].crash_at != sim::Trace::kNever) {
+        world->schedule_crash(p, specs[p].crash_at);
+      }
+    }
+    eps = make_hb_mesh(*world, &policy);
+    dest.assign(n, std::vector<bool>(n, true));
+    for (Pid p = 0; p < n; ++p) {
+      world->spawn(p, "hb-send", [this, p](SimEnv& env) {
+        return sender_proc(env, eps[p], dest[p]);
+      });
+      world->spawn(p, "hb-recv", [this, p](SimEnv& env) {
+        return receiver_proc(env, eps[p]);
+      });
+    }
+  }
+};
+
+TEST(HbChannel, TimelySenderEventuallyAlwaysActive) {
+  HbHarness h({ActivitySpec::timely(4), ActivitySpec::timely(4)}, 3);
+  h.world->run(100000);
+  // Long suffix: p1 must never drop p0 from its active set again.
+  bool dropped = false;
+  h.world->add_step_observer([&](sim::Step, Pid) {
+    if (!h.eps[1].active_set[0]) dropped = true;
+  });
+  h.world->run(200000);
+  EXPECT_FALSE(dropped);
+  EXPECT_TRUE(h.eps[1].active_set[0]);
+  EXPECT_TRUE(h.eps[0].active_set[1]);
+}
+
+TEST(HbChannel, CrashedSenderEventuallyInactive) {
+  auto specs = std::vector<ActivitySpec>{ActivitySpec::timely(4),
+                                         ActivitySpec::timely(4)};
+  specs[0].crash(50000);
+  HbHarness h(specs, 5);
+  h.world->run(400000);
+  EXPECT_TRUE(h.world->crashed(0));
+  EXPECT_FALSE(h.eps[1].active_set[0]);
+  EXPECT_TRUE(h.eps[1].active_set[1]);  // self stays in
+}
+
+TEST(HbChannel, SilencedDestinationEventuallyInactive) {
+  HbHarness h({ActivitySpec::timely(4), ActivitySpec::timely(4)}, 7);
+  h.world->run(100000);
+  EXPECT_TRUE(h.eps[1].active_set[0]);
+  h.dest[0][1] = false;  // p0 stops heartbeating towards p1
+  h.world->run(400000);
+  EXPECT_FALSE(h.eps[1].active_set[0]);
+}
+
+TEST(HbChannel, UntimelySenderSuspectedInfinitelyOften) {
+  // p0's gaps double forever; p1's active_set[0] must keep toggling (the
+  // growing hbTimeout never permanently outruns growing gaps).
+  HbHarness h({ActivitySpec::growing_flicker(2000, 100),
+               ActivitySpec::timely(4)},
+              9);
+  h.world->run(500000);
+  int drops = 0;
+  bool was_active = h.eps[1].active_set[0];
+  h.world->add_step_observer([&](sim::Step, Pid) {
+    const bool now_active = h.eps[1].active_set[0];
+    if (was_active && !now_active) ++drops;
+    was_active = now_active;
+  });
+  h.world->run(3000000);
+  EXPECT_GE(drops, 1);
+}
+
+// -- the two-register rationale -----------------------------------------------------
+
+// A sender stalled *inside* a single write forever: with one register,
+// every read overlaps the pending write and aborts, so the flawed
+// "abort-or-fresh" receiver believes the sender is timely forever. The
+// two-register receiver consults the second register, whose reads run
+// solo and return the same stale value, exposing the stall.
+Task stuck_sender(SimEnv& env, sim::AbortableReg<HbCounter> reg) {
+  (void)co_await env.write(reg, 1);  // never gets the response step
+}
+
+Task single_receiver(SimEnv& env, SingleRegHbReceiver& r) {
+  for (;;) {
+    co_await receive_heartbeat_single(env, r);
+    co_await env.yield();
+  }
+}
+
+TEST(HbChannel, TwoRegisterSchemeExposesStuckWriter) {
+  // Full comparison: p0 invokes one write on register 1 and then stalls
+  // forever (the schedule never grants it another step). The single-
+  // register receiver stays fooled; the paper's receiver goes inactive.
+  std::vector<Pid> script;
+  script.push_back(0);  // p0: invoke write on hb1, then silence
+  for (int i = 0; i < 200000; ++i) script.push_back(1);
+
+  auto world = std::make_unique<World>(
+      2, std::make_unique<sim::ScriptedSchedule>(script));
+  registers::AlwaysAbortPolicy policy(
+      registers::AlwaysAbortPolicy::Effect::Never);
+
+  auto eps = make_hb_mesh(*world, &policy);
+  SingleRegHbReceiver single{eps[1].in1[0]};
+
+  world->spawn(0, "stuck", [&eps](SimEnv& env) {
+    return stuck_sender(env, eps[0].out1[1]);
+  });
+  world->spawn(1, "recv2", [&eps](SimEnv& env) {
+    return receiver_proc(env, eps[1]);
+  });
+  world->spawn(1, "recv1", [&single](SimEnv& env) {
+    return single_receiver(env, single);
+  });
+  world->run(script.size());
+
+  EXPECT_TRUE(single.active)
+      << "one-register receiver should be fooled forever";
+  EXPECT_FALSE(eps[1].active_set[0])
+      << "two-register receiver must expose the stall";
+}
+
+}  // namespace
+}  // namespace tbwf::omega

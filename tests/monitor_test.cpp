@@ -1,0 +1,398 @@
+// Tests of the activity monitor A(p,q) -- Figure 2 against Definition 9.
+//
+// Setup: process 0 (p) monitors process 1 (q). Inputs MONITORING[q] and
+// ACTIVE-FOR[p] are local variables; tests drive them between run
+// phases, which is equivalent to another sub-task of the owning process
+// writing them. Timeliness of q is controlled by the schedule.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "monitor/activity_monitor.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::monitor {
+namespace {
+
+using sim::ActivitySpec;
+using sim::Pid;
+using sim::Step;
+using sim::World;
+
+constexpr Pid kP = 0;  // monitoring process
+constexpr Pid kQ = 1;  // monitored process
+
+struct Harness {
+  std::unique_ptr<World> world;
+  std::unique_ptr<MonitorMatrix> matrix;
+
+  explicit Harness(std::vector<ActivitySpec> specs, std::uint64_t seed = 1) {
+    world = std::make_unique<World>(
+        static_cast<int>(specs.size()),
+        std::make_unique<sim::TimelinessSchedule>(specs, seed));
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      if (specs[p].crash_at != sim::Trace::kNever) {
+        world->schedule_crash(static_cast<Pid>(p), specs[p].crash_at);
+      }
+    }
+    matrix = std::make_unique<MonitorMatrix>(*world);
+    matrix->install_all();
+  }
+
+  MonitorIO& io() { return matrix->io(kP, kQ); }
+  ActiveForFlag& active_for() { return matrix->active_for(kQ, kP); }
+};
+
+std::vector<ActivitySpec> both_timely() {
+  return {ActivitySpec::timely(4), ActivitySpec::timely(4)};
+}
+
+// -- Definition 9, Property 1: monitoring eventually off => status eventually ? --
+
+TEST(ActivityMonitor, Property1_MonitoringOffYieldsUnknown) {
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(2000);
+  EXPECT_NE(h.io().status, Status::Unknown);  // sanity: it was monitoring
+  h.io().monitoring = false;
+  h.world->run(2000);
+  EXPECT_EQ(h.io().status, Status::Unknown);
+}
+
+// -- Property 2: monitoring eventually on => status eventually not ? ------------
+
+TEST(ActivityMonitor, Property2_MonitoringOnYieldsVerdict) {
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  h.world->run(2000);
+  EXPECT_NE(h.io().status, Status::Unknown);
+}
+
+// -- Property 3: q crashes or active-for off => eventually status != active -----
+
+TEST(ActivityMonitor, Property3_CrashedTargetNotActive) {
+  auto specs = both_timely();
+  specs[kQ].crash(500);
+  Harness h(specs);
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(500);
+  h.world->run(5000);
+  EXPECT_TRUE(h.world->crashed(kQ));
+  EXPECT_EQ(h.io().status, Status::Inactive);
+}
+
+TEST(ActivityMonitor, Property3_WillinglyInactiveTargetNotActive) {
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(2000);
+  EXPECT_EQ(h.io().status, Status::Active);
+  h.active_for().active_for = false;
+  h.world->run(5000);
+  EXPECT_EQ(h.io().status, Status::Inactive);
+}
+
+// -- Property 4: q p-timely and active-for on => eventually status != inactive --
+
+TEST(ActivityMonitor, Property4_TimelyActiveTargetSeenActive) {
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(5000);
+  // Sample the status over a long suffix: it must never be inactive.
+  sim::Trajectory<Status> traj;
+  traj.attach(*h.world, &h.io().status);
+  h.world->run(5000);
+  for (const auto& [step, value] : traj.points()) {
+    EXPECT_NE(value, Status::Inactive) << "at step " << step;
+  }
+  EXPECT_EQ(h.io().status, Status::Active);
+}
+
+TEST(ActivityMonitor, Property4_HoldsEvenWhenQIsSlowButTimely) {
+  // q runs 16x slower than p but with a guaranteed bound: still timely.
+  std::vector<ActivitySpec> specs = {ActivitySpec::timely(2),
+                                     ActivitySpec::timely(32, 0.05)};
+  Harness h(specs, 3);
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  // Let the adaptive timeout stabilize, then require no inactive verdicts.
+  h.world->run(60000);
+  sim::Trajectory<Status> traj;
+  traj.attach(*h.world, &h.io().status);
+  h.world->run(30000);
+  for (const auto& [step, value] : traj.points()) {
+    EXPECT_NE(value, Status::Inactive) << "at step " << step;
+  }
+}
+
+// -- Property 5: faultCntr bounded ------------------------------------------------
+
+TEST(ActivityMonitor, Property5a_TimelyTargetBoundedFaults) {
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(20000);
+  const auto mid = h.io().fault_cntr;
+  h.world->run(200000);
+  EXPECT_EQ(h.io().fault_cntr, mid);  // no growth in the long suffix
+}
+
+TEST(ActivityMonitor, Property5b_CrashedTargetBoundedFaults) {
+  auto specs = both_timely();
+  specs[kQ].crash(1000);
+  Harness h(specs);
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(20000);
+  const auto mid = h.io().fault_cntr;
+  h.world->run(200000);
+  // After the crash the register freezes; faultCntr can increment at
+  // most once more (the "allow increment" latch), then never again.
+  EXPECT_LE(h.io().fault_cntr, mid + 1);
+}
+
+TEST(ActivityMonitor, Property5c_WillinglyOffTargetBoundedFaults) {
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(5000);
+  h.active_for().active_for = false;  // q writes -1 and idles
+  h.world->run(20000);
+  const auto mid = h.io().fault_cntr;
+  h.world->run(200000);
+  EXPECT_LE(h.io().fault_cntr, mid + 1);
+}
+
+TEST(ActivityMonitor, Property5d_MonitoringOffBoundedFaults) {
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(5000);
+  h.io().monitoring = false;
+  h.world->run(5000);
+  const auto mid = h.io().fault_cntr;
+  h.world->run(100000);
+  EXPECT_EQ(h.io().fault_cntr, mid);
+}
+
+TEST(ActivityMonitor, Property5_IntermittentActiveForStaysBounded) {
+  // q oscillates between active-for on and off forever; the -1 sentinel
+  // (condition (a) in the paper) prevents unbounded growth: each on/off
+  // cycle can contribute at most a constant number of increments, and
+  // the adaptive timeout eventually outlasts the off windows.
+  Harness h(both_timely());
+  h.io().monitoring = true;
+  std::uint64_t prev = 0;
+  std::uint64_t growth_last_quarter = 0;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    h.active_for().active_for = true;
+    h.world->run(500);
+    h.active_for().active_for = false;
+    h.world->run(500);
+    if (cycle == 29) prev = h.io().fault_cntr;
+  }
+  growth_last_quarter = h.io().fault_cntr - prev;
+  EXPECT_LE(growth_last_quarter, 2u);
+}
+
+// -- Property 6: faultCntr unbounded --------------------------------------------
+
+TEST(ActivityMonitor, Property6_UntimelyTargetUnboundedFaults) {
+  // q is correct but its silent gaps double forever: not p-timely.
+  std::vector<ActivitySpec> specs = {ActivitySpec::timely(4),
+                                     ActivitySpec::growing_flicker(200, 50)};
+  Harness h(specs, 5);
+  h.io().monitoring = true;
+  h.active_for().active_for = true;
+  h.world->run(100000);
+  const auto first = h.io().fault_cntr;
+  h.world->run(900000);
+  const auto second = h.io().fault_cntr;
+  EXPECT_GT(first, 0u);
+  EXPECT_GT(second, first);  // still growing deep into the run
+}
+
+// -- input matrix sweep ------------------------------------------------------------
+// All nine combinations of (monitoring, active-for) limit behaviours:
+// each input is eventually-on, eventually-off, or oscillating forever.
+// For each combination the applicable Definition 9 properties must hold.
+
+enum class InputMode { EventuallyOn, EventuallyOff, Oscillating };
+
+const char* mode_name(InputMode m) {
+  switch (m) {
+    case InputMode::EventuallyOn:  return "on";
+    case InputMode::EventuallyOff: return "off";
+    case InputMode::Oscillating:   return "osc";
+  }
+  return "?";
+}
+
+class MonitorMatrixSweep
+    : public ::testing::TestWithParam<std::tuple<InputMode, InputMode>> {};
+
+TEST_P(MonitorMatrixSweep, Definition9HoldsInAllInputCases) {
+  const auto [mon_mode, act_mode] = GetParam();
+  Harness h(both_timely(), 11);
+
+  auto drive = [](InputMode mode, bool& flag, int cycle) {
+    switch (mode) {
+      case InputMode::EventuallyOn:
+        flag = true;  // on from the start (limit behaviour is what matters)
+        break;
+      case InputMode::EventuallyOff:
+        flag = (cycle < 3);  // on briefly, then off forever
+        break;
+      case InputMode::Oscillating:
+        flag = (cycle % 2 == 0);
+        break;
+    }
+  };
+
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    drive(mon_mode, h.io().monitoring, cycle);
+    drive(act_mode, h.active_for().active_for, cycle);
+    h.world->run(800);
+  }
+  // Long settling suffix with the limit input values.
+  drive(mon_mode, h.io().monitoring, 1000000);
+  drive(act_mode, h.active_for().active_for, 1000001);
+  h.world->run(30000);
+  const auto faults_mid = h.io().fault_cntr;
+  h.world->run(120000);
+
+  // Property 5: q is timely here, so faultCntr is bounded in every case.
+  EXPECT_LE(h.io().fault_cntr, faults_mid + 1)
+      << "monitoring=" << mode_name(mon_mode)
+      << " active_for=" << mode_name(act_mode);
+
+  if (mon_mode == InputMode::EventuallyOff) {
+    // Property 1.
+    EXPECT_EQ(h.io().status, Status::Unknown);
+  }
+  if (mon_mode == InputMode::EventuallyOn) {
+    // Property 2.
+    EXPECT_NE(h.io().status, Status::Unknown);
+    if (act_mode == InputMode::EventuallyOn) {
+      // Property 4 (q timely): not inactive; with convergence, active.
+      EXPECT_EQ(h.io().status, Status::Active);
+    }
+    if (act_mode == InputMode::EventuallyOff) {
+      // Property 3.
+      EXPECT_EQ(h.io().status, Status::Inactive);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInputCombinations, MonitorMatrixSweep,
+    ::testing::Combine(::testing::Values(InputMode::EventuallyOn,
+                                         InputMode::EventuallyOff,
+                                         InputMode::Oscillating),
+                       ::testing::Values(InputMode::EventuallyOn,
+                                         InputMode::EventuallyOff,
+                                         InputMode::Oscillating)),
+    [](const auto& info) {
+      return std::string("monitoring_") +
+             mode_name(std::get<0>(info.param)) + "_activefor_" +
+             mode_name(std::get<1>(info.param));
+    });
+
+// -- multi-pair matrix -------------------------------------------------------------
+
+TEST(MonitorMatrix, AllPairsOperateIndependently) {
+  const int n = 4;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(2 * n)), 13);
+  // Everyone monitors everyone and is active for everyone.
+  for (Pid p = 0; p < n; ++p) {
+    for (Pid q = 0; q < n; ++q) {
+      if (p == q) continue;
+      h.matrix->io(p, q).monitoring = true;
+      h.matrix->active_for(q, p).active_for = true;
+    }
+  }
+  h.world->run(100000);
+  for (Pid p = 0; p < n; ++p) {
+    for (Pid q = 0; q < n; ++q) {
+      if (p == q) continue;
+      EXPECT_EQ(h.matrix->io(p, q).status, Status::Active)
+          << p << " about " << q;
+    }
+  }
+}
+
+TEST(MonitorMatrix, SelectiveActiveFor) {
+  // q is active for p0 but not for p2: their verdicts must differ.
+  const int n = 3;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(2 * n)), 17);
+  h.matrix->io(0, 1).monitoring = true;
+  h.matrix->io(2, 1).monitoring = true;
+  h.matrix->active_for(1, 0).active_for = true;
+  h.matrix->active_for(1, 2).active_for = false;
+  h.world->run(50000);
+  EXPECT_EQ(h.matrix->io(0, 1).status, Status::Active);
+  EXPECT_EQ(h.matrix->io(2, 1).status, Status::Inactive);
+}
+
+}  // namespace
+}  // namespace tbwf::monitor
+
+namespace tbwf::monitor {
+namespace {
+
+TEST(ActivityMonitor, CrashDuringHeartbeatWriteConverges) {
+  // Crash the monitored process at an odd step so there is a fair
+  // chance it dies between a heartbeat write's invocation and response;
+  // either way the monitor must converge to inactive with a bounded
+  // fault counter (property 3 + 5b under mid-operation crashes).
+  for (sim::Step crash_at : {101, 202, 303, 404, 505}) {
+    std::vector<sim::ActivitySpec> specs = {sim::ActivitySpec::timely(4),
+                                            sim::ActivitySpec::timely(4)};
+    sim::World world(2,
+                     std::make_unique<sim::TimelinessSchedule>(specs,
+                                                               crash_at));
+    world.schedule_crash(1, crash_at);
+    MonitorMatrix monitors(world);
+    monitors.install_all();
+    monitors.io(0, 1).monitoring = true;
+    monitors.active_for(1, 0).active_for = true;
+    world.run(100000);
+    const auto mid = monitors.io(0, 1).fault_cntr;
+    world.run(400000);
+    EXPECT_EQ(monitors.io(0, 1).status, Status::Inactive)
+        << "crash_at=" << crash_at;
+    EXPECT_LE(monitors.io(0, 1).fault_cntr, mid + 1)
+        << "crash_at=" << crash_at;
+  }
+}
+
+TEST(ActivityMonitor, MonitoringFlagFlipDuringReadIsSafe) {
+  // Flip MONITORING off/on aggressively (every few steps) while the
+  // monitor is mid-read; the implementation must neither wedge nor
+  // leak suspicions against a timely target.
+  std::vector<sim::ActivitySpec> specs = {sim::ActivitySpec::timely(4),
+                                          sim::ActivitySpec::timely(4)};
+  sim::World world(2, std::make_unique<sim::TimelinessSchedule>(specs, 9));
+  MonitorMatrix monitors(world);
+  monitors.install_all();
+  monitors.active_for(1, 0).active_for = true;
+  for (int i = 0; i < 2000; ++i) {
+    monitors.io(0, 1).monitoring = (i % 2 == 0);
+    world.run(7);
+  }
+  monitors.io(0, 1).monitoring = true;
+  world.run(200000);
+  EXPECT_EQ(monitors.io(0, 1).status, Status::Active);
+  const auto mid = monitors.io(0, 1).fault_cntr;
+  world.run(200000);
+  EXPECT_EQ(monitors.io(0, 1).fault_cntr, mid);
+}
+
+}  // namespace
+}  // namespace tbwf::monitor

@@ -1,0 +1,66 @@
+// Ablation of Figure 3's self-punishment (lines 7-8). The paper's
+// design note: without it, a process r that repeatedly joins and leaves
+// the competition -- and happens to hold the smallest (counter, pid) --
+// makes leadership oscillate between r and another candidate forever.
+// With it, r's counter grows on every re-entry and the oscillation
+// dies out.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_registers.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+namespace {
+
+using sim::ActivitySpec;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::World;
+
+/// Leader changes observed at the permanent candidate p1 during the
+/// final `window` steps of a `total`-step run, with r = p0 toggling
+/// candidacy forever (non-canonically -- the adversarial usage).
+std::size_t late_leader_churn(bool self_punishment, Step total,
+                              Step window) {
+  const int n = 2;
+  auto specs = sim::uniform_specs(n, ActivitySpec::timely(4 * n));
+  World world(n, std::make_unique<sim::TimelinessSchedule>(specs, 23));
+  OmegaRegisters om(world);
+  om.set_self_punishment(self_punishment);
+  om.install_all();
+  // r = p0 wins every (counter, pid) tie-break; it joins and leaves
+  // forever, ignoring the canonical discipline.
+  world.spawn(0, "r", [&](SimEnv& env) {
+    return repeated_candidate(env, om.io(0), 8000, 8000);
+  });
+  world.spawn(1, "p", [&](SimEnv& env) {
+    return permanent_candidate(env, om.io(1));
+  });
+  sim::Trajectory<Pid> leader1;
+  leader1.sample(0, om.io(1).leader);
+  leader1.attach(world, &om.io(1).leader);
+  world.run(total);
+  return leader1.changes_in(total - window, total);
+}
+
+TEST(SelfPunishmentAblation, WithoutItLeadershipOscillatesForever) {
+  const auto churn = late_leader_churn(false, 4000000, 1000000);
+  // Every rejoin of r steals the leadership back; with detection
+  // latency that is roughly one flip per few rejoin cycles, sustained
+  // through the final million steps.
+  EXPECT_GE(churn, 10u) << "expected sustained oscillation";
+}
+
+TEST(SelfPunishmentAblation, WithItLeadershipQuiesces) {
+  const auto churn = late_leader_churn(true, 4000000, 1000000);
+  EXPECT_EQ(churn, 0u) << "self-punishment should end the oscillation";
+}
+
+}  // namespace
+}  // namespace tbwf::omega

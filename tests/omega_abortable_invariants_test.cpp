@@ -1,0 +1,126 @@
+// Internal invariants of the Figure 6 implementation that the paper's
+// correctness argument leans on:
+//   - the heartbeat gating (dest = writeDone): a process only
+//     heartbeats to peers it has successfully written its counter to,
+//     preserving "if q eventually considers p active forever then q
+//     eventually learns the final value of counter_p[p]";
+//   - counter views converge: once the system stabilizes, every
+//     candidate's view of the leader's counter matches the leader's
+//     own view;
+//   - self-punishment happens through max(), so counter_p[p]
+//     eventually stops changing (necessary for WriteMsgs to deliver).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_abortable.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+namespace {
+
+using sim::ActivitySpec;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::World;
+
+struct Harness {
+  std::unique_ptr<World> world;
+  registers::ProbabilisticAbortPolicy policy{3, 0.5, 0.5, 0.5};
+  std::unique_ptr<OmegaAbortable> omega;
+
+  explicit Harness(int n, std::uint64_t seed = 1) {
+    auto specs = sim::uniform_specs(n, ActivitySpec::timely(6 * n));
+    world = std::make_unique<World>(
+        n, std::make_unique<sim::TimelinessSchedule>(specs, seed));
+    omega = std::make_unique<OmegaAbortable>(*world, &policy);
+    omega->install_all();
+    for (Pid p = 0; p < n; ++p) {
+      world->spawn(p, "cand", [this](SimEnv& env) {
+        return permanent_candidate(env, omega->io(env.pid()));
+      });
+    }
+  }
+};
+
+TEST(OmegaAbortableInvariants, ActivePeersKnowTheLeadersCounter) {
+  const int n = 3;
+  Harness h(n, 5);
+  h.world->run(6000000);
+
+  const Pid ell = h.omega->io(0).leader;
+  ASSERT_NE(ell, kNoLeader);
+  for (Pid q = 0; q < n; ++q) {
+    if (q == ell) continue;
+    ASSERT_EQ(h.omega->io(q).leader, ell) << "system not yet stable";
+    if (h.omega->hb(q).active_set[ell]) {
+      // The key Section 6 invariant: q considers ell active => q has
+      // ell's (final) counter value.
+      EXPECT_EQ(h.omega->counter_view(q, ell),
+                h.omega->counter_view(ell, ell))
+          << "q=" << q << " has a stale view of the leader's counter";
+    }
+  }
+}
+
+TEST(OmegaAbortableInvariants, CountersStopChanging) {
+  const int n = 3;
+  Harness h(n, 7);
+  h.world->run(4000000);
+  std::vector<std::int64_t> before;
+  for (Pid p = 0; p < n; ++p) before.push_back(h.omega->counter_view(p, p));
+  h.world->run(4000000);
+  for (Pid p = 0; p < n; ++p) {
+    EXPECT_EQ(h.omega->counter_view(p, p), before[p])
+        << "counter_p[p] must eventually stop changing (WriteMsgs "
+           "delivery precondition)";
+  }
+}
+
+TEST(OmegaAbortableInvariants, LeaderHasSmallestCounterAmongActive) {
+  const int n = 4;
+  Harness h(n, 9);
+  h.world->run(8000000);
+  for (Pid p = 0; p < n; ++p) {
+    const Pid l = h.omega->io(p).leader;
+    ASSERT_NE(l, kNoLeader);
+    for (Pid q = 0; q < n; ++q) {
+      if (!h.omega->hb(p).active_set[q]) continue;
+      const auto cl = h.omega->counter_view(p, l);
+      const auto cq = h.omega->counter_view(p, q);
+      EXPECT_TRUE(cl < cq || (cl == cq && l <= q))
+          << "p" << p << " elected p" << l << " but p" << q
+          << " is active with a smaller (counter, pid)";
+    }
+  }
+}
+
+TEST(OmegaAbortableInvariants, NonCandidatesGoSilent) {
+  // A process that stops being a candidate stops sending heartbeats and
+  // eventually leaves everyone's active set.
+  const int n = 3;
+  auto specs = sim::uniform_specs(n, ActivitySpec::timely(6 * n));
+  World world(n, std::make_unique<sim::TimelinessSchedule>(specs, 11));
+  registers::ProbabilisticAbortPolicy policy(13, 0.5, 0.5, 0.5);
+  OmegaAbortable om(world, &policy);
+  om.install_all();
+  world.spawn(0, "cand", [&](SimEnv& env) {
+    return permanent_candidate(env, om.io(0));
+  });
+  world.spawn(1, "cand", [&](SimEnv& env) {
+    return permanent_candidate(env, om.io(1));
+  });
+  world.spawn(2, "cand", [&](SimEnv& env) {
+    return never_candidate(env, om.io(2), /*dabble=*/50000);
+  });
+  world.run(6000000);
+  EXPECT_FALSE(om.hb(0).active_set[2]);
+  EXPECT_FALSE(om.hb(1).active_set[2]);
+  EXPECT_EQ(om.io(2).leader, kNoLeader);
+}
+
+}  // namespace
+}  // namespace tbwf::omega

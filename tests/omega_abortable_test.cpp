@@ -1,0 +1,224 @@
+// Tests of Omega-Delta from abortable registers (Figure 6) against
+// Definition 5 / Theorem 7 -- Theorem 13.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_abortable.hpp"
+#include "omega/omega_spec.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+namespace {
+
+using sim::ActivitySpec;
+using sim::Pid;
+using sim::Step;
+using sim::World;
+
+struct Harness {
+  std::unique_ptr<World> world;
+  std::unique_ptr<registers::AbortPolicy> policy;
+  std::unique_ptr<OmegaAbortable> omega;
+  std::unique_ptr<OmegaRecord> record;
+  std::vector<Pid> intended_timely;
+
+  Harness(std::vector<ActivitySpec> specs,
+          std::unique_ptr<registers::AbortPolicy> pol, std::uint64_t seed) {
+    auto sched = std::make_unique<sim::TimelinessSchedule>(specs, seed);
+    intended_timely = sched->intended_timely();
+    world = std::make_unique<World>(static_cast<int>(specs.size()),
+                                    std::move(sched));
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      if (specs[p].crash_at != sim::Trace::kNever) {
+        world->schedule_crash(static_cast<Pid>(p), specs[p].crash_at);
+      }
+    }
+    policy = std::move(pol);
+    omega = std::make_unique<OmegaAbortable>(*world, policy.get());
+    omega->install_all();
+    record = std::make_unique<OmegaRecord>(*world, omega->ios());
+  }
+
+  void drive_permanent(Pid p) {
+    world->spawn(p, "cand", [this](sim::SimEnv& env) {
+      return permanent_candidate(env, omega->io(env.pid()));
+    });
+  }
+  void drive_never(Pid p, Step dabble = 0) {
+    world->spawn(p, "cand", [this, dabble](sim::SimEnv& env) {
+      return never_candidate(env, omega->io(env.pid()), dabble);
+    });
+  }
+  void drive_repeated(Pid p, Step on, Step off, bool canonical) {
+    world->spawn(p, "cand", [this, on, off, canonical](sim::SimEnv& env) {
+      return canonical
+                 ? canonical_repeated_candidate(env, omega->io(env.pid()),
+                                                on, off)
+                 : repeated_candidate(env, omega->io(env.pid()), on, off);
+    });
+  }
+};
+
+std::unique_ptr<registers::AbortPolicy> always_abort() {
+  return std::make_unique<registers::AlwaysAbortPolicy>(
+      registers::AlwaysAbortPolicy::Effect::Alternate);
+}
+
+std::unique_ptr<registers::AbortPolicy> probabilistic(std::uint64_t seed) {
+  return std::make_unique<registers::ProbabilisticAbortPolicy>(
+      seed, /*p_abort_read=*/0.7, /*p_abort_write=*/0.7, /*p_effect=*/0.5);
+}
+
+// -- headline: the spec holds under the maximal abort adversary ---------------------
+
+TEST(OmegaAbortable, ElectsLeaderUnderMaximalAdversary) {
+  const int n = 3;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(6 * n)),
+            always_abort(), 1);
+  for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+  h.world->run(3000000);
+
+  CandidateClassification classes;
+  for (Pid p = 0; p < n; ++p) classes.pcandidates.push_back(p);
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 2500000);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(OmegaAbortable, ElectsLeaderUnderProbabilisticAborts) {
+  const int n = 4;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(6 * n)),
+            probabilistic(99), 2);
+  for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+  h.world->run(3000000);
+
+  CandidateClassification classes;
+  for (Pid p = 0; p < n; ++p) classes.pcandidates.push_back(p);
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 2500000);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+TEST(OmegaAbortable, SingleCandidateElectsItself) {
+  const int n = 3;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(6 * n)),
+            always_abort(), 3);
+  h.drive_permanent(2);
+  h.drive_never(0);
+  h.drive_never(1);
+  h.world->run(1500000);
+
+  CandidateClassification classes;
+  classes.pcandidates = {2};
+  classes.ncandidates = {0, 1};
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 1000000);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.elected, 2);
+}
+
+// -- graceful behaviour: untimely low-pid candidate loses ---------------------------
+
+TEST(OmegaAbortable, TimelyCandidateBeatsUntimelyLowerPid) {
+  std::vector<ActivitySpec> specs = {
+      ActivitySpec::growing_flicker(2000, 500),
+      ActivitySpec::timely(8),
+      ActivitySpec::eager(),
+  };
+  Harness h(specs, probabilistic(7), 5);
+  for (Pid p = 0; p < 3; ++p) h.drive_permanent(p);
+  h.world->run(8000000);
+
+  // The timely processes converge on a timely leader (not p0).
+  const Pid l1 = h.record->leader(1).value_at(7000000);
+  EXPECT_TRUE(l1 == 1 || l1 == 2) << "leader at p1 = " << l1;
+  EXPECT_TRUE(h.record->leader(1).constant_since(7000000));
+  EXPECT_EQ(h.record->leader(2).value_at(7000000), l1);
+  EXPECT_TRUE(h.record->leader(2).constant_since(7000000));
+}
+
+// -- repeated candidates, canonical use ----------------------------------------------
+
+TEST(OmegaAbortable, CanonicalRepeatedCandidatesTheorem7) {
+  const int n = 3;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(6 * n)),
+            probabilistic(13), 7);
+  h.drive_permanent(0);
+  h.drive_permanent(1);
+  h.drive_repeated(2, 20000, 20000, /*canonical=*/true);
+  h.world->run(8000000);
+
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  classes.rcandidates = {2};
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 6000000,
+                                       /*require_leader_permanent=*/true);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+// -- adaptive backoff: aborts dry up ----------------------------------------------------
+
+TEST(OmegaAbortable, AbortRateDecaysAfterStabilization) {
+  const int n = 3;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(6 * n)),
+            always_abort(), 11);
+  for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+  h.world->run(1000000);
+  const auto early_aborts =
+      h.world->total_read_aborts() + h.world->total_write_aborts();
+  h.world->run(1000000);
+  const auto mid_aborts =
+      h.world->total_read_aborts() + h.world->total_write_aborts();
+  h.world->run(2000000);
+  const auto late_aborts =
+      h.world->total_read_aborts() + h.world->total_write_aborts();
+
+  const auto second_window = mid_aborts - early_aborts;
+  const auto third_window = (late_aborts - mid_aborts) / 2;  // per 1M steps
+  EXPECT_LT(third_window, second_window)
+      << "aborts/1M-steps should decay as backoffs adapt";
+}
+
+// -- crash of the leader -------------------------------------------------------------
+
+TEST(OmegaAbortable, LeaderCrashTriggersReelection) {
+  const int n = 3;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(6 * n)),
+            probabilistic(5), 13);
+  for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+  h.world->run(2000000);
+  const Pid first = h.omega->io(2).leader;
+  ASSERT_NE(first, kNoLeader);
+
+  h.world->crash(first);
+  h.world->run(4000000);
+  for (Pid p = 0; p < n; ++p) {
+    if (p == first) continue;
+    const Pid l = h.omega->io(p).leader;
+    EXPECT_NE(l, first) << "p" << p << " still trusts the crashed leader";
+    EXPECT_NE(l, kNoLeader);
+  }
+}
+
+// -- determinism ------------------------------------------------------------------------
+
+TEST(OmegaAbortable, RunsAreReproducible) {
+  auto run_once = [](std::uint64_t seed) {
+    const int n = 3;
+    Harness h(sim::uniform_specs(n, ActivitySpec::eager()),
+              probabilistic(seed), seed);
+    for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+    h.world->run(500000);
+    std::vector<Pid> leaders;
+    for (Pid p = 0; p < n; ++p) leaders.push_back(h.omega->io(p).leader);
+    return leaders;
+  };
+  EXPECT_EQ(run_once(21), run_once(21));
+}
+
+}  // namespace
+}  // namespace tbwf::omega

@@ -1,0 +1,242 @@
+// Tests of Omega-Delta from activity monitors + atomic registers
+// (Figure 3) against Definition 5 and Theorem 7.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_registers.hpp"
+#include "omega/omega_spec.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+namespace {
+
+using sim::ActivitySpec;
+using sim::Pid;
+using sim::Step;
+using sim::World;
+
+struct Harness {
+  std::unique_ptr<World> world;
+  std::unique_ptr<OmegaRegisters> omega;
+  std::unique_ptr<OmegaRecord> record;
+  std::vector<Pid> intended_timely;
+
+  Harness(std::vector<ActivitySpec> specs, std::uint64_t seed = 1,
+          sim::WorldOptions opts = sim::WorldOptions()) {
+    auto sched = std::make_unique<sim::TimelinessSchedule>(specs, seed);
+    intended_timely = sched->intended_timely();
+    world = std::make_unique<World>(static_cast<int>(specs.size()),
+                                    std::move(sched), opts);
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      if (specs[p].crash_at != sim::Trace::kNever) {
+        world->schedule_crash(static_cast<Pid>(p), specs[p].crash_at);
+      }
+    }
+    omega = std::make_unique<OmegaRegisters>(*world);
+    omega->install_all();
+    record = std::make_unique<OmegaRecord>(*world, omega->ios());
+  }
+
+  void drive_permanent(Pid p) {
+    world->spawn(p, "cand", [this](sim::SimEnv& env) {
+      return permanent_candidate(env, omega->io(env.pid()));
+    });
+  }
+  void drive_never(Pid p, Step dabble = 0) {
+    world->spawn(p, "cand", [this, dabble](sim::SimEnv& env) {
+      return never_candidate(env, omega->io(env.pid()), dabble);
+    });
+  }
+  void drive_repeated(Pid p, Step on, Step off, bool canonical) {
+    world->spawn(p, "cand", [this, on, off, canonical](sim::SimEnv& env) {
+      return canonical
+                 ? canonical_repeated_candidate(env, omega->io(env.pid()),
+                                                on, off)
+                 : repeated_candidate(env, omega->io(env.pid()), on, off);
+    });
+  }
+};
+
+// -- all timely, all permanent candidates -----------------------------------------
+
+TEST(OmegaRegisters, AllTimelyPermanentCandidatesElectStableLeader) {
+  const int n = 4;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(4 * n)), 1);
+  for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+  h.world->run(400000);
+
+  CandidateClassification classes;
+  for (Pid p = 0; p < n; ++p) classes.pcandidates.push_back(p);
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 200000);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_NE(result.elected, kNoLeader);
+}
+
+TEST(OmegaRegisters, SingleCandidateElectsItself) {
+  const int n = 3;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(4 * n)), 2);
+  h.drive_permanent(1);
+  h.drive_never(0);
+  h.drive_never(2);
+  h.world->run(200000);
+
+  CandidateClassification classes;
+  classes.pcandidates = {1};
+  classes.ncandidates = {0, 2};
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 100000);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.elected, 1);
+}
+
+// -- the headline property: untimely candidates lose to timely ones ----------------
+
+TEST(OmegaRegisters, TimelyCandidateBeatsUntimelyLowerPid) {
+  // p0 would win every lexicographic tie-break, but it is not timely
+  // (growing silent gaps); the elected leader must be timely p1.
+  std::vector<ActivitySpec> specs = {
+      ActivitySpec::growing_flicker(400, 100),
+      ActivitySpec::timely(8),
+      ActivitySpec::eager(),
+  };
+  Harness h(specs, 3);
+  for (Pid p = 0; p < 3; ++p) h.drive_permanent(p);
+  h.world->run(1500000);
+
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1, 2};
+  // p0 is a permanent candidate but not timely: property 1b does not
+  // constrain it the same way -- it is still required to converge to l.
+  // Check only over processes that take steps in the suffix: p0's
+  // trajectory updates only when p0 runs, so give a generous margin.
+  const auto result =
+      check_omega_spec(*h.record, classes, /*timely=*/{1, 2}, 1200000);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_NE(result.elected, 0) << "untimely process must not stay leader";
+}
+
+TEST(OmegaRegisters, FlickeringCandidateNeverStaysLeader) {
+  // p0 flickers (correct, not timely) and competes forever; p1 and p2
+  // are timely permanent candidates. Eventually leader must settle on a
+  // timely process at p1/p2 even though p0 keeps coming back.
+  std::vector<ActivitySpec> specs = {
+      ActivitySpec::growing_flicker(300, 200),
+      ActivitySpec::timely(6),
+      ActivitySpec::timely(6),
+  };
+  Harness h(specs, 7);
+  for (Pid p = 0; p < 3; ++p) h.drive_permanent(p);
+  h.world->run(2000000);
+
+  // In the suffix, leaders at the timely processes settle on one of them.
+  const Pid l1 = h.record->leader(1).value_at(1700000);
+  EXPECT_TRUE(l1 == 1 || l1 == 2) << "leader at p1 = " << l1;
+  EXPECT_TRUE(h.record->leader(1).constant_since(1700000));
+  EXPECT_EQ(h.record->leader(2).value_at(1700000), l1);
+  EXPECT_TRUE(h.record->leader(2).constant_since(1700000));
+}
+
+// -- non-candidates --------------------------------------------------------------
+
+TEST(OmegaRegisters, NonCandidatesConvergeToQuestion) {
+  const int n = 4;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(4 * n)), 5);
+  h.drive_permanent(0);
+  h.drive_never(1, /*dabble=*/500);  // candidate briefly, then never again
+  h.drive_never(2);
+  h.drive_never(3, /*dabble=*/2000);
+  h.world->run(300000);
+
+  CandidateClassification classes;
+  classes.pcandidates = {0};
+  classes.ncandidates = {1, 2, 3};
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 150000);
+  EXPECT_TRUE(result.ok) << result.summary();
+  EXPECT_EQ(result.elected, 0);
+}
+
+// -- repeated candidates -----------------------------------------------------------
+
+TEST(OmegaRegisters, RepeatedCandidatesStayInQuestionOrLeader) {
+  const int n = 4;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(4 * n)), 9);
+  h.drive_permanent(0);
+  h.drive_permanent(1);
+  h.drive_repeated(2, 3000, 3000, /*canonical=*/false);
+  h.drive_repeated(3, 5000, 2000, /*canonical=*/true);
+  h.world->run(4000000);
+
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  classes.rcandidates = {2, 3};
+  const auto result = check_omega_spec(*h.record, classes,
+                                       h.intended_timely, 3000000,
+                                       /*require_leader_permanent=*/true);
+  EXPECT_TRUE(result.ok) << result.summary();
+}
+
+// -- crash of the incumbent leader ---------------------------------------------------
+
+TEST(OmegaRegisters, LeaderCrashTriggersReelection) {
+  const int n = 3;
+  auto specs = sim::uniform_specs(n, ActivitySpec::timely(4 * n));
+  Harness h(specs, 11);
+  for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+  h.world->run(200000);
+  const Pid first = h.omega->io(2).leader;
+  EXPECT_NE(first, kNoLeader);
+
+  h.world->crash(first);
+  h.world->run(400000);
+  // The survivors elect a new, live leader.
+  for (Pid p = 0; p < n; ++p) {
+    if (p == first) continue;
+    const Pid l = h.omega->io(p).leader;
+    EXPECT_NE(l, first) << "p" << p << " still trusts the crashed leader";
+    EXPECT_NE(l, kNoLeader);
+    EXPECT_FALSE(h.world->crashed(l));
+  }
+}
+
+// -- write efficiency (closing remark of Section 5.2) --------------------------------
+
+TEST(OmegaRegisters, EventuallyOnlyLeaderWrites) {
+  const int n = 4;
+  sim::WorldOptions opts;
+  opts.log_writes = true;
+  Harness h(sim::uniform_specs(n, ActivitySpec::timely(4 * n)), 13, opts);
+  for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+  h.world->run(600000);
+
+  const Pid leader = h.omega->io(0).leader;
+  ASSERT_NE(leader, kNoLeader);
+  // In the last 100k steps, every shared write must come from the leader.
+  const Step cutoff = 500000;
+  for (const auto& ev : h.world->write_log()) {
+    if (ev.step < cutoff) continue;
+    EXPECT_EQ(ev.pid, leader) << "non-leader write at step " << ev.step;
+  }
+}
+
+// -- determinism ----------------------------------------------------------------------
+
+TEST(OmegaRegisters, RunsAreReproducible) {
+  auto run_once = [](std::uint64_t seed) {
+    const int n = 4;
+    Harness h(sim::uniform_specs(n, ActivitySpec::eager()), seed);
+    for (Pid p = 0; p < n; ++p) h.drive_permanent(p);
+    h.world->run(150000);
+    std::vector<Pid> leaders;
+    for (Pid p = 0; p < n; ++p) leaders.push_back(h.omega->io(p).leader);
+    return leaders;
+  };
+  EXPECT_EQ(run_once(42), run_once(42));
+}
+
+}  // namespace
+}  // namespace tbwf::omega

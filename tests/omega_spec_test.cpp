@@ -1,0 +1,164 @@
+// Unit tests of the Definition 5 / Theorem 7 run-checker itself, using
+// synthetic trajectories: a checker that cannot detect violations would
+// silently validate broken Omega-Delta implementations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "omega/omega_spec.hpp"
+#include "sim/env.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::omega {
+namespace {
+using sim::Pid;
+using sim::Step;
+}  // namespace
+}  // namespace tbwf::omega
+
+// The checker takes an OmegaRecord; to unit-test its logic with
+// synthetic data we run tiny *live* worlds whose sub-tasks write the
+// scripted outputs. This keeps a single code path under test.
+namespace tbwf::omega {
+namespace {
+
+struct ScriptPoint {
+  Step step;
+  Pid leader;
+};
+
+sim::Task play_script(sim::SimEnv& env, OmegaIO& io,
+                      std::vector<ScriptPoint> script) {
+  std::size_t i = 0;
+  for (;;) {
+    while (i < script.size() && env.now() >= script[i].step) {
+      io.leader = script[i].leader;
+      ++i;
+    }
+    co_await env.yield();
+  }
+}
+
+struct LiveHarness {
+  std::unique_ptr<sim::World> world;
+  std::vector<OmegaIO> ios;
+  std::unique_ptr<OmegaRecord> record;
+
+  LiveHarness(int n, std::vector<std::vector<ScriptPoint>> scripts)
+      : ios(n) {
+    world = std::make_unique<sim::World>(
+        n, std::make_unique<sim::RoundRobinSchedule>());
+    std::vector<OmegaIO*> ptrs;
+    for (auto& io : ios) ptrs.push_back(&io);
+    record = std::make_unique<OmegaRecord>(*world, ptrs);
+    for (Pid p = 0; p < n; ++p) {
+      auto script = scripts[p];
+      OmegaIO* io = &ios[p];
+      world->spawn(p, "script", [io, script](sim::SimEnv& env) {
+        return play_script(env, *io, script);
+      });
+    }
+  }
+};
+
+TEST(OmegaSpecChecker, AcceptsConvergedRun) {
+  LiveHarness h(2, {{{0, kNoLeader}, {10, 0}}, {{0, kNoLeader}, {20, 0}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  const auto r = check_omega_spec(*h.record, classes, {0, 1}, 500);
+  EXPECT_TRUE(r.ok) << r.summary();
+  EXPECT_EQ(r.elected, 0);
+}
+
+TEST(OmegaSpecChecker, RejectsDisagreeingLeaders) {
+  LiveHarness h(2, {{{10, 0}}, {{10, 1}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  const auto r = check_omega_spec(*h.record, classes, {0, 1}, 500);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(OmegaSpecChecker, RejectsLateLeaderFlip) {
+  // Converged... then flips after check_from: property 1b violated.
+  LiveHarness h(2, {{{10, 0}}, {{10, 0}, {800, 1}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  const auto r = check_omega_spec(*h.record, classes, {0, 1}, 500);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(OmegaSpecChecker, RejectsNonCandidateWithLeaderOutput) {
+  // p1 never competes but keeps a leader output != "?": property 2.
+  LiveHarness h(2, {{{10, 0}}, {{10, 0}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0};
+  classes.ncandidates = {1};
+  const auto r = check_omega_spec(*h.record, classes, {0, 1}, 500);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(OmegaSpecChecker, AcceptsRCandidateInQuestionOrLeader) {
+  LiveHarness h(3, {{{10, 0}},
+                    {{10, 0}},
+                    {{10, kNoLeader}, {200, 0}, {400, kNoLeader}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  classes.rcandidates = {2};
+  const auto r = check_omega_spec(*h.record, classes, {0, 1, 2}, 500);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+TEST(OmegaSpecChecker, RejectsRCandidateTrustingThirdParty) {
+  // The repeated candidate outputs some other process: property 1c.
+  LiveHarness h(3, {{{10, 0}}, {{10, 0}}, {{10, 1}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  classes.rcandidates = {2};
+  const auto r = check_omega_spec(*h.record, classes, {0, 1, 2}, 500);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(OmegaSpecChecker, RejectsUntimelyElectedLeader) {
+  LiveHarness h(2, {{{10, 0}}, {{10, 0}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  // p0 declared NOT timely: electing it violates Definition 5.
+  const auto r = check_omega_spec(*h.record, classes, /*timely=*/{1}, 500);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(OmegaSpecChecker, Theorem7RequiresPermanentLeader) {
+  LiveHarness h(2, {{{10, 1}}, {{10, 1}}});
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0};
+  classes.rcandidates = {1};
+  // Definition 5 allows electing the R-candidate...
+  EXPECT_TRUE(check_omega_spec(*h.record, classes, {0, 1}, 500).ok);
+  // ...canonical use (Theorem 7) does not. (Note: leader_0 = 1 != 0, so
+  // 1a is checked against l = 1.)
+  EXPECT_FALSE(check_omega_spec(*h.record, classes, {0, 1}, 500,
+                                /*require_leader_permanent=*/true)
+                   .ok);
+}
+
+TEST(OmegaSpecChecker, VacuouslyOkWithoutTimelyPermanentCandidate) {
+  LiveHarness h(2, {{{10, 0}}, {{10, 1}}});  // disagreement...
+  h.world->run(1000);
+  CandidateClassification classes;
+  classes.pcandidates = {0, 1};
+  // ...but no permanent candidate is timely, so property 1 is vacuous.
+  const auto r = check_omega_spec(*h.record, classes, /*timely=*/{}, 500);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+}  // namespace
+}  // namespace tbwf::omega

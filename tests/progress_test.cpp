@@ -1,0 +1,91 @@
+// Unit tests of the progress analyzer (Definition 3 operationalized)
+// over synthetic operation logs.
+#include <gtest/gtest.h>
+
+#include "core/progress.hpp"
+
+namespace tbwf::core {
+namespace {
+
+OpLog make_log(int n) { return OpLog(n); }
+
+TEST(Progress, SteadyCompleterIsProgressing) {
+  auto log = make_log(1);
+  for (sim::Step s = 100; s <= 10000; s += 100) {
+    log.completions[0].push_back(s);
+  }
+  const auto report = analyze_progress(log, 10000, 0, 200, {0});
+  EXPECT_TRUE(report.of(0).progressing);
+  EXPECT_EQ(report.of(0).completed, 100u);
+  EXPECT_LE(report.of(0).max_completion_gap, 200u);
+}
+
+TEST(Progress, GapInTheMiddleViolatesBound) {
+  auto log = make_log(1);
+  log.completions[0] = {100, 200, 5000, 5100};
+  const auto report = analyze_progress(log, 6000, 0, 1000, {0});
+  EXPECT_FALSE(report.of(0).progressing);
+  EXPECT_EQ(report.of(0).max_completion_gap, 4800u);
+}
+
+TEST(Progress, SilentSuffixViolatesBound) {
+  auto log = make_log(1);
+  log.completions[0] = {100, 200, 300};
+  const auto report = analyze_progress(log, 100000, 0, 1000, {0});
+  EXPECT_FALSE(report.of(0).progressing);
+}
+
+TEST(Progress, WarmupExcludesEarlyGaps) {
+  auto log = make_log(1);
+  // Nothing before step 5000 (e.g. election warmup), steady after.
+  for (sim::Step s = 5000; s <= 10000; s += 100) {
+    log.completions[0].push_back(s);
+  }
+  EXPECT_FALSE(analyze_progress(log, 10000, 0, 200, {0}).of(0).progressing);
+  EXPECT_TRUE(
+      analyze_progress(log, 10000, 5000, 200, {0}).of(0).progressing);
+}
+
+TEST(Progress, NonIssuingProcessesAreNotClassified) {
+  auto log = make_log(2);
+  log.completions[0] = {100, 200};
+  const auto report = analyze_progress(log, 10000, 0, 100000, {0});
+  EXPECT_TRUE(report.of(0).progressing);
+  EXPECT_FALSE(report.of(1).progressing);
+  EXPECT_EQ(report.progressing.size(), 1u);
+}
+
+TEST(Progress, TbwfVerdictFlagsStarvedTimely) {
+  auto log = make_log(3);
+  for (sim::Step s = 100; s <= 9900; s += 100) {
+    log.completions[0].push_back(s);
+    log.completions[1].push_back(s + 7);
+  }
+  log.completions[2] = {500};  // starves afterwards
+  std::vector<sim::Pid> all = {0, 1, 2};
+  const auto report = analyze_progress(log, 10000, 0, 500, all);
+
+  EXPECT_TRUE(check_tbwf(report, {0, 1}).holds);
+  const auto verdict = check_tbwf(report, {0, 1, 2});
+  EXPECT_FALSE(verdict.holds);
+  ASSERT_EQ(verdict.violators.size(), 1u);
+  EXPECT_EQ(verdict.violators[0], 2);
+}
+
+TEST(Progress, EmptyTimelySetHoldsVacuously) {
+  auto log = make_log(2);
+  const auto report = analyze_progress(log, 1000, 0, 10, {});
+  EXPECT_TRUE(check_tbwf(report, {}).holds);
+}
+
+TEST(Progress, SummariesMentionEveryProcess) {
+  auto log = make_log(2);
+  log.completions[0] = {10};
+  const auto report = analyze_progress(log, 100, 0, 1000, {0, 1});
+  const auto s = report.summary();
+  EXPECT_NE(s.find("p0"), std::string::npos);
+  EXPECT_NE(s.find("p1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tbwf::core

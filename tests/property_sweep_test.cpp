@@ -1,0 +1,291 @@
+// Property-style parameterized sweeps: the paper's guarantees must hold
+// across seeds, schedules, abort adversaries and object types -- not
+// just in the hand-picked configurations of the unit suites.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+
+#include "core/progress.hpp"
+#include "core/tbwf.hpp"
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_registers.hpp"
+#include "omega/omega_spec.hpp"
+#include "qa/qa_universal.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf {
+namespace {
+
+using qa::Counter;
+using sim::ActivitySpec;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::Task;
+using sim::World;
+using I64 = std::int64_t;
+
+// ---------------------------------------------------------------------------
+// Sweep 1: QA universal counter accounting across seeds x abort rates.
+// ---------------------------------------------------------------------------
+
+class QaAccountingSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+struct SweepStats {
+  std::uint64_t applied = 0;
+  int done = 0;
+};
+
+template <class Base>
+Task sweep_worker(SimEnv& env, qa::QaUniversal<Counter, Base>& obj, int ops,
+                  SweepStats& stats) {
+  for (int i = 0; i < ops; ++i) {
+    auto r = co_await obj.invoke(env, Counter::Op{1});
+    while (r.bottom()) {
+      r = co_await obj.query(env);
+      if (r.bottom()) co_await env.yield();
+    }
+    if (r.ok()) ++stats.applied;
+  }
+  ++stats.done;
+}
+
+TEST_P(QaAccountingSweep, CounterEqualsAppliedOps) {
+  const auto [seed, abort_pct] = GetParam();
+  const int n = 3;
+  World world(n, std::make_unique<sim::RandomSchedule>(seed));
+  registers::ProbabilisticAbortPolicy policy(seed * 31 + 7,
+                                             abort_pct / 100.0,
+                                             abort_pct / 100.0, 0.5);
+  qa::QaUniversal<Counter, qa::AbortableBase> obj(world, 0, &policy);
+  SweepStats stats;
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) {
+      return sweep_worker(env, obj, 30, stats);
+    });
+  }
+  ASSERT_TRUE(
+      world.run_until([&] { return stats.done == n; }, 100000000));
+  EXPECT_EQ(obj.peek_frontier().state, static_cast<I64>(stats.applied));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAbortRates, QaAccountingSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                       ::testing::Values(0, 30, 70, 100)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_abort" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: TBWF holds across seeds and timely/untimely mixes.
+// ---------------------------------------------------------------------------
+
+class TbwfHoldsSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+template <class Obj>
+Task forever_inc(SimEnv& env, Obj& obj) {
+  for (;;) (void)co_await obj.invoke(env, Counter::Op{1});
+}
+
+TEST_P(TbwfHoldsSweep, TimelyProcessesProtected) {
+  const auto [seed, untimely] = GetParam();
+  const int n = 4;
+  std::vector<ActivitySpec> specs;
+  for (int i = 0; i < n - untimely; ++i) {
+    specs.push_back(ActivitySpec::timely(4 * n));
+  }
+  for (int i = 0; i < untimely; ++i) {
+    specs.push_back(
+        ActivitySpec::growing_flicker(1000 + 300 * i, 200 + 100 * i));
+  }
+  auto sched = std::make_unique<sim::TimelinessSchedule>(specs, seed);
+  const auto timely = sched->intended_timely();
+  World world(n, std::move(sched));
+  core::TbwfSystem<Counter> sys(world, 0,
+                                core::OmegaBackend::AtomicRegisters);
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) {
+      return forever_inc(env, sys.object());
+    });
+  }
+  world.run(5000000);
+
+  std::vector<Pid> all;
+  for (Pid p = 0; p < n; ++p) all.push_back(p);
+  const auto report = core::analyze_progress(
+      sys.object().log(), world.now(), 2000000, 1000000, all);
+  const auto verdict = core::check_tbwf(report, timely);
+  EXPECT_TRUE(verdict.holds) << verdict.summary() << "\n"
+                             << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMixes, TbwfHoldsSweep,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_untimely" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: Omega-Delta (registers) Definition 5 across seeds x schedules.
+// ---------------------------------------------------------------------------
+
+class OmegaSpecSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OmegaSpecSweep, Definition5AcrossSeeds) {
+  const auto seed = GetParam();
+  const int n = 4;
+  auto specs = sim::uniform_specs(n, ActivitySpec::timely(4 * n));
+  auto sched = std::make_unique<sim::TimelinessSchedule>(specs, seed);
+  const auto timely = sched->intended_timely();
+  World world(n, std::move(sched));
+  omega::OmegaRegisters om(world);
+  om.install_all();
+  omega::OmegaRecord record(world, om.ios());
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "c", [&om](SimEnv& env) {
+      return omega::permanent_candidate(env, om.io(env.pid()));
+    });
+  }
+  // "There is a time after which ..." has a long tail here: between
+  // timely processes, monitor faults become rarer as timeouts adapt but
+  // the LAST fault (and hence the last leadership change) can be late.
+  // Run in chunks until a whole chunk passes with no leader change.
+  std::size_t prev_changes = 0;
+  bool quiescent = false;
+  for (int chunk = 0; chunk < 24 && !quiescent; ++chunk) {
+    world.run(1000000);
+    std::size_t changes = 0;
+    for (Pid p = 0; p < n; ++p) changes += record.leader(p).change_count();
+    quiescent = (chunk > 0 && changes == prev_changes);
+    prev_changes = changes;
+  }
+  ASSERT_TRUE(quiescent) << "leadership never quiesced";
+  omega::CandidateClassification classes;
+  for (Pid p = 0; p < n; ++p) classes.pcandidates.push_back(p);
+  Step stabilized = 0;
+  for (Pid p = 0; p < n; ++p) {
+    stabilized = std::max(stabilized, record.leader(p).last_change());
+  }
+  const auto r =
+      omega::check_omega_spec(record, classes, timely, stabilized,
+                              /*require_leader_permanent=*/true);
+  EXPECT_TRUE(r.ok) << r.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OmegaSpecSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: solo success of the QA object across object types.
+// ---------------------------------------------------------------------------
+
+template <class S>
+Task solo_typed(SimEnv& env, qa::QaUniversal<S>& obj,
+                std::vector<typename S::Op> ops, int& completed) {
+  for (const auto& op : ops) {
+    auto r = co_await obj.invoke(env, op);
+    EXPECT_TRUE(r.ok());
+    ++completed;
+  }
+}
+
+TEST(QaTypesSolo, StackLifoOrder) {
+  World world(1, std::make_unique<sim::RoundRobinSchedule>());
+  qa::QaUniversal<qa::Stack> obj(world, {});
+  int completed = 0;
+  world.spawn(0, "w", [&](SimEnv& env) {
+    return solo_typed<qa::Stack>(
+        env, obj,
+        {qa::Stack::push(1), qa::Stack::push(2), qa::Stack::push(3)},
+        completed);
+  });
+  world.run(10000);
+  EXPECT_EQ(completed, 3);
+  const auto s = obj.peek_frontier().state;
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.back(), 3);
+}
+
+TEST(QaTypesSolo, RegisterTypeReadsLastWrite) {
+  World world(1, std::make_unique<sim::RoundRobinSchedule>());
+  qa::QaUniversal<qa::RegisterType> obj(world, 0);
+  int completed = 0;
+  world.spawn(0, "w", [&](SimEnv& env) {
+    return solo_typed<qa::RegisterType>(
+        env, obj,
+        {{/*is_write=*/true, 42}, {/*is_write=*/false, 0}}, completed);
+  });
+  world.run(10000);
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(obj.peek_frontier().state, 42);
+}
+
+TEST(QaTypesSolo, QueueFifoOrder) {
+  World world(1, std::make_unique<sim::RoundRobinSchedule>());
+  qa::QaUniversal<qa::Queue> obj(world, {});
+  int completed = 0;
+  world.spawn(0, "w", [&](SimEnv& env) {
+    return solo_typed<qa::Queue>(
+        env, obj,
+        {qa::Queue::enqueue(1), qa::Queue::enqueue(2), qa::Queue::dequeue()},
+        completed);
+  });
+  world.run(10000);
+  EXPECT_EQ(completed, 3);
+  const auto s = obj.peek_frontier().state;
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.front(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 5: TBWF over the queue type end-to-end (not just counters).
+// ---------------------------------------------------------------------------
+
+TEST(TbwfTypes, QueueThroughTbwfIsExactlyOnce) {
+  const int n = 3;
+  auto specs = sim::uniform_specs(n, ActivitySpec::timely(4 * n));
+  World world(n, std::make_unique<sim::TimelinessSchedule>(specs, 77));
+  core::TbwfSystem<qa::Queue> sys(world, {},
+                                  core::OmegaBackend::AtomicRegisters);
+  struct Enq {
+    static Task run(SimEnv& env, core::TbwfObject<qa::Queue>& obj) {
+      for (I64 i = 0;; ++i) {
+        (void)co_await obj.invoke(env,
+                                  qa::Queue::enqueue(env.pid() * 10000 + i));
+      }
+    }
+  };
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "e", [&](SimEnv& env) {
+      return Enq::run(env, sys.object());
+    });
+  }
+  world.run(3000000);
+
+  // Every enqueued value appears exactly once and per-producer order is
+  // preserved (completion count may trail queue size by in-flight ops).
+  const auto state = sys.object().qa().peek_frontier().state;
+  std::vector<I64> last(n, -1);
+  for (const I64 v : state) {
+    const Pid p = static_cast<Pid>(v / 10000);
+    EXPECT_GT(v % 10000, last[p]) << "per-producer order broken";
+    last[p] = v % 10000;
+  }
+  std::uint64_t completed = 0;
+  for (Pid p = 0; p < n; ++p) completed += sys.object().log().completed(p);
+  EXPECT_GE(state.size(), completed);
+  EXPECT_LE(state.size(), completed + n);
+}
+
+}  // namespace
+}  // namespace tbwf

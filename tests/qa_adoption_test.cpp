@@ -1,0 +1,149 @@
+// Tests of the QA construction's adoption path: a value accepted by a
+// process that then stalls or crashes must be finished (decided) by the
+// next proposer, never lost and never duplicated -- the subtle recovery
+// machinery behind "an aborted operation may have taken effect".
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "qa/qa_universal.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::qa {
+namespace {
+
+using sim::Pid;
+using sim::SimEnv;
+using sim::Task;
+using sim::World;
+using I64 = std::int64_t;
+
+Task one_inc(SimEnv& env, QaUniversal<Counter>& obj, QaResponse<I64>& out) {
+  out = co_await obj.invoke(env, Counter::Op{1});
+}
+
+TEST(QaAdoption, FloatingAcceptIsFinishedByNextProposer) {
+  World world(2, std::make_unique<sim::RoundRobinSchedule>());
+  QaUniversal<Counter> obj(world, 0);
+
+  // Phase 1: p0 runs ALONE until its accept for slot 1 is published,
+  // then crashes before deciding.
+  QaResponse<I64> r0;
+  world.spawn(0, "w0", [&](SimEnv& env) { return one_inc(env, obj, r0); });
+  ASSERT_TRUE(world.run_until(
+      [&] { return obj.peek_record(0).accepted.seq == 1; }, 10000, 1));
+  ASSERT_EQ(obj.peek_frontier().seq, 0u) << "must crash BEFORE deciding";
+  world.crash(0);
+
+  // Phase 2: p1 proposes its own increment. It must adopt and decide
+  // p0's floating value first, then land its own at the next slot.
+  QaResponse<I64> r1;
+  world.spawn(1, "w1", [&](SimEnv& env) { return one_inc(env, obj, r1); });
+  world.run(10000);
+
+  ASSERT_TRUE(r1.ok());
+  const auto frontier = obj.peek_frontier();
+  EXPECT_EQ(frontier.state, 2) << "both increments must be applied";
+  EXPECT_EQ(frontier.seq, 2u);
+  // p0's op was applied exactly once: its uid is recorded at slot 1's
+  // chain and its result (value before: 0) is preserved.
+  EXPECT_NE(frontier.last_uid[0], 0u);
+  EXPECT_EQ(frontier.last_result[0], 0);
+  // p1's own op observed p0's adopted increment.
+  EXPECT_EQ(r1.value, 1);
+}
+
+TEST(QaAdoption, AdoptionIsNotDuplicated) {
+  // Same setup, but TWO later proposers race to adopt: the value must
+  // still be applied exactly once.
+  World world(3, std::make_unique<sim::RandomSchedule>(5));
+  QaUniversal<Counter> obj(world, 0);
+
+  QaResponse<I64> r0;
+  world.spawn(0, "w0", [&](SimEnv& env) { return one_inc(env, obj, r0); });
+  ASSERT_TRUE(world.run_until(
+      [&] { return obj.peek_record(0).accepted.seq == 1; }, 10000, 1));
+  world.crash(0);
+
+  QaResponse<I64> r1, r2;
+  world.spawn(1, "w1", [&](SimEnv& env) { return one_inc(env, obj, r1); });
+  world.spawn(2, "w2", [&](SimEnv& env) { return one_inc(env, obj, r2); });
+
+  struct Driver {
+    static Task drain(SimEnv& env, QaUniversal<Counter>& obj,
+                      QaResponse<I64>& r) {
+      while (r.bottom()) {
+        r = co_await obj.query(env);
+        if (r.bottom()) co_await env.yield();
+      }
+    }
+  };
+  world.run(100000);
+  // Resolve any bottoms through query.
+  if (r1.bottom()) {
+    world.spawn(1, "q1", [&](SimEnv& env) {
+      return Driver::drain(env, obj, r1);
+    });
+  }
+  if (r2.bottom()) {
+    world.spawn(2, "q2", [&](SimEnv& env) {
+      return Driver::drain(env, obj, r2);
+    });
+  }
+  world.run(100000);
+
+  const auto frontier = obj.peek_frontier();
+  const int applied_later = (r1.ok() ? 1 : 0) + (r2.ok() ? 1 : 0);
+  // p0's adopted op + every later op that reported success.
+  EXPECT_EQ(frontier.state, 1 + applied_later);
+  EXPECT_NE(frontier.last_uid[0], 0u) << "p0's op must have been adopted";
+}
+
+TEST(QaAdoption, QueryReportsAdoptedOpOfItsOwner) {
+  // p0's accept floats; p0 is NOT crashed, merely descheduled; after
+  // p1 adopts and decides it, p0's query must report Ok with the
+  // original result.
+  // Phase control via stall windows: p0 active early (starts its op),
+  // then stalled while p1 works, then active again (runs its query).
+  World w2(2, std::make_unique<sim::TimelinessSchedule>(
+                  std::vector<sim::ActivitySpec>{
+                      sim::ActivitySpec::stall(60, 100000),
+                      sim::ActivitySpec::stall(0, 60)},
+                  7));
+  QaUniversal<Counter> obj(w2, 0);
+  QaResponse<I64> r0, q0;
+  struct InvokeThenQuery {
+    static Task run(SimEnv& env, QaUniversal<Counter>& obj,
+                    QaResponse<I64>& r, QaResponse<I64>& q) {
+      r = co_await obj.invoke(env, Counter::Op{1});
+      if (r.bottom()) {
+        do {
+          q = co_await obj.query(env);
+          if (q.bottom()) co_await env.yield();
+        } while (q.bottom());
+      }
+    }
+  };
+  w2.spawn(0, "w0", [&](SimEnv& env) {
+    return InvokeThenQuery::run(env, obj, r0, q0);
+  });
+  QaResponse<I64> r1;
+  w2.spawn(1, "w1", [&](SimEnv& env) { return one_inc(env, obj, r1); });
+  w2.run(300000);
+
+  // p0 either completed cleanly (if its window sufficed) or was
+  // adopted and learned the fate via query.
+  const auto frontier = obj.peek_frontier();
+  if (r0.ok()) {
+    EXPECT_NE(frontier.last_uid[0], 0u);
+  } else if (q0.ok()) {
+    EXPECT_EQ(q0.value, frontier.last_result[0]);
+  }
+  // Whatever happened, accounting is exact.
+  const int expected = (r0.ok() || q0.ok() ? 1 : 0) + (r1.ok() ? 1 : 0);
+  EXPECT_EQ(frontier.state, expected);
+}
+
+}  // namespace
+}  // namespace tbwf::qa

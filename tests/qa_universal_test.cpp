@@ -1,0 +1,348 @@
+// Tests of the wait-free query-abortable universal construction,
+// exercised over both atomic and abortable base registers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "qa/qa_universal.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::qa {
+namespace {
+
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::Task;
+using sim::World;
+using I64 = std::int64_t;
+
+sim::ActivitySpec ActivitySpec_active() { return sim::ActivitySpec::eager(); }
+
+// -- typed fixture over the two base-register policies --------------------------------
+
+template <class BasePolicy>
+struct BaseTraits;
+
+template <>
+struct BaseTraits<AtomicBase> {
+  static registers::AbortPolicy* policy(std::uint64_t) { return nullptr; }
+};
+
+template <>
+struct BaseTraits<AbortableBase> {
+  static registers::AbortPolicy* policy(std::uint64_t seed) {
+    static thread_local std::vector<
+        std::unique_ptr<registers::ProbabilisticAbortPolicy>>
+        pool;
+    pool.push_back(std::make_unique<registers::ProbabilisticAbortPolicy>(
+        seed, 0.6, 0.6, 0.5));
+    return pool.back().get();
+  }
+};
+
+template <class BasePolicy>
+class QaUniversalTest : public ::testing::Test {};
+
+using BasePolicies = ::testing::Types<AtomicBase, AbortableBase>;
+TYPED_TEST_SUITE(QaUniversalTest, BasePolicies);
+
+// -- workload helpers --------------------------------------------------------------------
+
+struct WorkerStats {
+  std::uint64_t applied = 0;
+  std::uint64_t dropped = 0;  // ops whose fate resolved to F
+  std::vector<I64> results;   // results of applied ops
+  bool done = false;
+};
+
+template <class Obj>
+Task counter_worker(SimEnv& env, Obj& obj, int ops, WorkerStats& st) {
+  for (int i = 0; i < ops; ++i) {
+    auto r = co_await obj.invoke(env, Counter::Op{1});
+    while (r.bottom()) {
+      r = co_await obj.query(env);
+      if (r.bottom()) co_await env.yield();
+    }
+    if (r.ok()) {
+      ++st.applied;
+      st.results.push_back(r.value);
+    } else {
+      ++st.dropped;
+    }
+  }
+  st.done = true;
+}
+
+// -- solo behaviour ------------------------------------------------------------------------
+
+TYPED_TEST(QaUniversalTest, SoloOperationsAlwaysSucceed) {
+  auto w = std::make_unique<World>(1,
+                                   std::make_unique<sim::RoundRobinSchedule>());
+  QaUniversal<Counter, TypeParam> obj(*w, 0,
+                                      BaseTraits<TypeParam>::policy(1));
+  WorkerStats st;
+  w->spawn(0, "worker", [&](SimEnv& env) {
+    return counter_worker(env, obj, 100, st);
+  });
+  w->run(10000000);
+  ASSERT_TRUE(st.done);
+  EXPECT_EQ(st.applied, 100u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(obj.peek_frontier().state, 100);
+}
+
+TYPED_TEST(QaUniversalTest, SoloOperationStepsAreBounded) {
+  // Wait-freedom: the number of the caller's own steps per invoke is
+  // bounded by a constant (for fixed n). Measure the max over 50 ops.
+  const int n = 4;  // three idle processes present but silent
+  std::vector<sim::ActivitySpec> specs = {ActivitySpec_active(),
+                                          sim::ActivitySpec::silent(),
+                                          sim::ActivitySpec::silent(),
+                                          sim::ActivitySpec::silent()};
+  auto w = std::make_unique<World>(
+      n, std::make_unique<sim::TimelinessSchedule>(specs, 1));
+  QaUniversal<Counter, TypeParam> obj(*w, 0,
+                                      BaseTraits<TypeParam>::policy(2));
+
+  struct Probe {
+    static Task run(SimEnv& env, QaUniversal<Counter, TypeParam>& obj,
+                    Step& max_steps, bool& done) {
+      for (int i = 0; i < 50; ++i) {
+        const Step before = env.local_steps();
+        auto r = co_await obj.invoke(env, Counter::Op{1});
+        const Step used = env.local_steps() - before;
+        if (used > max_steps) max_steps = used;
+        EXPECT_TRUE(r.ok());
+      }
+      done = true;
+    }
+  };
+  Step max_steps = 0;
+  bool done = false;
+  w->spawn(0, "probe", [&](SimEnv& env) {
+    return Probe::run(env, obj, max_steps, done);
+  });
+  w->run(1000000);
+  ASSERT_TRUE(done);
+  // 2 attempts x ~3n register ops x 2 steps, plus slack for locals.
+  EXPECT_LE(max_steps, static_cast<Step>(16 * n + 32));
+}
+
+// -- contended fate accounting ------------------------------------------------------------
+
+TYPED_TEST(QaUniversalTest, ContendedCounterAccountingIsExact) {
+  const int n = 4;
+  const int ops = 60;
+  auto w = std::make_unique<World>(n,
+                                   std::make_unique<sim::RandomSchedule>(7));
+  QaUniversal<Counter, TypeParam> obj(*w, 0,
+                                      BaseTraits<TypeParam>::policy(3));
+  std::vector<WorkerStats> stats(n);
+  for (Pid p = 0; p < n; ++p) {
+    w->spawn(p, "worker", [&, p](SimEnv& env) {
+      return counter_worker(env, obj, ops, stats[p]);
+    });
+  }
+  ASSERT_TRUE(w->run_until(
+      [&] {
+        return std::all_of(stats.begin(), stats.end(),
+                           [](const WorkerStats& s) { return s.done; });
+      },
+      80000000));
+
+  std::uint64_t total_applied = 0;
+  std::vector<I64> all_results;
+  for (const auto& s : stats) {
+    total_applied += s.applied;
+    all_results.insert(all_results.end(), s.results.begin(),
+                       s.results.end());
+  }
+  // The final object value equals the number of applied increments.
+  EXPECT_EQ(obj.peek_frontier().state,
+            static_cast<I64>(total_applied));
+  // Linearizability of a fetch-and-add counter: the "value before"
+  // results of the applied increments are exactly {0, ..., K-1}.
+  std::sort(all_results.begin(), all_results.end());
+  for (std::size_t i = 0; i < all_results.size(); ++i) {
+    EXPECT_EQ(all_results[i], static_cast<I64>(i));
+  }
+}
+
+TYPED_TEST(QaUniversalTest, CasCellAtMostOneWinnerPerExpectedValue) {
+  const int n = 4;
+  auto w = std::make_unique<World>(n,
+                                   std::make_unique<sim::RandomSchedule>(9));
+  QaUniversal<CasCell, TypeParam> obj(*w, 0,
+                                      BaseTraits<TypeParam>::policy(4));
+
+  struct CasWorker {
+    static Task run(SimEnv& env, QaUniversal<CasCell, TypeParam>& obj,
+                    char& won, char& done) {
+      // Try to CAS 0 -> pid+1 until the fate is determined.
+      auto r = co_await obj.invoke(
+          env, CasCell::cas(0, env.pid() + 1));
+      while (r.bottom()) {
+        r = co_await obj.query(env);
+        if (r.bottom()) co_await env.yield();
+      }
+      won = (r.ok() && r.value.success) ? 1 : 0;
+      done = 1;
+    }
+  };
+  std::vector<char> won(n, 0), done(n, 0);
+  for (Pid p = 0; p < n; ++p) {
+    w->spawn(p, "cas", [&, p](SimEnv& env) {
+      return CasWorker::run(env, obj, won[p], done[p]);
+    });
+  }
+  ASSERT_TRUE(w->run_until(
+      [&] {
+        return std::all_of(done.begin(), done.end(),
+                           [](char d) { return d != 0; });
+      },
+      80000000));
+  const int winners =
+      static_cast<int>(std::count(won.begin(), won.end(), 1));
+  EXPECT_LE(winners, 1);
+  const I64 final_value = obj.peek_frontier().state;
+  if (winners == 1) {
+    for (Pid p = 0; p < n; ++p) {
+      if (won[p]) {
+        EXPECT_EQ(final_value, p + 1);
+      }
+    }
+  }
+}
+
+TYPED_TEST(QaUniversalTest, QueueIsFifoPerProducer) {
+  const int n = 3;
+  const int per_proc = 30;
+  auto w = std::make_unique<World>(n,
+                                   std::make_unique<sim::RandomSchedule>(11));
+  QaUniversal<Queue, TypeParam> obj(*w, Queue::State{},
+                                    BaseTraits<TypeParam>::policy(5));
+
+  struct Producer {
+    static Task run(SimEnv& env, QaUniversal<Queue, TypeParam>& obj,
+                    int count, std::vector<I64>& applied, char& done) {
+      for (int i = 0; i < count; ++i) {
+        const I64 v = env.pid() * 1000 + i;
+        auto r = co_await obj.invoke(env, Queue::enqueue(v));
+        while (r.bottom()) {
+          r = co_await obj.query(env);
+          if (r.bottom()) co_await env.yield();
+        }
+        if (r.ok()) applied.push_back(v);
+      }
+      done = 1;
+    }
+  };
+  std::vector<std::vector<I64>> applied(n);
+  std::vector<char> done(n, 0);
+  for (Pid p = 0; p < n; ++p) {
+    w->spawn(p, "prod", [&, p](SimEnv& env) {
+      return Producer::run(env, obj, per_proc, applied[p], done[p]);
+    });
+  }
+  ASSERT_TRUE(w->run_until(
+      [&] {
+        return std::all_of(done.begin(), done.end(),
+                           [](char d) { return d != 0; });
+      },
+      80000000));
+
+  // The decided queue must contain every applied value exactly once, in
+  // per-producer FIFO order.
+  const auto frontier = obj.peek_frontier();
+  std::vector<I64> in_queue(frontier.state.begin(), frontier.state.end());
+  std::size_t total_applied = 0;
+  for (Pid p = 0; p < n; ++p) {
+    total_applied += applied[p].size();
+    std::vector<I64> mine;
+    for (I64 v : in_queue) {
+      if (v / 1000 == p) mine.push_back(v);
+    }
+    EXPECT_EQ(mine, applied[p]) << "producer " << p;
+  }
+  EXPECT_EQ(in_queue.size(), total_applied);
+}
+
+// -- query semantics -------------------------------------------------------------------------
+
+TYPED_TEST(QaUniversalTest, QueryWithNoPriorOpReturnsF) {
+  auto w = std::make_unique<World>(2,
+                                   std::make_unique<sim::RoundRobinSchedule>());
+  QaUniversal<Counter, TypeParam> obj(*w, 0,
+                                      BaseTraits<TypeParam>::policy(6));
+  struct Q {
+    static Task run(SimEnv& env, QaUniversal<Counter, TypeParam>& obj,
+                    QaTag& tag, bool& done) {
+      auto r = co_await obj.query(env);
+      tag = r.tag;
+      done = true;
+    }
+  };
+  QaTag tag = QaTag::Ok;
+  bool done = false;
+  w->spawn(0, "q", [&](SimEnv& env) { return Q::run(env, obj, tag, done); });
+  w->run(100000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(tag, QaTag::NotApplied);
+}
+
+TYPED_TEST(QaUniversalTest, QueryAfterSuccessReturnsSameResult) {
+  auto w = std::make_unique<World>(2,
+                                   std::make_unique<sim::RoundRobinSchedule>());
+  QaUniversal<Counter, TypeParam> obj(*w, 0,
+                                      BaseTraits<TypeParam>::policy(7));
+  struct Q {
+    static Task run(SimEnv& env, QaUniversal<Counter, TypeParam>& obj,
+                    bool& consistent, bool& done) {
+      auto r = co_await obj.invoke(env, Counter::Op{5});
+      auto q = co_await obj.query(env);
+      consistent = r.ok() && q.ok() && r.value == q.value;
+      done = true;
+    }
+  };
+  bool consistent = false, done = false;
+  w->spawn(0, "q", [&](SimEnv& env) {
+    return Q::run(env, obj, consistent, done);
+  });
+  w->run(100000);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(consistent);
+}
+
+// -- crash robustness --------------------------------------------------------------------------
+
+TYPED_TEST(QaUniversalTest, SurvivorsContinueAfterCrash) {
+  const int n = 3;
+  auto w = std::make_unique<World>(n,
+                                   std::make_unique<sim::RandomSchedule>(13));
+  QaUniversal<Counter, TypeParam> obj(*w, 0,
+                                      BaseTraits<TypeParam>::policy(8));
+  std::vector<WorkerStats> stats(n);
+  for (Pid p = 0; p < n; ++p) {
+    w->spawn(p, "worker", [&, p](SimEnv& env) {
+      return counter_worker(env, obj, 40, stats[p]);
+    });
+  }
+  w->schedule_crash(0, 2000);
+  ASSERT_TRUE(w->run_until(
+      [&] { return stats[1].done && stats[2].done; }, 80000000));
+
+  // Survivors applied everything they report; the final value counts
+  // their applied ops plus however many of p0's landed before the crash.
+  const I64 final_value = obj.peek_frontier().state;
+  const I64 survivors =
+      static_cast<I64>(stats[1].applied + stats[2].applied);
+  EXPECT_GE(final_value, survivors);
+  EXPECT_LE(final_value, survivors + 40);
+}
+
+}  // namespace
+}  // namespace tbwf::qa

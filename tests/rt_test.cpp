@@ -1,0 +1,249 @@
+// Tests of the real-threads backend: try-lock abortable registers, the
+// lease elector, the TBWF-style counter and the baselines, under real
+// std::thread concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rt/rt_baselines.hpp"
+#include "rt/rt_registers.hpp"
+#include "rt/rt_tbwf.hpp"
+
+namespace tbwf::rt {
+namespace {
+
+TEST(RtAbortableReg, SoloOpsNeverAbort) {
+  RtAbortableReg<int> reg(5);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = reg.read();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 5 + i);
+    ASSERT_TRUE(reg.write(5 + i + 1));
+  }
+}
+
+TEST(RtAbortableReg, SuccessfulReadsSeeLatestSuccessfulWrite) {
+  RtAbortableReg<std::int64_t> reg(0);
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> last_written{0};
+  std::atomic<bool> violation{false};
+
+  std::thread writer([&] {
+    std::int64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (reg.write(v + 1)) {
+        ++v;
+        last_written.store(v, std::memory_order_release);
+      }
+    }
+  });
+  std::thread reader([&] {
+    std::int64_t prev = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto r = reg.read();
+      if (r.has_value()) {
+        // Monotone: single writer, effects ordered by the cell lock.
+        if (*r < prev) violation.store(true);
+        prev = *r;
+      }
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop = true;
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_GT(last_written.load(), 0);
+}
+
+TEST(LeaseElector, SingleThreadAcquiresImmediately) {
+  LeaseElector e(std::chrono::milliseconds(10));
+  EXPECT_TRUE(e.try_lead(3));
+  EXPECT_TRUE(e.try_lead(3));  // renew while valid
+  EXPECT_FALSE(e.try_lead(4));  // someone else holds it
+  e.release(3);
+  EXPECT_TRUE(e.try_lead(4));
+}
+
+TEST(LeaseElector, ExpiredLeaseIsStealable) {
+  LeaseElector e(std::chrono::microseconds(200));
+  ASSERT_TRUE(e.try_lead(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(e.try_lead(2)) << "expired lease must be stealable";
+}
+
+TEST(LeaseElector, MutualExclusionWhileValid) {
+  LeaseElector e(std::chrono::seconds(5));
+  std::atomic<int> holders{0};
+  std::atomic<int> max_holders{0};
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if (e.try_lead(t)) {
+          const int h = holders.fetch_add(1) + 1;
+          int m = max_holders.load();
+          while (h > m && !max_holders.compare_exchange_weak(m, h)) {
+          }
+          std::this_thread::yield();
+          holders.fetch_sub(1);
+          e.release(t);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(max_holders.load(), 1);
+}
+
+TEST(RtTbwfCounter, SingleThreadCountsExactly) {
+  RtTbwfCounter counter;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(counter.fetch_add(0, 1), i);
+  }
+}
+
+TEST(RtTbwfCounter, MultiThreadExactlyOnce) {
+  RtTbwfCounter counter(std::chrono::microseconds(20));
+  const int threads = 4;
+  const int per_thread = 2000;
+  std::vector<std::thread> pool;
+  std::atomic<std::int64_t> sum_before{0};
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        sum_before.fetch_add(counter.fetch_add(t, 1));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const std::int64_t total = threads * per_thread;
+  // Final value == total increments; and the multiset of "before"
+  // values is {0..total-1} iff the sum matches total*(total-1)/2.
+  EXPECT_EQ(counter.fetch_add(0, 0), total);
+  EXPECT_EQ(sum_before.load(), total * (total - 1) / 2);
+}
+
+TEST(RtBaselines, CountersAgreeUnderConcurrency) {
+  RtMutexCounter m;
+  RtCasCounter c;
+  RtFaaCounter f;
+  const int threads = 4, per_thread = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < per_thread; ++i) {
+        m.fetch_add(1);
+        c.fetch_add(1);
+        f.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(m.fetch_add(0), threads * per_thread);
+  EXPECT_EQ(c.fetch_add(0), threads * per_thread);
+  EXPECT_EQ(f.fetch_add(0), threads * per_thread);
+}
+
+}  // namespace
+}  // namespace tbwf::rt
+
+// -- the real-threads QA universal construction -------------------------------------
+
+#include "rt/rt_qa.hpp"
+
+namespace tbwf::rt {
+namespace {
+
+TEST(RtQaUniversal, SoloOpsAlwaysSucceed) {
+  RtQaUniversal<qa::Counter> obj(1, 0);
+  for (int i = 0; i < 200; ++i) {
+    auto r = obj.invoke(0, qa::Counter::Op{1});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value, i);
+  }
+  EXPECT_EQ(obj.frontier_snapshot().state, 200);
+}
+
+TEST(RtQaUniversal, QueryReportsLastOpFate) {
+  RtQaUniversal<qa::Counter> obj(2, 0);
+  EXPECT_TRUE(obj.query(0).not_applied());  // no prior op
+  auto r = obj.invoke(0, qa::Counter::Op{5});
+  ASSERT_TRUE(r.ok());
+  auto q = obj.query(0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value, r.value);
+}
+
+TEST(RtQaUniversal, ContendedAccountingIsExact) {
+  const int threads = 4;
+  const int ops = 3000;
+  RtQaUniversal<qa::Counter> obj(threads, 0);
+  std::atomic<std::int64_t> applied{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < ops; ++i) {
+        auto r = obj.invoke(t, qa::Counter::Op{1});
+        while (r.bottom()) {
+          r = obj.query(t);
+          if (r.bottom()) std::this_thread::yield();
+        }
+        if (r.ok()) applied.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(obj.frontier_snapshot().state, applied.load());
+}
+
+TEST(RtTbwfObject, CounterExactlyOnceAcrossThreads) {
+  const int threads = 4;
+  const int ops = 1500;
+  RtTbwfObject<qa::Counter> obj(threads, 0,
+                                std::chrono::microseconds(30));
+  std::atomic<std::int64_t> sum_before{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < ops; ++i) {
+        sum_before.fetch_add(obj.invoke(t, qa::Counter::Op{1}));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const std::int64_t total = threads * ops;
+  EXPECT_EQ(obj.qa().frontier_snapshot().state, total);
+  // Linearizable fetch-and-add: the "before" values are {0..total-1}.
+  EXPECT_EQ(sum_before.load(), total * (total - 1) / 2);
+}
+
+TEST(RtTbwfObject, QueueExactlyOnceAcrossThreads) {
+  const int threads = 3;
+  const int per_thread = 400;
+  RtTbwfObject<qa::Queue> obj(threads, {});
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        (void)obj.invoke(t, qa::Queue::enqueue(t * 100000 + i));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const auto state = obj.qa().frontier_snapshot().state;
+  ASSERT_EQ(state.size(),
+            static_cast<std::size_t>(threads * per_thread));
+  // Per-producer FIFO order.
+  std::vector<std::int64_t> last(threads, -1);
+  for (const auto v : state) {
+    const int t = static_cast<int>(v / 100000);
+    EXPECT_GT(v % 100000, last[t]);
+    last[t] = v % 100000;
+  }
+}
+
+}  // namespace
+}  // namespace tbwf::rt

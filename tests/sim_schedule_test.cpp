@@ -1,0 +1,216 @@
+// Tests of schedules and activity specs: the timeliness adversary must
+// actually deliver the timeliness patterns the experiments rely on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/env.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::sim {
+namespace {
+
+Task spin(SimEnv& env) {
+  for (;;) co_await env.yield();
+}
+
+void spawn_spinners(World& w) {
+  for (Pid p = 0; p < w.n(); ++p) {
+    w.spawn(p, "spin", [](SimEnv& env) { return spin(env); });
+  }
+}
+
+// -- ActivitySpec window logic ---------------------------------------------------
+
+TEST(ActivitySpec, AlwaysActive) {
+  auto s = ActivitySpec::eager();
+  EXPECT_TRUE(s.active_at(0));
+  EXPECT_TRUE(s.active_at(1000000));
+}
+
+TEST(ActivitySpec, SilentNeverActive) {
+  auto s = ActivitySpec::silent();
+  EXPECT_FALSE(s.active_at(0));
+  EXPECT_FALSE(s.active_at(42));
+}
+
+TEST(ActivitySpec, FlickerAlternates) {
+  auto s = ActivitySpec::flicker(/*on=*/10, /*off=*/5);
+  for (Step t = 0; t < 10; ++t) EXPECT_TRUE(s.active_at(t)) << t;
+  for (Step t = 10; t < 15; ++t) EXPECT_FALSE(s.active_at(t)) << t;
+  EXPECT_TRUE(s.active_at(15));
+  EXPECT_FALSE(s.active_at(29));
+  EXPECT_TRUE(s.active_at(30));
+}
+
+TEST(ActivitySpec, FlickerPhaseShifts) {
+  auto s = ActivitySpec::flicker(10, 5, /*phase=*/10);
+  EXPECT_FALSE(s.active_at(0));  // starts inside the off-window
+  EXPECT_TRUE(s.active_at(5));
+}
+
+TEST(ActivitySpec, StallWindow) {
+  auto s = ActivitySpec::stall(100, 200);
+  EXPECT_TRUE(s.active_at(99));
+  EXPECT_FALSE(s.active_at(100));
+  EXPECT_FALSE(s.active_at(199));
+  EXPECT_TRUE(s.active_at(200));
+}
+
+TEST(ActivitySpec, CrashMakesInactive) {
+  auto s = ActivitySpec::eager().crash(50);
+  EXPECT_TRUE(s.active_at(49));
+  EXPECT_FALSE(s.active_at(50));
+}
+
+// -- TimelinessSchedule ------------------------------------------------------------
+
+TEST(TimelinessSchedule, TimelyProcessMeetsItsBound) {
+  const int n = 4;
+  std::vector<ActivitySpec> specs;
+  specs.push_back(ActivitySpec::timely(8));
+  for (int i = 1; i < n; ++i) specs.push_back(ActivitySpec::eager(3.0));
+  auto w = std::make_unique<World>(
+      n, std::make_unique<TimelinessSchedule>(specs, /*seed=*/1));
+  spawn_spinners(*w);
+  w->run(10000);
+  const auto v = w->trace().timeliness(0);
+  EXPECT_TRUE(v.timely_with_bound(8))
+      << "empirical bound " << v.empirical_bound;
+}
+
+TEST(TimelinessSchedule, SilentProcessTakesNoSteps) {
+  std::vector<ActivitySpec> specs = {ActivitySpec::timely(4),
+                                     ActivitySpec::silent()};
+  auto w = std::make_unique<World>(
+      2, std::make_unique<TimelinessSchedule>(specs, 1));
+  spawn_spinners(*w);
+  w->run(1000);
+  EXPECT_EQ(w->trace().steps_of(1), 0u);
+  EXPECT_EQ(w->trace().steps_of(0), 1000u);
+}
+
+TEST(TimelinessSchedule, FlickerProcessIsNotTimely) {
+  std::vector<ActivitySpec> specs = {
+      ActivitySpec::timely(4),
+      ActivitySpec::flicker(/*on=*/50, /*off=*/200)};
+  auto w = std::make_unique<World>(
+      2, std::make_unique<TimelinessSchedule>(specs, 7));
+  spawn_spinners(*w);
+  w->run(5000);
+  const auto v = w->trace().timeliness(1);
+  EXPECT_GT(v.steps_taken, 0u);          // it does run sometimes...
+  EXPECT_GE(v.empirical_bound, 200u);    // ...but with huge gaps
+  EXPECT_FALSE(v.timely_with_bound(100));
+}
+
+TEST(TimelinessSchedule, CrashedProcessStopsForever) {
+  std::vector<ActivitySpec> specs = {ActivitySpec::timely(4),
+                                     ActivitySpec::eager().crash(100)};
+  auto w = std::make_unique<World>(
+      2, std::make_unique<TimelinessSchedule>(specs, 3));
+  // Crashes come from the world's crash list; mirror the spec.
+  w->schedule_crash(1, 100);
+  spawn_spinners(*w);
+  w->run(2000);
+  EXPECT_TRUE(w->crashed(1));
+  EXPECT_LE(w->trace().steps_of(1), 100u);
+  EXPECT_GE(w->trace().steps_of(0), 1900u);
+}
+
+TEST(TimelinessSchedule, MultipleTimelyBoundsAllHold) {
+  const int n = 6;
+  std::vector<ActivitySpec> specs;
+  for (int i = 0; i < 3; ++i) specs.push_back(ActivitySpec::timely(12));
+  for (int i = 3; i < n; ++i) specs.push_back(ActivitySpec::eager());
+  auto w = std::make_unique<World>(
+      n, std::make_unique<TimelinessSchedule>(specs, 99));
+  spawn_spinners(*w);
+  w->run(20000);
+  for (Pid p = 0; p < 3; ++p) {
+    EXPECT_TRUE(w->trace().timeliness(p).timely_with_bound(12)) << p;
+  }
+}
+
+TEST(TimelinessSchedule, IntendedTimelyReportsGuaranteedPids) {
+  std::vector<ActivitySpec> specs = {
+      ActivitySpec::timely(4), ActivitySpec::eager(),
+      ActivitySpec::timely_flicker(4, 10, 10), ActivitySpec::timely(9)};
+  TimelinessSchedule sched(specs, 1);
+  const auto t = sched.intended_timely();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], 0);
+  EXPECT_EQ(t[1], 3);
+}
+
+TEST(TimelinessSchedule, DeterministicForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    std::vector<ActivitySpec> specs = {ActivitySpec::timely(5),
+                                       ActivitySpec::eager(),
+                                       ActivitySpec::eager(2.0)};
+    auto w = std::make_unique<World>(
+        3, std::make_unique<TimelinessSchedule>(specs, seed));
+    spawn_spinners(*w);
+    w->run(500);
+    std::vector<Step> counts;
+    for (Pid p = 0; p < 3; ++p) counts.push_back(w->trace().steps_of(p));
+    return counts;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+// -- RandomSchedule -------------------------------------------------------------------
+
+TEST(RandomSchedule, WeightsBiasStepShares) {
+  auto w = std::make_unique<World>(
+      2, std::make_unique<RandomSchedule>(11, std::vector<double>{1.0, 9.0}));
+  spawn_spinners(*w);
+  w->run(10000);
+  const double share1 =
+      static_cast<double>(w->trace().steps_of(1)) / 10000.0;
+  EXPECT_NEAR(share1, 0.9, 0.03);
+}
+
+TEST(RandomSchedule, SkipsNonRunnable) {
+  auto w = std::make_unique<World>(2, std::make_unique<RandomSchedule>(1));
+  spawn_spinners(*w);
+  w->schedule_crash(0, 10);
+  w->run(100);
+  EXPECT_EQ(w->trace().steps_of(0) + w->trace().steps_of(1), 100u);
+  EXPECT_GE(w->trace().steps_of(1), 90u);
+}
+
+// -- ScriptedSchedule ------------------------------------------------------------------
+
+TEST(ScriptedSchedule, StopsWhenExhausted) {
+  auto w = std::make_unique<World>(
+      1, std::make_unique<ScriptedSchedule>(std::vector<Pid>{0, 0, 0}));
+  spawn_spinners(*w);
+  EXPECT_EQ(w->run(100), 3u);
+}
+
+TEST(ScriptedSchedule, LoopsWhenAsked) {
+  auto w = std::make_unique<World>(
+      2, std::make_unique<ScriptedSchedule>(std::vector<Pid>{0, 1},
+                                            /*loop=*/true));
+  spawn_spinners(*w);
+  EXPECT_EQ(w->run(100), 100u);
+  EXPECT_EQ(w->trace().steps_of(0), 50u);
+}
+
+// -- RoundRobin fallback behaviour -------------------------------------------------------
+
+TEST(RoundRobinSchedule, AllCrashedStopsRun) {
+  auto w = std::make_unique<World>(2,
+                                   std::make_unique<RoundRobinSchedule>());
+  spawn_spinners(*w);
+  w->schedule_crash(0, 5);
+  w->schedule_crash(1, 5);
+  const Step taken = w->run(100);
+  EXPECT_LE(taken, 6u);
+}
+
+}  // namespace
+}  // namespace tbwf::sim

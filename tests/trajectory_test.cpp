@@ -1,0 +1,91 @@
+// Tests of the Trajectory<T> change-point recorder used by the spec
+// checkers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/env.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trajectory.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::sim {
+namespace {
+
+TEST(Trajectory, RecordsOnlyChangePoints) {
+  Trajectory<int> t;
+  t.sample(0, 1);
+  t.sample(1, 1);
+  t.sample(2, 1);
+  t.sample(3, 2);
+  t.sample(4, 2);
+  EXPECT_EQ(t.points().size(), 2u);
+  EXPECT_EQ(t.change_count(), 1u);
+  EXPECT_EQ(t.final_value(), 2);
+  EXPECT_EQ(t.last_change(), 3u);
+}
+
+TEST(Trajectory, ValueAtInterpolatesBetweenChanges) {
+  Trajectory<int> t;
+  t.sample(0, 10);
+  t.sample(5, 20);
+  t.sample(9, 30);
+  EXPECT_EQ(t.value_at(0), 10);
+  EXPECT_EQ(t.value_at(4), 10);
+  EXPECT_EQ(t.value_at(5), 20);
+  EXPECT_EQ(t.value_at(8), 20);
+  EXPECT_EQ(t.value_at(100), 30);
+}
+
+TEST(Trajectory, ConstantSince) {
+  Trajectory<int> t;
+  t.sample(0, 1);
+  t.sample(50, 2);
+  EXPECT_TRUE(t.constant_since(50));
+  EXPECT_TRUE(t.constant_since(60));
+  EXPECT_FALSE(t.constant_since(49));
+}
+
+TEST(Trajectory, ChangesInWindow) {
+  Trajectory<int> t;
+  t.sample(0, 0);
+  t.sample(10, 1);
+  t.sample(20, 2);
+  t.sample(30, 3);
+  EXPECT_EQ(t.changes_in(0, 100), 3u);
+  EXPECT_EQ(t.changes_in(10, 21), 2u);
+  EXPECT_EQ(t.changes_in(11, 20), 0u);
+  EXPECT_EQ(t.changes_in(31, 100), 0u);
+}
+
+TEST(Trajectory, AlwaysIn) {
+  Trajectory<int> t;
+  t.sample(0, 5);
+  t.sample(10, 6);
+  EXPECT_TRUE(t.always_in(0, 10, 5));
+  EXPECT_FALSE(t.always_in(0, 11, 5));
+  EXPECT_TRUE(t.always_in(10, 20, 6));
+}
+
+Task toggler(SimEnv& env, int& var) {
+  for (;;) {
+    var = 1 - var;
+    co_await env.yield();
+  }
+}
+
+TEST(Trajectory, AttachSamplesAfterEveryStep) {
+  auto w = std::make_unique<World>(1, std::make_unique<RoundRobinSchedule>());
+  int var = 0;
+  Trajectory<int> t;
+  t.sample(0, var);
+  t.attach(*w, &var);
+  w->spawn(0, "t", [&var](SimEnv& env) { return toggler(env, var); });
+  w->run(10);
+  // The variable flips every step: ten changes recorded.
+  EXPECT_GE(t.change_count(), 9u);
+  EXPECT_EQ(t.value_at(3), var == 0 ? 0 : t.value_at(3));  // total function
+}
+
+}  // namespace
+}  // namespace tbwf::sim

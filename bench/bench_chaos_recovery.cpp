@@ -1,0 +1,215 @@
+// E12 -- Omega-Delta re-stabilization latency after fault bursts.
+//
+// All-permanent-candidate elections are driven into a burst of faults --
+// a crash (+ later restart) of the elected leader, a stutter window that
+// makes the leader untimely for a while, or an abort storm on the
+// Section 6 stack -- and we report how long leadership takes to settle
+// again after the burst begins. Bursts are described as FaultPlans, the
+// same declarative timelines the chaos sweep tests replay from seeds.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_abortable.hpp"
+#include "omega/omega_registers.hpp"
+#include "omega/omega_spec.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+using namespace tbwf;
+using namespace tbwf::bench;
+
+namespace {
+
+constexpr int kN = 4;
+
+template <class Omega>
+bool all_agree(Omega& om, int n) {
+  const sim::Pid l = om.io(0).leader;
+  if (l == omega::kNoLeader) return false;
+  for (sim::Pid p = 1; p < n; ++p) {
+    if (om.io(p).leader != l) return false;
+  }
+  return true;
+}
+
+/// Last leader-output change across all processes, from the record.
+sim::Step last_change_any(const omega::OmegaRecord& record) {
+  sim::Step last = 0;
+  for (sim::Pid p = 0; p < record.n(); ++p) {
+    last = std::max(last, record.leader(p).last_change());
+  }
+  return last;
+}
+
+std::string latency_cell(sim::Step last_change, sim::Step burst_from) {
+  if (last_change <= burst_from) return "0 (leadership kept)";
+  return fmt_u(last_change - burst_from);
+}
+
+struct BurstResult {
+  sim::Pid before = omega::kNoLeader;
+  sim::Pid after = omega::kNoLeader;
+  std::string latency;
+};
+
+// -- crash(+restart) bursts over the Figure 3 stack ---------------------------
+
+BurstResult crash_burst(sim::Step outage, bool restart_leader) {
+  sim::World world(kN, std::make_unique<sim::RoundRobinSchedule>());
+  omega::OmegaRegisters om(world);
+  om.install_all();
+  omega::OmegaRecord record(world, om.ios());
+  for (sim::Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "cand", [&om](sim::SimEnv& env) {
+      return omega::permanent_candidate(env, om.io(env.pid()));
+    });
+  }
+  BurstResult r;
+  if (!world.run_until([&] { return all_agree(om, kN); }, 2000000)) {
+    r.latency = "never stabilized";
+    return r;
+  }
+  world.run(20000);  // let the election settle well clear of the burst
+  r.before = om.io(0).leader;
+
+  const sim::Step burst = world.now() + 1;
+  sim::FaultPlan plan;
+  plan.crash(r.before, burst);
+  if (restart_leader) plan.restart(r.before, burst + outage);
+  plan.install(world);
+  world.run(outage + 800000);
+
+  r.after = om.io((r.before + 1) % kN).leader;
+  r.latency = latency_cell(last_change_any(record), burst);
+  return r;
+}
+
+// -- stutter bursts: the leader turns untimely for a window -------------------
+
+BurstResult stutter_burst(sim::Step period, sim::Step len) {
+  // Probe run (no chaos) to learn which pid wins under this schedule, so
+  // the stutter window can target the elected leader.
+  sim::Pid victim = omega::kNoLeader;
+  {
+    sim::World probe(kN, std::make_unique<sim::RoundRobinSchedule>());
+    omega::OmegaRegisters om(probe);
+    om.install_all();
+    for (sim::Pid p = 0; p < kN; ++p) {
+      probe.spawn(p, "cand", [&om](sim::SimEnv& env) {
+        return omega::permanent_candidate(env, om.io(env.pid()));
+      });
+    }
+    if (!probe.run_until([&] { return all_agree(om, kN); }, 2000000)) {
+      BurstResult r;
+      r.latency = "probe never stabilized";
+      return r;
+    }
+    victim = om.io(0).leader;
+  }
+
+  const sim::Step burst = 200000;
+  sim::FaultPlan plan;
+  plan.stutter(victim, burst, burst + len, period);
+
+  sim::World world(kN,
+                   plan.wrap(std::make_unique<sim::RoundRobinSchedule>()));
+  omega::OmegaRegisters om(world);
+  om.install_all();
+  omega::OmegaRecord record(world, om.ios());
+  for (sim::Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "cand", [&om](sim::SimEnv& env) {
+      return omega::permanent_candidate(env, om.io(env.pid()));
+    });
+  }
+  world.run(burst + len + 600000);
+
+  BurstResult r;
+  r.before = victim;
+  r.after = om.io(0).leader;
+  r.latency = latency_cell(last_change_any(record), burst);
+  return r;
+}
+
+// -- abort storms over the Section 6 (abortable-register) stack ---------------
+
+BurstResult storm_burst(double rate, sim::Step len) {
+  const sim::Step burst = 200000;
+  sim::FaultPlan plan;
+  plan.abort_storm("", burst, burst + len, rate, /*p_effect=*/0.5);
+
+  registers::PhasedAbortPolicy policy(29);
+  plan.arm(policy);
+
+  sim::World world(kN, std::make_unique<sim::RoundRobinSchedule>());
+  omega::OmegaAbortable om(world, &policy);
+  om.install_all();
+  omega::OmegaRecord record(world, om.ios());
+  for (sim::Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "cand", [&om](sim::SimEnv& env) {
+      return omega::permanent_candidate(env, om.io(env.pid()));
+    });
+  }
+  world.run(burst);
+  BurstResult r;
+  r.before = om.io(0).leader;
+  world.run(len + 800000);
+  r.after = om.io(0).leader;
+  r.latency = latency_cell(last_change_any(record), burst);
+  return r;
+}
+
+std::string pid_cell(sim::Pid p) {
+  return p == omega::kNoLeader ? "?" : fmt("p%d", p);
+}
+
+}  // namespace
+
+int main() {
+  banner("E12: Omega-Delta re-stabilization after fault bursts",
+         "after a burst of crashes, timing degradation, or abort storms "
+         "ends, leadership settles again within a bounded number of steps "
+         "(graceful degradation and recovery).");
+
+  Table table({"burst", "configuration", "leader before", "leader after",
+               "re-stabilized (steps after burst start)"});
+
+  for (const sim::Step outage : {20000u, 100000u}) {
+    const auto r = crash_burst(outage, /*restart_leader=*/true);
+    table.row({"crash+restart", fmt("leader down for %llu steps",
+                                    static_cast<unsigned long long>(outage)),
+               pid_cell(r.before), pid_cell(r.after), r.latency});
+  }
+  {
+    const auto r = crash_burst(50000, /*restart_leader=*/false);
+    table.row({"crash (permanent)", "leader never restarts",
+               pid_cell(r.before), pid_cell(r.after), r.latency});
+  }
+  for (const sim::Step period : {256u, 1024u, 4096u}) {
+    const auto r = stutter_burst(period, /*len=*/120000);
+    table.row({"stutter window",
+               fmt("leader 1-in-%llu timely for 120000 steps",
+                   static_cast<unsigned long long>(period)),
+               pid_cell(r.before), pid_cell(r.after), r.latency});
+  }
+  for (const double rate : {0.7, 1.0}) {
+    const auto r = storm_burst(rate, /*len=*/120000);
+    table.row({"abort storm", fmt("abort w.p. %.1f for 120000 steps", rate),
+               pid_cell(r.before), pid_cell(r.after), r.latency});
+  }
+  table.print();
+
+  std::printf(
+      "\nreading: a permanently crashed leader is replaced within a few\n"
+      "hundred steps (the monitors' escalated timeouts); when it restarts,\n"
+      "re-stabilization tracks the restart itself -- the rebooted process\n"
+      "re-derives the standing leader without displacing it, since its\n"
+      "punished counter keeps it from winning back. Stutter windows force\n"
+      "a handover whose latency grows with the degradation period, up to\n"
+      "the full window length when the leader is all but silent. Abort\n"
+      "storms slow the heartbeat plumbing but, with the Figure 4/5\n"
+      "backoffs, never unseat a stabilized leader here.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "core/conformance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tbwf::core {
+
+namespace {
+
+/// Largest gap between consecutive completions of the stream inside
+/// [from, to], counting the lead-in from `from` to the first completion
+/// and the tail from the last completion to `to`. The stream is the
+/// (already sorted) completion-step vector; entries before `from` are
+/// warm-up and ignored.
+sim::Step max_completion_gap_in(const std::vector<sim::Step>& completions,
+                                sim::Step from, sim::Step to) {
+  sim::Step best = 0;
+  sim::Step prev = from;
+  for (const sim::Step c : completions) {
+    if (c < from) continue;
+    if (c > to) break;
+    best = std::max(best, c - prev);
+    prev = c;
+  }
+  return std::max(best, to - prev);
+}
+
+}  // namespace
+
+std::string ConformanceReport::summary() const {
+  std::ostringstream out;
+  out << "conformance plan seed=" << plan_seed << " run_end=" << run_end
+      << " suffix_from=" << suffix_from << " suffix_timely={";
+  for (std::size_t i = 0; i < suffix_timely.size(); ++i) {
+    out << (i ? "," : "") << "p" << suffix_timely[i];
+  }
+  out << "} " << (ok ? "OK" : "VIOLATED") << "\n";
+  for (const auto& w : windows) {
+    out << "  window [" << w.from << ", " << w.to << ") bounds:";
+    for (std::size_t p = 0; p < w.realized_bound.size(); ++p) {
+      out << " p" << p << "=";
+      if (w.realized_bound[p] == sim::Trace::kNever) {
+        out << "inf";
+      } else {
+        out << w.realized_bound[p];
+      }
+    }
+    out << "\n";
+  }
+  for (const auto& v : violations) out << "  VIOLATION: " << v << "\n";
+  return out.str();
+}
+
+ConformanceReport check_chaos_conformance(
+    const sim::Trace& trace, const OpLog& log, const sim::FaultPlan& plan,
+    const std::vector<sim::Pid>& issuing, const ConformanceOptions& options,
+    util::Counters* metrics) {
+  const int n = trace.n();
+  ConformanceReport report;
+  report.plan_seed = plan.seed();
+  report.run_end = trace.now();
+  report.suffix_from = plan.last_event_step() + options.stabilization;
+
+  const auto violate = [&](const std::string& what) {
+    std::ostringstream out;
+    out << "plan seed=" << plan.seed() << ": " << what;
+    report.violations.push_back(out.str());
+  };
+  const auto is_issuing = [&](sim::Pid p) {
+    return std::find(issuing.begin(), issuing.end(), p) != issuing.end();
+  };
+
+  // Realized timeliness per plan phase (diagnostics + stutter checks).
+  const std::vector<sim::Step> edges = plan.phase_boundaries(report.run_end);
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    WindowTimeliness w;
+    w.from = edges[i];
+    w.to = edges[i + 1];
+    w.realized_bound.resize(static_cast<std::size_t>(n), sim::Trace::kNever);
+    for (sim::Pid p = 0; p < n; ++p) {
+      if (trace.steps_of_in(p, w.from, w.to) == 0) continue;
+      w.realized_bound[static_cast<std::size_t>(p)] =
+          trace.max_gap_in(p, w.from, w.to) + 1;
+    }
+    report.windows.push_back(std::move(w));
+  }
+
+  // The world must have ended in the state the plan prescribes; a
+  // mismatch means the plan was not (fully) installed.
+  for (sim::Pid p = 0; p < n; ++p) {
+    if (trace.crashed(p) != plan.crashed_at_end(p)) {
+      std::ostringstream out;
+      out << "p" << p << " is " << (trace.crashed(p) ? "crashed" : "alive")
+          << " at run end but the plan says "
+          << (plan.crashed_at_end(p) ? "crashed" : "alive");
+      violate(out.str());
+    }
+  }
+
+  if (report.run_end < report.suffix_from + options.min_suffix) {
+    std::ostringstream out;
+    out << "stable suffix too short: run_end=" << report.run_end
+        << " < suffix_from=" << report.suffix_from << " + min_suffix="
+        << options.min_suffix << " (inconclusive, lengthen the run)";
+    violate(out.str());
+    report.ok = report.violations.empty();
+    return report;
+  }
+
+  // Who is empirically timely in the stable suffix (Definition 1)?
+  std::vector<sim::Step> suffix_bound(static_cast<std::size_t>(n),
+                                      sim::Trace::kNever);
+  for (sim::Pid p = 0; p < n; ++p) {
+    if (trace.crashed(p)) continue;
+    if (trace.steps_of_in(p, report.suffix_from, report.run_end) == 0) {
+      continue;
+    }
+    const sim::Step bound =
+        trace.max_gap_in(p, report.suffix_from, report.run_end) + 1;
+    suffix_bound[static_cast<std::size_t>(p)] = bound;
+    if (bound <= options.timely_bound) report.suffix_timely.push_back(p);
+  }
+
+  // Graded guarantee 1 -- wait-freedom for the timely: every
+  // suffix-timely issuing process keeps completing with bounded gaps.
+  for (const sim::Pid p : report.suffix_timely) {
+    if (!is_issuing(p)) continue;
+    const sim::Step gap = max_completion_gap_in(
+        log.completions[static_cast<std::size_t>(p)], report.suffix_from,
+        report.run_end);
+    if (gap > options.max_completion_gap) {
+      std::ostringstream out;
+      out << "wait-freedom: p" << p << " is timely in the suffix (bound "
+          << suffix_bound[static_cast<std::size_t>(p)]
+          << ") but its completion gap " << gap << " exceeds "
+          << options.max_completion_gap;
+      violate(out.str());
+    }
+  }
+
+  // Graded guarantee 2 -- lock-freedom with >= 1 timely process: the
+  // merged completion stream of all issuing processes keeps moving.
+  const bool any_timely_issuing =
+      std::any_of(report.suffix_timely.begin(), report.suffix_timely.end(),
+                  is_issuing);
+  if (any_timely_issuing) {
+    std::vector<sim::Step> merged;
+    for (const sim::Pid p : issuing) {
+      const auto& cs = log.completions[static_cast<std::size_t>(p)];
+      merged.insert(merged.end(), cs.begin(), cs.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    const sim::Step gap =
+        max_completion_gap_in(merged, report.suffix_from, report.run_end);
+    if (gap > options.max_completion_gap) {
+      std::ostringstream out;
+      out << "lock-freedom: some issuing process is timely but the merged "
+             "completion gap "
+          << gap << " exceeds " << options.max_completion_gap;
+      violate(out.str());
+    }
+  }
+
+  // Graded guarantee 3 -- obstruction-freedom: a process running solo in
+  // the suffix (everyone else crashed or silent) must complete.
+  std::vector<sim::Pid> steppers;
+  for (sim::Pid p = 0; p < n; ++p) {
+    if (trace.steps_of_in(p, report.suffix_from, report.run_end) > 0) {
+      steppers.push_back(p);
+    }
+  }
+  if (steppers.size() == 1 && is_issuing(steppers.front())) {
+    const sim::Pid p = steppers.front();
+    const auto& cs = log.completions[static_cast<std::size_t>(p)];
+    const bool completed_in_suffix =
+        std::any_of(cs.begin(), cs.end(), [&](sim::Step c) {
+          return c >= report.suffix_from && c <= report.run_end;
+        });
+    if (!completed_in_suffix) {
+      std::ostringstream out;
+      out << "obstruction-freedom: p" << p
+          << " runs solo in the suffix but never completes";
+      violate(out.str());
+    }
+  }
+
+  report.ok = report.violations.empty();
+
+  if (metrics != nullptr) {
+    for (sim::Pid p = 0; p < n; ++p) {
+      const std::string pid = std::to_string(p);
+      metrics->inc("chaos.crashes.p" + pid, trace.crash_count(p));
+      metrics->inc("chaos.restarts.p" + pid, trace.restart_count(p));
+    }
+    metrics->inc(report.ok ? "chaos.conformance.ok"
+                           : "chaos.conformance.violated");
+    metrics->inc("chaos.conformance.violations", report.violations.size());
+  }
+
+  return report;
+}
+
+}  // namespace tbwf::core

@@ -1,0 +1,82 @@
+// Post-run TBWF conformance checker for chaos runs.
+//
+// Given the trace of a run driven by a FaultPlan, the checker re-derives
+// each process's *realized* timeliness from the trace alone -- the plan
+// only tells it where the phase boundaries are -- and asserts the
+// paper's graded guarantees (Theorem 14 / Section 2) over the stable
+// suffix after the last fault:
+//
+//   - every suffix-timely process that keeps issuing operations is
+//     wait-free there: its completion gaps stay bounded;
+//   - if at least one issuing process is suffix-timely, the object is
+//     lock-free: the merged completion stream has bounded gaps;
+//   - if exactly one process takes steps in the suffix (everyone else
+//     crashed or silent) and it issues operations, it completes at
+//     least one: obstruction-freedom.
+//
+// Every violation message carries the plan seed, so a red sweep case
+// replays deterministically from the message alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tbwf_object.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+#include "util/metrics.hpp"
+
+namespace tbwf::core {
+
+struct ConformanceOptions {
+  /// A process with realized bound <= timely_bound in the stable suffix
+  /// counts as timely there (Definition 1, empirically).
+  sim::Step timely_bound = 64;
+  /// Steps granted after the last plan event before the stable suffix
+  /// starts: elections must re-stabilize, wounded operations drain.
+  sim::Step stabilization = 100000;
+  /// Wait-freedom bound: max steps between consecutive completions of a
+  /// timely process in the suffix (and from the suffix start to its
+  /// first completion, and from its last completion to the run end).
+  sim::Step max_completion_gap = 100000;
+  /// The suffix must be at least this long or the checker flags the run
+  /// as inconclusive rather than silently passing on a too-short tail.
+  sim::Step min_suffix = 100000;
+};
+
+/// Realized per-process timeliness in one plan phase [from, to):
+/// the empirical bound restricted to the window, Trace::kNever when the
+/// process took no step there.
+struct WindowTimeliness {
+  sim::Step from = 0;
+  sim::Step to = 0;
+  std::vector<sim::Step> realized_bound;  ///< indexed by pid
+};
+
+struct ConformanceReport {
+  bool ok = false;
+  std::uint64_t plan_seed = 0;
+  sim::Step suffix_from = 0;
+  sim::Step run_end = 0;
+  /// Processes empirically timely (w.r.t. timely_bound) in the suffix.
+  std::vector<sim::Pid> suffix_timely;
+  /// Realized timeliness per plan phase, for diagnostics.
+  std::vector<WindowTimeliness> windows;
+  std::vector<std::string> violations;
+
+  std::string summary() const;
+};
+
+/// Check one finished chaos run. `issuing` lists the pids whose workload
+/// keeps issuing operations to the end of the run (only they are held to
+/// completion guarantees). `metrics`, when given, receives per-process
+/// fault/recovery counters (chaos.crashes.p<i>, chaos.restarts.p<i>) and
+/// the checker verdict tallies.
+ConformanceReport check_chaos_conformance(
+    const sim::Trace& trace, const OpLog& log, const sim::FaultPlan& plan,
+    const std::vector<sim::Pid>& issuing, const ConformanceOptions& options,
+    util::Counters* metrics = nullptr);
+
+}  // namespace tbwf::core

@@ -37,6 +37,42 @@ bool ProbabilisticAbortPolicy::crashed_write_takes_effect(const OpContext&) {
   return rng_.chance(p_effect_);
 }
 
+const PhasedAbortPolicy::Phase* PhasedAbortPolicy::phase_at(
+    sim::Step t) const {
+  for (const auto& phase : phases_) {
+    if (t >= phase.from && t < phase.to) return &phase;
+  }
+  return nullptr;
+}
+
+ReadOutcome PhasedAbortPolicy::on_contended_read(const OpContext& ctx) {
+  if (const auto* phase = phase_at(ctx.responded_at)) {
+    if (rng_.chance(phase->rate)) {
+      ++storm_aborts_;
+      return ReadOutcome::Abort;
+    }
+  }
+  return calm_ ? calm_->on_contended_read(ctx) : ReadOutcome::Success;
+}
+
+WriteOutcome PhasedAbortPolicy::on_contended_write(const OpContext& ctx) {
+  if (const auto* phase = phase_at(ctx.responded_at)) {
+    if (rng_.chance(phase->rate)) {
+      ++storm_aborts_;
+      return rng_.chance(phase->p_effect) ? WriteOutcome::AbortWithEffect
+                                          : WriteOutcome::AbortNoEffect;
+    }
+  }
+  return calm_ ? calm_->on_contended_write(ctx) : WriteOutcome::Success;
+}
+
+bool PhasedAbortPolicy::crashed_write_takes_effect(const OpContext& ctx) {
+  if (const auto* phase = phase_at(ctx.responded_at)) {
+    return rng_.chance(phase->p_effect);
+  }
+  return calm_ ? calm_->crashed_write_takes_effect(ctx) : false;
+}
+
 bool TargetedAbortPolicy::is_victim(sim::Pid p) const {
   return std::find(victims_.begin(), victims_.end(), p) != victims_.end();
 }

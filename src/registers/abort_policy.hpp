@@ -109,6 +109,49 @@ class ProbabilisticAbortPolicy final : public AbortPolicy {
   double p_effect_;
 };
 
+/// Time-phased adversary used by the chaos harness's abort storms: inside
+/// each configured window [from, to) of model time, contended operations
+/// abort with the window's escalated probability; outside every window
+/// the decision is delegated to an optional calm policy (or succeeds).
+/// Model time is taken from the operation's response step, which is when
+/// the simulator consults the policy. Deterministic given the seed and
+/// the (already deterministic) operation order.
+class PhasedAbortPolicy final : public AbortPolicy {
+ public:
+  struct Phase {
+    sim::Step from = 0;
+    sim::Step to = 0;
+    /// Abort probability for contended reads and writes in the window.
+    double rate = 1.0;
+    /// Probability an aborted (or crashed) write takes effect anyway.
+    double p_effect = 0.5;
+  };
+
+  /// `calm` rules outside every phase window (may be nullptr: contended
+  /// operations then succeed, i.e. the register is atomic when calm).
+  /// calm must outlive this policy.
+  explicit PhasedAbortPolicy(std::uint64_t seed, AbortPolicy* calm = nullptr)
+      : rng_(seed), calm_(calm) {}
+
+  void add_phase(Phase phase) { phases_.push_back(phase); }
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  ReadOutcome on_contended_read(const OpContext& ctx) override;
+  WriteOutcome on_contended_write(const OpContext& ctx) override;
+  bool crashed_write_takes_effect(const OpContext& ctx) override;
+
+  /// Aborts inflicted by storm windows (excludes calm-policy aborts).
+  std::uint64_t storm_aborts() const { return storm_aborts_; }
+
+ private:
+  const Phase* phase_at(sim::Step t) const;
+
+  util::Rng rng_;
+  AbortPolicy* calm_;
+  std::vector<Phase> phases_;
+  std::uint64_t storm_aborts_ = 0;
+};
+
 /// Adversary targeting specific victim processes: only *their* contended
 /// operations abort; everyone else succeeds. Used to show per-process
 /// graceful degradation (the victims stop progressing, others do not).

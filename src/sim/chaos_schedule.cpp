@@ -1,0 +1,65 @@
+#include "sim/chaos_schedule.hpp"
+
+#include "util/assert.hpp"
+
+namespace tbwf::sim {
+
+namespace {
+
+/// The inner schedule's window onto the world with stuttered processes
+/// masked out while they are blacked out.
+class MaskedView final : public WorldView {
+ public:
+  MaskedView(const WorldView& base, const ChaosSchedule& chaos)
+      : base_(base), chaos_(chaos) {}
+
+  Step now() const override { return base_.now(); }
+  int n() const override { return base_.n(); }
+  bool runnable(Pid p) const override {
+    return base_.runnable(p) && !chaos_.blacked_out(p, base_.now());
+  }
+  bool has_pending_op(Pid p) const override {
+    return base_.has_pending_op(p);
+  }
+
+ private:
+  const WorldView& base_;
+  const ChaosSchedule& chaos_;
+};
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(std::unique_ptr<Schedule> inner,
+                             std::vector<StutterPhase> stutters)
+    : inner_(std::move(inner)), stutters_(std::move(stutters)) {
+  TBWF_ASSERT(inner_ != nullptr, "chaos schedule needs an inner schedule");
+  for (const auto& st : stutters_) {
+    TBWF_ASSERT(st.period >= 1, "stutter period must be >= 1");
+    TBWF_ASSERT(st.from <= st.to, "stutter window must be ordered");
+  }
+}
+
+bool ChaosSchedule::blacked_out(Pid p, Step t) const {
+  for (const auto& st : stutters_) {
+    if (st.pid != p || t < st.from || t >= st.to) continue;
+    if ((t - st.from) % st.period != 0) return true;
+  }
+  return false;
+}
+
+Pid ChaosSchedule::next(const WorldView& view) {
+  const MaskedView masked(view, *this);
+  const Pid p = inner_->next(masked);
+  if (p != kNoPid) return p;
+  // The inner schedule declined. If that is only because every runnable
+  // process is currently blacked out, time must still advance (the model
+  // has one step per time unit while anyone is alive): grant the step to
+  // the smallest-pid runnable process. If nobody is runnable at all the
+  // run genuinely stops.
+  for (Pid q = 0; q < view.n(); ++q) {
+    if (view.runnable(q)) return q;
+  }
+  return kNoPid;
+}
+
+}  // namespace tbwf::sim

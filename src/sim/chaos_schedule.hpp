@@ -1,0 +1,52 @@
+// ChaosSchedule: a composable decorator that applies timing-degradation
+// phases ("stutters") from a FaultPlan on top of any inner schedule.
+//
+// A StutterPhase makes one process untimely for a window of model time:
+// inside [from, to) the process is blacked out except at one step in
+// every `period`, so its realized timeliness bound in the window is at
+// least `period` -- the paper's "p is timely, then oscillates between
+// timely and very slow, then recovers" adversary (Section 1.1), made
+// finite. Outside its windows the process competes normally, so the
+// inner schedule's guarantees (round-robin fairness, TimelinessSchedule
+// bounds, contention adversary, ...) resume untouched.
+//
+// The decorator only filters the WorldView the inner schedule sees; it
+// adds no randomness of its own, so determinism and replay are exactly
+// the inner schedule's.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/schedule.hpp"
+#include "sim/types.hpp"
+
+namespace tbwf::sim {
+
+/// One timing-degradation window for one process. During [from, to) the
+/// process is eligible for steps only when (t - from) % period == 0.
+struct StutterPhase {
+  Pid pid = kNoPid;
+  Step from = 0;
+  Step to = 0;
+  Step period = 1;
+};
+
+class ChaosSchedule final : public Schedule {
+ public:
+  ChaosSchedule(std::unique_ptr<Schedule> inner,
+                std::vector<StutterPhase> stutters);
+
+  Pid next(const WorldView& view) override;
+
+  /// True iff some stutter phase makes p ineligible at step t.
+  bool blacked_out(Pid p, Step t) const;
+
+  Schedule& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Schedule> inner_;
+  std::vector<StutterPhase> stutters_;
+};
+
+}  // namespace tbwf::sim

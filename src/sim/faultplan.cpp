@@ -1,0 +1,207 @@
+#include "sim/faultplan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "registers/abort_policy.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace tbwf::sim {
+
+FaultPlan& FaultPlan::crash(Pid p, Step at) {
+  crashes_.push_back({p, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(Pid p, Step at) {
+  restarts_.push_back({p, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stutter(Pid p, Step from, Step to, Step period) {
+  TBWF_ASSERT(period >= 1, "stutter period must be >= 1");
+  TBWF_ASSERT(from <= to, "stutter window must be ordered");
+  stutters_.push_back({p, from, to, period});
+  return *this;
+}
+
+FaultPlan& FaultPlan::abort_storm(std::string group, Step from, Step to,
+                                  double rate, double p_effect) {
+  TBWF_ASSERT(from <= to, "storm window must be ordered");
+  storms_.push_back({std::move(group), from, to, rate, p_effect});
+  return *this;
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed,
+                              const GenOptions& options) {
+  TBWF_ASSERT(options.n >= 1, "need at least one process");
+  TBWF_ASSERT(options.horizon >= 100, "horizon too small for a plan");
+  TBWF_ASSERT(options.quiet_tail >= 0.0 && options.quiet_tail < 0.95,
+              "quiet_tail out of range");
+
+  FaultPlan plan(seed);
+  util::Rng rng(seed ^ 0x5FA017C0FFEE5EEDULL);
+
+  const Step lo = options.horizon / 20;
+  const Step hi = static_cast<Step>(
+      static_cast<double>(options.horizon) * (1.0 - options.quiet_tail));
+  TBWF_ASSERT(lo + 16 < hi, "event window is empty; widen the horizon");
+
+  // One process is exempt from *permanent* crashes (its crashes are
+  // always followed by a restart), so every run keeps a live process.
+  const Pid protected_pid =
+      options.allow_crash_all ? kNoPid : static_cast<Pid>(rng.below(
+                                             static_cast<std::uint64_t>(
+                                                 options.n)));
+
+  const auto draw_count = [&rng](int max) {
+    return max > 0 ? static_cast<int>(
+                         rng.below(static_cast<std::uint64_t>(max) + 1))
+                   : 0;
+  };
+  int cycles = draw_count(options.max_crash_cycles);
+  const int stutters = draw_count(options.max_stutters);
+  const int storms = draw_count(options.max_storms);
+  if (cycles == 0 && stutters == 0 && storms == 0) {
+    cycles = 1;  // never generate an empty plan
+  }
+
+  // Crash / restart cycles. Per-pid cursors keep each process's events
+  // ordered: a second crash of p is drawn after p's previous restart.
+  std::vector<Step> cursor(static_cast<std::size_t>(options.n), lo);
+  for (int c = 0; c < cycles; ++c) {
+    const Pid p = static_cast<Pid>(
+        rng.below(static_cast<std::uint64_t>(options.n)));
+    const Step earliest = cursor[static_cast<std::size_t>(p)];
+    if (earliest + 4 >= hi) continue;  // no room left for this pid
+    const Step at = rng.range(earliest, hi - 3);
+    plan.crash(p, at);
+    if (p == protected_pid || rng.chance(options.p_restart)) {
+      const Step back = rng.range(at + 1, hi - 1);
+      plan.restart(p, back);
+      cursor[static_cast<std::size_t>(p)] = back + 1;
+    } else {
+      cursor[static_cast<std::size_t>(p)] = hi;  // down for good
+    }
+  }
+
+  // Stutter windows: untimely-then-recover phases. Overlap between
+  // windows (even of the same process) is fine -- blackout is the union.
+  for (int s = 0; s < stutters; ++s) {
+    const Pid p = static_cast<Pid>(
+        rng.below(static_cast<std::uint64_t>(options.n)));
+    const Step period =
+        rng.range(options.min_stutter_period, options.max_stutter_period);
+    const Step len = period * rng.range(2, 10);
+    if (lo + len >= hi) continue;  // window would not fit before the tail
+    const Step from = rng.range(lo, hi - len);
+    plan.stutter(p, from, from + len, period);
+  }
+
+  // Abort storms (only bite when a PhasedAbortPolicy is armed).
+  for (int s = 0; s < storms; ++s) {
+    const Step len = rng.range((hi - lo) / 16 + 1, (hi - lo) / 4 + 1);
+    const Step from = rng.range(lo, hi - len);
+    const double rate = 0.5 + 0.5 * rng.uniform01();
+    plan.abort_storm(options.storm_group, from, from + len, rate);
+  }
+
+  return plan;
+}
+
+void FaultPlan::install(World& world) const {
+  for (const auto& ev : crashes_) world.schedule_crash(ev.pid, ev.at);
+  for (const auto& ev : restarts_) world.schedule_restart(ev.pid, ev.at);
+}
+
+std::unique_ptr<Schedule> FaultPlan::wrap(
+    std::unique_ptr<Schedule> inner) const {
+  return std::make_unique<ChaosSchedule>(std::move(inner), stutters_);
+}
+
+void FaultPlan::arm(registers::PhasedAbortPolicy& policy,
+                    std::string_view group) const {
+  for (const auto& storm : storms_) {
+    if (!storm.group.empty() && !group.empty() && storm.group != group) {
+      continue;
+    }
+    policy.add_phase({storm.from, storm.to, storm.rate, storm.p_effect});
+  }
+}
+
+Step FaultPlan::last_event_step() const {
+  Step last = 0;
+  for (const auto& ev : crashes_) last = std::max(last, ev.at);
+  for (const auto& ev : restarts_) last = std::max(last, ev.at);
+  for (const auto& st : stutters_) last = std::max(last, st.to);
+  for (const auto& storm : storms_) last = std::max(last, storm.to);
+  return last;
+}
+
+bool FaultPlan::crashed_at_end(Pid p) const {
+  // Replay p's crash/restart events in the order the world applies them
+  // (ascending step, crash before restart at the same step).
+  struct Ev {
+    Step at;
+    bool restart;
+  };
+  std::vector<Ev> evs;
+  for (const auto& ev : crashes_) {
+    if (ev.pid == p) evs.push_back({ev.at, false});
+  }
+  for (const auto& ev : restarts_) {
+    if (ev.pid == p) evs.push_back({ev.at, true});
+  }
+  std::sort(evs.begin(), evs.end(), [](const Ev& a, const Ev& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return !a.restart && b.restart;
+  });
+  bool crashed = false;
+  for (const auto& ev : evs) crashed = !ev.restart;
+  return crashed;
+}
+
+std::vector<Step> FaultPlan::phase_boundaries(Step run_end) const {
+  std::vector<Step> edges{0, run_end};
+  auto add = [&](Step s) {
+    if (s > 0 && s < run_end) edges.push_back(s);
+  };
+  for (const auto& ev : crashes_) add(ev.at);
+  for (const auto& ev : restarts_) add(ev.at);
+  for (const auto& st : stutters_) {
+    add(st.from);
+    add(st.to);
+  }
+  for (const auto& storm : storms_) {
+    add(storm.from);
+    add(storm.to);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream out;
+  out << "fault plan seed=" << seed_ << "\n";
+  for (const auto& ev : crashes_) {
+    out << "  crash   p" << ev.pid << " at " << ev.at << "\n";
+  }
+  for (const auto& ev : restarts_) {
+    out << "  restart p" << ev.pid << " at " << ev.at << "\n";
+  }
+  for (const auto& st : stutters_) {
+    out << "  stutter p" << st.pid << " in [" << st.from << ", " << st.to
+        << ") period " << st.period << "\n";
+  }
+  for (const auto& storm : storms_) {
+    out << "  storm   group '" << storm.group << "' in [" << storm.from
+        << ", " << storm.to << ") rate " << storm.rate << "\n";
+  }
+  if (empty()) out << "  (no events)\n";
+  return out.str();
+}
+
+}  // namespace tbwf::sim

@@ -1,0 +1,143 @@
+// FaultPlan: a declarative, seed-replayable timeline of faults for one
+// run -- the chaos harness's input.
+//
+// A plan is a set of events over model time:
+//   - Crash{p, at}:    p crashes at step `at` (pending op settled there);
+//   - Restart{p, at}:  p revives with fresh root sub-tasks (shared
+//                      registers keep their values);
+//   - StutterPhase{p, from, to, period}: p is untimely inside the
+//                      window -- one step per `period` at most -- then
+//                      timely again (applied by ChaosSchedule);
+//   - AbortStorm{group, from, to, rate}: every PhasedAbortPolicy armed
+//                      for `group` aborts contended operations with
+//                      probability `rate` inside the window.
+//
+// Plans map onto the paper's run definitions: a crash is Definition 2's
+// crashed process; a stutter makes the realized timeliness bound
+// (Definition 1) exceed `period` for the window, i.e. the process drops
+// out of the timely set exactly there; a restart creates the
+// "subsequently timely" process whose graded guarantee the conformance
+// checker re-derives. generate() draws a random but deterministic plan
+// from a seed, so any failing sweep case replays from its seed alone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/chaos_schedule.hpp"
+#include "sim/types.hpp"
+
+namespace tbwf::registers {
+class PhasedAbortPolicy;
+}  // namespace tbwf::registers
+
+namespace tbwf::sim {
+
+class World;
+
+struct CrashEvent {
+  Pid pid = kNoPid;
+  Step at = 0;
+};
+
+struct RestartEvent {
+  Pid pid = kNoPid;
+  Step at = 0;
+};
+
+/// Escalated aborts on the registers of one policy group ("" = every
+/// armed policy) inside [from, to).
+struct AbortStorm {
+  std::string group;
+  Step from = 0;
+  Step to = 0;
+  double rate = 1.0;
+  double p_effect = 0.5;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // -- builders ---------------------------------------------------------------
+  FaultPlan& crash(Pid p, Step at);
+  FaultPlan& restart(Pid p, Step at);
+  FaultPlan& stutter(Pid p, Step from, Step to, Step period);
+  FaultPlan& abort_storm(std::string group, Step from, Step to, double rate,
+                         double p_effect = 0.5);
+
+  // -- random generation --------------------------------------------------------
+  struct GenOptions {
+    int n = 2;
+    /// Events are drawn inside [horizon * 0.05, horizon * (1 - quiet_tail)].
+    Step horizon = 1000000;
+    /// Last fraction of the horizon kept event-free: the stable tail the
+    /// conformance checker asserts the graded guarantees over.
+    double quiet_tail = 0.4;
+    int max_crash_cycles = 2;  ///< crash (optionally + restart) pairs
+    int max_stutters = 2;
+    int max_storms = 1;
+    double p_restart = 0.75;  ///< chance a crash is followed by a restart
+    Step min_stutter_period = 64;
+    Step max_stutter_period = 4096;
+    /// Unless set, one process is kept free of permanent crashes so the
+    /// run always has a survivor.
+    bool allow_crash_all = false;
+    /// Group label stamped on generated storms ("" = every policy).
+    std::string storm_group;
+  };
+
+  /// Deterministic: the same (seed, options) always yields the same plan.
+  static FaultPlan generate(std::uint64_t seed, const GenOptions& options);
+
+  // -- application --------------------------------------------------------------
+  /// Schedule every crash and restart on the world.
+  void install(World& world) const;
+
+  /// Wrap `inner` in a ChaosSchedule applying this plan's stutter phases.
+  std::unique_ptr<Schedule> wrap(std::unique_ptr<Schedule> inner) const;
+
+  /// Push the storms matching `group` onto a phased abort policy. A storm
+  /// with an empty group matches every policy; a policy armed with an
+  /// empty group takes every storm.
+  void arm(registers::PhasedAbortPolicy& policy,
+           std::string_view group = "") const;
+
+  // -- introspection ------------------------------------------------------------
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+  const std::vector<RestartEvent>& restarts() const { return restarts_; }
+  const std::vector<StutterPhase>& stutters() const { return stutters_; }
+  const std::vector<AbortStorm>& storms() const { return storms_; }
+  bool empty() const {
+    return crashes_.empty() && restarts_.empty() && stutters_.empty() &&
+           storms_.empty();
+  }
+
+  /// Step of the last event boundary (crash, restart, stutter end, storm
+  /// end); 0 for an empty plan. Everything after is the stable tail.
+  Step last_event_step() const;
+
+  /// True iff the plan crashes p without a later restart.
+  bool crashed_at_end(Pid p) const;
+
+  /// Step boundaries partitioning [0, run_end) into the plan's phases:
+  /// 0, every event edge below run_end, run_end. Sorted, deduplicated.
+  std::vector<Step> phase_boundaries(Step run_end) const;
+
+  /// Human-readable one-per-line event list (starts with the seed).
+  std::string summary() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<CrashEvent> crashes_;
+  std::vector<RestartEvent> restarts_;
+  std::vector<StutterPhase> stutters_;
+  std::vector<AbortStorm> storms_;
+};
+
+}  // namespace tbwf::sim

@@ -5,7 +5,7 @@
 namespace tbwf::sim {
 
 bool World::step() {
-  apply_due_crashes();
+  apply_due_faults();
   const Pid p = schedule_->next(*this);
   if (p == kNoPid) return false;
   TBWF_ASSERT(p >= 0 && p < n_, "schedule returned invalid pid");

@@ -30,6 +30,21 @@ Step Trace::steps_of_in(Pid p, Step from, Step to) const {
   return count;
 }
 
+Step Trace::max_gap_in(Pid p, Step from, Step to) const {
+  TBWF_ASSERT(from <= to && to <= steps_.size(), "window out of range");
+  Step best = 0;
+  Step gap = 0;
+  for (Step s = from; s < to; ++s) {
+    if (static_cast<Pid>(steps_[s]) == p) {
+      if (gap > best) best = gap;
+      gap = 0;
+    } else {
+      ++gap;
+    }
+  }
+  return gap > best ? gap : best;
+}
+
 Step Trace::max_gap(Pid p) const {
   Step best = 0;
   Step gap = 0;

@@ -30,12 +30,32 @@ struct TimelinessVerdict {
   }
 };
 
+/// One crash or restart, in the order it was applied to the world. The
+/// ordered log is the ground truth the chaos conformance checker (and
+/// the apply-order regression tests) read back.
+struct FaultEvent {
+  Step at = 0;
+  Pid pid = kNoPid;
+  bool restart = false;  ///< false = crash, true = restart
+};
+
 class Trace {
  public:
-  explicit Trace(int n) : n_(n), crashed_at_(n, kNever) {}
+  explicit Trace(int n)
+      : n_(n), crashed_at_(n, kNever), crash_count_(n, 0),
+        restart_count_(n, 0) {}
 
   void record_step(Pid p) { steps_.push_back(static_cast<std::uint16_t>(p)); }
-  void record_crash(Pid p) { crashed_at_[p] = now(); }
+  void record_crash(Pid p) {
+    crashed_at_[p] = now();
+    ++crash_count_[p];
+    fault_log_.push_back(FaultEvent{now(), p, /*restart=*/false});
+  }
+  void record_restart(Pid p) {
+    crashed_at_[p] = kNever;
+    ++restart_count_[p];
+    fault_log_.push_back(FaultEvent{now(), p, /*restart=*/true});
+  }
 
   Step now() const { return static_cast<Step>(steps_.size()); }
   int n() const { return n_; }
@@ -43,8 +63,16 @@ class Trace {
 
   Pid step_owner(Step s) const { return static_cast<Pid>(steps_[s]); }
 
+  /// Currently crashed (i.e. crashed and not subsequently restarted).
   bool crashed(Pid p) const { return crashed_at_[p] != kNever; }
+  /// Time of the latest crash p has not recovered from; kNever if alive.
   Step crash_time(Pid p) const { return crashed_at_[p]; }
+
+  std::uint64_t crash_count(Pid p) const { return crash_count_[p]; }
+  std::uint64_t restart_count(Pid p) const { return restart_count_[p]; }
+
+  /// Every crash/restart in application order.
+  const std::vector<FaultEvent>& fault_log() const { return fault_log_; }
 
   /// Number of steps taken by p over the whole run.
   Step steps_of(Pid p) const;
@@ -55,6 +83,13 @@ class Trace {
   /// Maximum number of consecutive steps *not* taken by p, including the
   /// prefix before p's first step and the suffix after p's last step.
   Step max_gap(Pid p) const;
+
+  /// max_gap restricted to the half-open window [from, to): the longest
+  /// run of non-p steps inside the window, counting the stretch from
+  /// `from` to p's first step and from p's last step to `to`. If p takes
+  /// no step in the window this is the window length (not kNever);
+  /// callers distinguish "starved" from "absent" via steps_of_in.
+  Step max_gap_in(Pid p, Step from, Step to) const;
 
   TimelinessVerdict timeliness(Pid p) const;
 
@@ -67,6 +102,9 @@ class Trace {
   int n_;
   std::vector<std::uint16_t> steps_;
   std::vector<Step> crashed_at_;
+  std::vector<std::uint64_t> crash_count_;
+  std::vector<std::uint64_t> restart_count_;
+  std::vector<FaultEvent> fault_log_;
 };
 
 }  // namespace tbwf::sim

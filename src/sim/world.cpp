@@ -48,28 +48,60 @@ SimEnv& World::env(Pid p) {
   return *envs_[p];
 }
 
-void World::spawn(Pid p, std::string name,
-                  std::function<Task(SimEnv&)> factory) {
-  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
-  auto& ps = procs_[p];
-  TBWF_ASSERT(!ps.crashed, "cannot spawn on a crashed process");
+void World::boot_subtask(detail::ProcessState& ps, const std::string& name,
+                         const std::function<Task(SimEnv&)>& factory) {
   detail::SubTask st;
-  st.task = factory(*envs_[p]);
-  st.name = std::move(name);
+  st.task = factory(*envs_[ps.pid]);
+  st.name = name;
   TBWF_ASSERT(st.task.valid(), "spawn factory returned an empty task");
   st.resume_handle = st.task.handle();
-  // If process p is currently mid-step, appending directly to `subtasks`
-  // could reallocate under the running advance(); park newborns instead.
-  if (current_pid_ == p && current_subtask_ != nullptr) {
+  // If the process is currently mid-step, appending directly to
+  // `subtasks` could reallocate under the running advance(); park
+  // newborns instead.
+  if (current_pid_ == ps.pid && current_subtask_ != nullptr) {
     ps.newborn.push_back(std::move(st));
   } else {
     ps.subtasks.push_back(std::move(st));
   }
 }
 
+void World::spawn(Pid p, std::string name,
+                  std::function<Task(SimEnv&)> factory) {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  auto& ps = procs_[p];
+  TBWF_ASSERT(!ps.crashed, "cannot spawn on a crashed process");
+  boot_subtask(ps, name, factory);
+  // Root sub-tasks (spawned from outside any step, i.e. the process
+  // bring-up code) are what restart() re-creates; sub-tasks spawned from
+  // inside a running coroutine are that coroutine's children and will be
+  // re-created by their respawned parent.
+  if (current_subtask_ == nullptr) {
+    ps.boot.push_back(
+        detail::BootRecord{std::move(name), std::move(factory)});
+  }
+}
+
 void World::schedule_crash(Pid p, Step at) {
-  pending_crashes_.emplace_back(at, p);
-  std::sort(pending_crashes_.begin(), pending_crashes_.end());
+  pending_faults_.push_back(detail::PendingFault{at, /*restart=*/false, p});
+  std::sort(pending_faults_.begin(), pending_faults_.end());
+}
+
+void World::schedule_restart(Pid p, Step at) {
+  pending_faults_.push_back(detail::PendingFault{at, /*restart=*/true, p});
+  std::sort(pending_faults_.begin(), pending_faults_.end());
+}
+
+void World::restart(Pid p) {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  auto& ps = procs_[p];
+  if (!ps.crashed) return;
+  ps.crashed = false;
+  ps.rr = 0;
+  trace_.record_restart(p);
+  counters_.inc("world.restarts");
+  for (const auto& record : ps.boot) {
+    boot_subtask(ps, record.name, record.factory);
+  }
 }
 
 void World::crash(Pid p) {
@@ -78,6 +110,7 @@ void World::crash(Pid p) {
   if (ps.crashed) return;
   ps.crashed = true;
   trace_.record_crash(p);
+  counters_.inc("world.crashes");
 
   // Settle operations that were pending at the moment of the crash: the
   // operation never responds, its interval ends here, and for writes the
@@ -111,11 +144,18 @@ void World::crash(Pid p) {
   ps.newborn.clear();
 }
 
-void World::apply_due_crashes() {
-  while (!pending_crashes_.empty() && pending_crashes_.front().first <= now()) {
-    const Pid p = pending_crashes_.front().second;
-    pending_crashes_.erase(pending_crashes_.begin());
-    crash(p);
+void World::apply_due_faults() {
+  // pending_faults_ is kept sorted by (step, crash-before-restart, pid),
+  // so same-step events apply in a fixed order no matter what order they
+  // were scheduled in -- runs replay identically.
+  while (!pending_faults_.empty() && pending_faults_.front().at <= now()) {
+    const auto fault = pending_faults_.front();
+    pending_faults_.erase(pending_faults_.begin());
+    if (fault.restart) {
+      restart(fault.pid);
+    } else {
+      crash(fault.pid);
+    }
   }
 }
 

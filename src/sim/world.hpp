@@ -141,6 +141,13 @@ struct SubTask {
   bool has_pending() const { return pending_completion != nullptr; }
 };
 
+/// A root sub-task's recipe, kept so World::restart can boot the process
+/// again with fresh coroutine frames (the crash destroyed the old ones).
+struct BootRecord {
+  std::string name;
+  std::function<Task(SimEnv&)> factory;
+};
+
 struct ProcessState {
   Pid pid = kNoPid;
   bool crashed = false;
@@ -150,6 +157,26 @@ struct ProcessState {
   /// Sub-tasks spawned while this process is mid-step; folded into
   /// `subtasks` after the current resumption returns.
   std::deque<SubTask> newborn;
+  /// Recipes of the root sub-tasks (spawned from outside any step);
+  /// re-invoked by World::restart. Child sub-tasks spawned from inside
+  /// coroutines are not recorded -- their parents re-create them.
+  std::vector<BootRecord> boot;
+};
+
+/// A scheduled crash or restart, applied at the start of the step whose
+/// index reaches `at`. Events due at the same step apply in a fixed
+/// order -- crashes before restarts, then ascending pid -- regardless of
+/// the order schedule_crash / schedule_restart were called in.
+struct PendingFault {
+  Step at = 0;
+  bool restart = false;
+  Pid pid = kNoPid;
+
+  friend bool operator<(const PendingFault& a, const PendingFault& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.restart != b.restart) return !a.restart;
+    return a.pid < b.pid;
+  }
 };
 
 }  // namespace detail
@@ -247,6 +274,13 @@ class World final : public WorldView {
 
   void crash(Pid p);
   void schedule_crash(Pid p, Step at);
+  /// Revive a crashed process: its pending operation was already settled
+  /// by crash(); restart re-boots every root sub-task with a fresh
+  /// coroutine frame (shared registers keep their values -- recovery is
+  /// from shared state, not from the lost local state). No-op if p is
+  /// not currently crashed.
+  void restart(Pid p);
+  void schedule_restart(Pid p, Step at);
   bool crashed(Pid p) const { return procs_[p].crashed; }
   Step local_steps(Pid p) const { return procs_[p].steps; }
 
@@ -330,7 +364,9 @@ class World final : public WorldView {
   void advance(Pid p);
   void resume_subtask(detail::SubTask& st);
   void complete_pending(detail::SubTask& st);
-  void apply_due_crashes();
+  void apply_due_faults();
+  void boot_subtask(detail::ProcessState& ps, const std::string& name,
+                    const std::function<Task(SimEnv&)>& factory);
 
   int n_;
   std::unique_ptr<Schedule> schedule_;
@@ -342,7 +378,7 @@ class World final : public WorldView {
   std::deque<detail::ProcessState> procs_;
   std::vector<std::unique_ptr<SimEnv>> envs_;
   std::vector<std::unique_ptr<detail::RegCellBase>> cells_;
-  std::vector<std::pair<Step, Pid>> pending_crashes_;
+  std::vector<detail::PendingFault> pending_faults_;
   std::vector<StepObserver> step_observers_;
 
   std::vector<WriteEvent> write_log_;

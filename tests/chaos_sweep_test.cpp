@@ -1,0 +1,250 @@
+// Chaos sweeps: seeded fault plans (crashes, restarts, stutter phases,
+// abort storms) run against the three object stacks, with the TBWF
+// conformance checker asserting the paper's graded guarantees over the
+// stable suffix of every run. Any violation message carries the plan
+// seed, so a red case replays deterministically.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/conformance.hpp"
+#include "core/tbwf.hpp"
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_registers.hpp"
+#include "qa/qa_universal.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf {
+namespace {
+
+using qa::Counter;
+using sim::FaultPlan;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::Task;
+using sim::World;
+
+constexpr int kN = 3;
+
+template <class Obj>
+Task forever_inc(SimEnv& env, Obj& obj) {
+  for (;;) (void)co_await obj.invoke(env, Counter::Op{1});
+}
+
+std::vector<Pid> issuing_under(const FaultPlan& plan, int n) {
+  // Processes the plan leaves permanently crashed stop issuing; everyone
+  // else (including restarted processes) keeps going.
+  std::vector<Pid> issuing;
+  for (Pid p = 0; p < n; ++p) {
+    if (!plan.crashed_at_end(p)) issuing.push_back(p);
+  }
+  return issuing;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: full TBWF stack on Omega-Delta from atomic registers.
+// ---------------------------------------------------------------------------
+
+class ChaosOmegaRegistersSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosOmegaRegistersSweep, GradedGuaranteesHold) {
+  const std::uint64_t seed = GetParam();
+  FaultPlan::GenOptions opt;
+  opt.n = kN;
+  opt.horizon = 400000;
+  opt.quiet_tail = 0.5;
+  opt.max_crash_cycles = 2;
+  opt.max_stutters = 2;
+  opt.max_storms = 0;  // atomic registers: no abort adversary to arm
+  const FaultPlan plan = FaultPlan::generate(seed, opt);
+
+  World world(kN, plan.wrap(std::make_unique<sim::RandomSchedule>(
+                      seed * 977 + 13)));
+  core::TbwfSystem<Counter> sys(world, 0,
+                                core::OmegaBackend::AtomicRegisters);
+  for (Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) {
+      return forever_inc(env, sys.object());
+    });
+  }
+  plan.install(world);
+  world.run(2000000);
+
+  core::ConformanceOptions copt;
+  copt.timely_bound = 64;
+  copt.stabilization = 1000000;
+  copt.max_completion_gap = 600000;
+  copt.min_suffix = 500000;
+  const auto report = core::check_chaos_conformance(
+      world.trace(), sys.object().log(), plan, issuing_under(plan, kN),
+      copt, &world.counters());
+  EXPECT_TRUE(report.ok) << report.summary() << plan.summary();
+  EXPECT_EQ(world.counters().get("chaos.conformance.ok"),
+            report.ok ? 1u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, ChaosOmegaRegistersSweep,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: full TBWF stack on Omega-Delta from abortable registers
+// (Theorem 15 configuration) under abort storms as well.
+// ---------------------------------------------------------------------------
+
+class ChaosOmegaAbortableSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosOmegaAbortableSweep, GradedGuaranteesHold) {
+  const std::uint64_t seed = GetParam();
+  FaultPlan::GenOptions opt;
+  opt.n = kN;
+  opt.horizon = 400000;
+  opt.quiet_tail = 0.5;
+  opt.max_crash_cycles = 2;
+  opt.max_stutters = 1;
+  opt.max_storms = 2;
+  const FaultPlan plan = FaultPlan::generate(seed, opt);
+
+  registers::PhasedAbortPolicy qa_policy(seed * 3 + 1);
+  registers::PhasedAbortPolicy omega_policy(seed * 5 + 2);
+  plan.arm(qa_policy);
+  plan.arm(omega_policy);
+
+  World world(kN, plan.wrap(std::make_unique<sim::RandomSchedule>(
+                      seed * 991 + 7)));
+  core::TbwfSystem<Counter, qa::AbortableBase> sys(
+      world, 0, core::OmegaBackend::AbortableRegisters, &qa_policy,
+      &omega_policy);
+  for (Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) {
+      return forever_inc(env, sys.object());
+    });
+  }
+  plan.install(world);
+  world.run(2500000);
+
+  core::ConformanceOptions copt;
+  copt.timely_bound = 64;
+  copt.stabilization = 1200000;
+  copt.max_completion_gap = 800000;
+  copt.min_suffix = 600000;
+  const auto report = core::check_chaos_conformance(
+      world.trace(), sys.object().log(), plan, issuing_under(plan, kN),
+      copt, &world.counters());
+  EXPECT_TRUE(report.ok) << report.summary() << plan.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, ChaosOmegaAbortableSweep,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: bare QA universal object over abortable base registers, with
+// a query/retry workload (no leader election in the loop).
+// ---------------------------------------------------------------------------
+
+Task qa_chaos_worker(SimEnv& env,
+                     qa::QaUniversal<Counter, qa::AbortableBase>& obj,
+                     core::OpLog& log) {
+  const Pid p = env.pid();
+  for (;;) {
+    ++log.started[p];
+    auto r = co_await obj.invoke(env, Counter::Op{1});
+    while (r.bottom()) {
+      r = co_await obj.query(env);
+      if (r.bottom()) co_await env.yield();
+    }
+    // ok or not_applied: either way the operation's fate is resolved and
+    // the worker moves on -- that resolution is the completion event.
+    log.completions[p].push_back(env.now());
+  }
+}
+
+class ChaosQaUniversalSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosQaUniversalSweep, GradedGuaranteesHold) {
+  const std::uint64_t seed = GetParam();
+  FaultPlan::GenOptions opt;
+  opt.n = kN;
+  opt.horizon = 200000;
+  opt.quiet_tail = 0.5;
+  opt.max_crash_cycles = 2;
+  opt.max_stutters = 1;
+  opt.max_storms = 2;
+  const FaultPlan plan = FaultPlan::generate(seed, opt);
+
+  registers::PhasedAbortPolicy policy(seed * 7 + 3);
+  plan.arm(policy);
+
+  World world(kN, plan.wrap(std::make_unique<sim::RandomSchedule>(
+                      seed * 983 + 5)));
+  qa::QaUniversal<Counter, qa::AbortableBase> obj(world, 0, &policy);
+  core::OpLog log(kN);
+  for (Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) {
+      return qa_chaos_worker(env, obj, log);
+    });
+  }
+  plan.install(world);
+  world.run(600000);
+
+  core::ConformanceOptions copt;
+  copt.timely_bound = 64;
+  copt.stabilization = 150000;
+  copt.max_completion_gap = 150000;
+  copt.min_suffix = 200000;
+  const auto report = core::check_chaos_conformance(
+      world.trace(), log, plan, issuing_under(plan, kN), copt,
+      &world.counters());
+  EXPECT_TRUE(report.ok) << report.summary() << plan.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, ChaosQaUniversalSweep,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// Recovery acceptance: a crashed candidate that restarts (and is then
+// timely) becomes the stable Omega-Delta leader again.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosRecovery, RestartedCandidateBecomesStableLeader) {
+  World world(3, std::make_unique<sim::RoundRobinSchedule>());
+  omega::OmegaRegisters om(world);
+  om.install_all();
+  // Only p0 is ever a candidate; p1/p2 run Omega-Delta but stay out.
+  world.spawn(0, "cand", [&om](SimEnv& env) {
+    return omega::permanent_candidate(env, om.io(env.pid()));
+  });
+  ASSERT_TRUE(world.run_until([&] { return om.io(0).leader == 0; },
+                              2000000));
+
+  const Step crash_at = world.now() + 1;
+  world.schedule_crash(0, crash_at);
+  world.run(50000);
+  ASSERT_TRUE(world.crashed(0));
+
+  world.restart(0);
+  ASSERT_FALSE(world.crashed(0));
+  // The rebooted candidate task re-raises CANDIDATE and, being timely
+  // from here on, p0 must win leadership back...
+  ASSERT_TRUE(world.run_until([&] { return om.io(0).leader == 0; },
+                              4000000))
+      << "restarted candidate never regained leadership";
+  // ...stably: it is the only candidate, so once re-elected nothing can
+  // displace it.
+  const Step regained = world.now();
+  world.run(200000);
+  EXPECT_EQ(om.io(0).leader, 0);
+  EXPECT_LE(world.trace().max_gap_in(0, regained, world.now()), 3u);
+  EXPECT_EQ(world.trace().crash_count(0), 1u);
+  EXPECT_EQ(world.trace().restart_count(0), 1u);
+}
+
+}  // namespace
+}  // namespace tbwf

@@ -1,0 +1,254 @@
+// Direct unit coverage of crash settlement for pending operations across
+// every register environment: a process crashes between an operation's
+// invocation and its response, and the register-kind-specific rule
+// decides whether a pending write takes effect (env.hpp settle_crash).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "registers/abort_policy.hpp"
+#include "sim/env.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::sim {
+namespace {
+
+using I64 = std::int64_t;
+
+Task bump_forever(SimEnv& env, int& counter) {
+  for (;;) {
+    ++counter;
+    co_await env.yield();
+  }
+}
+
+// One writer task per register kind; each invokes a single write of 9
+// over the initial value 1 and is crashed mid-interval by the harness.
+Task atomic_write(SimEnv& env, AtomicReg<I64> reg) {
+  co_await env.write(reg, 9);
+}
+Task safe_write(SimEnv& env, SafeReg<I64> reg) {
+  co_await env.write(reg, 9);
+}
+Task abortable_write(SimEnv& env, AbortableReg<I64> reg) {
+  (void)co_await env.write(reg, 9);
+}
+Task cas_write(SimEnv& env, AtomicReg<I64> reg) {
+  (void)co_await env.cas(reg, 1, 9);
+}
+Task atomic_read(SimEnv& env, AtomicReg<I64> reg, I64& out) {
+  out = co_await env.read(reg);
+}
+
+/// Build a 2-process world where p0 invokes one operation (step 0) and
+/// is crashed before its response (step 1); p1 keeps the world alive.
+/// Returns the world so the test can inspect the register.
+template <class SpawnFn>
+std::unique_ptr<World> crash_mid_op(std::uint64_t world_seed,
+                                    SpawnFn&& spawn_p0, int& keepalive) {
+  World::Options opts;
+  opts.seed = world_seed;
+  auto w = std::make_unique<World>(
+      2,
+      std::make_unique<ScriptedSchedule>(std::vector<Pid>{0, 1},
+                                         /*loop=*/true),
+      opts);
+  spawn_p0(*w);
+  w->spawn(1, "b", [&keepalive](SimEnv& env) {
+    return bump_forever(env, keepalive);
+  });
+  w->schedule_crash(0, 1);
+  return w;
+}
+
+// -- atomic registers: 50/50, decided by the world seed -----------------------
+
+TEST(CrashSettle, AtomicWriteBothOutcomesAcrossSeeds) {
+  bool saw_effect = false, saw_no_effect = false;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    int keepalive = 0;
+    AtomicReg<I64> reg;
+    auto w = crash_mid_op(
+        seed,
+        [&](World& world) {
+          reg = world.make_atomic<I64>("r", 1);
+          world.spawn(0, "w",
+                      [&](SimEnv& env) { return atomic_write(env, reg); });
+        },
+        keepalive);
+    w->run(10);
+    ASSERT_TRUE(w->crashed(0));
+    const I64 v = w->peek(reg);
+    ASSERT_TRUE(v == 1 || v == 9) << "seed " << seed << " value " << v;
+    (v == 9 ? saw_effect : saw_no_effect) = true;
+  }
+  EXPECT_TRUE(saw_effect);
+  EXPECT_TRUE(saw_no_effect);
+}
+
+TEST(CrashSettle, AtomicWriteSettlementIsSeedDeterministic) {
+  auto value_for = [](std::uint64_t seed) {
+    int keepalive = 0;
+    AtomicReg<I64> reg;
+    auto w = crash_mid_op(
+        seed,
+        [&](World& world) {
+          reg = world.make_atomic<I64>("r", 1);
+          world.spawn(0, "w",
+                      [&](SimEnv& env) { return atomic_write(env, reg); });
+        },
+        keepalive);
+    w->run(10);
+    return w->peek(reg);
+  };
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EXPECT_EQ(value_for(seed), value_for(seed)) << "seed " << seed;
+  }
+}
+
+// -- safe registers: a crashed write always takes effect ----------------------
+
+TEST(CrashSettle, SafeWriteAlwaysTakesEffect) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    int keepalive = 0;
+    SafeReg<I64> reg;
+    auto w = crash_mid_op(
+        seed,
+        [&](World& world) {
+          reg = world.make_safe<I64>("s", 1);
+          world.spawn(0, "w",
+                      [&](SimEnv& env) { return safe_write(env, reg); });
+        },
+        keepalive);
+    w->run(10);
+    EXPECT_EQ(w->peek(reg), 9) << "seed " << seed;
+  }
+}
+
+// -- abortable registers: the policy decides ----------------------------------
+
+TEST(CrashSettle, AbortableWriteDefaultPolicyHasNoEffect) {
+  // The AbortPolicy base default (NeverAbortPolicy inherits it) says a
+  // crashed write never reaches the register.
+  registers::NeverAbortPolicy policy;
+  int keepalive = 0;
+  AbortableReg<I64> reg;
+  auto w = crash_mid_op(
+      1,
+      [&](World& world) {
+        reg = world.make_abortable<I64>("a", 1, &policy);
+        world.spawn(0, "w",
+                    [&](SimEnv& env) { return abortable_write(env, reg); });
+      },
+      keepalive);
+  w->run(10);
+  EXPECT_EQ(w->peek(reg), 1);
+}
+
+TEST(CrashSettle, AbortableWriteProbabilisticEffectExtremes) {
+  for (const double p_effect : {0.0, 1.0}) {
+    registers::ProbabilisticAbortPolicy policy(7, 0.5, 0.5, p_effect);
+    int keepalive = 0;
+    AbortableReg<I64> reg;
+    auto w = crash_mid_op(
+        1,
+        [&](World& world) {
+          reg = world.make_abortable<I64>("a", 1, &policy);
+          world.spawn(0, "w", [&](SimEnv& env) {
+            return abortable_write(env, reg);
+          });
+        },
+        keepalive);
+    w->run(10);
+    EXPECT_EQ(w->peek(reg), p_effect == 1.0 ? 9 : 1);
+  }
+}
+
+TEST(CrashSettle, AbortableWriteDuringStormUsesStormEffect) {
+  // The crash (at step 1) falls inside the storm window, whose
+  // p_effect = 1 forces the crashed write through.
+  registers::PhasedAbortPolicy policy(3);
+  policy.add_phase({/*from=*/0, /*to=*/100, /*rate=*/1.0, /*p_effect=*/1.0});
+  int keepalive = 0;
+  AbortableReg<I64> reg;
+  auto w = crash_mid_op(
+      1,
+      [&](World& world) {
+        reg = world.make_abortable<I64>("a", 1, &policy);
+        world.spawn(0, "w",
+                    [&](SimEnv& env) { return abortable_write(env, reg); });
+      },
+      keepalive);
+  w->run(10);
+  EXPECT_EQ(w->peek(reg), 9);
+}
+
+TEST(CrashSettle, AbortableWriteOutsideStormFallsBackToNoEffect) {
+  registers::PhasedAbortPolicy policy(3);
+  policy.add_phase({/*from=*/50, /*to=*/100, /*rate=*/1.0, /*p_effect=*/1.0});
+  int keepalive = 0;
+  AbortableReg<I64> reg;
+  auto w = crash_mid_op(
+      1,
+      [&](World& world) {
+        reg = world.make_abortable<I64>("a", 1, &policy);
+        world.spawn(0, "w",
+                    [&](SimEnv& env) { return abortable_write(env, reg); });
+      },
+      keepalive);
+  w->run(10);
+  EXPECT_EQ(w->peek(reg), 1);  // crash at step 1 is before the window
+}
+
+// -- CAS: crash settlement may apply the swap ---------------------------------
+
+TEST(CrashSettle, CasBothOutcomesAcrossSeeds) {
+  bool saw_effect = false, saw_no_effect = false;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    int keepalive = 0;
+    AtomicReg<I64> reg;
+    auto w = crash_mid_op(
+        seed,
+        [&](World& world) {
+          reg = world.make_atomic<I64>("r", 1);
+          world.spawn(0, "w",
+                      [&](SimEnv& env) { return cas_write(env, reg); });
+        },
+        keepalive);
+    w->run(10);
+    const I64 v = w->peek(reg);
+    ASSERT_TRUE(v == 1 || v == 9) << "seed " << seed << " value " << v;
+    (v == 9 ? saw_effect : saw_no_effect) = true;
+  }
+  EXPECT_TRUE(saw_effect);
+  EXPECT_TRUE(saw_no_effect);
+}
+
+// -- reads: crash settlement never touches the register -----------------------
+
+TEST(CrashSettle, CrashedReadLeavesRegisterUntouched) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    int keepalive = 0;
+    AtomicReg<I64> reg;
+    I64 out = -1;
+    auto w = crash_mid_op(
+        seed,
+        [&](World& world) {
+          reg = world.make_atomic<I64>("r", 1);
+          world.spawn(0, "r", [&](SimEnv& env) {
+            return atomic_read(env, reg, out);
+          });
+        },
+        keepalive);
+    w->run(10);
+    EXPECT_EQ(w->peek(reg), 1);
+    EXPECT_EQ(out, -1);  // the read never responded
+  }
+}
+
+}  // namespace
+}  // namespace tbwf::sim

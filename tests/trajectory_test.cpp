@@ -67,6 +67,67 @@ TEST(Trajectory, AlwaysIn) {
   EXPECT_TRUE(t.always_in(10, 20, 6));
 }
 
+// -- edge cases: empty trajectories, single points, empty windows -------------
+
+TEST(Trajectory, EmptyTrajectoryEdgeCases) {
+  Trajectory<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.change_count(), 0u);
+  EXPECT_EQ(t.points().size(), 0u);
+  // Window queries on a trajectory with no samples: no changes anywhere,
+  // and always_in is false (there is no evidence of any value).
+  EXPECT_EQ(t.changes_in(0, 100), 0u);
+  EXPECT_FALSE(t.always_in(0, 100, 0));
+  EXPECT_FALSE(t.constant_since(0));
+}
+
+TEST(Trajectory, SinglePointEdgeCases) {
+  Trajectory<int> t;
+  t.sample(5, 42);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.change_count(), 0u);  // the initial sample is not a change
+  EXPECT_EQ(t.final_value(), 42);
+  EXPECT_EQ(t.last_change(), 5u);
+  EXPECT_EQ(t.value_at(5), 42);
+  EXPECT_EQ(t.value_at(1000), 42);
+  EXPECT_TRUE(t.constant_since(5));
+  EXPECT_TRUE(t.constant_since(100));
+  EXPECT_FALSE(t.constant_since(4));
+  EXPECT_EQ(t.changes_in(0, 1000), 0u);
+  EXPECT_TRUE(t.always_in(5, 100, 42));
+  EXPECT_FALSE(t.always_in(5, 100, 41));
+}
+
+TEST(Trajectory, EmptyWindowQueries) {
+  Trajectory<int> t;
+  t.sample(0, 1);
+  t.sample(10, 2);
+  // Zero-length windows contain no change points and vacuously satisfy
+  // always_in.
+  EXPECT_EQ(t.changes_in(10, 10), 0u);
+  EXPECT_EQ(t.changes_in(5, 5), 0u);
+  EXPECT_TRUE(t.always_in(7, 7, 999));
+  EXPECT_TRUE(t.always_in(0, 0, 999));
+}
+
+TEST(Trajectory, WindowBoundariesAreHalfOpen) {
+  Trajectory<int> t;
+  t.sample(0, 0);
+  t.sample(10, 1);
+  // A change exactly at `from` counts; exactly at `to` does not.
+  EXPECT_EQ(t.changes_in(10, 11), 1u);
+  EXPECT_EQ(t.changes_in(9, 10), 0u);
+}
+
+TEST(Trajectory, RepeatedEqualSamplesNeverChange) {
+  Trajectory<int> t;
+  for (Step s = 0; s < 100; ++s) t.sample(s, 7);
+  EXPECT_EQ(t.points().size(), 1u);
+  EXPECT_EQ(t.change_count(), 0u);
+  EXPECT_EQ(t.last_change(), 0u);
+  EXPECT_TRUE(t.constant_since(0));
+}
+
 Task toggler(SimEnv& env, int& var) {
   for (;;) {
     var = 1 - var;

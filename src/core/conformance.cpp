@@ -200,4 +200,286 @@ ConformanceReport check_chaos_conformance(
   return report;
 }
 
+// -- rt front-end --------------------------------------------------------------
+
+namespace {
+
+/// Largest gap between consecutive timestamps of the (sorted) vector
+/// inside [from, to], counting lead-in and tail. Mirrors
+/// max_completion_gap_in for wall-clock nanoseconds.
+std::uint64_t max_ns_gap_in(const std::vector<std::uint64_t>& times,
+                            std::uint64_t from, std::uint64_t to) {
+  std::uint64_t best = 0;
+  std::uint64_t prev = from;
+  for (const std::uint64_t t : times) {
+    if (t < from) continue;
+    if (t > to) break;
+    best = std::max(best, t - prev);
+    prev = t;
+  }
+  return std::max(best, to - prev);
+}
+
+}  // namespace
+
+const char* to_string(RtGuaranteeGrade grade) {
+  switch (grade) {
+    case RtGuaranteeGrade::kWaitFree:
+      return "wait-free";
+    case RtGuaranteeGrade::kLockFree:
+      return "lock-free";
+    case RtGuaranteeGrade::kObstructionFree:
+      return "obstruction-free";
+    case RtGuaranteeGrade::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+std::string RtConformanceReport::summary() const {
+  std::ostringstream out;
+  out << "rt conformance plan seed=" << plan_seed
+      << " grade=" << to_string(grade) << " run_end=" << run_end_ns
+      << "ns suffix_from=" << suffix_from_ns << "ns timely={";
+  for (std::size_t i = 0; i < suffix_timely.size(); ++i) {
+    out << (i ? "," : "") << "t" << suffix_timely[i];
+  }
+  out << "} issuing={";
+  for (std::size_t i = 0; i < issuing.size(); ++i) {
+    out << (i ? "," : "") << "t" << issuing[i];
+  }
+  out << "} " << (ok ? "OK" : "VIOLATED") << "\n  suffix bounds:";
+  for (std::size_t t = 0; t < realized_bound_ns.size(); ++t) {
+    out << " t" << t << "=";
+    if (realized_bound_ns[t] == kNeverNs) {
+      out << "inf";
+    } else {
+      out << realized_bound_ns[t] << "ns";
+    }
+  }
+  out << "\n";
+  if (!reelection_ns.empty()) {
+    out << "  re-election: " << reelection_ns.summary() << "\n";
+  }
+  for (const auto& v : violations) out << "  VIOLATION: " << v << "\n";
+  return out.str();
+}
+
+RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
+                                         const rt::RtFaultPlan& plan,
+                                         const RtConformanceOptions& options,
+                                         util::Counters* metrics) {
+  const int n = trace.n();
+  RtConformanceReport report;
+  report.plan_seed = plan.seed();
+  report.run_end_ns = trace.run_end_ns;
+  report.suffix_from_ns = plan.last_event_ns() + options.stabilization_ns;
+  report.realized_bound_ns.assign(static_cast<std::size_t>(n),
+                                  RtConformanceReport::kNeverNs);
+
+  const auto violate = [&](const std::string& what) {
+    std::ostringstream out;
+    out << "rt plan seed=" << plan.seed() << ": " << what;
+    report.violations.push_back(out.str());
+  };
+
+  // Re-election latency over the whole run: a lease holder that dies or
+  // stalls leaves the object leaderless until the next acquisition.
+  {
+    constexpr std::uint32_t kNoHolder = 0xFFFFFFFFu;
+    std::uint32_t holder = kNoHolder;
+    std::uint64_t leaderless_since = RtConformanceReport::kNeverNs;
+    for (const rt::RtEvent& ev : trace.merged()) {
+      switch (ev.kind) {
+        case rt::RtEventKind::kLeaseAcquire:
+          if (leaderless_since != RtConformanceReport::kNeverNs) {
+            report.reelection_ns.add(ev.at_ns - leaderless_since);
+            leaderless_since = RtConformanceReport::kNeverNs;
+          }
+          holder = ev.tid;
+          break;
+        case rt::RtEventKind::kLeaseRelease:
+          if (ev.tid == holder) holder = kNoHolder;
+          break;
+        case rt::RtEventKind::kKill:
+        case rt::RtEventKind::kStall:
+          if (ev.tid == holder &&
+              leaderless_since == RtConformanceReport::kNeverNs) {
+            leaderless_since = ev.at_ns;
+            holder = kNoHolder;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // The trace must cover the suffix: a ring that overflowed past the
+  // suffix start cannot prove or refute anything.
+  for (int t = 0; t < n; ++t) {
+    const auto& events = trace.per_tid[static_cast<std::size_t>(t)];
+    if (trace.dropped[static_cast<std::size_t>(t)] > 0 &&
+        (events.empty() || events.front().at_ns > report.suffix_from_ns)) {
+      std::ostringstream out;
+      out << "t" << t << " trace ring overflowed into the suffix ("
+          << trace.dropped[static_cast<std::size_t>(t)]
+          << " events dropped); grow trace_capacity";
+      violate(out.str());
+    }
+  }
+
+  if (report.run_end_ns <
+      report.suffix_from_ns + options.min_suffix_ns) {
+    std::ostringstream out;
+    out << "stable suffix too short: run_end=" << report.run_end_ns
+        << "ns < suffix_from=" << report.suffix_from_ns
+        << "ns + min_suffix=" << options.min_suffix_ns
+        << "ns (inconclusive, lengthen the run)";
+    violate(out.str());
+    report.ok = report.violations.empty();
+    return report;
+  }
+
+  // Realized suffix timeliness and issuing/completion streams per tid.
+  std::vector<std::vector<std::uint64_t>> completions(
+      static_cast<std::size_t>(n));
+  std::vector<bool> issuing_in_suffix(static_cast<std::size_t>(n), false);
+  std::vector<std::uint32_t> steppers;
+  for (int t = 0; t < n; ++t) {
+    std::vector<std::uint64_t> activity;
+    for (const rt::RtEvent& ev :
+         trace.per_tid[static_cast<std::size_t>(t)]) {
+      if (ev.at_ns < report.suffix_from_ns ||
+          ev.at_ns > report.run_end_ns) {
+        continue;
+      }
+      activity.push_back(ev.at_ns);
+      if (ev.kind == rt::RtEventKind::kOpStart) {
+        issuing_in_suffix[static_cast<std::size_t>(t)] = true;
+      }
+      if (ev.kind == rt::RtEventKind::kOpComplete) {
+        completions[static_cast<std::size_t>(t)].push_back(ev.at_ns);
+      }
+    }
+    if (activity.empty()) continue;  // dead or silent: exempt from all
+    if (plan.killed_at_end(static_cast<std::uint32_t>(t))) {
+      std::ostringstream out;
+      out << "t" << t
+          << " is permanently killed by the plan but has "
+          << activity.size() << " suffix events (zombie worker)";
+      violate(out.str());
+    }
+    steppers.push_back(static_cast<std::uint32_t>(t));
+    const std::uint64_t bound =
+        max_ns_gap_in(activity, report.suffix_from_ns, report.run_end_ns);
+    report.realized_bound_ns[static_cast<std::size_t>(t)] = bound;
+    if (bound <= options.timely_bound_ns) {
+      report.suffix_timely.push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+  for (int t = 0; t < n; ++t) {
+    if (issuing_in_suffix[static_cast<std::size_t>(t)]) {
+      report.issuing.push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+
+  const auto is_timely = [&](std::uint32_t t) {
+    return std::find(report.suffix_timely.begin(),
+                     report.suffix_timely.end(),
+                     t) != report.suffix_timely.end();
+  };
+  const std::size_t timely_issuing = static_cast<std::size_t>(
+      std::count_if(report.issuing.begin(), report.issuing.end(),
+                    is_timely));
+
+  // Derive the grade the run actually earned (strongest first).
+  if (report.issuing.empty()) {
+    report.grade = RtGuaranteeGrade::kNone;
+  } else if (timely_issuing == report.issuing.size()) {
+    report.grade = RtGuaranteeGrade::kWaitFree;
+  } else if (timely_issuing >= 1) {
+    report.grade = RtGuaranteeGrade::kLockFree;
+  } else if (steppers.size() == 1 &&
+             issuing_in_suffix[steppers.front()]) {
+    report.grade = RtGuaranteeGrade::kObstructionFree;
+  } else {
+    report.grade = RtGuaranteeGrade::kNone;
+  }
+
+  // Graded guarantee 1 -- wait-freedom for every timely issuing thread.
+  for (const std::uint32_t t : report.issuing) {
+    if (!is_timely(t)) continue;
+    const std::uint64_t gap =
+        max_ns_gap_in(completions[t], report.suffix_from_ns,
+                      report.run_end_ns);
+    if (gap > options.max_completion_gap_ns) {
+      std::ostringstream out;
+      out << "wait-freedom: t" << t << " is timely in the suffix (bound "
+          << report.realized_bound_ns[t] << "ns) but its completion gap "
+          << gap << "ns exceeds " << options.max_completion_gap_ns << "ns";
+      violate(out.str());
+    }
+  }
+
+  // Graded guarantee 2 -- lock-freedom with >= 1 timely issuing thread.
+  if (timely_issuing >= 1) {
+    std::vector<std::uint64_t> merged;
+    for (const std::uint32_t t : report.issuing) {
+      merged.insert(merged.end(), completions[t].begin(),
+                    completions[t].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    const std::uint64_t gap = max_ns_gap_in(
+        merged, report.suffix_from_ns, report.run_end_ns);
+    if (gap > options.max_completion_gap_ns) {
+      std::ostringstream out;
+      out << "lock-freedom: some issuing thread is timely but the merged "
+             "completion gap "
+          << gap << "ns exceeds " << options.max_completion_gap_ns << "ns";
+      violate(out.str());
+    }
+  }
+
+  // Graded guarantee 3 -- obstruction-freedom for a solo stepper.
+  if (steppers.size() == 1 && issuing_in_suffix[steppers.front()]) {
+    if (completions[steppers.front()].empty()) {
+      std::ostringstream out;
+      out << "obstruction-freedom: t" << steppers.front()
+          << " runs solo in the suffix but never completes";
+      violate(out.str());
+    }
+  }
+
+  report.ok = report.violations.empty();
+
+  if (metrics != nullptr) {
+    std::vector<std::uint64_t> kills(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint64_t> stalls(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint64_t> restarts(static_cast<std::size_t>(n), 0);
+    for (int t = 0; t < n; ++t) {
+      for (const rt::RtEvent& ev :
+           trace.per_tid[static_cast<std::size_t>(t)]) {
+        if (ev.kind == rt::RtEventKind::kKill) ++kills[t];
+        if (ev.kind == rt::RtEventKind::kStall) ++stalls[t];
+        if (ev.kind == rt::RtEventKind::kRestart) ++restarts[t];
+      }
+      const std::string tid = std::to_string(t);
+      metrics->inc("rt.conformance.kills.t" + tid, kills[t]);
+      metrics->inc("rt.conformance.stalls.t" + tid, stalls[t]);
+      metrics->inc("rt.conformance.restarts.t" + tid, restarts[t]);
+    }
+    metrics->inc("rt.reelect.count", report.reelection_ns.count());
+    if (!report.reelection_ns.empty()) {
+      metrics->max_of("rt.reelect.max_ns", report.reelection_ns.max());
+    }
+    metrics->inc(std::string("rt.conformance.grade.") +
+                 to_string(report.grade));
+    metrics->inc(report.ok ? "rt.conformance.ok" : "rt.conformance.violated");
+    metrics->inc("rt.conformance.violations", report.violations.size());
+  }
+
+  return report;
+}
+
 }  // namespace tbwf::core

@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "core/tbwf_object.hpp"
+#include "rt/rt_faults.hpp"
+#include "rt/rt_trace.hpp"
 #include "sim/faultplan.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
@@ -78,5 +80,76 @@ ConformanceReport check_chaos_conformance(
     const sim::Trace& trace, const OpLog& log, const sim::FaultPlan& plan,
     const std::vector<sim::Pid>& issuing, const ConformanceOptions& options,
     util::Counters* metrics = nullptr);
+
+// -- rt front-end --------------------------------------------------------------
+//
+// The same graded-guarantee judgement over a REAL-THREAD run: the
+// RtTrace's wall-clock nanoseconds play the role of the simulator's
+// global step counter (a thread is timely in a window iff its activity
+// events are never further apart than the bound -- Definition 1 with ns
+// as the time unit), and the RtFaultPlan supplies the last fault edge
+// after which the stable suffix begins. Because the OS can deschedule
+// any thread at any time, the checker never asserts who SHOULD be
+// timely -- it derives who WAS, then holds the run to exactly the
+// guarantee that grade earns:
+//
+//   kWaitFree        every issuing thread was timely -> each must
+//                    complete with bounded gaps;
+//   kLockFree        >= 1 issuing thread timely -> the merged
+//                    completion stream must have bounded gaps (each
+//                    timely issuing thread is still held to its
+//                    wait-freedom bound);
+//   kObstructionFree exactly one thread stepped -> it must complete;
+//   kNone            nothing derivable (no issuing activity).
+
+enum class RtGuaranteeGrade : std::uint8_t {
+  kWaitFree,
+  kLockFree,
+  kObstructionFree,
+  kNone,
+};
+
+const char* to_string(RtGuaranteeGrade grade);
+
+struct RtConformanceOptions {
+  /// A thread whose suffix activity gaps stay <= this is timely there.
+  std::uint64_t timely_bound_ns = 2000000;  // 2 ms
+  /// Grace after the plan's last fault before the suffix starts
+  /// (re-election must settle, wounded operations drain).
+  std::uint64_t stabilization_ns = 3000000;  // 3 ms
+  /// The suffix must be at least this long or the run is inconclusive.
+  std::uint64_t min_suffix_ns = 5000000;  // 5 ms
+  /// Completion-gap bound for the wait-free / lock-free checks.
+  std::uint64_t max_completion_gap_ns = 10000000;  // 10 ms
+};
+
+struct RtConformanceReport {
+  static constexpr std::uint64_t kNeverNs = ~0ULL;
+
+  bool ok = false;
+  std::uint64_t plan_seed = 0;
+  RtGuaranteeGrade grade = RtGuaranteeGrade::kNone;
+  std::uint64_t suffix_from_ns = 0;
+  std::uint64_t run_end_ns = 0;
+  /// Empirical suffix timeliness bound per tid (kNeverNs = silent/dead).
+  std::vector<std::uint64_t> realized_bound_ns;
+  std::vector<std::uint32_t> suffix_timely;
+  /// Tids that invoked at least one operation in the suffix.
+  std::vector<std::uint32_t> issuing;
+  /// Lease-holder death/stall -> next acquisition by anyone, full run.
+  util::Histogram reelection_ns;
+  std::vector<std::string> violations;
+
+  std::string summary() const;
+};
+
+/// Judge one finished supervised rt run. `metrics`, when given, receives
+/// per-thread fault counters (rt.conformance.kills.t<i>, .stalls.t<i>,
+/// .restarts.t<i>), re-election latency tallies (rt.reelect.count,
+/// rt.reelect.max_ns) and the verdict (rt.conformance.{ok,violated}).
+RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
+                                         const rt::RtFaultPlan& plan,
+                                         const RtConformanceOptions& options,
+                                         util::Counters* metrics = nullptr);
 
 }  // namespace tbwf::core

@@ -73,6 +73,23 @@ bool PhasedAbortPolicy::crashed_write_takes_effect(const OpContext& ctx) {
   return calm_ ? calm_->crashed_write_takes_effect(ctx) : false;
 }
 
+std::uint64_t BoundedBackoff::delay(int attempt) const {
+  if (attempt < options_.free_retries) return 0;
+  const int exp = attempt - options_.free_retries;
+  // base << exp, saturating at cap without shifting past 63 bits.
+  if (exp >= 63) return options_.cap;
+  const std::uint64_t raw = options_.base << exp;
+  const bool overflowed = (raw >> exp) != options_.base;
+  return std::min(overflowed ? options_.cap : raw, options_.cap);
+}
+
+std::uint64_t BoundedBackoff::jittered_delay(int attempt,
+                                             util::Rng& rng) const {
+  const std::uint64_t d = delay(attempt);
+  if (d <= 1) return d;
+  return d / 2 + rng.below(d - d / 2 + 1);
+}
+
 bool TargetedAbortPolicy::is_victim(sim::Pid p) const {
   return std::find(victims_.begin(), victims_.end(), p) != victims_.end();
 }

@@ -152,6 +152,44 @@ class PhasedAbortPolicy final : public AbortPolicy {
   std::uint64_t storm_aborts_ = 0;
 };
 
+/// Bounded exponential retry/backoff for aborted register operations.
+///
+/// The flip side of the abort adversaries above: the paper's Section 6
+/// mechanisms win contended registers by *waiting out* the contention
+/// (solo operations never abort), so every retry loop in this codebase
+/// needs a back-off discipline with a hard bound. This one doubles from
+/// `base` up to `cap` and is shared by the simulator workloads (delays
+/// in steps) and the rt backend (delays in nanoseconds) -- the unit is
+/// whatever the caller feeds in.
+///
+/// Deterministic by default; `jittered_delay` decorrelates threads that
+/// abort in lockstep by drawing uniformly from [delay/2, delay] out of a
+/// caller-owned seeded stream.
+class BoundedBackoff {
+ public:
+  struct Options {
+    std::uint64_t base = 1;     ///< delay after the first abort
+    std::uint64_t cap = 1024;   ///< delays never exceed this
+    /// Attempts strictly below this back off by 0 (immediate retry):
+    /// the first abort is usually transient contention not worth a wait.
+    int free_retries = 1;
+  };
+
+  BoundedBackoff() : BoundedBackoff(Options{}) {}
+  explicit BoundedBackoff(Options options) : options_(options) {}
+
+  /// Delay before retry number `attempt` (0-based count of prior aborts).
+  std::uint64_t delay(int attempt) const;
+
+  /// As `delay`, but uniformly jittered into [delay/2, delay].
+  std::uint64_t jittered_delay(int attempt, util::Rng& rng) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
 /// Adversary targeting specific victim processes: only *their* contended
 /// operations abort; everyone else succeeds. Used to show per-process
 /// graceful degradation (the victims stop progressing, others do not).

@@ -1,0 +1,171 @@
+#include "rt/rt_faults.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace tbwf::rt {
+
+RtFaultPlan& RtFaultPlan::kill(std::uint32_t tid, std::uint64_t at_ns,
+                               std::uint64_t restart_after_ns) {
+  kills_.push_back({tid, at_ns, restart_after_ns});
+  return *this;
+}
+
+RtFaultPlan& RtFaultPlan::stall(std::uint32_t tid, std::uint64_t at_ns,
+                                std::uint64_t duration_ns) {
+  stalls_.push_back({tid, at_ns, duration_ns});
+  return *this;
+}
+
+RtFaultPlan& RtFaultPlan::storm(std::uint64_t from_ns, std::uint64_t to_ns,
+                                std::uint32_t rate_millionths) {
+  TBWF_ASSERT(from_ns < to_ns, "storm window must be non-empty");
+  storms_.push_back({from_ns, to_ns, rate_millionths});
+  return *this;
+}
+
+RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
+                                  const GenOptions& options) {
+  TBWF_ASSERT(options.nthreads >= 1, "need at least one thread");
+  TBWF_ASSERT(options.quiet_tail > 0.0 && options.quiet_tail < 1.0,
+              "quiet_tail must be a fraction of the horizon");
+  RtFaultPlan plan(seed);
+  util::Rng rng(seed ^ 0x52545F46414C5453ULL);  // "RT_FALTS"
+
+  const auto lo = static_cast<std::uint64_t>(
+      static_cast<double>(options.horizon_ns) * 0.05);
+  const auto hi = static_cast<std::uint64_t>(
+      static_cast<double>(options.horizon_ns) * (1.0 - options.quiet_tail));
+  const auto at = [&] { return rng.range(lo, hi); };
+
+  // One thread is spared permanent kills so the run keeps a survivor.
+  const auto survivor = static_cast<std::uint32_t>(
+      rng.below(static_cast<std::uint64_t>(options.nthreads)));
+
+  const int nkills =
+      options.max_kills > 0
+          ? static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(options.max_kills) + 1))
+          : 0;
+  for (int i = 0; i < nkills; ++i) {
+    const auto tid = static_cast<std::uint32_t>(
+        rng.below(static_cast<std::uint64_t>(options.nthreads)));
+    const std::uint64_t t = at();
+    const bool restarts =
+        rng.chance(options.p_restart) ||
+        (!options.allow_kill_all && tid == survivor);
+    std::uint64_t after = 0;
+    if (restarts) {
+      // Revive within the event window so the quiet tail stays quiet.
+      const std::uint64_t max_after = t < hi ? hi - t : 1;
+      after = 1 + rng.below(std::max<std::uint64_t>(max_after, 1));
+    }
+    // A thread can only die once without restart; later kills of the
+    // same tid are fine (they target the revived incarnation) as long
+    // as every kill but possibly the last restarts. Keep it simple:
+    // allow at most one permanent kill per tid.
+    if (after == 0 && plan.killed_at_end(tid)) continue;
+    plan.kill(tid, t, after);
+  }
+
+  const int nstalls =
+      options.max_stalls > 0
+          ? static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(options.max_stalls) + 1))
+          : 0;
+  for (int i = 0; i < nstalls; ++i) {
+    const auto tid = static_cast<std::uint32_t>(
+        rng.below(static_cast<std::uint64_t>(options.nthreads)));
+    const std::uint64_t t = at();
+    std::uint64_t d =
+        rng.range(options.min_stall_ns, options.max_stall_ns);
+    // Keep the stall inside the event window.
+    if (t + d > hi) d = hi > t ? hi - t : 1;
+    plan.stall(tid, t, d);
+  }
+
+  const int nstorms =
+      options.max_storms > 0
+          ? static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(options.max_storms) + 1))
+          : 0;
+  for (int i = 0; i < nstorms; ++i) {
+    std::uint64_t from = at();
+    std::uint64_t to = at();
+    if (from > to) std::swap(from, to);
+    if (from == to) to = from + 1;
+    plan.storm(from, to,
+               static_cast<std::uint32_t>(
+                   rng.range(options.min_storm_rate_millionths,
+                             options.max_storm_rate_millionths)));
+  }
+
+  // Never return an empty plan: a sweep case with nothing to inject
+  // would silently test nothing. Default to a mid-window stall.
+  if (plan.empty()) {
+    const auto tid = static_cast<std::uint32_t>(
+        rng.below(static_cast<std::uint64_t>(options.nthreads)));
+    plan.stall(tid, at(),
+               rng.range(options.min_stall_ns, options.max_stall_ns));
+  }
+  return plan;
+}
+
+std::uint64_t RtFaultPlan::last_event_ns() const {
+  std::uint64_t last = 0;
+  for (const auto& k : kills_) {
+    last = std::max(last, k.at_ns + k.restart_after_ns);
+  }
+  for (const auto& s : stalls_) {
+    last = std::max(last, s.at_ns + s.duration_ns);
+  }
+  for (const auto& s : storms_) last = std::max(last, s.to_ns);
+  return last;
+}
+
+bool RtFaultPlan::killed_at_end(std::uint32_t tid) const {
+  // With at most one permanent kill per tid (see generate) and restarts
+  // encoded on the kill itself, "killed at end" is simply "has a kill
+  // with no restart".
+  return std::any_of(kills_.begin(), kills_.end(), [&](const RtKill& k) {
+    return k.tid == tid && k.restart_after_ns == 0;
+  });
+}
+
+std::vector<RtAbortInjector::Window> RtFaultPlan::storm_windows() const {
+  std::vector<RtAbortInjector::Window> windows;
+  windows.reserve(storms_.size());
+  for (const auto& s : storms_) {
+    windows.push_back({s.from_ns, s.to_ns, s.rate_millionths});
+  }
+  return windows;
+}
+
+std::string RtFaultPlan::summary() const {
+  std::ostringstream out;
+  out << "rt plan seed=" << seed_ << "\n";
+  for (const auto& k : kills_) {
+    out << "  kill t" << k.tid << " at=" << k.at_ns << "ns";
+    if (k.restart_after_ns > 0) {
+      out << " restart +" << k.restart_after_ns << "ns";
+    } else {
+      out << " (permanent)";
+    }
+    out << "\n";
+  }
+  for (const auto& s : stalls_) {
+    out << "  stall t" << s.tid << " at=" << s.at_ns << "ns for "
+        << s.duration_ns << "ns\n";
+  }
+  for (const auto& s : storms_) {
+    out << "  storm [" << s.from_ns << ", " << s.to_ns << ")ns rate="
+        << s.rate_millionths << "ppm\n";
+  }
+  if (empty()) out << "  (empty)\n";
+  return out.str();
+}
+
+}  // namespace tbwf::rt

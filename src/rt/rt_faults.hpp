@@ -1,0 +1,128 @@
+// RtFaultPlan: a declarative, seed-replayable timeline of real-thread
+// faults -- the rt twin of sim::FaultPlan.
+//
+// The simulator injects faults at exact global steps; real threads have
+// no global step, so rt faults anchor on wall-clock offsets from the
+// supervisor's run origin and fire at the worker's next cooperative
+// fault point (RtWorkerContext::fault_point). Three fault kinds:
+//
+//   - Kill{tid, at_ns, restart_after_ns}: the worker thread dies at its
+//     first fault point past at_ns (mid-operation if the workload puts
+//     fault points inside its operations); if restart_after_ns > 0 the
+//     supervisor revives it that much later with a fresh incarnation --
+//     local state lost, shared objects keep their values, mirroring
+//     World::restart;
+//   - Stall{tid, at_ns, duration_ns}: the worker sleeps through the
+//     window, destroying its timeliness exactly there (the rt analogue
+//     of a StutterPhase);
+//   - Storm{from_ns, to_ns, rate}: every RtAbortableReg attached to the
+//     supervisor's RtAbortInjector aborts operations with probability
+//     `rate` inside the window (the rt analogue of an AbortStorm).
+//
+// generate() draws a random but deterministic plan from a seed; a red
+// sweep case replays from the seed alone (the *plan* is exact; the
+// thread interleaving is whatever the OS does, which is the point of
+// the rt harness). Plans keep a quiet tail so the conformance checker
+// has a stable suffix to judge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/rt_registers.hpp"
+
+namespace tbwf::rt {
+
+/// Thrown by RtWorkerContext::fault_point when a Kill fires; the
+/// supervisor's thread wrapper catches it and marks the worker dead.
+/// Workloads must let it propagate (catch nothing, or rethrow).
+struct WorkerKilled {
+  std::uint32_t tid = 0;
+};
+
+struct RtKill {
+  std::uint32_t tid = 0;
+  std::uint64_t at_ns = 0;
+  std::uint64_t restart_after_ns = 0;  ///< 0 = never restarted
+};
+
+struct RtStall {
+  std::uint32_t tid = 0;
+  std::uint64_t at_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+struct RtStorm {
+  std::uint64_t from_ns = 0;
+  std::uint64_t to_ns = 0;
+  std::uint32_t rate_millionths = 1000000;
+};
+
+class RtFaultPlan {
+ public:
+  RtFaultPlan() = default;
+  explicit RtFaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // -- builders ---------------------------------------------------------------
+  RtFaultPlan& kill(std::uint32_t tid, std::uint64_t at_ns,
+                    std::uint64_t restart_after_ns = 0);
+  RtFaultPlan& stall(std::uint32_t tid, std::uint64_t at_ns,
+                     std::uint64_t duration_ns);
+  RtFaultPlan& storm(std::uint64_t from_ns, std::uint64_t to_ns,
+                     std::uint32_t rate_millionths);
+
+  // -- random generation --------------------------------------------------------
+  struct GenOptions {
+    int nthreads = 4;
+    /// Events are drawn inside [horizon * 0.05, horizon * (1 - quiet_tail)].
+    std::uint64_t horizon_ns = 24000000;  // 24 ms
+    /// Last fraction of the horizon kept event-free: the stable tail the
+    /// conformance checker asserts the graded guarantees over.
+    double quiet_tail = 0.4;
+    int max_kills = 2;
+    double p_restart = 0.75;  ///< chance a kill is followed by a restart
+    int max_stalls = 2;
+    std::uint64_t min_stall_ns = 500000;   // 0.5 ms
+    std::uint64_t max_stall_ns = 4000000;  // 4 ms
+    int max_storms = 1;
+    std::uint32_t min_storm_rate_millionths = 300000;
+    std::uint32_t max_storm_rate_millionths = 950000;
+    /// Unless set, one thread is kept free of permanent kills so the
+    /// run always has a survivor.
+    bool allow_kill_all = false;
+  };
+
+  /// Deterministic: the same (seed, options) always yields the same plan.
+  static RtFaultPlan generate(std::uint64_t seed, const GenOptions& options);
+
+  // -- introspection ------------------------------------------------------------
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<RtKill>& kills() const { return kills_; }
+  const std::vector<RtStall>& stalls() const { return stalls_; }
+  const std::vector<RtStorm>& storms() const { return storms_; }
+  bool empty() const {
+    return kills_.empty() && stalls_.empty() && storms_.empty();
+  }
+
+  /// Offset of the last event boundary (kill, restart, stall end, storm
+  /// end); 0 for an empty plan. Everything after is the stable tail.
+  std::uint64_t last_event_ns() const;
+
+  /// True iff the plan kills tid without a restart.
+  bool killed_at_end(std::uint32_t tid) const;
+
+  /// The plan's storm windows in RtAbortInjector form.
+  std::vector<RtAbortInjector::Window> storm_windows() const;
+
+  /// Human-readable one-per-line event list (starts with the seed).
+  std::string summary() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<RtKill> kills_;
+  std::vector<RtStall> stalls_;
+  std::vector<RtStorm> storms_;
+};
+
+}  // namespace tbwf::rt

@@ -14,27 +14,111 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace tbwf::rt {
+
+/// Abort-storm injector for RtAbortableReg: the rt analogue of the
+/// simulator's PhasedAbortPolicy storms. Inside each armed wall-clock
+/// window, register operations abort with the window's rate as if a
+/// phantom concurrent operation held the cell. From the caller's view
+/// this is indistinguishable from real contention; strictly it can hit
+/// an operation that runs solo, which the abortable-register spec
+/// forbids -- storms are therefore confined to fault windows that end
+/// before the stable suffix the conformance checker judges (the
+/// solo-never-aborts property holds whenever no storm window is open).
+///
+/// Decisions are drawn from a seeded counter hash, so two runs with the
+/// same seed and the same per-register operation order make the same
+/// calls. arm() must happen-before any concurrent fire().
+class RtAbortInjector {
+ public:
+  struct Window {
+    std::uint64_t from_ns = 0;  ///< relative to the armed origin
+    std::uint64_t to_ns = 0;
+    std::uint32_t rate_millionths = 1000000;  ///< abort probability * 1e6
+  };
+
+  RtAbortInjector() = default;
+
+  /// Install storm windows. `origin_ns` anchors the relative window
+  /// bounds on the steady clock (pass the supervisor's run origin).
+  void arm(std::uint64_t seed, std::uint64_t origin_ns,
+           std::vector<Window> windows) {
+    seed_ = seed;
+    origin_ns_ = origin_ns;
+    windows_ = std::move(windows);
+  }
+
+  /// Should the current register operation be aborted by a storm?
+  bool fire() {
+    if (windows_.empty()) return false;
+    const std::uint64_t now =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count()) -
+        origin_ns_;
+    const Window* open = nullptr;
+    for (const auto& w : windows_) {
+      if (now >= w.from_ns && now < w.to_ns) {
+        open = &w;
+        break;
+      }
+    }
+    if (open == nullptr) return false;
+    // SplitMix64 of (seed, draw index): uniform and replayable per seed.
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL *
+                                  (draws_.fetch_add(1,
+                                                    std::memory_order_relaxed) +
+                                   1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    if (z % 1000000 >= open->rate_millionths) return false;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t origin_ns_ = 0;
+  std::vector<Window> windows_;
+  std::atomic<std::uint64_t> draws_{0};
+  std::atomic<std::uint64_t> injected_{0};
+};
 
 template <class T>
 class RtAbortableReg {
  public:
   explicit RtAbortableReg(T initial) : value_(std::move(initial)) {}
 
-  /// Returns nullopt iff the read aborted (cell busy).
+  /// Subject this register to storm-injected aborts (nullptr detaches).
+  /// The injector must outlive the register's last operation.
+  void set_injector(RtAbortInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  /// Returns nullopt iff the read aborted (cell busy or storm).
   std::optional<T> read() {
+    if (storm_fires()) return std::nullopt;
     if (!try_acquire()) return std::nullopt;
     T copy = value_;
     release();
     return copy;
   }
 
-  /// Returns false iff the write aborted (cell busy; no effect).
+  /// Returns false iff the write aborted (cell busy or storm; no effect).
   bool write(const T& v) {
+    if (storm_fires()) return false;
     if (!try_acquire()) return false;
     value_ = v;
     release();
@@ -42,6 +126,10 @@ class RtAbortableReg {
   }
 
  private:
+  bool storm_fires() {
+    RtAbortInjector* inj = injector_.load(std::memory_order_acquire);
+    return inj != nullptr && inj->fire();
+  }
   bool try_acquire() {
     std::uint32_t expected = 0;
     return lock_.compare_exchange_strong(expected, 1,
@@ -51,6 +139,7 @@ class RtAbortableReg {
   void release() { lock_.store(0, std::memory_order_release); }
 
   std::atomic<std::uint32_t> lock_{0};
+  std::atomic<RtAbortInjector*> injector_{nullptr};
   T value_;
 };
 

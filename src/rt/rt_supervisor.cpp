@@ -1,0 +1,203 @@
+#include "rt/rt_supervisor.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace tbwf::rt {
+
+// -- RtWorkerContext -----------------------------------------------------------
+
+bool RtWorkerContext::should_stop() const {
+  return sup_->stop_.load(std::memory_order_acquire);
+}
+
+std::uint64_t RtWorkerContext::now_ns() const {
+  return sup_->since_origin_ns();
+}
+
+void RtWorkerContext::record(RtEventKind kind, std::uint64_t arg) {
+  sup_->trace_.record(tid_, incarnation_, kind, now_ns(), arg);
+}
+
+void RtWorkerContext::fault_point() {
+  // Log a liveness tick every few calls: the conformance checker reads
+  // realized timeliness off these (plus op events), so even a worker
+  // that is spinning without completing keeps proving it is scheduled.
+  if ((calls_++ & 15) == 0) record(RtEventKind::kStep);
+  sup_->maybe_fire_faults(*this);
+}
+
+// -- RtSupervisor --------------------------------------------------------------
+
+RtSupervisor::RtSupervisor(RtSupervisorOptions options, RtFaultPlan plan,
+                           RtWorkerBody body)
+    : options_(options),
+      plan_(std::move(plan)),
+      body_(std::move(body)),
+      trace_(options.nthreads, options.trace_capacity),
+      fault_seq_(static_cast<std::size_t>(options.nthreads)),
+      slots_(static_cast<std::size_t>(options.nthreads)) {
+  TBWF_ASSERT(options_.nthreads >= 1, "need at least one worker");
+  TBWF_ASSERT(static_cast<bool>(body_), "need a worker body");
+  for (const auto& k : plan_.kills()) {
+    TBWF_ASSERT(k.tid < static_cast<std::uint32_t>(options_.nthreads),
+                "kill targets an unknown tid");
+    fault_seq_[k.tid].push_back({k.at_ns, true, k.restart_after_ns});
+  }
+  for (const auto& s : plan_.stalls()) {
+    TBWF_ASSERT(s.tid < static_cast<std::uint32_t>(options_.nthreads),
+                "stall targets an unknown tid");
+    fault_seq_[s.tid].push_back({s.at_ns, false, s.duration_ns});
+  }
+  for (auto& seq : fault_seq_) {
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const FaultEvent& a, const FaultEvent& b) {
+                       return a.at_ns < b.at_ns;
+                     });
+  }
+}
+
+RtSupervisor::~RtSupervisor() {
+  // Defensive: if run() threw mid-way, make sure no thread outlives us.
+  stop_.store(true, std::memory_order_release);
+  for (auto& slot : slots_) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+}
+
+std::uint64_t RtSupervisor::steady_now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RtSupervisor::spawn(std::uint32_t tid) {
+  Slot& slot = slots_[tid];
+  slot.alive.store(true, std::memory_order_release);
+  slot.joined = false;
+  const std::uint32_t incarnation = slot.incarnation;
+  slot.thread = std::thread([this, tid, incarnation] {
+    worker_main(tid, incarnation);
+  });
+}
+
+void RtSupervisor::worker_main(std::uint32_t tid,
+                               std::uint32_t incarnation) {
+  RtWorkerContext ctx(this, tid, incarnation,
+                      plan_.seed() ^ (static_cast<std::uint64_t>(tid) << 32)
+                          ^ incarnation);
+  Slot& slot = slots_[tid];
+  try {
+    body_(ctx);
+  } catch (const WorkerKilled&) {
+    trace_.record(tid, incarnation, RtEventKind::kKill, since_origin_ns());
+    slot.kills.fetch_add(1, std::memory_order_relaxed);
+  }
+  slot.alive.store(false, std::memory_order_release);
+}
+
+void RtSupervisor::maybe_fire_faults(RtWorkerContext& ctx) {
+  Slot& slot = slots_[ctx.tid()];
+  const auto& seq = fault_seq_[ctx.tid()];
+  while (slot.next_fault < seq.size()) {
+    const FaultEvent& ev = seq[slot.next_fault];
+    const std::uint64_t now = since_origin_ns();
+    if (now < ev.at_ns) return;
+    ++slot.next_fault;
+    if (ev.is_kill) {
+      if (ev.arg > 0) slot.pending_restart_at_ns = now + ev.arg;
+      throw WorkerKilled{ctx.tid()};
+    }
+    ctx.record(RtEventKind::kStall, ev.arg);
+    slot.stalls.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ev.arg));
+  }
+}
+
+void RtSupervisor::poll_restarts() {
+  const bool stopping = stop_.load(std::memory_order_acquire);
+  for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) {
+    Slot& slot = slots_[tid];
+    if (!slot.joined && !slot.alive.load(std::memory_order_acquire)) {
+      slot.thread.join();
+      slot.joined = true;
+    }
+    if (slot.joined && slot.pending_restart_at_ns > 0 && !stopping) {
+      if (since_origin_ns() >= slot.pending_restart_at_ns) {
+        slot.pending_restart_at_ns = 0;
+        ++slot.incarnation;
+        ++slot.restarts;
+        if (options_.on_restart) {
+          options_.on_restart(tid, slot.incarnation);
+        }
+        trace_.record(tid, slot.incarnation, RtEventKind::kRestart,
+                      since_origin_ns(), slot.incarnation);
+        spawn(tid);
+      }
+    }
+  }
+}
+
+void RtSupervisor::run() {
+  TBWF_ASSERT(!ran_, "RtSupervisor::run may be called once");
+  ran_ = true;
+  origin_ns_ = steady_now_ns();
+  injector_.arm(plan_.seed() ^ 0x53544F524DULL /* "STORM" */, origin_ns_,
+                plan_.storm_windows());
+  for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) spawn(tid);
+
+  const std::uint64_t deadline =
+      origin_ns_ + static_cast<std::uint64_t>(options_.run_for.count());
+  while (steady_now_ns() < deadline) {
+    const std::uint64_t remaining = deadline - steady_now_ns();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(std::min(
+        remaining, static_cast<std::uint64_t>(options_.restart_poll.count()))));
+    poll_restarts();
+  }
+
+  stop_.store(true, std::memory_order_release);
+  for (auto& slot : slots_) {
+    if (slot.thread.joinable()) slot.thread.join();
+    slot.joined = true;
+  }
+  run_end_ns_ = since_origin_ns();
+  tally_counters();
+}
+
+void RtSupervisor::tally_counters() {
+  const RtTraceSnapshot snap = trace_.snapshot();
+  for (int t = 0; t < snap.n(); ++t) {
+    const std::string tid = std::to_string(t);
+    // Lifecycle faults come from the firsthand slot tallies (the ring
+    // may have evicted early events); the rest are read off the trace.
+    const Slot& slot = slots_[static_cast<std::size_t>(t)];
+    counters_.inc("rt.kills.t" + tid,
+                  slot.kills.load(std::memory_order_relaxed));
+    counters_.inc("rt.stalls.t" + tid,
+                  slot.stalls.load(std::memory_order_relaxed));
+    counters_.inc("rt.restarts.t" + tid, slot.restarts);
+    for (const RtEvent& ev : snap.per_tid[static_cast<std::size_t>(t)]) {
+      switch (ev.kind) {
+        case RtEventKind::kAbort:
+          counters_.inc("rt.aborts.t" + tid);
+          break;
+        case RtEventKind::kStaleFenceBlocked:
+          counters_.inc("rt.stale_blocked.t" + tid);
+          break;
+        case RtEventKind::kOpComplete:
+          counters_.inc("rt.ops.t" + tid);
+          break;
+        default:
+          break;
+      }
+    }
+    counters_.inc("rt.trace_dropped.t" + tid,
+                  snap.dropped[static_cast<std::size_t>(t)]);
+  }
+  counters_.inc("rt.storm_aborts", injector_.injected());
+}
+
+}  // namespace tbwf::rt

@@ -1,0 +1,189 @@
+// RtSupervisor: owns the worker threads of an rt run, injects the
+// faults of an RtFaultPlan at cooperative fault points, and restarts
+// dead workers -- the rt twin of the simulator's World + chaos harness.
+//
+// Supervision model:
+//   - the supervisor spawns one worker thread per tid and runs the
+//     caller's RtWorkerBody in it (the body is the worker's whole
+//     loop: do operations, call ctx.fault_point() regularly -- also
+//     INSIDE multi-access operations, so kills land mid-operation);
+//   - a Kill fires by throwing WorkerKilled out of fault_point; the
+//     supervisor's thread wrapper catches it, logs the death, and the
+//     monitor loop joins the corpse and -- if the plan says so --
+//     spawns a fresh incarnation later: local state lost, shared
+//     objects untouched, mirroring World::restart's fresh root tasks;
+//   - a Stall fires by sleeping through the window inside fault_point:
+//     the thread is alive but not timely, exactly a StutterPhase;
+//   - Storms are armed on the supervisor's RtAbortInjector; attach it
+//     to the workload's RtAbortableRegs to expose them.
+//
+// Before a restarted incarnation runs, the options.on_restart hook
+// fires from the monitor thread (happens-before the new thread's
+// body). Wire lease fencing there: `elector.revoke(tid)` guarantees
+// any token the dead incarnation captured can never validate again,
+// so a revived worker cannot commit under its stale lease.
+//
+// Every worker logs into an RtTrace; after run() returns, snapshot()
+// feeds core::check_rt_conformance, and counters() carries per-thread
+// fault tallies (rt.kills.t<i>, rt.stalls.t<i>, rt.restarts.t<i>,
+// rt.aborts.t<i>, ...).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "rt/rt_faults.hpp"
+#include "rt/rt_registers.hpp"
+#include "rt/rt_trace.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tbwf::rt {
+
+class RtSupervisor;
+
+/// The worker's handle on the runtime: fault points, trace logging,
+/// stop flag, per-incarnation RNG. One context per incarnation, used
+/// only by its own thread.
+class RtWorkerContext {
+ public:
+  std::uint32_t tid() const { return tid_; }
+  std::uint32_t incarnation() const { return incarnation_; }
+  bool should_stop() const;
+
+  /// Nanoseconds since the supervisor's run origin.
+  std::uint64_t now_ns() const;
+
+  /// Cooperative fault point: fires any due Kill (throws WorkerKilled)
+  /// or Stall (sleeps) for this tid, and logs a liveness kStep event
+  /// every few calls. Call between operations AND inside them.
+  void fault_point();
+
+  void record(RtEventKind kind, std::uint64_t arg = 0);
+  void op_start() { record(RtEventKind::kOpStart); }
+  void op_complete(std::uint64_t arg = 0) {
+    record(RtEventKind::kOpComplete, arg);
+  }
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  friend class RtSupervisor;
+  RtWorkerContext(RtSupervisor* sup, std::uint32_t tid,
+                  std::uint32_t incarnation, std::uint64_t rng_seed)
+      : sup_(sup), tid_(tid), incarnation_(incarnation), rng_(rng_seed) {}
+
+  RtSupervisor* sup_;
+  std::uint32_t tid_;
+  std::uint32_t incarnation_;
+  util::Rng rng_;
+  std::uint64_t calls_ = 0;
+};
+
+/// The whole life of one worker incarnation. Must return when
+/// ctx.should_stop() turns true and let WorkerKilled propagate.
+using RtWorkerBody = std::function<void(RtWorkerContext&)>;
+
+struct RtSupervisorOptions {
+  int nthreads = 4;
+  std::chrono::nanoseconds run_for = std::chrono::milliseconds(24);
+  /// Per-thread ring size. A busy worker logs ~6 events per operation,
+  /// so size this for op_rate * run_for with headroom: overflow evicts
+  /// the oldest events, and once it reaches past the stable suffix the
+  /// conformance checker calls the run inconclusive.
+  std::size_t trace_capacity = 1 << 17;
+  /// Monitor-loop period: dead workers are noticed and restarted with
+  /// at most this much extra latency.
+  std::chrono::nanoseconds restart_poll = std::chrono::microseconds(200);
+  /// Fired from the monitor thread after the dead incarnation is
+  /// joined and before its replacement is spawned. Fence stale leases
+  /// here (LeaseElector::revoke).
+  std::function<void(std::uint32_t tid, std::uint32_t incarnation)>
+      on_restart;
+};
+
+class RtSupervisor {
+ public:
+  RtSupervisor(RtSupervisorOptions options, RtFaultPlan plan,
+               RtWorkerBody body);
+  ~RtSupervisor();
+
+  RtSupervisor(const RtSupervisor&) = delete;
+  RtSupervisor& operator=(const RtSupervisor&) = delete;
+
+  /// Run the whole supervised episode; blocks until every worker has
+  /// been joined. Call at most once.
+  void run();
+
+  /// Quiescent trace snapshot; valid after run() returned.
+  RtTraceSnapshot snapshot() const { return trace_.snapshot(); }
+
+  /// Per-thread fault tallies, filled in by run()'s final sweep.
+  util::Counters& counters() { return counters_; }
+
+  /// The storm injector, armed with the plan's windows at run() start.
+  /// Attach to the workload's registers before calling run().
+  RtAbortInjector& injector() { return injector_; }
+
+  const RtFaultPlan& plan() const { return plan_; }
+  std::uint64_t origin_ns() const { return origin_ns_; }
+  /// Wall-clock length of the finished run (ns since origin).
+  std::uint64_t run_end_ns() const { return run_end_ns_; }
+
+ private:
+  friend class RtWorkerContext;
+
+  /// One per-tid fault timeline entry (kills and stalls merged, sorted).
+  struct FaultEvent {
+    std::uint64_t at_ns = 0;
+    bool is_kill = false;
+    std::uint64_t arg = 0;  ///< kill: restart_after_ns; stall: duration_ns
+  };
+
+  struct Slot {
+    std::thread thread;
+    std::atomic<bool> alive{false};
+    std::uint32_t incarnation = 0;
+    /// Cursor into fault_seq_[tid]; advanced only by the worker thread,
+    /// read by the monitor only after join (happens-before via join).
+    std::size_t next_fault = 0;
+    /// Set by the dying worker before alive goes false; consumed by the
+    /// monitor (0 = no restart scheduled).
+    std::uint64_t pending_restart_at_ns = 0;
+    bool joined = true;
+    /// Firsthand lifecycle tallies (the trace ring is bounded and may
+    /// evict early events; these never lose a fault). kills/stalls are
+    /// bumped by the worker thread, restarts by the monitor.
+    std::atomic<std::uint64_t> kills{0};
+    std::atomic<std::uint64_t> stalls{0};
+    std::uint64_t restarts = 0;
+  };
+
+  std::uint64_t steady_now_ns() const;
+  std::uint64_t since_origin_ns() const { return steady_now_ns() - origin_ns_; }
+  void spawn(std::uint32_t tid);
+  void worker_main(std::uint32_t tid, std::uint32_t incarnation);
+  void maybe_fire_faults(RtWorkerContext& ctx);
+  void poll_restarts();
+  void tally_counters();
+
+  RtSupervisorOptions options_;
+  RtFaultPlan plan_;
+  RtWorkerBody body_;
+  RtTrace trace_;
+  RtAbortInjector injector_;
+  util::Counters counters_;
+  std::vector<std::vector<FaultEvent>> fault_seq_;
+  std::vector<Slot> slots_;
+  std::atomic<bool> stop_{false};
+  std::uint64_t origin_ns_ = 0;
+  std::uint64_t run_end_ns_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace tbwf::rt

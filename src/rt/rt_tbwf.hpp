@@ -23,71 +23,255 @@
 #include <cstdint>
 #include <thread>
 
+#include "registers/abort_policy.hpp"
 #include "rt/rt_registers.hpp"
 
 namespace tbwf::rt {
 
-/// Bounded-term leadership lease over a single atomic word.
+/// Adaptive lease-term calibrator: an EWMA of observed operation/step
+/// latency, in the spirit of the paper's dynamic activity-monitor
+/// timeouts (Section 5's monitors grow their windows to match observed
+/// behaviour; here the lease term tracks how long a leader actually
+/// needs). Feed it per-operation latencies with observe(); the elector
+/// asks for term_ns() on every acquisition, so the term follows load:
+/// fast ops shrink the term (quick failover after a leader dies), slow
+/// ops grow it (no spurious expiry mid-operation).
+///
+/// Thread-safe and lock-free: the EWMA lives in one atomic word updated
+/// by CAS; a lost race just drops that sample, which is harmless for a
+/// smoothed estimate.
+class LeaseCalibrator {
+ public:
+  struct Options {
+    double alpha = 0.125;              ///< EWMA weight of a new sample
+    double multiplier = 16.0;          ///< term = multiplier * ewma
+    std::uint64_t floor_ns = 2000;     ///< never shorter than this
+    std::uint64_t ceil_ns = 20000000;  ///< never longer than this (20 ms)
+  };
+
+  LeaseCalibrator() : LeaseCalibrator(Options{}) {}
+  explicit LeaseCalibrator(Options options,
+                           std::uint64_t initial_latency_ns = 10000)
+      : options_(options), ewma_ns_(initial_latency_ns) {}
+
+  /// Record one observed operation latency.
+  void observe(std::uint64_t latency_ns) {
+    std::uint64_t cur = ewma_ns_.load(std::memory_order_relaxed);
+    for (int tries = 0; tries < 4; ++tries) {
+      const double next = static_cast<double>(cur) +
+                          options_.alpha * (static_cast<double>(latency_ns) -
+                                            static_cast<double>(cur));
+      const auto packed =
+          static_cast<std::uint64_t>(next < 1.0 ? 1.0 : next);
+      if (ewma_ns_.compare_exchange_weak(cur, packed,
+                                         std::memory_order_relaxed)) {
+        samples_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  std::uint64_t ewma_ns() const {
+    return ewma_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// The calibrated lease term: multiplier * ewma, clamped.
+  std::uint64_t term_ns() const {
+    const double raw =
+        options_.multiplier * static_cast<double>(ewma_ns());
+    auto term = static_cast<std::uint64_t>(raw);
+    if (term < options_.floor_ns) term = options_.floor_ns;
+    if (term > options_.ceil_ns) term = options_.ceil_ns;
+    return term;
+  }
+
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::atomic<std::uint64_t> ewma_ns_;
+  std::atomic<std::uint64_t> samples_{0};
+};
+
+/// Bounded-term leadership lease over a single atomic word, with fencing.
+///
+/// Layout: owner (24 bits) | expiry (40 bits of nanoseconds, modulo
+/// 2^40). The 40-bit clock wraps every ~18 minutes, so expiry tests use
+/// wraparound-safe ring comparison (like TCP sequence numbers): the
+/// lease is live iff expiry is AHEAD of now by less than half the ring.
+/// Terms are clamped to kMaxTermNs (~69 s) so a live lease is always
+/// well inside the half-window; a lease abandoned for longer than ~9
+/// minutes could alias back to "live", which the supervisor rules out
+/// by revoking the leases of dead workers.
+///
+/// Fencing: every ownership transfer increments a monotone fence
+/// counter, and try_lead hands the winner its fence token. A commit
+/// guarded by validate(tid, token) can never be performed with a stale
+/// lease from before a revoke() or a re-election -- the token from
+/// acquisition k fails validation as soon as acquisition k+1 (or a
+/// revoke) bumps the fence. This is what makes supervisor restarts
+/// safe: revoke(tid) on the dead incarnation's behalf fences off any
+/// token the revived worker may have captured before dying.
 class LeaseElector {
  public:
-  explicit LeaseElector(std::chrono::nanoseconds term) : term_(term) {}
+  using ClockFn = std::uint64_t (*)();  ///< monotone nanoseconds
 
-  static constexpr std::uint32_t kNoOwner = 0xFFFFFFFFu;
+  /// One no-owner sentinel, sized to the 24-bit owner field. Real tids
+  /// must be < kNoOwner.
+  static constexpr std::uint32_t kNoOwner = 0xFFFFFFu;
+  static constexpr std::uint64_t kTimeMask = (1ULL << 40) - 1;
+  /// Leases ahead by >= half the 40-bit ring read as expired.
+  static constexpr std::uint64_t kHalfWindow = 1ULL << 39;
+  /// Hard cap on the term so expiry stays well inside the half-window.
+  static constexpr std::uint64_t kMaxTermNs = 1ULL << 36;  // ~68.7 s
 
-  /// Try to become (or remain) leader now. Returns true iff `tid` holds
-  /// the lease after the call.
-  bool try_lead(std::uint32_t tid) {
-    const std::uint64_t now = clock_ns();
+  explicit LeaseElector(std::chrono::nanoseconds term,
+                        ClockFn clock = nullptr)
+      : term_ns_(clamp_term(term)), clock_(clock) {}
+
+  /// Try to become (or remain) leader now; on success *fence_out (if
+  /// non-null) receives the token to pass to validate() before any
+  /// commit performed under this lease. A sitting leader renews its
+  /// expiry via CAS -- if the renewal CAS fails the lease was stolen or
+  /// revoked and the call reports failure.
+  bool try_lead(std::uint32_t tid, std::uint64_t* fence_out = nullptr) {
+    const std::uint64_t now = now_ns();
     std::uint64_t cur = lease_.load(std::memory_order_acquire);
-    const std::uint32_t owner = static_cast<std::uint32_t>(cur >> 40);
-    const std::uint64_t expiry = cur & ((1ULL << 40) - 1);
-    if (owner == tid && now < expiry) return true;
-    if (owner != kNoOwner >> 8 && now < expiry) return false;
+    const auto owner = static_cast<std::uint32_t>(cur >> 40);
+    const std::uint64_t expiry = cur & kTimeMask;
+    const bool live = owner != kNoOwner && lease_live(now, expiry);
+    if (live && owner != tid) return false;
     const std::uint64_t next =
         (static_cast<std::uint64_t>(tid) << 40) |
-        ((now + static_cast<std::uint64_t>(term_.count())) &
-         ((1ULL << 40) - 1));
-    return lease_.compare_exchange_strong(cur, next,
-                                          std::memory_order_acq_rel);
+        ((now + current_term_ns()) & kTimeMask);
+    if (!lease_.compare_exchange_strong(cur, next,
+                                        std::memory_order_acq_rel)) {
+      return false;
+    }
+    if (live) {
+      // Renewal: same tenure, same token.
+      if (fence_out != nullptr) {
+        *fence_out = fence_.load(std::memory_order_acquire);
+      }
+      return true;
+    }
+    const std::uint64_t token =
+        fence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (fence_out != nullptr) *fence_out = token;
+    return true;
+  }
+
+  /// True iff `tid` still holds a live lease under the same tenure that
+  /// produced `token`. Call immediately before a commit; a false return
+  /// means the lease was lost (expired + re-elected, or revoked) and the
+  /// commit must not happen.
+  bool validate(std::uint32_t tid, std::uint64_t token) const {
+    const std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    if (static_cast<std::uint32_t>(cur >> 40) != tid) return false;
+    if (!lease_live(now_ns(), cur & kTimeMask)) return false;
+    return fence_.load(std::memory_order_acquire) == token;
   }
 
   void release(std::uint32_t tid) {
     std::uint64_t cur = lease_.load(std::memory_order_acquire);
     if (static_cast<std::uint32_t>(cur >> 40) == tid) {
-      const std::uint64_t freed =
-          (static_cast<std::uint64_t>(kNoOwner >> 8) << 40);
-      lease_.compare_exchange_strong(cur, freed,
+      lease_.compare_exchange_strong(cur, kFreed,
                                      std::memory_order_acq_rel);
     }
   }
 
+  /// Forcibly fence off `tid`'s lease (supervisor restart path: the old
+  /// incarnation is dead; any token it captured must never validate
+  /// again). Frees the lease if tid holds it and advances the fence.
+  void revoke(std::uint32_t tid) {
+    std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    while (static_cast<std::uint32_t>(cur >> 40) == tid) {
+      if (lease_.compare_exchange_weak(cur, kFreed,
+                                       std::memory_order_acq_rel)) {
+        fence_.fetch_add(1, std::memory_order_acq_rel);
+        return;
+      }
+    }
+  }
+
+  /// Current owner; kNoOwner when free (also when an expired owner is
+  /// still in the word -- the lease is only *held* while live).
   std::uint32_t owner() const {
-    return static_cast<std::uint32_t>(
-        lease_.load(std::memory_order_acquire) >> 40);
+    const std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    const auto raw = static_cast<std::uint32_t>(cur >> 40);
+    if (raw == kNoOwner) return kNoOwner;
+    return lease_live(now_ns(), cur & kTimeMask) ? raw : kNoOwner;
+  }
+
+  std::uint64_t fence() const {
+    return fence_.load(std::memory_order_acquire);
+  }
+
+  /// Attach an adaptive term calibrator (nullptr detaches; the fixed
+  /// constructor term then rules again). Set before spawning threads or
+  /// from a quiescent point -- the pointer itself is not synchronized.
+  void set_calibrator(LeaseCalibrator* calibrator) {
+    calibrator_ = calibrator;
+  }
+
+  std::uint64_t current_term_ns() const {
+    if (calibrator_ != nullptr) {
+      const std::uint64_t t = calibrator_->term_ns();
+      return t > kMaxTermNs ? kMaxTermNs : t;
+    }
+    return term_ns_;
   }
 
  private:
-  static std::uint64_t clock_ns() {
-    return static_cast<std::uint64_t>(
-               std::chrono::duration_cast<std::chrono::nanoseconds>(
-                   std::chrono::steady_clock::now().time_since_epoch())
-                   .count()) &
-           ((1ULL << 40) - 1);
+  static constexpr std::uint64_t kFreed =
+      static_cast<std::uint64_t>(kNoOwner) << 40;
+
+  static std::uint64_t clamp_term(std::chrono::nanoseconds term) {
+    const auto ns = static_cast<std::uint64_t>(
+        term.count() < 1 ? 1 : term.count());
+    return ns > kMaxTermNs ? kMaxTermNs : ns;
   }
 
-  std::atomic<std::uint64_t> lease_{
-      (static_cast<std::uint64_t>(kNoOwner >> 8) << 40)};
-  std::chrono::nanoseconds term_;
+  /// Ring comparison on the 40-bit clock: live iff expiry is strictly
+  /// ahead of now by less than half the ring. Handles expiry values
+  /// that wrapped past 2^40 while now has not (and vice versa).
+  static bool lease_live(std::uint64_t now, std::uint64_t expiry) {
+    const std::uint64_t ahead = (expiry - now) & kTimeMask;
+    return ahead != 0 && ahead < kHalfWindow;
+  }
+
+  static std::uint64_t steady_clock_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  std::uint64_t now_ns() const {
+    return (clock_ != nullptr ? clock_() : steady_clock_ns()) & kTimeMask;
+  }
+
+  std::atomic<std::uint64_t> lease_{kFreed};
+  std::atomic<std::uint64_t> fence_{0};
+  std::uint64_t term_ns_;
+  LeaseCalibrator* calibrator_ = nullptr;
+  ClockFn clock_;
 };
 
 /// TBWF-style wall-clock counter (see file comment for the caveats).
 ///
 /// NOTE: this is the lightweight demo path -- a raw read-modify-write
-/// under the lease. It is exactly-once only while the lease term
-/// exceeds the worst preemption during an operation; a leader
-/// descheduled past its lease can race the next leader and lose an
-/// update. Use RtTbwfObject<qa::Counter> (uid-deduplicated) when
-/// exactness matters; bench_rt_throughput prices both.
+/// under the lease. The fence check narrows the stale-leader window to
+/// the validate-to-write gap: a leader descheduled past its lease whose
+/// tenure was taken over can no longer race the next leader from a
+/// whole operation away, but exactly-once still needs the lease term to
+/// exceed the worst preemption inside that gap. Use
+/// RtTbwfObject<qa::Counter> (uid-deduplicated) when exactness matters;
+/// bench_rt_throughput prices both.
 class RtTbwfCounter {
  public:
   explicit RtTbwfCounter(
@@ -97,22 +281,27 @@ class RtTbwfCounter {
   /// Increment; returns the value before the increment.
   std::int64_t fetch_add(std::uint32_t tid, std::int64_t delta) {
     for (int spin = 0;; ++spin) {
-      if (elector_.try_lead(tid)) {
+      std::uint64_t token = 0;
+      if (elector_.try_lead(tid, &token)) {
         // Leader: drive the abortable object until the op lands.
         for (;;) {
           auto v = cell_.read();
           if (!v.has_value()) continue;  // abort: retry (we lead)
+          if (!elector_.validate(tid, token)) break;  // lost the lease
           if (cell_.write(*v + delta)) {
             elector_.release(tid);
             return *v;
           }
         }
+        continue;  // fenced out mid-operation: re-elect and retry
       }
       // Not the leader: back off politely (non-leaders must leave the
       // abortable cell alone so the leader's ops run solo).
       if (spin % 64 == 63) std::this_thread::yield();
     }
   }
+
+  LeaseElector& elector() { return elector_; }
 
  private:
   LeaseElector elector_;
@@ -154,14 +343,19 @@ class RtTbwfObject {
   /// after F it is `op` again. The automaton state survives leadership
   /// changes -- re-invoking before the previous invoke's fate is
   /// resolved could double-apply the operation (the floating accept can
-  /// still be adopted by a later leader).
+  /// still be adopted by a later leader). Non-leaders wait out the
+  /// leader with bounded exponential backoff instead of burning the
+  /// core (they must also leave the registers alone, so waiting is all
+  /// they can usefully do).
   Result invoke(Tid tid, Op op) {
     bool unresolved = false;  // an invoke is in flight with unknown fate
-    for (int spin = 0;; ++spin) {
+    int lost_elections = 0;
+    for (;;) {
       if (!elector_.try_lead(tid)) {
-        if (spin % 64 == 63) std::this_thread::yield();
+        back_off(lost_elections++);
         continue;
       }
+      lost_elections = 0;
       const auto r = unresolved ? qa_.query(tid) : qa_.invoke(tid, op);
       if (!unresolved) unresolved = true;
       if (r.ok()) {
@@ -174,8 +368,17 @@ class RtTbwfObject {
   }
 
   RtQaUniversal<S>& qa() { return qa_; }
+  LeaseElector& elector() { return elector_; }
 
  private:
+  void back_off(int attempt) {
+    static const registers::BoundedBackoff kBackoff{
+        {.base = 1, .cap = 64, .free_retries = 6}};
+    const std::uint64_t yields = kBackoff.delay(attempt);
+    if (yields == 0) return;  // immediate retry: spin once more
+    for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
+  }
+
   LeaseElector elector_;
   RtQaUniversal<S> qa_;
 };

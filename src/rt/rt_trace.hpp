@@ -1,0 +1,142 @@
+// RtTrace: lock-free, per-thread ring buffers of timestamped runtime
+// events -- the rt analogue of sim::Trace.
+//
+// The simulator owns a global step counter, so its trace is a simple
+// append log. Real threads have no global step, so each worker writes
+// timestamped events into its OWN fixed-capacity ring (single writer,
+// no locks, one release store per event); the supervisor snapshots all
+// rings once the workers have quiesced (joined), which is the only
+// moment a reader may look. The conformance checker re-derives realized
+// timeliness, completions and re-election latency from the merged,
+// time-sorted event stream -- wall-clock nanoseconds play the role the
+// global step counter plays in the step model (docs/FAULTS.md §7).
+//
+// Rings overwrite oldest entries when full; `dropped` in the snapshot
+// says how many events fell off the front of each ring, so a checker can
+// refuse to judge a window it cannot see.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tbwf::rt {
+
+enum class RtEventKind : std::uint8_t {
+  kStep,              ///< liveness tick (the worker is scheduled and running)
+  kOpStart,           ///< an application-level operation was invoked
+  kOpComplete,        ///< ... and took effect (arg = op payload, if any)
+  kAbort,             ///< a base-register operation aborted (cell busy / storm)
+  kLeaseAcquire,      ///< won the lease (arg = fence token)
+  kLeaseRelease,      ///< released the lease voluntarily
+  kStaleFenceBlocked, ///< a commit was refused because the fence moved
+  kKill,              ///< the worker died at a cooperative kill point
+  kStall,             ///< the worker entered a stall window (arg = ns)
+  kRestart,           ///< a fresh incarnation re-joined (arg = incarnation)
+};
+
+struct RtEvent {
+  std::uint64_t at_ns = 0;  ///< since the supervisor's run origin
+  std::uint64_t arg = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t incarnation = 0;
+  RtEventKind kind = RtEventKind::kStep;
+};
+
+/// Post-run view of the trace: per-thread event vectors (time-ordered by
+/// construction -- each ring has a single writer) plus drop counts.
+struct RtTraceSnapshot {
+  std::vector<std::vector<RtEvent>> per_tid;
+  std::vector<std::uint64_t> dropped;
+  std::uint64_t run_end_ns = 0;  ///< largest timestamp seen (0 if empty)
+
+  int n() const { return static_cast<int>(per_tid.size()); }
+
+  /// All events of every thread merged and sorted by timestamp.
+  std::vector<RtEvent> merged() const {
+    std::vector<RtEvent> all;
+    std::size_t total = 0;
+    for (const auto& v : per_tid) total += v.size();
+    all.reserve(total);
+    for (const auto& v : per_tid) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end(),
+              [](const RtEvent& a, const RtEvent& b) {
+                return a.at_ns < b.at_ns ||
+                       (a.at_ns == b.at_ns && a.tid < b.tid);
+              });
+    return all;
+  }
+};
+
+class RtTrace {
+ public:
+  /// `capacity` is rounded up to a power of two, per thread.
+  explicit RtTrace(int nthreads, std::size_t capacity = 1 << 14)
+      : rings_(static_cast<std::size_t>(nthreads)) {
+    TBWF_ASSERT(nthreads >= 1, "need at least one thread");
+    cap_ = 1;
+    while (cap_ < capacity) cap_ <<= 1;
+    mask_ = cap_ - 1;
+    for (auto& ring : rings_) {
+      ring.slots = std::make_unique<RtEvent[]>(cap_);
+    }
+  }
+
+  /// Record one event for `tid`. Wait-free: one slot write and one
+  /// release store. Must be called only by tid's current worker thread
+  /// (or by the supervisor while that worker is provably not running --
+  /// dead and joined, or not yet spawned).
+  void record(std::uint32_t tid, std::uint32_t incarnation, RtEventKind kind,
+              std::uint64_t at_ns, std::uint64_t arg = 0) {
+    Ring& ring = rings_[tid];
+    const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+    RtEvent& slot = ring.slots[head & mask_];
+    slot.at_ns = at_ns;
+    slot.arg = arg;
+    slot.tid = tid;
+    slot.incarnation = incarnation;
+    slot.kind = kind;
+    ring.head.store(head + 1, std::memory_order_release);
+  }
+
+  /// Copy out every ring. Quiescent-only: all writers must have been
+  /// joined (or otherwise happen-before this call) -- the rings are not
+  /// seqlocked, a concurrent writer would tear the copy.
+  RtTraceSnapshot snapshot() const {
+    RtTraceSnapshot snap;
+    snap.per_tid.resize(rings_.size());
+    snap.dropped.resize(rings_.size(), 0);
+    for (std::size_t t = 0; t < rings_.size(); ++t) {
+      const Ring& ring = rings_[t];
+      const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+      const std::uint64_t kept = std::min<std::uint64_t>(head, cap_);
+      snap.dropped[t] = head - kept;
+      auto& out = snap.per_tid[t];
+      out.reserve(kept);
+      for (std::uint64_t i = head - kept; i < head; ++i) {
+        out.push_back(ring.slots[i & mask_]);
+        snap.run_end_ns = std::max(snap.run_end_ns, out.back().at_ns);
+      }
+    }
+    return snap;
+  }
+
+  int n() const { return static_cast<int>(rings_.size()); }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  struct alignas(64) Ring {
+    std::unique_ptr<RtEvent[]> slots;
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  std::vector<Ring> rings_;
+  std::size_t cap_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace tbwf::rt

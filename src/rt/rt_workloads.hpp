@@ -1,0 +1,148 @@
+// Canonical supervised rt workloads, shared by the fault-sweep tests
+// (rt conformance) and the recovery benches (E13).
+//
+// LeasedCounterWorkload is the full hardened hot path of this PR wired
+// together: a fenced LeaseElector whose term is calibrated from
+// observed op latency (LeaseCalibrator), an abortable try-lock cell
+// that storms can be injected into, bounded backoff for aborted
+// operations (registers::BoundedBackoff), fault points INSIDE the
+// operation so kills land mid-commit, and the canonical-use rotation
+// discipline of Definition 6: a finishing leader waits until someone
+// else has held the lease (the fence advanced) -- or a bounded solo
+// timeout -- before competing again, which is what spreads completions
+// across threads and makes the per-thread wait-freedom check of the
+// conformance checker meaningful on real threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "registers/abort_policy.hpp"
+#include "rt/rt_supervisor.hpp"
+#include "rt/rt_tbwf.hpp"
+
+namespace tbwf::rt {
+
+class LeasedCounterWorkload {
+ public:
+  explicit LeasedCounterWorkload(int nthreads,
+                                 std::uint64_t rotation_wait_ns = 200000)
+      : elector_(std::chrono::microseconds(500)),
+        cell_(0),
+        commits_(std::make_unique<std::atomic<std::uint64_t>[]>(
+            static_cast<std::size_t>(nthreads))),
+        rotation_wait_ns_(rotation_wait_ns) {
+    elector_.set_calibrator(&calibrator_);
+    for (int t = 0; t < nthreads; ++t) commits_[t].store(0);
+  }
+
+  /// Expose the cell to the supervisor's storm injector. Call before
+  /// RtSupervisor::run().
+  void attach_storms(RtSupervisor& supervisor) {
+    cell_.set_injector(&supervisor.injector());
+  }
+
+  /// The restart hook that makes revival safe: fence off any lease the
+  /// dead incarnation still holds before its replacement runs.
+  std::function<void(std::uint32_t, std::uint32_t)> on_restart() {
+    return [this](std::uint32_t tid, std::uint32_t) {
+      elector_.revoke(tid);
+    };
+  }
+
+  RtWorkerBody body() {
+    return [this](RtWorkerContext& ctx) { run_worker(ctx); };
+  }
+
+  LeaseElector& elector() { return elector_; }
+  LeaseCalibrator& calibrator() { return calibrator_; }
+
+  std::uint64_t commits(std::uint32_t tid) const {
+    return commits_[tid].load(std::memory_order_relaxed);
+  }
+
+  /// Quiescent-only (after RtSupervisor::run returned).
+  std::int64_t value() {
+    for (;;) {
+      auto v = cell_.read();
+      if (v.has_value()) return *v;
+    }
+  }
+
+ private:
+  void run_worker(RtWorkerContext& ctx) {
+    const std::uint32_t tid = ctx.tid();
+    const registers::BoundedBackoff backoff{
+        {.base = 1, .cap = 32, .free_retries = 4}};
+    int lost_elections = 0;
+    while (!ctx.should_stop()) {
+      ctx.fault_point();
+      std::uint64_t token = 0;
+      if (!elector_.try_lead(tid, &token)) {
+        yield_for(backoff.delay(lost_elections++));
+        continue;
+      }
+      lost_elections = 0;
+      ctx.record(RtEventKind::kLeaseAcquire, token);
+      ctx.op_start();
+      const std::uint64_t op_begin = ctx.now_ns();
+      bool committed = false;
+      for (int attempt = 0; !committed && !ctx.should_stop(); ++attempt) {
+        ctx.fault_point();
+        // Renew the lease (same tenure, same token); a false return
+        // means it was stolen or revoked -- abandon the operation.
+        if (!elector_.try_lead(tid, &token)) {
+          ctx.record(RtEventKind::kStaleFenceBlocked);
+          break;
+        }
+        const auto v = cell_.read();
+        if (!v.has_value()) {
+          ctx.record(RtEventKind::kAbort);
+          yield_for(backoff.delay(attempt));
+          continue;
+        }
+        ctx.fault_point();  // mid-operation danger zone: kills land here
+        if (!elector_.validate(tid, token)) {
+          ctx.record(RtEventKind::kStaleFenceBlocked);
+          break;
+        }
+        if (!cell_.write(*v + 1)) {
+          ctx.record(RtEventKind::kAbort);
+          yield_for(backoff.delay(attempt));
+          continue;
+        }
+        committed = true;
+        commits_[tid].fetch_add(1, std::memory_order_relaxed);
+        calibrator_.observe(ctx.now_ns() - op_begin);
+        ctx.op_complete(static_cast<std::uint64_t>(*v + 1));
+      }
+      const std::uint64_t fence_after = elector_.fence();
+      elector_.release(tid);
+      ctx.record(RtEventKind::kLeaseRelease);
+      // Canonical-use rotation: wait until another thread has held the
+      // lease, or a bounded timeout when running solo.
+      const std::uint64_t wait_begin = ctx.now_ns();
+      while (!ctx.should_stop() && elector_.fence() == fence_after &&
+             ctx.now_ns() - wait_begin < rotation_wait_ns_) {
+        ctx.fault_point();
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  static void yield_for(std::uint64_t yields) {
+    for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
+  }
+
+  LeaseElector elector_;
+  LeaseCalibrator calibrator_;
+  RtAbortableReg<std::int64_t> cell_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> commits_;
+  std::uint64_t rotation_wait_ns_;
+};
+
+}  // namespace tbwf::rt

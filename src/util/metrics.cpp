@@ -66,6 +66,12 @@ void Histogram::clear() {
   sorted_ = true;
 }
 
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (auto s : samples_) total += s;
+  return total;
+}
+
 std::string Histogram::summary() const {
   std::ostringstream os;
   os << "n=" << count() << " mean=" << mean() << " p50=" << p50()

@@ -40,6 +40,9 @@ class Histogram {
   void merge(const Histogram& other);
   void clear();
 
+  /// Sum of all samples (exact; used for throughput-over-window tallies).
+  std::uint64_t sum() const;
+
   /// "n=... mean=... p50=... p99=... max=..." one-liner for tables.
   std::string summary() const;
 
@@ -57,6 +60,12 @@ class Counters {
  public:
   void inc(const std::string& name, std::uint64_t delta = 1) {
     values_[name] += delta;
+  }
+  /// Keep the running maximum of `value` under `name` (e.g. worst-case
+  /// re-election latency across a sweep).
+  void max_of(const std::string& name, std::uint64_t value) {
+    auto& slot = values_[name];
+    slot = std::max(slot, value);
   }
   std::uint64_t get(const std::string& name) const {
     auto it = values_.find(name);

@@ -202,5 +202,29 @@ TEST(AbortableRegister, BackoffBeatsAlwaysAbortAdversary) {
   EXPECT_EQ(value, 99);
 }
 
+TEST(BoundedBackoff, DoublesFromBaseAndSaturatesAtCap) {
+  registers::BoundedBackoff backoff{{.base = 2, .cap = 16, .free_retries = 1}};
+  EXPECT_EQ(backoff.delay(0), 0u);  // free retry
+  EXPECT_EQ(backoff.delay(1), 2u);
+  EXPECT_EQ(backoff.delay(2), 4u);
+  EXPECT_EQ(backoff.delay(3), 8u);
+  EXPECT_EQ(backoff.delay(4), 16u);
+  EXPECT_EQ(backoff.delay(5), 16u);    // capped
+  EXPECT_EQ(backoff.delay(200), 16u);  // no overflow at silly attempts
+}
+
+TEST(BoundedBackoff, JitterStaysInHalfOpenBand) {
+  registers::BoundedBackoff backoff{{.base = 4, .cap = 1024, .free_retries = 0}};
+  util::Rng rng(7);
+  for (int attempt = 1; attempt < 12; ++attempt) {
+    const std::uint64_t full = backoff.delay(attempt);
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t j = backoff.jittered_delay(attempt, rng);
+      EXPECT_GE(j, full / 2);
+      EXPECT_LE(j, full);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tbwf

@@ -1,0 +1,212 @@
+// TSan-targeted contention tests for the rt primitives: real threads
+// hammering RtAbortableReg, the storm injector, and the heartbeat slot.
+// The point is the memory-model surface (run these under the tsan CI
+// job), plus the abortable-register contract under genuine concurrency:
+// aborted writes never take effect, solo operations never abort.
+//
+// Single-core note: this box has one CPU, so the loops yield liberally
+// and every bound is generous -- the assertions are contract checks,
+// not timing checks.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rt/rt_registers.hpp"
+
+namespace tbwf::rt {
+namespace {
+
+TEST(RtAbortableRegContentionTest, AbortedWritesNeverTakeEffect) {
+  // Each thread writes values tagged with its own id and a strictly
+  // growing sequence, announcing each attempt before the write and
+  // recording each success after it. Readers must only ever observe
+  // announced values, and the final register value (after all threads
+  // joined) must be one its writer saw succeed -- if an aborted write
+  // leaked its value, the last effective write could be one whose
+  // writer saw `false`.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  RtAbortableReg<std::uint64_t> reg(0);
+  std::vector<std::atomic<std::uint64_t>> attempted(kThreads);
+  std::vector<std::atomic<std::uint64_t>> committed(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    attempted[i].store(0);
+    committed[i].store(0);
+  }
+  std::atomic<bool> bad_read{false};
+
+  auto worker = [&](std::uint64_t id) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const std::uint64_t v = (id << 32) | static_cast<std::uint64_t>(i + 1);
+      attempted[id].store(v, std::memory_order_release);
+      if (reg.write(v)) committed[id].store(v, std::memory_order_release);
+      const auto r = reg.read();
+      if (r.has_value() && *r != 0) {
+        const std::uint64_t writer = *r >> 32;
+        // Values from nowhere (wrong tag) or from the future (beyond
+        // what the writer has announced) are both corruption.
+        if (writer >= kThreads ||
+            *r > attempted[writer].load(std::memory_order_acquire)) {
+          bad_read.store(true);
+          return;
+        }
+      }
+      if ((i & 63) == 0) std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (std::uint64_t id = 0; id < kThreads; ++id) {
+    threads.emplace_back(worker, id);
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(bad_read.load());
+
+  // The globally last effective write is its writer's latest success;
+  // a leaked aborted write here would exceed the writer's committed
+  // record.
+  const auto final_value = reg.read();
+  ASSERT_TRUE(final_value.has_value());
+  if (*final_value != 0) {
+    const std::uint64_t writer = *final_value >> 32;
+    ASSERT_LT(writer, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(*final_value, committed[writer].load());
+  }
+}
+
+TEST(RtAbortableRegContentionTest, SoloOperationsNeverAbortAfterQuiesce) {
+  // Phase 1: real contention (some ops abort, that is fine). Phase 2:
+  // all contenders joined; the surviving solo thread's operations must
+  // never abort -- the property every Section 6 back-off mechanism
+  // rests on.
+  RtAbortableReg<std::int64_t> reg(0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> noise;
+  for (int i = 0; i < 3; ++i) {
+    noise.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)reg.read();
+        (void)reg.write(1);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    (void)reg.read();
+    if ((i & 15) == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : noise) t.join();
+
+  // Quiesced: every solo op must succeed.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(reg.write(i)) << "solo write aborted at op " << i;
+    const auto r = reg.read();
+    ASSERT_TRUE(r.has_value()) << "solo read aborted at op " << i;
+    EXPECT_EQ(*r, i);
+  }
+}
+
+TEST(RtAbortableRegContentionTest, SoloNeverAbortsWithIdleInjectorAttached) {
+  // An attached injector whose windows are all closed must not perturb
+  // the solo guarantee.
+  RtAbortInjector injector;
+  injector.arm(/*seed=*/42, /*origin_ns=*/0,
+               {{.from_ns = 0, .to_ns = 1, .rate_millionths = 1000000}});
+  RtAbortableReg<std::int64_t> reg(0);
+  reg.set_injector(&injector);  // window [0ns, 1ns) is long gone
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(reg.write(i));
+    ASSERT_TRUE(reg.read().has_value());
+  }
+  EXPECT_EQ(injector.injected(), 0u);
+}
+
+TEST(RtStormInjectorTest, FullRateWindowAbortsEverythingInsideIt) {
+  // An always-open window at rate 1.0: every op aborts while it is
+  // open, and the injector counts each one.
+  RtAbortInjector injector;
+  const auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  injector.arm(/*seed=*/7, /*origin_ns=*/now_ns,
+               {{.from_ns = 0, .to_ns = ~0ULL, .rate_millionths = 1000000}});
+  RtAbortableReg<std::int64_t> reg(0);
+  reg.set_injector(&injector);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(reg.write(i));
+    EXPECT_FALSE(reg.read().has_value());
+  }
+  EXPECT_EQ(injector.injected(), 1000u);
+  // Storm aborts have no effect: the register kept its initial value.
+  reg.set_injector(nullptr);
+  const auto r = reg.read();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0);
+}
+
+TEST(RtStormInjectorTest, ConcurrentFiresAreRaceFreeAndCounted) {
+  // Several threads drawing from the injector at once: the draw counter
+  // and injected tally are atomics; TSan checks the rest.
+  RtAbortInjector injector;
+  injector.arm(/*seed=*/11, /*origin_ns=*/0,
+               {{.from_ns = 0, .to_ns = ~0ULL, .rate_millionths = 500000}});
+  constexpr int kThreads = 4;
+  constexpr int kDraws = 5000;
+  std::vector<std::atomic<std::uint64_t>> hits(kThreads);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::thread> threads;
+  for (int id = 0; id < kThreads; ++id) {
+    threads.emplace_back([&, id] {
+      std::uint64_t mine = 0;
+      for (int i = 0; i < kDraws; ++i) {
+        if (injector.fire()) ++mine;
+        if ((i & 255) == 0) std::this_thread::yield();
+      }
+      hits[id].store(mine);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::uint64_t total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(injector.injected(), total);
+  // Rate 0.5 over 20k draws: expect roughly half, with a wide berth.
+  EXPECT_GT(total, static_cast<std::uint64_t>(kThreads * kDraws / 4));
+  EXPECT_LT(total, static_cast<std::uint64_t>(kThreads * kDraws * 3 / 4));
+}
+
+TEST(RtHeartbeatContentionTest, ReadersSeeMonotoneBeats) {
+  RtHeartbeat hb;
+  constexpr std::uint64_t kBeats = 20000;
+  std::atomic<bool> regression{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (last < kBeats) {
+        const std::uint64_t v = hb.value();
+        if (v < last) {
+          regression.store(true);
+          return;
+        }
+        last = v;
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < kBeats; ++i) {
+    hb.beat();
+    if ((i & 1023) == 0) std::this_thread::yield();
+  }
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(regression.load());
+  EXPECT_EQ(hb.value(), kBeats);
+}
+
+}  // namespace
+}  // namespace tbwf::rt

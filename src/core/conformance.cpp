@@ -34,7 +34,14 @@ std::string ConformanceReport::summary() const {
   for (std::size_t i = 0; i < suffix_timely.size(); ++i) {
     out << (i ? "," : "") << "p" << suffix_timely[i];
   }
-  out << "} " << (ok ? "OK" : "VIOLATED") << "\n";
+  if (!channel_degraded.empty()) {
+    out << "} degraded={";
+    for (std::size_t i = 0; i < channel_degraded.size(); ++i) {
+      out << (i ? "," : "") << "p" << channel_degraded[i];
+    }
+  }
+  out << "}" << (link_partitioned ? " (link partitioned)" : "") << " "
+      << (ok ? "OK" : "VIOLATED") << "\n";
   for (const auto& w : windows) {
     out << "  window [" << w.from << ", " << w.to << ") bounds:";
     for (std::size_t p = 0; p < w.realized_bound.size(); ++p) {
@@ -108,6 +115,18 @@ ConformanceReport check_chaos_conformance(
   }
 
   // Who is empirically timely in the stable suffix (Definition 1)?
+  // A pid the plan leaves reachable only over jam-dead channels is
+  // graded untimely regardless of its trace: no peer can observe its
+  // activity over the faulted medium, so the checker must not hold it
+  // to -- nor count it towards -- any wait-free guarantee it cannot
+  // have earned there.
+  report.channel_degraded =
+      plan.channel_degraded(n, report.suffix_from, report.run_end);
+  const auto is_degraded = [&](sim::Pid p) {
+    return std::find(report.channel_degraded.begin(),
+                     report.channel_degraded.end(),
+                     p) != report.channel_degraded.end();
+  };
   std::vector<sim::Step> suffix_bound(static_cast<std::size_t>(n),
                                       sim::Trace::kNever);
   for (sim::Pid p = 0; p < n; ++p) {
@@ -118,12 +137,23 @@ ConformanceReport check_chaos_conformance(
     const sim::Step bound =
         trace.max_gap_in(p, report.suffix_from, report.run_end) + 1;
     suffix_bound[static_cast<std::size_t>(p)] = bound;
-    if (bound <= options.timely_bound) report.suffix_timely.push_back(p);
+    if (bound <= options.timely_bound && !is_degraded(p)) {
+      report.suffix_timely.push_back(p);
+    }
   }
+
+  // A silent message-register drop on a live pair through the whole
+  // suffix is undetectable -- writes report success, reads stay valid --
+  // so the frozen counter view can deadlock leadership on a
+  // mutually-stale minimum. No completion guarantee is judgeable there:
+  // the checker demands none (and the sweeps assert none is awarded).
+  report.link_partitioned =
+      plan.link_partitioned(n, report.suffix_from, report.run_end);
 
   // Graded guarantee 1 -- wait-freedom for the timely: every
   // suffix-timely issuing process keeps completing with bounded gaps.
   for (const sim::Pid p : report.suffix_timely) {
+    if (report.link_partitioned) break;  // unjudgeable, demand nothing
     if (!is_issuing(p)) continue;
     const sim::Step gap = max_completion_gap_in(
         log.completions[static_cast<std::size_t>(p)], report.suffix_from,
@@ -143,7 +173,7 @@ ConformanceReport check_chaos_conformance(
   const bool any_timely_issuing =
       std::any_of(report.suffix_timely.begin(), report.suffix_timely.end(),
                   is_issuing);
-  if (any_timely_issuing) {
+  if (any_timely_issuing && !report.link_partitioned) {
     std::vector<sim::Step> merged;
     for (const sim::Pid p : issuing) {
       const auto& cs = log.completions[static_cast<std::size_t>(p)];
@@ -192,6 +222,14 @@ ConformanceReport check_chaos_conformance(
       metrics->inc("chaos.crashes.p" + pid, trace.crash_count(p));
       metrics->inc("chaos.restarts.p" + pid, trace.restart_count(p));
     }
+    for (const sim::Pid p : report.channel_degraded) {
+      metrics->inc("chaos.channel_degraded.p" + std::to_string(p));
+    }
+    if (report.link_partitioned) {
+      metrics->inc("chaos.conformance.link_partitioned");
+    }
+    metrics->inc("chaos.conformance.link_faults",
+                 plan.link_faults().size());
     metrics->inc(report.ok ? "chaos.conformance.ok"
                            : "chaos.conformance.violated");
     metrics->inc("chaos.conformance.violations", report.violations.size());
@@ -239,7 +277,9 @@ const char* to_string(RtGuaranteeGrade grade) {
 std::string RtConformanceReport::summary() const {
   std::ostringstream out;
   out << "rt conformance plan seed=" << plan_seed
-      << " grade=" << to_string(grade) << " run_end=" << run_end_ns
+      << " grade=" << to_string(grade)
+      << (medium_jammed ? " (medium jammed)" : "")
+      << " run_end=" << run_end_ns
       << "ns suffix_from=" << suffix_from_ns << "ns timely={";
   for (std::size_t i = 0; i < suffix_timely.size(); ++i) {
     out << (i ? "," : "") << "t" << suffix_timely[i];
@@ -392,6 +432,24 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
   const std::size_t timely_issuing = static_cast<std::size_t>(
       std::count_if(report.issuing.begin(), report.issuing.end(),
                     is_timely));
+
+  // A Jam window covering the whole suffix means the registers served
+  // nothing there: timeliness can still be derived (threads keep
+  // stepping), but no completion guarantee is earnable, so none is
+  // demanded and none is awarded.
+  report.medium_jammed =
+      plan.jam_covers(report.suffix_from_ns, report.run_end_ns);
+  if (report.medium_jammed) {
+    report.grade = RtGuaranteeGrade::kNone;
+    report.ok = report.violations.empty();
+    if (metrics != nullptr) {
+      metrics->inc("rt.conformance.medium_jammed");
+      metrics->inc(report.ok ? "rt.conformance.ok"
+                             : "rt.conformance.violated");
+      metrics->inc("rt.conformance.violations", report.violations.size());
+    }
+    return report;
+  }
 
   // Derive the grade the run actually earned (strongest first).
   if (report.issuing.empty()) {

@@ -64,6 +64,18 @@ struct ConformanceReport {
   sim::Step run_end = 0;
   /// Processes empirically timely (w.r.t. timely_bound) in the suffix.
   std::vector<sim::Pid> suffix_timely;
+  /// Processes the plan leaves reachable only over suppressed links
+  /// through the suffix (FaultPlan::channel_degraded). They are graded
+  /// untimely no matter what the trace shows: activity a peer can never
+  /// observe over the faulted medium earns no wait-free verdict.
+  std::vector<sim::Pid> channel_degraded;
+  /// A silent-drop window on a live pair's message register covers the
+  /// whole suffix (FaultPlan::link_partitioned): the reader's counter
+  /// view freezes with no evidence to detect it, so leadership can
+  /// deadlock on a mutually-stale minimum. The checker demands no
+  /// completion guarantees -- not even lock-freedom -- over such a
+  /// window (and, symmetrically, awards none).
+  bool link_partitioned = false;
   /// Realized timeliness per plan phase, for diagnostics.
   std::vector<WindowTimeliness> windows;
   std::vector<std::string> violations;
@@ -129,6 +141,11 @@ struct RtConformanceReport {
   bool ok = false;
   std::uint64_t plan_seed = 0;
   RtGuaranteeGrade grade = RtGuaranteeGrade::kNone;
+  /// A Jam reg-fault window covers the whole stable suffix: the shared
+  /// medium serves nothing there, so the checker demands no completions
+  /// and awards no grade -- wait-freedom a jammed register cannot earn
+  /// is never reported.
+  bool medium_jammed = false;
   std::uint64_t suffix_from_ns = 0;
   std::uint64_t run_end_ns = 0;
   /// Empirical suffix timeliness bound per tid (kNeverNs = silent/dead).

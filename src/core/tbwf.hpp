@@ -41,10 +41,15 @@ class TbwfSystem {
   /// `omega_policy` is required for OmegaBackend::AbortableRegisters;
   /// `qa_policy` is required when Base = qa::AbortableBase. Both must
   /// outlive the system. Omega-Delta is installed on every process.
+  /// `omega_options` tunes the hardened Figure 4/6 channels (link
+  /// health thresholds, silent-drop repair cadence) and only applies to
+  /// the abortable backend.
   TbwfSystem(sim::World& world, typename S::State initial,
              OmegaBackend backend,
              registers::AbortPolicy* qa_policy = nullptr,
-             registers::AbortPolicy* omega_policy = nullptr) {
+             registers::AbortPolicy* omega_policy = nullptr,
+             omega::OmegaAbortable::Options omega_options =
+                 omega::OmegaAbortable::Options()) {
     if (backend == OmegaBackend::AtomicRegisters) {
       omega_.template emplace<std::unique_ptr<omega::OmegaRegisters>>(
           std::make_unique<omega::OmegaRegisters>(world));
@@ -54,7 +59,8 @@ class TbwfSystem {
       TBWF_ASSERT(omega_policy != nullptr,
                   "abortable Omega-Delta needs an abort policy");
       omega_.template emplace<std::unique_ptr<omega::OmegaAbortable>>(
-          std::make_unique<omega::OmegaAbortable>(world, omega_policy));
+          std::make_unique<omega::OmegaAbortable>(world, omega_policy,
+                                                  omega_options));
       std::get<std::unique_ptr<omega::OmegaAbortable>>(omega_)
           ->install_all();
     }
@@ -72,6 +78,14 @@ class TbwfSystem {
       return (*regs)->io(p);
     }
     return std::get<std::unique_ptr<omega::OmegaAbortable>>(omega_)->io(p);
+  }
+
+  /// The Figure 6 system, or nullptr with the atomic backend. Gives
+  /// harnesses the per-link health counters and endpoint state.
+  omega::OmegaAbortable* omega_abortable() {
+    auto* ab =
+        std::get_if<std::unique_ptr<omega::OmegaAbortable>>(&omega_);
+    return ab != nullptr ? ab->get() : nullptr;
   }
 
  private:

@@ -10,6 +10,19 @@
 // disturb the other register, whose read then returns a stale value and
 // exposes the slowness.
 //
+// Hardening against a degraded medium (registers/reg_faults.hpp): the
+// counter travels as an HbStamp (counter + checksum, omega/wire.hpp).
+// A stamp that fails its checksum or regresses below one this reader
+// already accepted cannot come from contention -- it is evidence about
+// the MEDIUM, never about the writer -- so it counts as NOT fresh (a
+// degraded link must not prove timeliness) and feeds the per-link
+// LinkHealth score. A link judged beyond the spec's adversary (sound
+// medium faults, or a jam-length streak of all-abort rounds) is
+// quarantined: the peer is dropped from activeSet (Figure 6 then
+// punishes it through the counter/actrTo path) and the link is probed
+// on a BoundedBackoff schedule until it demonstrably heals, at which
+// point the peer rejoins. Fault-free behavior is unchanged.
+//
 // tests/hb_channel_test.cpp includes the one-register ablation showing
 // precisely this failure; bench_abortable_comm quantifies it.
 #pragma once
@@ -19,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "omega/link_health.hpp"
+#include "omega/wire.hpp"
 #include "registers/abort_policy.hpp"
 #include "sim/co.hpp"
 #include "sim/env.hpp"
@@ -30,19 +45,28 @@ using HbCounter = std::int64_t;
 
 /// Per-process endpoint for the Figure 5 procedures.
 struct HbEndpoint {
+  using Reg = sim::AbortableReg<HbStamp>;
+
   sim::Pid self = sim::kNoPid;
-  std::vector<sim::AbortableReg<HbCounter>> out1, out2;  ///< HbRegister1/2[self,q]
-  std::vector<sim::AbortableReg<HbCounter>> in1, in2;    ///< HbRegister1/2[q,self]
+  std::vector<Reg> out1, out2;  ///< HbRegister1/2[self,q]
+  std::vector<Reg> in1, in2;    ///< HbRegister1/2[q,self]
 
   std::vector<std::int64_t> hb_timeout;
   std::vector<std::int64_t> hb_timer;
   /// Stored read results; nullopt renders the paper's bottom.
-  std::vector<std::optional<HbCounter>> hb1, hb2, prev1, prev2;
+  std::vector<std::optional<HbStamp>> hb1, hb2, prev1, prev2;
+  /// Highest VALID counter accepted per register; regressions below
+  /// these are medium faults, not writer behavior.
+  std::vector<HbCounter> seen1, seen2;
   HbCounter send_counter = 0;
   /// activeSet: self is a permanent member (initial state in Figure 5).
   std::vector<bool> active_set;
 
-  void init(int n, sim::Pid self_pid) {
+  /// Per-link health; reader-side quarantine demotes the peer and paces
+  /// recovery probes (see link_health.hpp).
+  std::vector<LinkHealth> in_health, out_health;
+
+  void init(int n, sim::Pid self_pid, const LinkHealthOptions& health = {}) {
     self = self_pid;
     out1.resize(n);
     out2.resize(n);
@@ -50,19 +74,37 @@ struct HbEndpoint {
     in2.resize(n);
     hb_timeout.assign(n, 1);
     hb_timer.assign(n, 1);
-    hb1.assign(n, HbCounter{0});
-    hb2.assign(n, HbCounter{0});
-    prev1.assign(n, HbCounter{0});
-    prev2.assign(n, HbCounter{0});
+    hb1.assign(n, HbStamp::make(0));
+    hb2.assign(n, HbStamp::make(0));
+    prev1.assign(n, HbStamp::make(0));
+    prev2.assign(n, HbStamp::make(0));
+    seen1.assign(n, 0);
+    seen2.assign(n, 0);
     active_set.assign(n, false);
     active_set[self] = true;
+    in_health.assign(n, LinkHealth(health));
+    out_health.assign(n, LinkHealth(health));
+  }
+
+  void export_metrics(util::Counters& metrics,
+                      const std::string& prefix = "link.hb") const {
+    for (std::size_t q = 0; q < in_health.size(); ++q) {
+      if (static_cast<sim::Pid>(q) == self) continue;
+      in_health[q].export_metrics(
+          metrics, prefix + ".in." + std::to_string(self) + "." +
+                       std::to_string(q));
+      out_health[q].export_metrics(
+          metrics, prefix + ".out." + std::to_string(self) + "." +
+                       std::to_string(q));
+    }
   }
 };
 
 /// Wire the full mesh of paired SWSR heartbeat registers.
 std::vector<HbEndpoint> make_hb_mesh(sim::World& world,
                                      registers::AbortPolicy* policy,
-                                     const std::string& prefix = "Hb");
+                                     const std::string& prefix = "Hb",
+                                     const LinkHealthOptions& health = {});
 
 /// Figure 5, SendHeartbeat(dest): write the incremented counter to both
 /// registers towards every q with dest[q] set.
@@ -85,9 +127,9 @@ namespace tbwf::omega {
 /// bench_abortable_comm can quantify the failure against Figure 5's
 /// two-register scheme.
 struct SingleRegHbReceiver {
-  sim::AbortableReg<HbCounter> in;
-  std::optional<HbCounter> prev = HbCounter{0};
-  std::optional<HbCounter> last = HbCounter{0};
+  sim::AbortableReg<HbStamp> in;
+  std::optional<HbStamp> prev = HbStamp::make(0);
+  std::optional<HbStamp> last = HbStamp::make(0);
   std::int64_t timeout = 1;
   std::int64_t timer = 1;
   bool active = false;

@@ -1,0 +1,243 @@
+// Per-link health scoring and quarantine for the Section 6 channels.
+//
+// The fault layer (registers/reg_faults.hpp) can degrade a SWSR link in
+// ways a spec-conforming abortable register never would: jam it (every
+// op aborts, solo included), drop or tear writes, serve stale reads.
+// Each channel endpoint keeps one LinkHealth per peer link and feeds it
+// classified observations; the machine decides when the link is beyond
+// the adversary the paper budgets for and must be quarantined, and when
+// a quarantined link has demonstrably healed and may rejoin.
+//
+// Evidence is graded by soundness:
+//
+//   corrupt / regression  a checksum mismatch or a sequence number going
+//                         backwards cannot be produced by contention --
+//                         only by a degraded medium. A handful of these
+//                         trips quarantine.
+//   all-abort rounds      aborts are exactly what a legitimate adversary
+//                         produces (problem (b) of Section 6) -- the
+//                         maximal adversary aborts every contended op
+//                         forever, so NO count of back-to-back aborts
+//                         is sound on its own. Instead, a long streak
+//                         raises *suspicion*, and while suspicious the
+//                         reader spaces its polls on a growing backoff:
+//                         a spec register must eventually serve a
+//                         near-solo spaced read (the writer's individual
+//                         writes are short), while a jam keeps aborting
+//                         even decorrelated probes. Only a further
+//                         streak of SPACED all-abort rounds confirms the
+//                         jam. Stale-but-valid rounds break both: a
+//                         same-stamp read is Figure 5's evidence of a
+//                         slow WRITER over a working medium.
+//   solo write aborts     on the writer side a long streak of failed
+//                         writes is sound too -- the spec guarantees
+//                         solo writes succeed, and the Figure 4/5 retry
+//                         disciplines guarantee eventual solo runs.
+//
+// While quarantined, a reader paces recovery probes on a BoundedBackoff
+// schedule instead of the adaptive Figure 5 timeout (which would grow
+// without bound against a jam and make any heal invisible), and heals
+// after `heal_rounds` consecutive sound fresh rounds.
+//
+// Quarantine is bookkeeping plus *read-side* demotion only. Writer-side
+// state never changes the writer's operation cadence: the Figure 4
+// retry writes double as recovery probes, and ContentionSchedule-style
+// adversaries key on which processes have pending operations, so a
+// writer that went quiet under quarantine would corrupt the very
+// timeliness measurements the conformance checker grades.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "registers/abort_policy.hpp"
+#include "util/metrics.hpp"
+
+namespace tbwf::omega {
+
+enum class LinkState : std::uint8_t { Healthy, Quarantined };
+
+inline const char* to_string(LinkState s) {
+  return s == LinkState::Healthy ? "healthy" : "quarantined";
+}
+
+struct LinkHealthOptions {
+  /// Consecutive all-abort polling rounds before the link becomes
+  /// jam-suspect and polls start spacing out on probe_backoff.
+  std::int64_t suspect_after = 64;
+  /// Further consecutive all-abort rounds -- each now a spaced,
+  /// decorrelated probe -- that confirm the jam and trip quarantine.
+  std::int64_t jam_rounds = 48;
+  /// Sound medium-fault observations (corrupt, regression) that trip
+  /// quarantine. Small: contention cannot produce even one.
+  std::int64_t fault_threshold = 4;
+  /// Consecutive sound fresh rounds, while quarantined, that heal.
+  int heal_rounds = 2;
+  /// Consecutive failed writes before the writer side flags the link.
+  std::int64_t write_jam_rounds = 256;
+  /// Pacing for jam-suspect polls and, once quarantined, for recovery
+  /// probes (reader side).
+  registers::BoundedBackoff::Options probe_backoff{
+      /*base=*/64, /*cap=*/4096, /*free_retries=*/0};
+};
+
+class LinkHealth {
+ public:
+  LinkHealth() : LinkHealth(LinkHealthOptions{}) {}
+  explicit LinkHealth(const LinkHealthOptions& opt)
+      : opt_(opt), pacer_(opt.probe_backoff) {}
+
+  // -- reader-side observations, one round each ------------------------------
+  /// Every read of the round aborted: possible jam.
+  void observe_abort_round() {
+    ++abort_rounds_;
+    if (state_ == LinkState::Healthy) {
+      if (++abort_streak_ >= opt_.suspect_after + opt_.jam_rounds) trip();
+    } else {
+      heal_streak_ = 0;
+    }
+  }
+
+  /// Extra poll spacing while jam-suspect: 0 when the link is not under
+  /// suspicion, else a backoff delay that grows with the spaced streak.
+  /// Spacing decorrelates the reader from a timely writer's writes --
+  /// the judgment itself (abort = fresh) is NOT touched until the jam
+  /// is confirmed.
+  std::int64_t suspect_delay() {
+    if (state_ != LinkState::Healthy || abort_streak_ < opt_.suspect_after) {
+      return 0;
+    }
+    const auto spaced = abort_streak_ - opt_.suspect_after;
+    const std::uint64_t d =
+        pacer_.delay(spaced > 62 ? 62 : static_cast<int>(spaced));
+    return d == 0 ? 1 : static_cast<std::int64_t>(d);
+  }
+  /// Valid but unchanged stamp(s): the writer is slow, the medium works.
+  void observe_stale_round() {
+    ++stale_rounds_;
+    abort_streak_ = 0;
+    if (state_ == LinkState::Quarantined) heal_streak_ = 0;
+  }
+  /// Sound fresh round: valid checksums, advancing stamps.
+  void observe_fresh() {
+    ++fresh_rounds_;
+    abort_streak_ = 0;
+    if (state_ == LinkState::Quarantined) {
+      ++probe_successes_;
+      if (++heal_streak_ >= opt_.heal_rounds) heal();
+    }
+  }
+  /// A payload failed its checksum (torn medium).
+  void observe_corrupt() {
+    ++corrupt_;
+    note_sound_fault();
+  }
+  /// A sequence number went backwards (stale medium).
+  void observe_regression() {
+    ++regressions_;
+    note_sound_fault();
+  }
+
+  /// Timer reload for the next recovery probe; call only while
+  /// quarantined. Paced by BoundedBackoff so a dead link costs O(cap)
+  /// reads per window instead of a read per round.
+  std::int64_t probe_delay() {
+    ++probes_;
+    const std::uint64_t d = pacer_.delay(probe_attempt_);
+    if (probe_attempt_ < 62) ++probe_attempt_;
+    return d == 0 ? 1 : static_cast<std::int64_t>(d);
+  }
+
+  // -- writer-side observations ----------------------------------------------
+  void note_write(bool ok) {
+    if (ok) {
+      write_streak_ = 0;
+      if (state_ == LinkState::Quarantined) heal();
+    } else {
+      ++write_aborts_;
+      if (state_ == LinkState::Healthy &&
+          ++write_streak_ >= opt_.write_jam_rounds) {
+        trip();
+      }
+    }
+  }
+
+  // -- introspection ----------------------------------------------------------
+  LinkState state() const { return state_; }
+  bool quarantined() const { return state_ == LinkState::Quarantined; }
+  std::uint64_t corrupt() const { return corrupt_; }
+  std::uint64_t regressions() const { return regressions_; }
+  std::uint64_t abort_rounds() const { return abort_rounds_; }
+  std::uint64_t stale_rounds() const { return stale_rounds_; }
+  std::uint64_t fresh_rounds() const { return fresh_rounds_; }
+  std::uint64_t write_aborts() const { return write_aborts_; }
+  std::uint64_t quarantines() const { return quarantines_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t probe_successes() const { return probe_successes_; }
+  const LinkHealthOptions& options() const { return opt_; }
+
+  /// Export counters under `prefix` (e.g. "link.msg.0.1"), suffixing
+  /// .corrupt .regressions .abort_rounds .stale_rounds .quarantines
+  /// .recoveries .probes .probe_successes .write_aborts.
+  void export_metrics(util::Counters& metrics,
+                      const std::string& prefix) const {
+    metrics.inc(prefix + ".corrupt", corrupt_);
+    metrics.inc(prefix + ".regressions", regressions_);
+    metrics.inc(prefix + ".abort_rounds", abort_rounds_);
+    metrics.inc(prefix + ".stale_rounds", stale_rounds_);
+    metrics.inc(prefix + ".quarantines", quarantines_);
+    metrics.inc(prefix + ".recoveries", recoveries_);
+    metrics.inc(prefix + ".probes", probes_);
+    metrics.inc(prefix + ".probe_successes", probe_successes_);
+    metrics.inc(prefix + ".write_aborts", write_aborts_);
+  }
+
+ private:
+  void note_sound_fault() {
+    abort_streak_ = 0;
+    if (state_ == LinkState::Healthy) {
+      if (++fault_evidence_ >= opt_.fault_threshold) trip();
+    } else {
+      heal_streak_ = 0;
+    }
+  }
+  void trip() {
+    state_ = LinkState::Quarantined;
+    ++quarantines_;
+    heal_streak_ = 0;
+    probe_attempt_ = 0;
+  }
+  void heal() {
+    state_ = LinkState::Healthy;
+    ++recoveries_;
+    abort_streak_ = 0;
+    write_streak_ = 0;
+    fault_evidence_ = 0;
+    heal_streak_ = 0;
+    probe_attempt_ = 0;
+  }
+
+  LinkHealthOptions opt_;
+  registers::BoundedBackoff pacer_;
+  LinkState state_ = LinkState::Healthy;
+
+  std::int64_t abort_streak_ = 0;
+  std::int64_t write_streak_ = 0;
+  std::int64_t fault_evidence_ = 0;
+  int heal_streak_ = 0;
+  int probe_attempt_ = 0;
+
+  std::uint64_t corrupt_ = 0;
+  std::uint64_t regressions_ = 0;
+  std::uint64_t abort_rounds_ = 0;
+  std::uint64_t stale_rounds_ = 0;
+  std::uint64_t fresh_rounds_ = 0;
+  std::uint64_t write_aborts_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t probe_successes_ = 0;
+};
+
+}  // namespace tbwf::omega

@@ -14,12 +14,28 @@
 // eventually leaves a window in which p's write runs solo, and solo
 // operations on abortable registers never abort. If p is not q-timely or
 // the variable changes forever, nothing is guaranteed.
+//
+// Hardening against a degraded medium (registers/reg_faults.hpp): the
+// wire value is a Sealed<T> -- payload + per-value sequence number +
+// checksum (omega/wire.hpp) -- so the reader can detect torn writes
+// (checksum mismatch) and stale serves (sequence regression) and feed a
+// per-link LinkHealth score instead of mistaking them for fresh values.
+// The writer periodically republishes a settled payload under its
+// existing stamp, which repairs silently dropped writes without ever
+// registering as freshness on the reader. The adaptive readTimeout
+// saturates at read_timeout_cap so a permanently jammed link costs a
+// bounded polling rate instead of a timeout that grows forever. None of
+// this changes the fault-free behavior: a spec-conforming register can
+// neither corrupt a checksum nor regress a sequence number.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "omega/link_health.hpp"
+#include "omega/wire.hpp"
 #include "registers/abort_policy.hpp"
 #include "sim/co.hpp"
 #include "sim/env.hpp"
@@ -32,44 +48,87 @@ namespace tbwf::omega {
 /// by peer pid; the self slot is unused.
 template <class T>
 struct MsgEndpoint {
+  using Wire = Sealed<T>;
+  using Reg = sim::AbortableReg<Wire>;
+
   sim::Pid self = sim::kNoPid;
-  std::vector<sim::AbortableReg<T>> out;  ///< MsgRegister[self,q], writer self
-  std::vector<sim::AbortableReg<T>> in;   ///< MsgRegister[q,self], reader self
+  std::vector<Reg> out;  ///< MsgRegister[self,q], writer self
+  std::vector<Reg> in;   ///< MsgRegister[q,self], reader self
 
   std::vector<T> msg_curr;                ///< value being pushed to q
   std::vector<T> prev_msg_from;           ///< last successfully read from q
+  std::vector<std::int64_t> send_seq;     ///< stamp on msg_curr[q]
+  std::vector<std::int64_t> recv_seq;     ///< highest stamp accepted from q
   std::vector<std::int64_t> read_timer;
   std::vector<std::int64_t> read_timeout;
   std::vector<bool> prev_write_done;
 
-  void init(int n, sim::Pid self_pid, const T& initial) {
+  /// readTimeout saturation: a jammed link grows the backoff only this
+  /// far, keeping the post-repair detection latency bounded.
+  std::int64_t read_timeout_cap = 65536;
+  /// Every this many WriteMsgs visits to a settled link, republish the
+  /// current sealed payload (same stamp) to repair a silent drop the
+  /// writer had no way to notice. 0 (the default) disables: on a
+  /// spec-conforming medium a reported success IS an install, and the
+  /// extra writes would perturb the paper-faithful Figure 4 cadence.
+  /// Harnesses that arm a RegisterFaultInjector turn this on.
+  std::int64_t refresh_period = 0;
+  std::vector<std::int64_t> refresh_cntr;
+  std::vector<bool> refresh_pending;  ///< an aborted republish to retry
+
+  /// Per-link health; quarantine on the msg channel is bookkeeping only
+  /// (polling cadence never changes -- see link_health.hpp).
+  std::vector<LinkHealth> out_health, in_health;
+
+  void init(int n, sim::Pid self_pid, const T& initial,
+            const LinkHealthOptions& health = {}) {
     self = self_pid;
     out.resize(n);
     in.resize(n);
     msg_curr.assign(n, initial);
     prev_msg_from.assign(n, initial);
+    send_seq.assign(n, 0);
+    recv_seq.assign(n, 0);
     read_timer.assign(n, 1);
     read_timeout.assign(n, 1);
     prev_write_done.assign(n, true);
+    refresh_cntr.assign(n, 0);
+    refresh_pending.assign(n, false);
+    out_health.assign(n, LinkHealth(health));
+    in_health.assign(n, LinkHealth(health));
+  }
+
+  void export_metrics(util::Counters& metrics,
+                      const std::string& prefix = "link.msg") const {
+    for (std::size_t q = 0; q < in_health.size(); ++q) {
+      if (static_cast<sim::Pid>(q) == self) continue;
+      in_health[q].export_metrics(
+          metrics, prefix + ".in." + std::to_string(self) + "." +
+                       std::to_string(q));
+      out_health[q].export_metrics(
+          metrics, prefix + ".out." + std::to_string(self) + "." +
+                       std::to_string(q));
+    }
   }
 };
 
 /// Wire a full mesh of SWSR abortable MsgRegisters among n processes.
 /// Every endpoint's out[q] is the same register as q's in[p].
 template <class T>
-std::vector<MsgEndpoint<T>> make_msg_mesh(sim::World& world,
-                                          registers::AbortPolicy* policy,
-                                          const T& initial,
-                                          const std::string& prefix = "Msg") {
+std::vector<MsgEndpoint<T>> make_msg_mesh(
+    sim::World& world, registers::AbortPolicy* policy, const T& initial,
+    const std::string& prefix = "Msg",
+    const LinkHealthOptions& health = {}) {
   const int n = world.n();
+  const auto wire0 = MsgEndpoint<T>::Wire::make(initial, 0);
   std::vector<MsgEndpoint<T>> endpoints(n);
-  for (sim::Pid p = 0; p < n; ++p) endpoints[p].init(n, p, initial);
+  for (sim::Pid p = 0; p < n; ++p) endpoints[p].init(n, p, initial, health);
   for (sim::Pid p = 0; p < n; ++p) {
     for (sim::Pid q = 0; q < n; ++q) {
       if (p == q) continue;
-      auto reg = world.make_abortable<T>(
+      auto reg = world.make_abortable<typename MsgEndpoint<T>::Wire>(
           prefix + "[" + std::to_string(p) + "," + std::to_string(q) + "]",
-          initial, policy, /*writer=*/p, /*reader=*/q);
+          wire0, policy, /*writer=*/p, /*reader=*/q);
       endpoints[p].out[q] = reg;
       endpoints[q].in[p] = reg;
     }
@@ -87,9 +146,33 @@ sim::Co<void> write_msgs(sim::SimEnv& env, MsgEndpoint<T>& ep,
   for (sim::Pid q = 0; q < n; ++q) {                              // line 2
     if (q == ep.self) continue;
     if (!ep.prev_write_done[q] || !(ep.msg_curr[q] == msg_to[q])) {  // line 3
-      if (ep.prev_write_done[q]) ep.msg_curr[q] = msg_to[q];      // line 4
-      const bool ok = co_await env.write(ep.out[q], ep.msg_curr[q]);  // line 5
+      if (ep.prev_write_done[q]) {                                // line 4
+        ep.msg_curr[q] = msg_to[q];
+        ++ep.send_seq[q];  // one stamp per accepted msgCurr value
+      }
+      const bool ok = co_await env.write(                         // line 5
+          ep.out[q],
+          MsgEndpoint<T>::Wire::make(ep.msg_curr[q], ep.send_seq[q]));
       ep.prev_write_done[q] = ok;                                 // line 6
+      ep.out_health[q].note_write(ok);
+      ep.refresh_cntr[q] = 0;
+      ep.refresh_pending[q] = false;
+    } else if (ep.refresh_period > 0 &&
+               (ep.refresh_pending[q] ||
+                ++ep.refresh_cntr[q] >= ep.refresh_period)) {
+      // Settled link: republish under the SAME stamp. A silently
+      // dropped write left the register holding an older stamp; this
+      // restores it, and a reader that already holds the stamp sees an
+      // unchanged value -- no spurious freshness, no backoff reset.
+      // Never through prev_write_done: Figure 6 gates heartbeats on it
+      // (dest = writeDone), and an aborted repair write must not make
+      // the writer fall silent towards q.
+      ep.refresh_cntr[q] = 0;
+      const bool ok = co_await env.write(
+          ep.out[q],
+          MsgEndpoint<T>::Wire::make(ep.msg_curr[q], ep.send_seq[q]));
+      ep.refresh_pending[q] = !ok;
+      ep.out_health[q].note_write(ok);
     }
   }
 }
@@ -104,12 +187,33 @@ sim::Co<void> read_msgs(sim::SimEnv& env, MsgEndpoint<T>& ep) {
     if (ep.read_timer[q] >= 1) --ep.read_timer[q];                // line 10
     if (ep.read_timer[q] == 0) {                                  // line 11
       ep.read_timer[q] = ep.read_timeout[q];                      // line 12
-      const std::optional<T> res = co_await env.read(ep.in[q]);   // line 13
-      if (!res.has_value() || *res == ep.prev_msg_from[q]) {      // line 14
-        ++ep.read_timeout[q];                                     // line 15
+      const std::optional<typename MsgEndpoint<T>::Wire> res =
+          co_await env.read(ep.in[q]);                            // line 13
+      auto& health = ep.in_health[q];
+      bool fresh = false;
+      if (!res.has_value()) {                                     // line 14
+        health.observe_abort_round();
+      } else if (!res->valid()) {
+        // Torn payload: unusable, and sound evidence of a degraded
+        // medium (contention can only abort, never corrupt).
+        health.observe_corrupt();
+      } else if (res->seq < ep.recv_seq[q]) {
+        // The register went backwards: a stale serve, never the writer.
+        health.observe_regression();
+      } else if (res->seq == ep.recv_seq[q] &&
+                 res->value == ep.prev_msg_from[q]) {
+        health.observe_stale_round();  // unchanged: writer idle or slow
       } else {
-        ep.prev_msg_from[q] = *res;                               // line 17
+        fresh = true;
+        ep.prev_msg_from[q] = res->value;                         // line 17
+        ep.recv_seq[q] = res->seq;
+        health.observe_fresh();
+      }
+      if (fresh) {
         ep.read_timeout[q] = 1;                                   // line 18
+      } else {
+        ep.read_timeout[q] =                                      // line 15
+            std::min(ep.read_timeout[q] + 1, ep.read_timeout_cap);
       }
     }
   }

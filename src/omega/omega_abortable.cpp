@@ -5,11 +5,13 @@
 namespace tbwf::omega {
 
 OmegaAbortable::OmegaAbortable(sim::World& world,
-                               registers::AbortPolicy* policy)
+                               registers::AbortPolicy* policy,
+                               Options options)
     : world_(world) {
   msg_ = make_msg_mesh<CounterMsg>(world, policy, CounterMsg{},
-                                   "MsgRegister");
-  hb_ = make_hb_mesh(world, policy, "HbRegister");
+                                   "MsgRegister", options.link_health);
+  hb_ = make_hb_mesh(world, policy, "HbRegister", options.link_health);
+  for (auto& ep : msg_) ep.refresh_period = options.msg_refresh_period;
   io_.resize(world.n());
   counter_.assign(world.n(),
                   std::vector<std::int64_t>(world.n(), 0));
@@ -24,6 +26,11 @@ std::vector<OmegaIO*> OmegaAbortable::ios() {
 
 std::int64_t OmegaAbortable::counter_view(sim::Pid p, sim::Pid q) const {
   return counter_[p][q];
+}
+
+void OmegaAbortable::export_link_metrics(util::Counters& metrics) const {
+  for (const auto& ep : msg_) ep.export_metrics(metrics);
+  for (const auto& ep : hb_) ep.export_metrics(metrics);
 }
 
 void OmegaAbortable::install(sim::Pid p) {
@@ -62,6 +69,14 @@ sim::Task omega_abortable_task(sim::SimEnv& env, OmegaAbortable& sys) {
       leader = p;                                                 // line 48
       for (sim::Pid q = 0; q < n; ++q) {
         if (!hb.active_set[q]) continue;
+        // Degraded-medium extension of the line 48 choice: a peer whose
+        // counter channel is quarantined (checksum/regression evidence
+        // or a confirmed jam) is ineligible. counter[q] is frozen at a
+        // stale value, and electing on it re-creates exactly the
+        // disagreement the Figure 6 invariant rules out -- "if q is
+        // eventually active forever at p, then p learned q's final
+        // counter" cannot hold over a link that serves nothing.
+        if (q != p && msg.in_health[q].quarantined()) continue;
         if (counter[q] < counter[leader] ||
             (counter[q] == counter[leader] && q < leader)) {
           leader = q;

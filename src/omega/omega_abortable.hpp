@@ -44,8 +44,20 @@ struct CounterMsg {
 /// the Figure 6 task per process. Must outlive the world run.
 class OmegaAbortable {
  public:
+  struct Options {
+    /// Per-link health thresholds for both meshes (link_health.hpp).
+    LinkHealthOptions link_health{};
+    /// Silent-drop repair cadence for the msg mesh; 0 keeps the
+    /// paper-faithful write cadence (the default -- enable when a
+    /// RegisterFaultInjector is armed).
+    std::int64_t msg_refresh_period = 0;
+  };
+
   /// `policy` governs every abortable register in both meshes.
-  OmegaAbortable(sim::World& world, registers::AbortPolicy* policy);
+  OmegaAbortable(sim::World& world, registers::AbortPolicy* policy)
+      : OmegaAbortable(world, policy, Options()) {}
+  OmegaAbortable(sim::World& world, registers::AbortPolicy* policy,
+                 Options options);
 
   void install_all();
   void install(sim::Pid p);
@@ -58,6 +70,10 @@ class OmegaAbortable {
   const HbEndpoint& hb(sim::Pid p) const { return hb_[p]; }
   const MsgEndpoint<CounterMsg>& msgs(sim::Pid p) const { return msg_[p]; }
   std::int64_t counter_view(sim::Pid p, sim::Pid q) const;
+
+  /// Export every endpoint's per-link health counters (link.msg.*,
+  /// link.hb.*) into `metrics`.
+  void export_link_metrics(util::Counters& metrics) const;
 
   int n() const { return world_.n(); }
 

@@ -1,0 +1,84 @@
+// Wire formats for the hardened Section 6 channels.
+//
+// A spec-conforming abortable register either aborts or tells the truth,
+// so Figures 4 and 5 never need framing. A *degraded* register
+// (registers/reg_faults.hpp) can lie: report a successful write that
+// never landed, serve a previous value, or land half of a multi-word
+// value. The channels therefore stop shipping naked payloads and ship
+// sealed ones -- value + monotone sequence number + checksum -- so a
+// reader can tell "the medium lied" (checksum mismatch, sequence
+// regression) apart from "the writer is slow" (same stamp again), which
+// is the distinction the timeliness judgments of Section 6 live on.
+//
+// The seal is NOT cryptographic; it is a tripwire for torn/stale media,
+// sized so an accidental collision is out of reach for any simulated run.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace tbwf::omega {
+
+namespace wire {
+
+/// SplitMix64 finalizer: the bijective mix both seals below share.
+inline constexpr std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the object bytes, folded with the sequence number and
+/// finalized. Byte-wise hashing requires padding-free trivially-copyable
+/// payloads; every channel payload in this codebase is one.
+template <class T>
+std::uint64_t seal(const T& value, std::int64_t seq) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "sealed payloads are checksummed bytewise");
+  static_assert(std::has_unique_object_representations_v<T>,
+                "payload has padding bytes; the checksum would be "
+                "indeterminate");
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  std::uint64_t acc = 0xCBF29CE484222325ULL;
+  for (const unsigned char b : bytes) {
+    acc ^= b;
+    acc *= 0x100000001B3ULL;
+  }
+  return mix(acc ^ (static_cast<std::uint64_t>(seq) + 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace wire
+
+/// Figure 4 wire format: one message, stamped and checksummed. The
+/// sequence number advances once per *accepted* msgCurr value, so a
+/// republished payload (silent-drop repair) carries the same stamp and
+/// is not mistaken for freshness.
+template <class T>
+struct Sealed {
+  T value{};
+  std::int64_t seq = 0;
+  std::uint64_t check = 0;
+
+  static Sealed make(const T& value, std::int64_t seq) {
+    return Sealed{value, seq, wire::seal(value, seq)};
+  }
+  bool valid() const { return check == wire::seal(value, seq); }
+  bool operator==(const Sealed&) const = default;
+};
+
+/// Figure 5 wire format: the heartbeat counter IS the sequence number,
+/// so the stamp is just counter + checksum.
+struct HbStamp {
+  std::int64_t seq = 0;
+  std::uint64_t check = 0;
+
+  static HbStamp make(std::int64_t seq) {
+    return HbStamp{seq, wire::seal(seq, seq)};
+  }
+  bool valid() const { return check == wire::seal(seq, seq); }
+  bool operator==(const HbStamp&) const = default;
+};
+
+}  // namespace tbwf::omega

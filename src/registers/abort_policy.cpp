@@ -8,6 +8,14 @@ bool AbortPolicy::crashed_write_takes_effect(const OpContext&) {
   return false;
 }
 
+ReadOutcome AbortPolicy::on_solo_read(const OpContext&) {
+  return ReadOutcome::Success;
+}
+
+WriteOutcome AbortPolicy::on_solo_write(const OpContext&) {
+  return WriteOutcome::Success;
+}
+
 WriteOutcome AlwaysAbortPolicy::on_contended_write(const OpContext&) {
   switch (effect_) {
     case Effect::Never:

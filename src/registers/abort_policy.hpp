@@ -24,6 +24,10 @@ struct OpContext {
   bool is_write = false;
   sim::Step invoked_at = 0;
   sim::Step responded_at = 0;
+  /// Index of the register the operation targets (world arena index);
+  /// 0xFFFFFFFF when not supplied (e.g. unit tests driving a policy
+  /// directly). Fault injectors key per-register profiles on this.
+  std::uint32_t reg = 0xFFFFFFFFu;
   /// Processes whose operations on the same register overlapped this one.
   std::vector<sim::Pid> overlap_pids;
   /// True iff at least one overlapping operation was a write (safe
@@ -35,9 +39,20 @@ enum class WriteOutcome : std::uint8_t {
   Success,          ///< returns ok, value installed
   AbortNoEffect,    ///< returns bottom, register unchanged
   AbortWithEffect,  ///< returns bottom, but the value IS installed
+  /// Degraded-medium outcomes (RegisterFaultInjector only): the caller
+  /// sees success, but the medium lied. A spec-conforming abortable
+  /// register never produces these; hardened channels must detect them.
+  SilentDrop,  ///< returns ok, register unchanged (the write vanished)
+  Torn,        ///< returns ok, only part of the value landed
 };
 
-enum class ReadOutcome : std::uint8_t { Success, Abort };
+enum class ReadOutcome : std::uint8_t {
+  Success,
+  Abort,
+  /// Degraded-medium outcome (RegisterFaultInjector only): the read
+  /// returns the register's *previous* value instead of the current one.
+  Stale,
+};
 
 class AbortPolicy {
  public:
@@ -48,6 +63,14 @@ class AbortPolicy {
 
   /// Consulted only when the write overlapped at least one other op.
   virtual WriteOutcome on_contended_write(const OpContext& ctx) = 0;
+
+  /// Consulted for operations that ran solo. The abortable-register spec
+  /// says solo operations never abort, so the defaults return Success and
+  /// every spec-conforming policy inherits them; only the register fault
+  /// layer (a deliberately *broken* medium, e.g. a jammed register)
+  /// overrides these.
+  virtual ReadOutcome on_solo_read(const OpContext& ctx);
+  virtual WriteOutcome on_solo_write(const OpContext& ctx);
 
   /// The owning process crashed between the write's invocation and its
   /// response: does the value reach the register?

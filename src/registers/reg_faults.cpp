@@ -1,0 +1,183 @@
+#include "registers/reg_faults.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/metrics.hpp"
+
+namespace tbwf::registers {
+
+const char* to_string(RegFaultKind kind) {
+  switch (kind) {
+    case RegFaultKind::Jam:
+      return "jam";
+    case RegFaultKind::Drop:
+      return "drop";
+    case RegFaultKind::Stale:
+      return "stale";
+    case RegFaultKind::Torn:
+      return "torn";
+    case RegFaultKind::Flake:
+      return "flake";
+  }
+  return "?";
+}
+
+RegisterFaultInjector& RegisterFaultInjector::add_fault(std::uint32_t reg,
+                                                        RegFaultKind kind,
+                                                        sim::Step from,
+                                                        sim::Step to,
+                                                        double rate) {
+  TBWF_ASSERT(from <= to, "fault window must be ordered");
+  faults_.push_back(RegFaultProfile{reg, kind, from, to, rate});
+  return *this;
+}
+
+int RegisterFaultInjector::arm_link(const sim::World& world, sim::Pid writer,
+                                    sim::Pid reader, const std::string& prefix,
+                                    RegFaultKind kind, sim::Step from,
+                                    sim::Step to, double rate) {
+  int armed = 0;
+  for (std::uint32_t idx = 0; idx < world.register_count(); ++idx) {
+    const auto& cell = world.cell_info(idx);
+    if (cell.kind != sim::RegKind::Abortable) continue;
+    if (cell.writer != writer || cell.reader != reader) continue;
+    if (cell.policy != this) continue;
+    if (!prefix.empty() && cell.name.rfind(prefix, 0) != 0) continue;
+    add_fault(idx, kind, from, to, rate);
+    ++armed;
+  }
+  return armed;
+}
+
+const RegFaultProfile* RegisterFaultInjector::fire(std::uint32_t reg,
+                                                   sim::Step t,
+                                                   bool is_write) {
+  for (const auto& f : faults_) {
+    if (f.reg != reg) continue;
+    if (t < f.from || (f.to != kFaultForever && t >= f.to)) continue;
+    switch (f.kind) {
+      case RegFaultKind::Jam:
+        return &f;  // a jam swallows everything, no coin flip
+      case RegFaultKind::Drop:
+      case RegFaultKind::Torn:
+        if (!is_write) continue;
+        break;
+      case RegFaultKind::Stale:
+        if (is_write) continue;
+        break;
+      case RegFaultKind::Flake:
+        break;
+    }
+    if (rng_.chance(f.rate)) return &f;
+  }
+  return nullptr;
+}
+
+ReadOutcome RegisterFaultInjector::read_outcome(const OpContext& ctx,
+                                                bool contended) {
+  if (const auto* f = fire(ctx.reg, ctx.responded_at, /*is_write=*/false)) {
+    ++injected_[static_cast<int>(f->kind)];
+    switch (f->kind) {
+      case RegFaultKind::Stale:
+        return ReadOutcome::Stale;
+      case RegFaultKind::Jam:
+      case RegFaultKind::Flake:
+        return ReadOutcome::Abort;
+      default:
+        break;
+    }
+  }
+  if (calm_ != nullptr) {
+    return contended ? calm_->on_contended_read(ctx)
+                     : calm_->on_solo_read(ctx);
+  }
+  return ReadOutcome::Success;
+}
+
+WriteOutcome RegisterFaultInjector::write_outcome(const OpContext& ctx,
+                                                  bool contended) {
+  if (const auto* f = fire(ctx.reg, ctx.responded_at, /*is_write=*/true)) {
+    ++injected_[static_cast<int>(f->kind)];
+    switch (f->kind) {
+      case RegFaultKind::Jam:
+        return WriteOutcome::AbortNoEffect;
+      case RegFaultKind::Drop:
+        return WriteOutcome::SilentDrop;
+      case RegFaultKind::Torn:
+        return WriteOutcome::Torn;
+      case RegFaultKind::Flake:
+        // Transient burst: an honest abort whose effect is a coin flip,
+        // like a storm's.
+        return rng_.chance(0.5) ? WriteOutcome::AbortWithEffect
+                                : WriteOutcome::AbortNoEffect;
+      default:
+        break;
+    }
+  }
+  if (calm_ != nullptr) {
+    return contended ? calm_->on_contended_write(ctx)
+                     : calm_->on_solo_write(ctx);
+  }
+  return WriteOutcome::Success;
+}
+
+ReadOutcome RegisterFaultInjector::on_contended_read(const OpContext& ctx) {
+  return read_outcome(ctx, /*contended=*/true);
+}
+
+WriteOutcome RegisterFaultInjector::on_contended_write(const OpContext& ctx) {
+  return write_outcome(ctx, /*contended=*/true);
+}
+
+ReadOutcome RegisterFaultInjector::on_solo_read(const OpContext& ctx) {
+  return read_outcome(ctx, /*contended=*/false);
+}
+
+WriteOutcome RegisterFaultInjector::on_solo_write(const OpContext& ctx) {
+  return write_outcome(ctx, /*contended=*/false);
+}
+
+bool RegisterFaultInjector::crashed_write_takes_effect(const OpContext& ctx) {
+  // A write swallowed by an open Jam or Drop window dies with the
+  // process; otherwise the calm policy (or the conservative default)
+  // decides.
+  for (const auto& f : faults_) {
+    if (f.reg != ctx.reg) continue;
+    if (ctx.responded_at < f.from ||
+        (f.to != kFaultForever && ctx.responded_at >= f.to)) {
+      continue;
+    }
+    if (f.kind == RegFaultKind::Jam || f.kind == RegFaultKind::Drop) {
+      return false;
+    }
+  }
+  return calm_ != nullptr ? calm_->crashed_write_takes_effect(ctx) : false;
+}
+
+std::uint64_t RegisterFaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const auto count : injected_) total += count;
+  return total;
+}
+
+bool RegisterFaultInjector::jam_covers(std::uint32_t reg, sim::Step from,
+                                       sim::Step to) const {
+  return std::any_of(faults_.begin(), faults_.end(),
+                     [&](const RegFaultProfile& f) {
+                       return f.reg == reg && f.kind == RegFaultKind::Jam &&
+                              f.from <= from &&
+                              (f.to == kFaultForever || f.to >= to);
+                     });
+}
+
+void RegisterFaultInjector::export_metrics(util::Counters& metrics) const {
+  for (int k = 0; k < kRegFaultKinds; ++k) {
+    metrics.inc(std::string("regfault.injected.") +
+                    to_string(static_cast<RegFaultKind>(k)),
+                injected_[k]);
+  }
+}
+
+}  // namespace tbwf::registers

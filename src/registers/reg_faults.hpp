@@ -1,0 +1,124 @@
+// RegisterFaultInjector: a deliberately *broken* register medium.
+//
+// Every policy in abort_policy.hpp plays by the abortable-register spec
+// of Section 1.2: contended operations may abort, solo operations never
+// do. This injector drops that courtesy -- it models registers that are
+// physically degraded, the adversary of Section 6's problem (b) made
+// permanent and worse:
+//
+//   Jam    every operation aborts, solo included, for the window (a
+//          permanently jammed register when the window never closes);
+//   Drop   a write reports success but the register never changes;
+//   Stale  a read reports success but returns the previous value;
+//   Torn   a multi-word write reports success but only half the bytes
+//          land (the reader sees a mixture of old and new);
+//   Flake  a transient burst in which operations abort with some rate.
+//
+// Profiles are armed per register (by arena index, or per SWSR link via
+// arm_link) and per model-time window, decided from a seeded stream so a
+// run replays exactly from (seed, operation order). An inner `calm`
+// policy rules whenever no fault fires, so the injector composes with
+// the chaos harness's PhasedAbortPolicy storms: faults first, storms
+// behind, spec-conforming behavior last.
+//
+// The injector keeps ground-truth tallies of every fault it actually
+// inflicted -- the hardened channels' *detected* counters are judged
+// against these in tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "registers/abort_policy.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace tbwf::util {
+class Counters;
+}  // namespace tbwf::util
+
+namespace tbwf::sim {
+class World;
+}  // namespace tbwf::sim
+
+namespace tbwf::registers {
+
+enum class RegFaultKind : std::uint8_t { Jam, Drop, Stale, Torn, Flake };
+inline constexpr int kRegFaultKinds = 5;
+
+const char* to_string(RegFaultKind kind);
+
+/// One armed fault: `kind` applies to register `reg` inside the
+/// model-time window [from, to). to == kFaultForever never closes.
+struct RegFaultProfile {
+  std::uint32_t reg = 0xFFFFFFFFu;
+  RegFaultKind kind = RegFaultKind::Flake;
+  sim::Step from = 0;
+  sim::Step to = 0;
+  /// Per-operation firing probability (ignored by Jam, which always
+  /// fires inside its window).
+  double rate = 1.0;
+};
+
+inline constexpr sim::Step kFaultForever = ~sim::Step{0};
+
+class RegisterFaultInjector final : public AbortPolicy {
+ public:
+  /// `calm` rules operations no fault fires on (nullptr: the register
+  /// behaves atomically when healthy). calm must outlive this policy.
+  explicit RegisterFaultInjector(std::uint64_t seed,
+                                 AbortPolicy* calm = nullptr)
+      : rng_(seed ^ 0xB0B0FA017CAFE5EDULL), calm_(calm) {}
+
+  RegisterFaultInjector& add_fault(std::uint32_t reg, RegFaultKind kind,
+                                   sim::Step from, sim::Step to,
+                                   double rate = 1.0);
+
+  /// Arm `kind` on every abortable register of the SWSR link p -> q whose
+  /// name starts with `prefix` ("" matches every name; "Msg", "Hb1",
+  /// "Hb2" select one channel register of the link). Returns the number
+  /// of registers armed. Registers whose armed policy is not this
+  /// injector are skipped -- their operations would never consult it.
+  int arm_link(const sim::World& world, sim::Pid writer, sim::Pid reader,
+               const std::string& prefix, RegFaultKind kind, sim::Step from,
+               sim::Step to, double rate = 1.0);
+
+  // -- AbortPolicy -------------------------------------------------------------
+  ReadOutcome on_contended_read(const OpContext& ctx) override;
+  WriteOutcome on_contended_write(const OpContext& ctx) override;
+  ReadOutcome on_solo_read(const OpContext& ctx) override;
+  WriteOutcome on_solo_write(const OpContext& ctx) override;
+  bool crashed_write_takes_effect(const OpContext& ctx) override;
+
+  // -- introspection ------------------------------------------------------------
+  const std::vector<RegFaultProfile>& faults() const { return faults_; }
+
+  /// Ground truth: operations this injector actually degraded, per kind.
+  std::uint64_t injected(RegFaultKind kind) const {
+    return injected_[static_cast<int>(kind)];
+  }
+  std::uint64_t injected_total() const;
+
+  /// True iff a Jam profile on `reg` covers every step of [from, to).
+  bool jam_covers(std::uint32_t reg, sim::Step from, sim::Step to) const;
+
+  /// Export ground-truth tallies as regfault.injected.<kind> counters.
+  void export_metrics(util::Counters& metrics) const;
+
+ private:
+  /// First armed profile on `reg` whose window covers `t` and that fires
+  /// for this draw (Jam always fires; others consult rate). nullptr when
+  /// the operation goes through clean.
+  const RegFaultProfile* fire(std::uint32_t reg, sim::Step t, bool is_write);
+
+  ReadOutcome read_outcome(const OpContext& ctx, bool contended);
+  WriteOutcome write_outcome(const OpContext& ctx, bool contended);
+
+  util::Rng rng_;
+  AbortPolicy* calm_;
+  std::vector<RegFaultProfile> faults_;
+  std::uint64_t injected_[kRegFaultKinds] = {};
+};
+
+}  // namespace tbwf::registers

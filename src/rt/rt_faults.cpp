@@ -27,6 +27,16 @@ RtFaultPlan& RtFaultPlan::storm(std::uint64_t from_ns, std::uint64_t to_ns,
   return *this;
 }
 
+RtFaultPlan& RtFaultPlan::reg_fault(registers::RegFaultKind kind,
+                                    std::uint64_t from_ns,
+                                    std::uint64_t to_ns,
+                                    std::uint32_t rate_millionths) {
+  TBWF_ASSERT(to_ns == RtAbortInjector::kForeverNs || from_ns < to_ns,
+              "reg-fault window must be non-empty");
+  reg_faults_.push_back({kind, from_ns, to_ns, rate_millionths});
+  return *this;
+}
+
 RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
                                   const GenOptions& options) {
   TBWF_ASSERT(options.nthreads >= 1, "need at least one thread");
@@ -70,6 +80,24 @@ RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
     if (after == 0 && plan.killed_at_end(tid)) continue;
     plan.kill(tid, t, after);
   }
+  // Drop kills scheduled at-or-after a permanent kill of the same tid:
+  // a permanently dead thread has no fault points left, so such a kill
+  // could never fire and would make the plan's accounting unsatisfiable.
+  // (Draw order is not time order, so this can't be checked in-loop.)
+  {
+    auto& kills = plan.kills_;
+    std::vector<std::uint64_t> dead_from(
+        static_cast<std::size_t>(options.nthreads), ~std::uint64_t{0});
+    for (const auto& k : kills) {
+      if (k.restart_after_ns == 0) dead_from[k.tid] = k.at_ns;
+    }
+    kills.erase(std::remove_if(kills.begin(), kills.end(),
+                               [&](const RtKill& k) {
+                                 return k.restart_after_ns > 0 &&
+                                        k.at_ns >= dead_from[k.tid];
+                               }),
+                kills.end());
+  }
 
   const int nstalls =
       options.max_stalls > 0
@@ -103,6 +131,39 @@ RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
                              options.max_storm_rate_millionths)));
   }
 
+  // Degraded-register windows on the attached cells. Transient windows
+  // close inside the event window; a permanent one must be a Jam (the
+  // conformance checker refuses to judge completions under it -- any
+  // other permanent fault would just make the suffix unjudgeable noise).
+  const int nregfaults =
+      options.max_reg_faults > 0
+          ? static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(options.max_reg_faults) + 1))
+          : 0;
+  for (int i = 0; i < nregfaults; ++i) {
+    registers::RegFaultKind kind;
+    if (rng.chance(options.p_reg_jam)) {
+      kind = registers::RegFaultKind::Jam;
+    } else {
+      constexpr registers::RegFaultKind kOther[] = {
+          registers::RegFaultKind::Drop, registers::RegFaultKind::Stale,
+          registers::RegFaultKind::Flake};
+      kind = kOther[rng.below(3)];
+    }
+    const std::uint64_t t = at();
+    std::uint64_t d =
+        rng.range(options.min_reg_fault_ns, options.max_reg_fault_ns);
+    if (t + d > hi) d = hi > t ? hi - t : 1;
+    const bool permanent = kind == registers::RegFaultKind::Jam &&
+                           rng.chance(options.p_reg_permanent);
+    const std::uint32_t rate =
+        kind == registers::RegFaultKind::Jam
+            ? 1000000
+            : static_cast<std::uint32_t>(rng.range(400000, 950000));
+    plan.reg_fault(kind, t,
+                   permanent ? RtAbortInjector::kForeverNs : t + d, rate);
+  }
+
   // Never return an empty plan: a sweep case with nothing to inject
   // would silently test nothing. Default to a mid-window stall.
   if (plan.empty()) {
@@ -123,7 +184,24 @@ std::uint64_t RtFaultPlan::last_event_ns() const {
     last = std::max(last, s.at_ns + s.duration_ns);
   }
   for (const auto& s : storms_) last = std::max(last, s.to_ns);
+  for (const auto& f : reg_faults_) {
+    // A permanent fault never closes: its start is the boundary, the
+    // degradation itself is part of the stable suffix.
+    last = std::max(last, f.to_ns == RtAbortInjector::kForeverNs
+                              ? f.from_ns
+                              : f.to_ns);
+  }
   return last;
+}
+
+bool RtFaultPlan::jam_covers(std::uint64_t from_ns,
+                             std::uint64_t to_ns) const {
+  return std::any_of(
+      reg_faults_.begin(), reg_faults_.end(), [&](const RtRegFaultEvent& f) {
+        return f.kind == registers::RegFaultKind::Jam &&
+               f.from_ns <= from_ns &&
+               (f.to_ns == RtAbortInjector::kForeverNs || f.to_ns >= to_ns);
+      });
 }
 
 bool RtFaultPlan::killed_at_end(std::uint32_t tid) const {
@@ -139,7 +217,17 @@ std::vector<RtAbortInjector::Window> RtFaultPlan::storm_windows() const {
   std::vector<RtAbortInjector::Window> windows;
   windows.reserve(storms_.size());
   for (const auto& s : storms_) {
-    windows.push_back({s.from_ns, s.to_ns, s.rate_millionths});
+    windows.push_back({s.from_ns, s.to_ns, s.rate_millionths,
+                       registers::RegFaultKind::Flake});
+  }
+  return windows;
+}
+
+std::vector<RtAbortInjector::Window> RtFaultPlan::fault_windows() const {
+  std::vector<RtAbortInjector::Window> windows = storm_windows();
+  windows.reserve(windows.size() + reg_faults_.size());
+  for (const auto& f : reg_faults_) {
+    windows.push_back({f.from_ns, f.to_ns, f.rate_millionths, f.kind});
   }
   return windows;
 }
@@ -163,6 +251,16 @@ std::string RtFaultPlan::summary() const {
   for (const auto& s : storms_) {
     out << "  storm [" << s.from_ns << ", " << s.to_ns << ")ns rate="
         << s.rate_millionths << "ppm\n";
+  }
+  for (const auto& f : reg_faults_) {
+    out << "  regfault " << registers::to_string(f.kind) << " ["
+        << f.from_ns << ", ";
+    if (f.to_ns == RtAbortInjector::kForeverNs) {
+      out << "forever";
+    } else {
+      out << f.to_ns;
+    }
+    out << ")ns rate=" << f.rate_millionths << "ppm\n";
   }
   if (empty()) out << "  (empty)\n";
   return out.str();

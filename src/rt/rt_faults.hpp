@@ -17,7 +17,14 @@
 //     of a StutterPhase);
 //   - Storm{from_ns, to_ns, rate}: every RtAbortableReg attached to the
 //     supervisor's RtAbortInjector aborts operations with probability
-//     `rate` inside the window (the rt analogue of an AbortStorm).
+//     `rate` inside the window (the rt analogue of an AbortStorm);
+//   - RegFault{kind, from_ns, to_ns, rate}: a degraded-register window
+//     on the attached cells -- jams (every op aborts, solo included,
+//     possibly forever), silent drops, stale serves -- the rt analogue
+//     of a sim LinkFaultEvent. A jam that covers the stable suffix
+//     makes the run unjudgeable for completions: check_rt_conformance
+//     then awards no guarantee instead of a wait-free verdict the
+//     jammed medium never earned.
 //
 // generate() draws a random but deterministic plan from a seed; a red
 // sweep case replays from the seed alone (the *plan* is exact; the
@@ -59,6 +66,15 @@ struct RtStorm {
   std::uint32_t rate_millionths = 1000000;
 };
 
+/// A degraded-register window on every attached cell; to_ns ==
+/// RtAbortInjector::kForeverNs never closes.
+struct RtRegFaultEvent {
+  registers::RegFaultKind kind = registers::RegFaultKind::Jam;
+  std::uint64_t from_ns = 0;
+  std::uint64_t to_ns = 0;
+  std::uint32_t rate_millionths = 1000000;
+};
+
 class RtFaultPlan {
  public:
   RtFaultPlan() = default;
@@ -71,6 +87,9 @@ class RtFaultPlan {
                      std::uint64_t duration_ns);
   RtFaultPlan& storm(std::uint64_t from_ns, std::uint64_t to_ns,
                      std::uint32_t rate_millionths);
+  RtFaultPlan& reg_fault(registers::RegFaultKind kind, std::uint64_t from_ns,
+                         std::uint64_t to_ns,
+                         std::uint32_t rate_millionths = 1000000);
 
   // -- random generation --------------------------------------------------------
   struct GenOptions {
@@ -91,6 +110,19 @@ class RtFaultPlan {
     /// Unless set, one thread is kept free of permanent kills so the
     /// run always has a survivor.
     bool allow_kill_all = false;
+    /// Degraded-register windows, all off by default: plans generated
+    /// without them are unchanged draw for draw, so existing seeds
+    /// replay byte for byte.
+    int max_reg_faults = 0;
+    /// Chance a reg fault is a Jam (the rest split evenly over Drop,
+    /// Stale and Flake; Torn degrades to Drop on the single-word cell).
+    double p_reg_jam = 0.5;
+    /// Chance a reg-fault window never closes (kForeverNs). Only jams
+    /// are left permanent -- a permanent sub-unity-rate fault would
+    /// deny the conformance checker any sound stable suffix.
+    double p_reg_permanent = 0.25;
+    std::uint64_t min_reg_fault_ns = 1000000;  // 1 ms
+    std::uint64_t max_reg_fault_ns = 6000000;  // 6 ms
   };
 
   /// Deterministic: the same (seed, options) always yields the same plan.
@@ -101,19 +133,31 @@ class RtFaultPlan {
   const std::vector<RtKill>& kills() const { return kills_; }
   const std::vector<RtStall>& stalls() const { return stalls_; }
   const std::vector<RtStorm>& storms() const { return storms_; }
+  const std::vector<RtRegFaultEvent>& reg_faults() const { return reg_faults_; }
   bool empty() const {
-    return kills_.empty() && stalls_.empty() && storms_.empty();
+    return kills_.empty() && stalls_.empty() && storms_.empty() &&
+           reg_faults_.empty();
   }
 
   /// Offset of the last event boundary (kill, restart, stall end, storm
-  /// end); 0 for an empty plan. Everything after is the stable tail.
+  /// end, finite reg-fault end; a permanent reg fault contributes its
+  /// start); 0 for an empty plan. Everything after is the stable tail.
   std::uint64_t last_event_ns() const;
 
   /// True iff the plan kills tid without a restart.
   bool killed_at_end(std::uint32_t tid) const;
 
+  /// True iff a Jam reg fault covers all of [from_ns, to_ns): the
+  /// attached registers serve nothing there, so no completion guarantee
+  /// can be earned or demanded.
+  bool jam_covers(std::uint64_t from_ns, std::uint64_t to_ns) const;
+
   /// The plan's storm windows in RtAbortInjector form.
   std::vector<RtAbortInjector::Window> storm_windows() const;
+
+  /// Every injector window: storms (as Flake) plus reg faults. Arm the
+  /// supervisor's injector with this to get the full degraded medium.
+  std::vector<RtAbortInjector::Window> fault_windows() const;
 
   /// Human-readable one-per-line event list (starts with the seed).
   std::string summary() const;
@@ -123,6 +167,7 @@ class RtFaultPlan {
   std::vector<RtKill> kills_;
   std::vector<RtStall> stalls_;
   std::vector<RtStorm> storms_;
+  std::vector<RtRegFaultEvent> reg_faults_;
 };
 
 }  // namespace tbwf::rt

@@ -20,17 +20,36 @@
 #include <utility>
 #include <vector>
 
+#include "registers/reg_faults.hpp"
+
 namespace tbwf::rt {
 
-/// Abort-storm injector for RtAbortableReg: the rt analogue of the
-/// simulator's PhasedAbortPolicy storms. Inside each armed wall-clock
-/// window, register operations abort with the window's rate as if a
-/// phantom concurrent operation held the cell. From the caller's view
-/// this is indistinguishable from real contention; strictly it can hit
-/// an operation that runs solo, which the abortable-register spec
-/// forbids -- storms are therefore confined to fault windows that end
-/// before the stable suffix the conformance checker judges (the
-/// solo-never-aborts property holds whenever no storm window is open).
+/// What an RtAbortInjector window did to the current operation.
+enum class RtRegFault : std::uint8_t {
+  None,   ///< no window open / rate missed: the cell decides
+  Abort,  ///< the operation aborts (jam or flake)
+  Drop,   ///< a write reports success but the register keeps its value
+  Stale,  ///< a read reports success but returns the previous value
+};
+
+/// Fault injector for RtAbortableReg: the rt twin of the simulator's
+/// PhasedAbortPolicy storms AND RegisterFaultInjector windows. Each
+/// armed wall-clock window carries a registers::RegFaultKind:
+///
+///   Flake  operations abort with the window's rate, as if a phantom
+///          concurrent operation held the cell (the classic storm);
+///   Jam    every operation aborts, solo included, rate ignored -- a
+///          degraded register, beyond the abortable spec;
+///   Drop   a write reports success but never lands;
+///   Stale  a read reports success but serves the previous value;
+///   Torn   the rt cell is a single word, so a torn write cannot leave
+///          a half-updated value -- it degrades to Drop here.
+///
+/// Flake windows are confined to fault windows that end before the
+/// stable suffix the conformance checker judges (solo-never-aborts
+/// holds whenever no window is open); a Jam window MAY cover the
+/// suffix, in which case check_rt_conformance refuses to award any
+/// completion guarantee for it (RtFaultPlan::jam_covers).
 ///
 /// Decisions are drawn from a seeded counter hash, so two runs with the
 /// same seed and the same per-register operation order make the same
@@ -39,13 +58,16 @@ class RtAbortInjector {
  public:
   struct Window {
     std::uint64_t from_ns = 0;  ///< relative to the armed origin
-    std::uint64_t to_ns = 0;
-    std::uint32_t rate_millionths = 1000000;  ///< abort probability * 1e6
+    std::uint64_t to_ns = 0;    ///< kForeverNs never closes
+    std::uint32_t rate_millionths = 1000000;  ///< firing probability * 1e6
+    registers::RegFaultKind kind = registers::RegFaultKind::Flake;
   };
+
+  static constexpr std::uint64_t kForeverNs = ~0ULL;
 
   RtAbortInjector() = default;
 
-  /// Install storm windows. `origin_ns` anchors the relative window
+  /// Install fault windows. `origin_ns` anchors the relative window
   /// bounds on the steady clock (pass the supervisor's run origin).
   void arm(std::uint64_t seed, std::uint64_t origin_ns,
            std::vector<Window> windows) {
@@ -54,24 +76,63 @@ class RtAbortInjector {
     windows_ = std::move(windows);
   }
 
-  /// Should the current register operation be aborted by a storm?
-  bool fire() {
-    if (windows_.empty()) return false;
+  /// What does the first open window that fires do to the current
+  /// operation? Jam fires without a draw; everything else consults the
+  /// window rate. Windows that cannot touch the operation direction
+  /// (Drop/Torn a read, Stale a write) are skipped.
+  RtRegFault fire_op(bool is_write) {
+    if (windows_.empty()) return RtRegFault::None;
     const std::uint64_t now =
         static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now().time_since_epoch())
                 .count()) -
         origin_ns_;
-    const Window* open = nullptr;
     for (const auto& w : windows_) {
-      if (now >= w.from_ns && now < w.to_ns) {
-        open = &w;
-        break;
+      if (now < w.from_ns || (w.to_ns != kForeverNs && now >= w.to_ns)) {
+        continue;
       }
+      switch (w.kind) {
+        case registers::RegFaultKind::Jam:
+          return note(RtRegFault::Abort, w.kind);
+        case registers::RegFaultKind::Drop:
+        case registers::RegFaultKind::Torn:
+          if (!is_write) continue;
+          break;
+        case registers::RegFaultKind::Stale:
+          if (is_write) continue;
+          break;
+        case registers::RegFaultKind::Flake:
+          break;
+      }
+      if (!draw(w.rate_millionths)) continue;
+      if (w.kind == registers::RegFaultKind::Stale) {
+        return note(RtRegFault::Stale, w.kind);
+      }
+      if (w.kind == registers::RegFaultKind::Flake) {
+        return note(RtRegFault::Abort, w.kind);
+      }
+      return note(RtRegFault::Drop, w.kind);  // Drop, and Torn as Drop
     }
-    if (open == nullptr) return false;
-    // SplitMix64 of (seed, draw index): uniform and replayable per seed.
+    return RtRegFault::None;
+  }
+
+  /// Storm-compat shim: should the operation abort? (Reads: also maps
+  /// stale serves to aborts -- only fire_op callers can serve stale.)
+  bool fire() { return fire_op(/*is_write=*/false) != RtRegFault::None; }
+
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  /// Ground truth per fault kind, for judging detectors against.
+  std::uint64_t injected(registers::RegFaultKind kind) const {
+    return injected_by_[static_cast<int>(kind)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  /// SplitMix64 of (seed, draw index): uniform and replayable per seed.
+  bool draw(std::uint32_t rate_millionths) {
     std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL *
                                   (draws_.fetch_add(1,
                                                     std::memory_order_relaxed) +
@@ -79,56 +140,68 @@ class RtAbortInjector {
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     z ^= z >> 31;
-    if (z % 1000000 >= open->rate_millionths) return false;
+    return z % 1000000 < rate_millionths;
+  }
+  RtRegFault note(RtRegFault fault, registers::RegFaultKind kind) {
     injected_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    injected_by_[static_cast<int>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    return fault;
   }
 
-  std::uint64_t injected() const {
-    return injected_.load(std::memory_order_relaxed);
-  }
-
- private:
   std::uint64_t seed_ = 0;
   std::uint64_t origin_ns_ = 0;
   std::vector<Window> windows_;
   std::atomic<std::uint64_t> draws_{0};
   std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> injected_by_[registers::kRegFaultKinds] = {};
 };
 
 template <class T>
 class RtAbortableReg {
  public:
-  explicit RtAbortableReg(T initial) : value_(std::move(initial)) {}
+  explicit RtAbortableReg(T initial)
+      : value_(initial), prev_value_(std::move(initial)) {}
 
-  /// Subject this register to storm-injected aborts (nullptr detaches).
+  /// Subject this register to injected faults (nullptr detaches).
   /// The injector must outlive the register's last operation.
   void set_injector(RtAbortInjector* injector) {
     injector_.store(injector, std::memory_order_release);
   }
 
-  /// Returns nullopt iff the read aborted (cell busy or storm).
+  /// Returns nullopt iff the read aborted (cell busy, flake or jam).
+  /// Inside a Stale window the read succeeds but serves the value the
+  /// register held before its last successful write.
   std::optional<T> read() {
-    if (storm_fires()) return std::nullopt;
+    const RtRegFault fault = consult(/*is_write=*/false);
+    if (fault == RtRegFault::Abort) return std::nullopt;
     if (!try_acquire()) return std::nullopt;
-    T copy = value_;
+    // prev_value_ is only touched under the cell lock: stale serves stay
+    // data-race-free even though they bypass the current value.
+    T copy = fault == RtRegFault::Stale ? prev_value_ : value_;
     release();
     return copy;
   }
 
-  /// Returns false iff the write aborted (cell busy or storm; no effect).
+  /// Returns false iff the write aborted (cell busy, flake or jam; no
+  /// effect). Inside a Drop window the write reports true but the
+  /// register keeps its value -- the caller has no way to notice.
   bool write(const T& v) {
-    if (storm_fires()) return false;
+    const RtRegFault fault = consult(/*is_write=*/true);
+    if (fault == RtRegFault::Abort) return false;
     if (!try_acquire()) return false;
-    value_ = v;
+    if (fault != RtRegFault::Drop) {
+      prev_value_ = value_;
+      value_ = v;
+    }
     release();
     return true;
   }
 
  private:
-  bool storm_fires() {
+  RtRegFault consult(bool is_write) {
     RtAbortInjector* inj = injector_.load(std::memory_order_acquire);
-    return inj != nullptr && inj->fire();
+    return inj != nullptr ? inj->fire_op(is_write) : RtRegFault::None;
   }
   bool try_acquire() {
     std::uint32_t expected = 0;
@@ -141,6 +214,7 @@ class RtAbortableReg {
   std::atomic<std::uint32_t> lock_{0};
   std::atomic<RtAbortInjector*> injector_{nullptr};
   T value_;
+  T prev_value_;
 };
 
 /// Single-writer heartbeat slot: the writer publishes a monotonically

@@ -146,7 +146,7 @@ void RtSupervisor::run() {
   ran_ = true;
   origin_ns_ = steady_now_ns();
   injector_.arm(plan_.seed() ^ 0x53544F524DULL /* "STORM" */, origin_ns_,
-                plan_.storm_windows());
+                plan_.fault_windows());
   for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) spawn(tid);
 
   const std::uint64_t deadline =
@@ -198,6 +198,12 @@ void RtSupervisor::tally_counters() {
                   snap.dropped[static_cast<std::size_t>(t)]);
   }
   counters_.inc("rt.storm_aborts", injector_.injected());
+  for (int k = 0; k < registers::kRegFaultKinds; ++k) {
+    const auto kind = static_cast<registers::RegFaultKind>(k);
+    counters_.inc(std::string("rt.regfault.injected.") +
+                      registers::to_string(kind),
+                  injector_.injected(kind));
+  }
 }
 
 }  // namespace tbwf::rt

@@ -12,6 +12,12 @@
 // timeout -- before competing again, which is what spreads completions
 // across threads and makes the per-thread wait-freedom check of the
 // conformance checker meaningful on real threads.
+// Each worker also keeps a LinkHealth view of the shared cell
+// (omega/link_health.hpp with rt-scaled thresholds): a long abort
+// streak -- a register jam, not contention -- trips quarantine, after
+// which the worker paces recovery probes on the health machine's
+// BoundedBackoff instead of hammering a dead register; the first
+// successful operation heals it and the worker rejoins the rotation.
 #pragma once
 
 #include <atomic>
@@ -20,12 +26,28 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <vector>
 
+#include "omega/link_health.hpp"
 #include "registers/abort_policy.hpp"
 #include "rt/rt_supervisor.hpp"
 #include "rt/rt_tbwf.hpp"
 
 namespace tbwf::rt {
+
+/// LinkHealth thresholds scaled for rt operation rates: ops are
+/// microsecond-scale against millisecond fault windows, so suspicion
+/// and confirmation trip within a window, and probe pacing is in
+/// yields, not steps.
+inline omega::LinkHealthOptions rt_cell_health_options() {
+  omega::LinkHealthOptions opt;
+  opt.suspect_after = 8;
+  opt.jam_rounds = 8;
+  opt.heal_rounds = 1;
+  opt.write_jam_rounds = 64;
+  opt.probe_backoff = {/*base=*/4, /*cap=*/64, /*free_retries=*/0};
+  return opt;
+}
 
 class LeasedCounterWorkload {
  public:
@@ -35,6 +57,8 @@ class LeasedCounterWorkload {
         cell_(0),
         commits_(std::make_unique<std::atomic<std::uint64_t>[]>(
             static_cast<std::size_t>(nthreads))),
+        health_(static_cast<std::size_t>(nthreads),
+                omega::LinkHealth(rt_cell_health_options())),
         rotation_wait_ns_(rotation_wait_ns) {
     elector_.set_calibrator(&calibrator_);
     for (int t = 0; t < nthreads; ++t) commits_[t].store(0);
@@ -65,6 +89,21 @@ class LeasedCounterWorkload {
     return commits_[tid].load(std::memory_order_relaxed);
   }
 
+  /// tid's health view of the shared cell. Quiescent-only for readers
+  /// other than the worker thread itself.
+  const omega::LinkHealth& cell_health(std::uint32_t tid) const {
+    return health_[tid];
+  }
+
+  /// Export every worker's cell-health counters (rt.link.cell.t<i>.*).
+  /// Quiescent-only (after RtSupervisor::run returned).
+  void export_health_metrics(util::Counters& metrics) const {
+    for (std::size_t t = 0; t < health_.size(); ++t) {
+      health_[t].export_metrics(metrics,
+                                "rt.link.cell.t" + std::to_string(t));
+    }
+  }
+
   /// Quiescent-only (after RtSupervisor::run returned).
   std::int64_t value() {
     for (;;) {
@@ -78,6 +117,18 @@ class LeasedCounterWorkload {
     const std::uint32_t tid = ctx.tid();
     const registers::BoundedBackoff backoff{
         {.base = 1, .cap = 32, .free_retries = 4}};
+    omega::LinkHealth& health = health_[tid];
+    // Abort pacing: contention-scale backoff while healthy, the health
+    // machine's decorrelating/probe schedule once the cell looks
+    // jammed (a dead register should cost O(backoff cap) probes, not a
+    // hot retry loop that never notices the heal).
+    const auto abort_pace = [&](int attempt) {
+      if (health.quarantined()) return health.probe_delay();
+      if (const auto spaced = health.suspect_delay(); spaced > 0) {
+        return spaced;
+      }
+      return static_cast<std::int64_t>(backoff.delay(attempt));
+    };
     int lost_elections = 0;
     while (!ctx.should_stop()) {
       ctx.fault_point();
@@ -102,7 +153,8 @@ class LeasedCounterWorkload {
         const auto v = cell_.read();
         if (!v.has_value()) {
           ctx.record(RtEventKind::kAbort);
-          yield_for(backoff.delay(attempt));
+          health.observe_abort_round();
+          yield_for(abort_pace(attempt));
           continue;
         }
         ctx.fault_point();  // mid-operation danger zone: kills land here
@@ -112,10 +164,12 @@ class LeasedCounterWorkload {
         }
         if (!cell_.write(*v + 1)) {
           ctx.record(RtEventKind::kAbort);
-          yield_for(backoff.delay(attempt));
+          health.observe_abort_round();
+          yield_for(abort_pace(attempt));
           continue;
         }
         committed = true;
+        health.observe_fresh();
         commits_[tid].fetch_add(1, std::memory_order_relaxed);
         calibrator_.observe(ctx.now_ns() - op_begin);
         ctx.op_complete(static_cast<std::uint64_t>(*v + 1));
@@ -137,11 +191,17 @@ class LeasedCounterWorkload {
   static void yield_for(std::uint64_t yields) {
     for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
   }
+  static void yield_for(std::int64_t yields) {
+    yield_for(static_cast<std::uint64_t>(yields < 0 ? 0 : yields));
+  }
 
   LeaseElector elector_;
   LeaseCalibrator calibrator_;
   RtAbortableReg<std::int64_t> cell_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> commits_;
+  /// Per-thread health view of the shared cell; health_[t] is written
+  /// only by worker t and read by others only after run() joined.
+  std::vector<omega::LinkHealth> health_;
   std::uint64_t rotation_wait_ns_;
 };
 

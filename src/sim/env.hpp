@@ -21,6 +21,7 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -157,19 +158,24 @@ struct AbortableReadOp final : OpCompletion {
 
   void complete(World& w, const registers::OpContext& ctx,
                 bool overlapped) override {
-    if (!overlapped) {
-      // Solo operations never abort.
-      result = cell->value;
-      w.note_read(/*aborted=*/false, cell);
-      return;
-    }
-    const auto outcome = cell->policy->on_contended_read(ctx);
-    if (outcome == registers::ReadOutcome::Success) {
-      result = cell->value;
-      w.note_read(/*aborted=*/false, cell);
-    } else {
-      result.reset();
-      w.note_read(/*aborted=*/true, cell);
+    // Solo operations never abort under any spec-conforming policy (the
+    // base on_solo_read returns Success); only the register fault layer
+    // -- a deliberately broken medium -- overrides the solo hook.
+    const auto outcome = overlapped ? cell->policy->on_contended_read(ctx)
+                                    : cell->policy->on_solo_read(ctx);
+    switch (outcome) {
+      case registers::ReadOutcome::Success:
+        result = cell->value;
+        w.note_read(/*aborted=*/false, cell);
+        break;
+      case registers::ReadOutcome::Stale:
+        result = cell->prev_value;
+        w.note_read(/*aborted=*/false, cell);
+        break;
+      case registers::ReadOutcome::Abort:
+        result.reset();
+        w.note_read(/*aborted=*/true, cell);
+        break;
     }
   }
   void settle_crash(World&, const registers::OpContext&) override {}
@@ -196,31 +202,68 @@ struct AbortableWriteOp final : OpCompletion {
   void complete(World& w, const registers::OpContext& ctx,
                 bool overlapped) override {
     using registers::WriteOutcome;
-    WriteOutcome outcome = WriteOutcome::Success;
-    if (overlapped) outcome = cell->policy->on_contended_write(ctx);
+    const WriteOutcome outcome = overlapped
+                                     ? cell->policy->on_contended_write(ctx)
+                                     : cell->policy->on_solo_write(ctx);
     switch (outcome) {
       case WriteOutcome::Success:
-        cell->value = value;
+        install(w, ctx);
         ok = true;
         w.note_write(/*aborted=*/false, cell);
-        w.note_write_effect(cell->idx, ctx.pid);
         break;
       case WriteOutcome::AbortWithEffect:
-        cell->value = value;
+        install(w, ctx);
         ok = false;
         w.note_write(/*aborted=*/true, cell);
-        w.note_write_effect(cell->idx, ctx.pid);
         break;
       case WriteOutcome::AbortNoEffect:
         ok = false;
         w.note_write(/*aborted=*/true, cell);
         break;
+      case WriteOutcome::SilentDrop:
+        // The medium lies: the caller sees success, the register never
+        // changes, and no abort evidence exists. Counted as a clean
+        // write; only end-to-end channel discipline can recover.
+        ok = true;
+        w.note_write(/*aborted=*/false, cell);
+        break;
+      case WriteOutcome::Torn:
+        install_torn(w, ctx);
+        ok = true;
+        w.note_write(/*aborted=*/false, cell);
+        break;
     }
   }
   void settle_crash(World& w, const registers::OpContext& ctx) override {
     if (cell->policy->crashed_write_takes_effect(ctx)) {
+      cell->prev_value = cell->value;
       cell->value = std::move(value);
       w.note_write_effect(cell->idx, ctx.pid);
+    }
+  }
+
+ private:
+  void install(World& w, const registers::OpContext& ctx) {
+    cell->prev_value = cell->value;
+    cell->value = value;
+    w.note_write_effect(cell->idx, ctx.pid);
+  }
+  /// A torn multi-word write: the low half of the value's bytes land,
+  /// the rest keep their old contents. Only meaningful for trivially
+  /// copyable multi-byte payloads; otherwise degrades to a full install
+  /// (the checksummed channel payloads are trivially copyable, which is
+  /// where torn writes matter).
+  void install_torn(World& w, const registers::OpContext& ctx) {
+    if constexpr (std::is_trivially_copyable_v<T> && sizeof(T) > 1) {
+      T mixed = cell->value;
+      std::memcpy(static_cast<void*>(reinterpret_cast<unsigned char*>(&mixed)),
+                  reinterpret_cast<const unsigned char*>(&value),
+                  sizeof(T) / 2);
+      cell->prev_value = cell->value;
+      cell->value = mixed;
+      w.note_write_effect(cell->idx, ctx.pid);
+    } else {
+      install(w, ctx);
     }
   }
 };

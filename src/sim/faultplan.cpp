@@ -34,6 +34,30 @@ FaultPlan& FaultPlan::abort_storm(std::string group, Step from, Step to,
   return *this;
 }
 
+const char* to_string(LinkPart part) {
+  switch (part) {
+    case LinkPart::All:
+      return "all";
+    case LinkPart::Msg:
+      return "msg";
+    case LinkPart::Hb1:
+      return "hb1";
+    case LinkPart::Hb2:
+      return "hb2";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::link_fault(Pid writer, Pid reader, LinkPart part,
+                                 registers::RegFaultKind kind, Step from,
+                                 Step to, double rate) {
+  TBWF_ASSERT(writer != reader, "a link joins two distinct processes");
+  TBWF_ASSERT(to == registers::kFaultForever || from <= to,
+              "link-fault window must be ordered");
+  link_faults_.push_back({writer, reader, part, kind, from, to, rate});
+  return *this;
+}
+
 FaultPlan FaultPlan::generate(std::uint64_t seed,
                               const GenOptions& options) {
   TBWF_ASSERT(options.n >= 1, "need at least one process");
@@ -64,7 +88,9 @@ FaultPlan FaultPlan::generate(std::uint64_t seed,
   int cycles = draw_count(options.max_crash_cycles);
   const int stutters = draw_count(options.max_stutters);
   const int storms = draw_count(options.max_storms);
-  if (cycles == 0 && stutters == 0 && storms == 0) {
+  const int link_faults =
+      options.n >= 2 ? draw_count(options.max_link_faults) : 0;
+  if (cycles == 0 && stutters == 0 && storms == 0 && link_faults == 0) {
     cycles = 1;  // never generate an empty plan
   }
 
@@ -108,6 +134,36 @@ FaultPlan FaultPlan::generate(std::uint64_t seed,
     plan.abort_storm(options.storm_group, from, from + len, rate);
   }
 
+  // Degraded links (only bite when a RegisterFaultInjector is armed).
+  // Transient faults close inside the event window; a permanent one
+  // stays open through the quiet tail -- the conformance checker then
+  // grades the writer's side of the link through channel_degraded().
+  for (int f = 0; f < link_faults; ++f) {
+    const Pid w = static_cast<Pid>(
+        rng.below(static_cast<std::uint64_t>(options.n)));
+    Pid r = static_cast<Pid>(
+        rng.below(static_cast<std::uint64_t>(options.n - 1)));
+    if (r >= w) ++r;
+    const auto part = static_cast<LinkPart>(rng.below(4));
+    registers::RegFaultKind kind;
+    if (rng.chance(options.p_link_jam)) {
+      kind = registers::RegFaultKind::Jam;
+    } else {
+      constexpr registers::RegFaultKind kOther[] = {
+          registers::RegFaultKind::Drop, registers::RegFaultKind::Stale,
+          registers::RegFaultKind::Torn, registers::RegFaultKind::Flake};
+      kind = kOther[rng.below(4)];
+    }
+    const Step len = rng.range((hi - lo) / 8 + 1, (hi - lo) / 2 + 1);
+    const Step from = rng.range(lo, hi > len ? hi - len : lo + 1);
+    const bool permanent = rng.chance(options.p_link_permanent);
+    const double rate = kind == registers::RegFaultKind::Jam
+                            ? 1.0
+                            : 0.5 + 0.5 * rng.uniform01();
+    plan.link_fault(w, r, part, kind, from,
+                    permanent ? registers::kFaultForever : from + len, rate);
+  }
+
   return plan;
 }
 
@@ -131,12 +187,41 @@ void FaultPlan::arm(registers::PhasedAbortPolicy& policy,
   }
 }
 
+int FaultPlan::arm(registers::RegisterFaultInjector& injector,
+                   const World& world, const std::string& msg_prefix,
+                   const std::string& hb_prefix) const {
+  int armed = 0;
+  const auto arm_prefix = [&](const LinkFaultEvent& f,
+                              const std::string& prefix) {
+    armed += injector.arm_link(world, f.writer, f.reader, prefix, f.kind,
+                               f.from, f.to, f.rate);
+  };
+  for (const auto& f : link_faults_) {
+    if (f.part == LinkPart::All || f.part == LinkPart::Msg) {
+      arm_prefix(f, msg_prefix);
+    }
+    if (f.part == LinkPart::All || f.part == LinkPart::Hb1) {
+      arm_prefix(f, hb_prefix + "1");
+    }
+    if (f.part == LinkPart::All || f.part == LinkPart::Hb2) {
+      arm_prefix(f, hb_prefix + "2");
+    }
+  }
+  return armed;
+}
+
 Step FaultPlan::last_event_step() const {
   Step last = 0;
   for (const auto& ev : crashes_) last = std::max(last, ev.at);
   for (const auto& ev : restarts_) last = std::max(last, ev.at);
   for (const auto& st : stutters_) last = std::max(last, st.to);
   for (const auto& storm : storms_) last = std::max(last, storm.to);
+  for (const auto& f : link_faults_) {
+    // A permanent fault never closes: its start is the boundary, the
+    // degradation itself is part of the stable suffix.
+    last = std::max(last,
+                    f.to == registers::kFaultForever ? f.from : f.to);
+  }
   return last;
 }
 
@@ -163,6 +248,110 @@ bool FaultPlan::crashed_at_end(Pid p) const {
   return crashed;
 }
 
+bool FaultPlan::link_jam_dead(Pid w, Pid r, Step from, Step to) const {
+  const auto covered = [&](LinkPart part) {
+    return std::any_of(
+        link_faults_.begin(), link_faults_.end(),
+        [&](const LinkFaultEvent& f) {
+          if (f.writer != w || f.reader != r) return false;
+          if (f.kind != registers::RegFaultKind::Jam) return false;
+          if (f.part != LinkPart::All && f.part != part) return false;
+          return f.from <= from &&
+                 (f.to == registers::kFaultForever || f.to >= to);
+        });
+  };
+  // A jam admits no coin flip: every operation in its window aborts, so
+  // single-window coverage of [from, to) means the register served
+  // nothing there. The message register alone carries counters; the
+  // heartbeat pair is only dead when BOTH registers are (the channel's
+  // Figure 5 judgment survives on one healthy register).
+  return covered(LinkPart::Msg) ||
+         (covered(LinkPart::Hb1) && covered(LinkPart::Hb2));
+}
+
+bool FaultPlan::link_suppressed(Pid w, Pid r, Step from, Step to) const {
+  if (link_jam_dead(w, r, from, to)) return true;
+  // At this rate an abort flake is a jam for all practical purposes:
+  // with the sweep's windows, runs of consecutive aborted rounds long
+  // enough to confirm a jam streak recur throughout [from, to).
+  constexpr double kFlakeJamRate = 0.9;
+  const auto covered = [&](LinkPart part, auto&& qualifies) {
+    return std::any_of(
+        link_faults_.begin(), link_faults_.end(),
+        [&](const LinkFaultEvent& f) {
+          if (f.writer != w || f.reader != r) return false;
+          if (!qualifies(f)) return false;
+          if (f.part != LinkPart::All && f.part != part) return false;
+          return f.from <= from &&
+                 (f.to == registers::kFaultForever || f.to >= to);
+        });
+  };
+  // A torn, stale or frozen stamp is NEGATIVE evidence, unlike an abort
+  // (which Figure 5 treats as fresh): one bad heartbeat register breaks
+  // the freshness conjunction, r judges w inactive, and Figure 6 line 52
+  // punishes w out of every leadership choice. The same faults on the
+  // message register alone are benign for w's progress: torn and stale
+  // stamps are caught by checksum/regression evidence and the
+  // quarantined counter view is skipped in elections, while a dropped
+  // counter is repaired by the periodic refresh.
+  const auto corrupting = [](const LinkFaultEvent& f) {
+    return f.kind == registers::RegFaultKind::Torn ||
+           f.kind == registers::RegFaultKind::Stale ||
+           f.kind == registers::RegFaultKind::Drop;
+  };
+  if (covered(LinkPart::Hb1, corrupting) ||
+      covered(LinkPart::Hb2, corrupting)) {
+    return true;
+  }
+  // A near-total abort flake behaves like the jam it almost is: message
+  // writes abort, dest = writeDone gates the heartbeats off, and r
+  // punishes the silence; on the heartbeat pair the all-abort streak
+  // confirms as a jam. Lighter flakes (and any flake on a single
+  // heartbeat register) leave enough sound fresh rounds through.
+  const auto heavy_flake = [](const LinkFaultEvent& f) {
+    return f.kind == registers::RegFaultKind::Flake &&
+           f.rate >= kFlakeJamRate;
+  };
+  return covered(LinkPart::Msg, heavy_flake) ||
+         (covered(LinkPart::Hb1, heavy_flake) &&
+          covered(LinkPart::Hb2, heavy_flake));
+}
+
+bool FaultPlan::link_partitioned(int n, Step from, Step to) const {
+  // Below this rate the periodic counter refresh lands often enough to
+  // thaw the reader's view well inside the completion-gap bound.
+  constexpr double kDropPartitionRate = 0.95;
+  return std::any_of(
+      link_faults_.begin(), link_faults_.end(),
+      [&](const LinkFaultEvent& f) {
+        if (f.kind != registers::RegFaultKind::Drop) return false;
+        if (f.part != LinkPart::Msg) return false;
+        if (f.rate < kDropPartitionRate) return false;
+        if (f.writer >= n || f.reader >= n) return false;
+        if (crashed_at_end(f.writer) || crashed_at_end(f.reader)) {
+          return false;
+        }
+        return f.from <= from &&
+               (f.to == registers::kFaultForever || f.to >= to);
+      });
+}
+
+std::vector<Pid> FaultPlan::channel_degraded(int n, Step from,
+                                             Step to) const {
+  std::vector<Pid> degraded;
+  if (link_faults_.empty()) return degraded;
+  for (Pid p = 0; p < n; ++p) {
+    for (Pid q = 0; q < n; ++q) {
+      if (q == p || crashed_at_end(q)) continue;
+      if (link_suppressed(p, q, from, to)) {
+        degraded.push_back(p);
+        break;
+      }
+    }
+  }
+  return degraded;
+}
+
 std::vector<Step> FaultPlan::phase_boundaries(Step run_end) const {
   std::vector<Step> edges{0, run_end};
   auto add = [&](Step s) {
@@ -177,6 +366,10 @@ std::vector<Step> FaultPlan::phase_boundaries(Step run_end) const {
   for (const auto& storm : storms_) {
     add(storm.from);
     add(storm.to);
+  }
+  for (const auto& f : link_faults_) {
+    add(f.from);
+    if (f.to != registers::kFaultForever) add(f.to);
   }
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
@@ -199,6 +392,17 @@ std::string FaultPlan::summary() const {
   for (const auto& storm : storms_) {
     out << "  storm   group '" << storm.group << "' in [" << storm.from
         << ", " << storm.to << ") rate " << storm.rate << "\n";
+  }
+  for (const auto& f : link_faults_) {
+    out << "  link    p" << f.writer << "->p" << f.reader << " "
+        << to_string(f.part) << " " << registers::to_string(f.kind)
+        << " in [" << f.from << ", ";
+    if (f.to == registers::kFaultForever) {
+      out << "forever";
+    } else {
+      out << f.to;
+    }
+    out << ") rate " << f.rate << "\n";
   }
   if (empty()) out << "  (no events)\n";
   return out.str();

@@ -19,6 +19,14 @@
 // "subsequently timely" process whose graded guarantee the conformance
 // checker re-derives. generate() draws a random but deterministic plan
 // from a seed, so any failing sweep case replays from its seed alone.
+//
+// Degraded links: a LinkFault degrades the channel registers of one
+// SWSR link (MsgRegister[p,q] and/or the HbRegister pair) beyond the
+// abortable-register spec -- jams, silent drops, stale serves, torn
+// writes (registers/reg_faults.hpp). Faults are armed on a
+// RegisterFaultInjector; the conformance checker uses the plan's
+// link_jam_dead/channel_degraded views to refuse wait-free verdicts a
+// jammed medium cannot earn.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "registers/reg_faults.hpp"
 #include "sim/chaos_schedule.hpp"
 #include "sim/types.hpp"
 
@@ -58,6 +67,25 @@ struct AbortStorm {
   double p_effect = 0.5;
 };
 
+/// Which channel registers of the SWSR link writer -> reader a
+/// LinkFault covers: the Figure 4 message register, one or both of the
+/// Figure 5 heartbeat pair, or all three.
+enum class LinkPart : std::uint8_t { All, Msg, Hb1, Hb2 };
+
+const char* to_string(LinkPart part);
+
+/// A degraded-medium fault on the channel registers of one link inside
+/// [from, to); to == registers::kFaultForever never closes.
+struct LinkFaultEvent {
+  Pid writer = kNoPid;
+  Pid reader = kNoPid;
+  LinkPart part = LinkPart::All;
+  registers::RegFaultKind kind = registers::RegFaultKind::Flake;
+  Step from = 0;
+  Step to = 0;
+  double rate = 1.0;
+};
+
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -69,6 +97,9 @@ class FaultPlan {
   FaultPlan& stutter(Pid p, Step from, Step to, Step period);
   FaultPlan& abort_storm(std::string group, Step from, Step to, double rate,
                          double p_effect = 0.5);
+  FaultPlan& link_fault(Pid writer, Pid reader, LinkPart part,
+                        registers::RegFaultKind kind, Step from, Step to,
+                        double rate = 1.0);
 
   // -- random generation --------------------------------------------------------
   struct GenOptions {
@@ -89,6 +120,16 @@ class FaultPlan {
     bool allow_crash_all = false;
     /// Group label stamped on generated storms ("" = every policy).
     std::string storm_group;
+    /// Degraded links, all off by default: a plan generated without
+    /// them is unchanged draw for draw, so existing seeds replay byte
+    /// for byte. Each link fault picks an ordered pair, a part, a kind
+    /// and a window.
+    int max_link_faults = 0;
+    /// Chance a link fault is a Jam (the rest split evenly over Drop,
+    /// Stale, Torn and Flake).
+    double p_link_jam = 0.5;
+    /// Chance a link fault never heals (to = registers::kFaultForever).
+    double p_link_permanent = 0.5;
   };
 
   /// Deterministic: the same (seed, options) always yields the same plan.
@@ -107,23 +148,66 @@ class FaultPlan {
   void arm(registers::PhasedAbortPolicy& policy,
            std::string_view group = "") const;
 
+  /// Arm every link fault on `injector` against the channel registers
+  /// it governs in `world`. Part -> register-name prefixes: Msg matches
+  /// msg_prefix, Hb1/Hb2 match hb_prefix + "1"/"2", All matches all
+  /// three. Returns the number of registers armed.
+  int arm(registers::RegisterFaultInjector& injector, const World& world,
+          const std::string& msg_prefix = "MsgRegister",
+          const std::string& hb_prefix = "HbRegister") const;
+
   // -- introspection ------------------------------------------------------------
   std::uint64_t seed() const { return seed_; }
   const std::vector<CrashEvent>& crashes() const { return crashes_; }
   const std::vector<RestartEvent>& restarts() const { return restarts_; }
   const std::vector<StutterPhase>& stutters() const { return stutters_; }
   const std::vector<AbortStorm>& storms() const { return storms_; }
+  const std::vector<LinkFaultEvent>& link_faults() const {
+    return link_faults_;
+  }
   bool empty() const {
     return crashes_.empty() && restarts_.empty() && stutters_.empty() &&
-           storms_.empty();
+           storms_.empty() && link_faults_.empty();
   }
 
   /// Step of the last event boundary (crash, restart, stutter end, storm
-  /// end); 0 for an empty plan. Everything after is the stable tail.
+  /// end, finite link-fault end; a permanent link fault contributes its
+  /// start); 0 for an empty plan. Everything after is the stable tail.
   Step last_event_step() const;
 
   /// True iff the plan crashes p without a later restart.
   bool crashed_at_end(Pid p) const;
+
+  /// True iff the channel from writer w to reader r is jam-dead for the
+  /// whole of [from, to): its message register is jam-covered, or BOTH
+  /// heartbeat registers are. (One healthy heartbeat register still
+  /// carries the Figure 5 judgment -- see omega/hb_channel.)
+  bool link_jam_dead(Pid w, Pid r, Step from, Step to) const;
+
+  /// True iff the channel w -> r denies w a leadership turn for the
+  /// whole of [from, to). Beyond jam-death this covers the value
+  /// faults: a torn/stale/dropped stamp on even ONE heartbeat register
+  /// is negative evidence (unlike an abort) -- it breaks the Figure 5
+  /// freshness conjunction, r judges w inactive, and Figure 6 punishes
+  /// w out of every leadership choice -- and a near-total abort flake
+  /// behaves like a jam (message writes abort, dest = writeDone gates
+  /// the heartbeats off, r punishes the silence).
+  bool link_suppressed(Pid w, Pid r, Step from, Step to) const;
+
+  /// True iff some live pair's message register silently drops at a
+  /// near-total rate through the whole of [from, to) while the
+  /// heartbeat pair stays healthy. Neither side can detect this --
+  /// writes report success, reads stay valid -- so the reader's counter
+  /// view freezes while the writer still looks timely, and leadership
+  /// can deadlock on a mutually-stale minimum. No liveness verdict over
+  /// such a window is judgeable; the checker demands none.
+  bool link_partitioned(int n, Step from, Step to) const;
+
+  /// Pids unreachable over the channel layer through [from, to): some
+  /// peer the plan leaves alive sees them only over a suppressed link.
+  /// The conformance checker refuses to grade these pids timely there
+  /// -- a faulted medium can never earn a wait-free verdict.
+  std::vector<Pid> channel_degraded(int n, Step from, Step to) const;
 
   /// Step boundaries partitioning [0, run_end) into the plan's phases:
   /// 0, every event edge below run_end, run_end. Sorted, deduplicated.
@@ -138,6 +222,7 @@ class FaultPlan {
   std::vector<RestartEvent> restarts_;
   std::vector<StutterPhase> stutters_;
   std::vector<AbortStorm> storms_;
+  std::vector<LinkFaultEvent> link_faults_;
 };
 
 }  // namespace tbwf::sim

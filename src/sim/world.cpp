@@ -128,6 +128,7 @@ void World::crash(Pid p) {
     ctx.is_write = it->is_write;
     ctx.invoked_at = it->invoked_at;
     ctx.responded_at = now();
+    ctx.reg = cell->idx;
     ctx.overlap_pids = it->overlap_pids;
     ctx.any_overlap_write = it->saw_overlap_write;
     st.pending_completion->settle_crash(*this, ctx);
@@ -212,6 +213,7 @@ void World::complete_pending(detail::SubTask& st) {
   ctx.is_write = it->is_write;
   ctx.invoked_at = it->invoked_at;
   ctx.responded_at = current_step_;
+  ctx.reg = cell->idx;
   ctx.overlap_pids = std::move(it->overlap_pids);
   ctx.any_overlap_write = it->saw_overlap_write;
   const bool overlapped = it->saw_overlap;

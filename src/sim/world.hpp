@@ -123,8 +123,12 @@ struct RegCellBase {
 
 template <class T>
 struct RegCell final : RegCellBase {
-  explicit RegCell(T init) : value(std::move(init)) {}
+  explicit RegCell(T init) : value(init), prev_value(std::move(init)) {}
   T value;
+  /// Value before the most recent effectful write. A Stale read fault
+  /// (ReadOutcome::Stale) serves this instead of `value`, modeling a
+  /// register whose read window lags one write behind.
+  T prev_value;
 };
 
 struct SubTask {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "omega/hb_channel.hpp"
+#include "registers/reg_faults.hpp"
 #include "sim/schedule.hpp"
 #include "sim/world.hpp"
 
@@ -119,8 +120,8 @@ TEST(HbChannel, UntimelySenderSuspectedInfinitelyOften) {
 // "abort-or-fresh" receiver believes the sender is timely forever. The
 // two-register receiver consults the second register, whose reads run
 // solo and return the same stale value, exposing the stall.
-Task stuck_sender(SimEnv& env, sim::AbortableReg<HbCounter> reg) {
-  (void)co_await env.write(reg, 1);  // never gets the response step
+Task stuck_sender(SimEnv& env, HbEndpoint::Reg reg) {
+  (void)co_await env.write(reg, HbStamp::make(1));  // never responds
 }
 
 Task single_receiver(SimEnv& env, SingleRegHbReceiver& r) {
@@ -161,6 +162,55 @@ TEST(HbChannel, TwoRegisterSchemeExposesStuckWriter) {
       << "one-register receiver should be fooled forever";
   EXPECT_FALSE(eps[1].active_set[0])
       << "two-register receiver must expose the stall";
+}
+
+TEST(HbChannel, OneHealthyRegisterStillExposesSlowness) {
+  // Ablation extension for the degraded medium: HbRegister1[0,1] is
+  // permanently jammed (every read aborts -- which the Figure 5
+  // judgment must treat as fresh), so the whole burden of exposing a
+  // slow or silent writer falls on the one healthy register. The
+  // two-register receiver still gets it right; an abort-or-fresh
+  // receiver watching only the jammed register is fooled forever.
+  auto world = std::make_unique<World>(
+      2, std::make_unique<sim::RandomSchedule>(31));
+  registers::RegisterFaultInjector injector(31);
+  auto eps = make_hb_mesh(*world, &injector, "Hb");
+  ASSERT_EQ(injector.arm_link(*world, 0, 1, "Hb1",
+                              registers::RegFaultKind::Jam, 0,
+                              registers::kFaultForever),
+            1);
+  SingleRegHbReceiver fooled{eps[1].in1[0]};
+
+  std::vector<std::vector<bool>> dest(2, std::vector<bool>(2, true));
+  for (Pid p = 0; p < 2; ++p) {
+    world->spawn(p, "hb-send", [&eps, &dest, p](SimEnv& env) {
+      return sender_proc(env, eps[p], dest[p]);
+    });
+    world->spawn(p, "hb-recv", [&eps, p](SimEnv& env) {
+      return receiver_proc(env, eps[p]);
+    });
+  }
+  world->spawn(1, "recv1", [&fooled](SimEnv& env) {
+    return single_receiver(env, fooled);
+  });
+
+  // Phase 1: the sender is timely. The healthy second register keeps
+  // delivering fresh stamps, so p1 judges p0 active despite the jam --
+  // and the mixed abort/fresh rounds never feed the jam streak, so the
+  // link is not quarantined.
+  world->run(200000);
+  EXPECT_TRUE(eps[1].active_set[0]);
+  EXPECT_FALSE(eps[1].in_health[0].quarantined());
+
+  // Phase 2: the sender goes silent towards p1. Register 2's reads now
+  // return the same stale stamp; the two-register conjunction exposes
+  // the silence even though register 1 keeps aborting.
+  dest[0][1] = false;
+  world->run(600000);
+  EXPECT_FALSE(eps[1].active_set[0])
+      << "the healthy register must expose the silence";
+  EXPECT_TRUE(fooled.active)
+      << "abort-or-fresh on the jammed register alone is fooled forever";
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 // Tests of Figure 4's final-value communication over abortable registers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 
 #include "omega/msg_channel.hpp"
+#include "registers/reg_faults.hpp"
 #include "sim/schedule.hpp"
 #include "sim/world.hpp"
 
@@ -151,6 +153,65 @@ TEST(MsgChannel, ReaderBacksOffOnAbortsAndUnchangedValues) {
   EXPECT_GT(m.eps[1].read_timeout[0], after_delivery);
 }
 
+TEST(MsgChannel, FreshValueResetsBackoffToOne) {
+  Mesh m(2, 19);
+  m.sources[0][1] = 1;
+  ASSERT_TRUE(m.world->run_until(
+      [&] { return m.eps[1].prev_msg_from[0] == 1; }, 2000000));
+  // Let the timeout grow well past 1 on the now-stable value...
+  m.world->run(300000);
+  ASSERT_GT(m.eps[1].read_timeout[0], 1);
+  // ...then change the source and watch the reset: the smallest timeout
+  // observed after the fresh value lands must be exactly 1 (line 18).
+  std::int64_t min_after_fresh = m.eps[1].read_timeout[0];
+  m.world->add_step_observer([&](Step, Pid) {
+    if (m.eps[1].prev_msg_from[0] == 2) {
+      min_after_fresh = std::min(min_after_fresh, m.eps[1].read_timeout[0]);
+    }
+  });
+  m.sources[0][1] = 2;
+  ASSERT_TRUE(m.world->run_until(
+      [&] { return m.eps[1].prev_msg_from[0] == 2; }, 2000000));
+  EXPECT_EQ(min_after_fresh, 1);
+}
+
+TEST(MsgChannel, BackoffSaturatesAtCapUnderPermanentJam) {
+  // A permanently jammed link: every read aborts forever. The adaptive
+  // timeout must grow (each abort adds one) but saturate at
+  // read_timeout_cap -- unbounded growth would make any later repair
+  // invisible for an unbounded time.
+  auto world = std::make_unique<World>(
+      2, std::make_unique<sim::RandomSchedule>(23));
+  registers::RegisterFaultInjector injector(23);
+  auto eps = make_msg_mesh<I64>(*world, &injector, 0, "MsgRegister");
+  ASSERT_EQ(injector.arm_link(*world, 0, 1, "MsgRegister",
+                              registers::RegFaultKind::Jam, 0,
+                              registers::kFaultForever),
+            1);
+  eps[1].read_timeout_cap = 64;
+
+  std::vector<std::vector<I64>> sources(2, std::vector<I64>(2, 0));
+  sources[0][1] = 9;
+  for (Pid p = 0; p < 2; ++p) {
+    world->spawn(p, "writer", [&eps, &sources, p](SimEnv& env) {
+      return writer_proc(env, eps[p], sources[p]);
+    });
+    world->spawn(p, "reader", [&eps, p](SimEnv& env) {
+      return reader_proc(env, eps[p]);
+    });
+  }
+  ASSERT_TRUE(world->run_until(
+      [&] { return eps[1].read_timeout[0] == 64; }, 2000000))
+      << "backoff never grew to the cap";
+  world->run(500000);
+  EXPECT_EQ(eps[1].read_timeout[0], 64) << "backoff must saturate, not grow";
+  EXPECT_EQ(eps[1].prev_msg_from[0], 0) << "nothing can cross a jammed link";
+  EXPECT_GT(eps[1].in_health[0].abort_rounds(), 0u);
+  // The healthy reverse link backs off on its own (unchanged-value)
+  // schedule, bounded by its own cap.
+  EXPECT_LE(eps[0].read_timeout[1], eps[0].read_timeout_cap);
+}
+
 TEST(MsgChannel, SwsrConstraintEnforced) {
   auto world = std::make_unique<World>(
       3, std::make_unique<sim::RoundRobinSchedule>());
@@ -158,7 +219,7 @@ TEST(MsgChannel, SwsrConstraintEnforced) {
   auto eps = make_msg_mesh<I64>(*world, &policy, 0);
   // Process 2 tries to read MsgRegister[0,1] (reader must be 1).
   struct Intruder {
-    static Task run(SimEnv& env, sim::AbortableReg<I64> reg) {
+    static Task run(SimEnv& env, MsgEndpoint<I64>::Reg reg) {
       (void)co_await env.read(reg);
     }
   };

@@ -1,0 +1,278 @@
+// Tests of the register fault layer (registers/reg_faults.hpp): the
+// deliberately broken medium behind the degraded-channel sweeps. Each
+// fault kind is checked against ground truth -- what the injector says
+// it inflicted must match what the register demonstrably did -- plus
+// arm_link targeting, window boundaries, composition with a calm
+// policy, and seed determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "omega/hb_channel.hpp"
+#include "omega/msg_channel.hpp"
+#include "omega/wire.hpp"
+#include "registers/reg_faults.hpp"
+#include "sim/env.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+#include "util/metrics.hpp"
+
+namespace tbwf::registers {
+namespace {
+
+using sim::AbortableReg;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::Task;
+using sim::World;
+using I64 = std::int64_t;
+
+OpContext ctx_at(std::uint32_t reg, Step t, bool is_write) {
+  OpContext ctx;
+  ctx.pid = 0;
+  ctx.is_write = is_write;
+  ctx.invoked_at = t;
+  ctx.responded_at = t;
+  ctx.reg = reg;
+  return ctx;
+}
+
+// -- outcome unit tests ----------------------------------------------------------
+
+TEST(RegFaults, JamAbortsEverythingSoloIncluded) {
+  RegisterFaultInjector inj(1);
+  inj.add_fault(0, RegFaultKind::Jam, 0, kFaultForever);
+  for (Step t = 0; t < 20; ++t) {
+    EXPECT_EQ(inj.on_solo_read(ctx_at(0, t, false)), ReadOutcome::Abort);
+    EXPECT_EQ(inj.on_solo_write(ctx_at(0, t, true)),
+              WriteOutcome::AbortNoEffect);
+  }
+  EXPECT_EQ(inj.injected(RegFaultKind::Jam), 40u);
+  EXPECT_EQ(inj.injected_total(), 40u);
+}
+
+TEST(RegFaults, DropHitsWritesOnlyStaleHitsReadsOnly) {
+  RegisterFaultInjector inj(2);
+  inj.add_fault(0, RegFaultKind::Drop, 0, kFaultForever);
+  inj.add_fault(1, RegFaultKind::Stale, 0, kFaultForever);
+  // Drop: the write reports success (the lie) and reads pass clean.
+  EXPECT_EQ(inj.on_solo_write(ctx_at(0, 5, true)), WriteOutcome::SilentDrop);
+  EXPECT_EQ(inj.on_solo_read(ctx_at(0, 5, false)), ReadOutcome::Success);
+  // Stale: the read reports success but serves the previous value;
+  // writes pass clean.
+  EXPECT_EQ(inj.on_solo_read(ctx_at(1, 5, false)), ReadOutcome::Stale);
+  EXPECT_EQ(inj.on_solo_write(ctx_at(1, 5, true)), WriteOutcome::Success);
+  EXPECT_EQ(inj.injected(RegFaultKind::Drop), 1u);
+  EXPECT_EQ(inj.injected(RegFaultKind::Stale), 1u);
+}
+
+TEST(RegFaults, WindowsAreHalfOpenAndPerRegister) {
+  RegisterFaultInjector inj(3);
+  inj.add_fault(7, RegFaultKind::Flake, 10, 20, /*rate=*/1.0);
+  EXPECT_EQ(inj.on_solo_read(ctx_at(7, 9, false)), ReadOutcome::Success);
+  EXPECT_EQ(inj.on_solo_read(ctx_at(7, 10, false)), ReadOutcome::Abort);
+  EXPECT_EQ(inj.on_solo_read(ctx_at(7, 19, false)), ReadOutcome::Abort);
+  EXPECT_EQ(inj.on_solo_read(ctx_at(7, 20, false)), ReadOutcome::Success);
+  // Other registers are untouched even inside the window.
+  EXPECT_EQ(inj.on_solo_read(ctx_at(8, 15, false)), ReadOutcome::Success);
+}
+
+TEST(RegFaults, CalmPolicyRulesWhenNoFaultFires) {
+  AlwaysAbortPolicy calm(AlwaysAbortPolicy::Effect::Never);
+  RegisterFaultInjector inj(4, &calm);
+  inj.add_fault(0, RegFaultKind::Jam, 100, 200);
+  // Outside the window the calm policy decides: contended ops abort,
+  // solo ops succeed -- the spec-conforming adversary is preserved.
+  EXPECT_EQ(inj.on_contended_read(ctx_at(0, 50, false)), ReadOutcome::Abort);
+  EXPECT_EQ(inj.on_solo_read(ctx_at(0, 50, false)), ReadOutcome::Success);
+  // Inside the window the jam overrides even solo operations.
+  EXPECT_EQ(inj.on_solo_read(ctx_at(0, 150, false)), ReadOutcome::Abort);
+}
+
+TEST(RegFaults, JamCoversRequiresFullWindow) {
+  RegisterFaultInjector inj(5);
+  inj.add_fault(0, RegFaultKind::Jam, 100, 200);
+  inj.add_fault(1, RegFaultKind::Jam, 100, kFaultForever);
+  inj.add_fault(2, RegFaultKind::Flake, 0, kFaultForever);
+  EXPECT_TRUE(inj.jam_covers(0, 100, 200));
+  EXPECT_TRUE(inj.jam_covers(0, 120, 180));
+  EXPECT_FALSE(inj.jam_covers(0, 50, 150));   // starts before the jam
+  EXPECT_FALSE(inj.jam_covers(0, 150, 250));  // outlives the jam
+  EXPECT_TRUE(inj.jam_covers(1, 100, 99999999));
+  EXPECT_FALSE(inj.jam_covers(2, 0, 10));  // a flake is not a jam
+}
+
+TEST(RegFaults, OutcomeStreamIsSeedDeterministic) {
+  const auto draw = [](std::uint64_t seed) {
+    RegisterFaultInjector inj(seed);
+    inj.add_fault(0, RegFaultKind::Flake, 0, kFaultForever, /*rate=*/0.5);
+    std::vector<ReadOutcome> outcomes;
+    for (Step t = 0; t < 200; ++t) {
+      outcomes.push_back(inj.on_solo_read(ctx_at(0, t, false)));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(draw(11), draw(11));
+  EXPECT_NE(draw(11), draw(12));
+}
+
+TEST(RegFaults, ExportMetricsTalliesPerKind) {
+  RegisterFaultInjector inj(6);
+  inj.add_fault(0, RegFaultKind::Jam, 0, kFaultForever);
+  inj.add_fault(1, RegFaultKind::Drop, 0, kFaultForever);
+  (void)inj.on_solo_read(ctx_at(0, 1, false));
+  (void)inj.on_solo_write(ctx_at(1, 1, true));
+  util::Counters metrics;
+  inj.export_metrics(metrics);
+  EXPECT_EQ(metrics.get("regfault.injected.jam"), 1u);
+  EXPECT_EQ(metrics.get("regfault.injected.drop"), 1u);
+  EXPECT_EQ(metrics.get("regfault.injected.stale"), 0u);
+}
+
+// -- end-to-end register semantics ----------------------------------------------
+
+Task write_once(SimEnv& env, AbortableReg<I64> reg, I64 v, bool* ok,
+                bool* done) {
+  *ok = co_await env.write(reg, v);
+  *done = true;
+}
+
+Task read_once(SimEnv& env, AbortableReg<I64> reg, std::optional<I64>* out,
+               bool* done) {
+  *out = co_await env.read(reg);
+  *done = true;
+}
+
+TEST(RegFaultsWorld, DropReportsSuccessWithoutInstalling) {
+  World world(2, std::make_unique<sim::RoundRobinSchedule>());
+  RegisterFaultInjector inj(21);
+  auto reg = world.make_abortable<I64>("r", 0, &inj, /*writer=*/0,
+                                       /*reader=*/1);
+  inj.add_fault(reg.idx, RegFaultKind::Drop, 0, kFaultForever);
+
+  bool w_ok = false, w_done = false;
+  world.spawn(0, "w", [&](SimEnv& env) {
+    return write_once(env, reg, 42, &w_ok, &w_done);
+  });
+  ASSERT_TRUE(world.run_until([&] { return w_done; }, 1000));
+  EXPECT_TRUE(w_ok) << "a dropped write must LIE success";
+
+  std::optional<I64> r_val;
+  bool r_done = false;
+  world.spawn(1, "r", [&](SimEnv& env) {
+    return read_once(env, reg, &r_val, &r_done);
+  });
+  ASSERT_TRUE(world.run_until([&] { return r_done; }, 1000));
+  ASSERT_TRUE(r_val.has_value());
+  EXPECT_EQ(*r_val, 0) << "the register must be unchanged";
+  EXPECT_EQ(inj.injected(RegFaultKind::Drop), 1u);
+}
+
+TEST(RegFaultsWorld, StaleReadServesPreviousValue) {
+  World world(2, std::make_unique<sim::RoundRobinSchedule>());
+  RegisterFaultInjector inj(22);
+  auto reg = world.make_abortable<I64>("r", 0, &inj, /*writer=*/0,
+                                       /*reader=*/1);
+  inj.add_fault(reg.idx, RegFaultKind::Stale, 0, kFaultForever);
+
+  bool ok1 = false, done1 = false, ok2 = false, done2 = false;
+  world.spawn(0, "w", [&](SimEnv& env) {
+    return write_once(env, reg, 5, &ok1, &done1);
+  });
+  ASSERT_TRUE(world.run_until([&] { return done1; }, 1000));
+  world.spawn(0, "w2", [&](SimEnv& env) {
+    return write_once(env, reg, 7, &ok2, &done2);
+  });
+  ASSERT_TRUE(world.run_until([&] { return done2; }, 1000));
+  ASSERT_TRUE(ok1 && ok2);
+
+  std::optional<I64> r_val;
+  bool r_done = false;
+  world.spawn(1, "r", [&](SimEnv& env) {
+    return read_once(env, reg, &r_val, &r_done);
+  });
+  ASSERT_TRUE(world.run_until([&] { return r_done; }, 1000));
+  ASSERT_TRUE(r_val.has_value());
+  EXPECT_EQ(*r_val, 5) << "a stale read lags one write behind";
+}
+
+using Wire = omega::Sealed<I64>;
+
+Task write_wire(SimEnv& env, sim::AbortableReg<Wire> reg, Wire v, bool* ok,
+                bool* done) {
+  *ok = co_await env.write(reg, v);
+  *done = true;
+}
+
+Task read_wire(SimEnv& env, sim::AbortableReg<Wire> reg,
+               std::optional<Wire>* out, bool* done) {
+  *out = co_await env.read(reg);
+  *done = true;
+}
+
+TEST(RegFaultsWorld, TornWriteFailsTheSealChecksum) {
+  World world(2, std::make_unique<sim::RoundRobinSchedule>());
+  RegisterFaultInjector inj(23);
+  auto reg = world.make_abortable<Wire>("r", Wire::make(0, 0), &inj,
+                                        /*writer=*/0, /*reader=*/1);
+  inj.add_fault(reg.idx, RegFaultKind::Torn, 0, kFaultForever);
+
+  bool w_ok = false, w_done = false;
+  world.spawn(0, "w", [&](SimEnv& env) {
+    return write_wire(env, reg, Wire::make(123456789, 1), &w_ok, &w_done);
+  });
+  ASSERT_TRUE(world.run_until([&] { return w_done; }, 1000));
+  EXPECT_TRUE(w_ok) << "a torn write must LIE success";
+
+  std::optional<Wire> r_val;
+  bool r_done = false;
+  world.spawn(1, "r", [&](SimEnv& env) {
+    return read_wire(env, reg, &r_val, &r_done);
+  });
+  ASSERT_TRUE(world.run_until([&] { return r_done; }, 1000));
+  ASSERT_TRUE(r_val.has_value());
+  EXPECT_FALSE(r_val->valid())
+      << "half-landed bytes must trip the checksum tripwire";
+  EXPECT_EQ(inj.injected(RegFaultKind::Torn), 1u);
+}
+
+// -- arm_link targeting ----------------------------------------------------------
+
+TEST(RegFaultsWorld, ArmLinkSelectsByPairPrefixAndPolicy) {
+  World world(3, std::make_unique<sim::RoundRobinSchedule>());
+  RegisterFaultInjector inj(24);
+  NeverAbortPolicy other;
+  // The channel meshes the injector governs...
+  auto msg = omega::make_msg_mesh<I64>(world, &inj, 0, "MsgRegister");
+  auto hb = omega::make_hb_mesh(world, &inj, "HbRegister");
+  // ...and a mesh under a different policy that must never be armed.
+  auto foreign = omega::make_msg_mesh<I64>(world, &other, 0, "Foreign");
+  (void)msg;
+  (void)hb;
+  (void)foreign;
+
+  EXPECT_EQ(inj.arm_link(world, 0, 1, "MsgRegister", RegFaultKind::Jam, 0,
+                         kFaultForever),
+            1);
+  EXPECT_EQ(inj.arm_link(world, 0, 1, "HbRegister1", RegFaultKind::Jam, 0,
+                         kFaultForever),
+            1);
+  EXPECT_EQ(inj.arm_link(world, 0, 1, "HbRegister", RegFaultKind::Jam, 0,
+                         kFaultForever),
+            2);  // HbRegister1 and HbRegister2
+  EXPECT_EQ(inj.arm_link(world, 1, 2, "", RegFaultKind::Flake, 0, 100, 0.5),
+            3);  // msg + both hb registers of the 1 -> 2 link
+  EXPECT_EQ(inj.arm_link(world, 0, 1, "Foreign", RegFaultKind::Jam, 0,
+                         kFaultForever),
+            0)
+      << "registers under another policy must be skipped";
+  EXPECT_EQ(inj.arm_link(world, 0, 0, "", RegFaultKind::Jam, 0, 10), 0)
+      << "no self links exist";
+}
+
+}  // namespace
+}  // namespace tbwf::registers

@@ -1,0 +1,56 @@
+// Bridge from google-benchmark to the tbwf-bench-v1 JSON schema
+// (bench_util.hpp JsonReporter): a display reporter that renders the
+// usual console table AND records one JSON row per benchmark run, so a
+// gbench binary keeps its interactive output while feeding the CI
+// regression gate. Used by bench_rt_throughput / bench_sim_throughput.
+#pragma once
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace tbwf::bench {
+
+/// Console output plus one JsonReporter row per (non-aggregate,
+/// non-errored) run: metric "throughput", value items_per_second,
+/// config {"bench": run name, "threads": n}.
+class GBenchJsonAdapter : public benchmark::ConsoleReporter {
+ public:
+  explicit GBenchJsonAdapter(JsonReporter& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const auto it = run.counters.find("items_per_second");
+      if (it == run.counters.end()) continue;
+      json_.row("throughput", static_cast<double>(it->second), "items/s",
+                /*seed=*/0,
+                {{"bench", run.benchmark_name()},
+                 {"threads", fmt_i(run.threads)}});
+    }
+  }
+
+ private:
+  JsonReporter& json_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes
+/// BENCH_<experiment>.json (tbwf-bench-v1) next to the binary or into
+/// $TBWF_BENCH_JSON_DIR.
+inline int run_gbench_with_json(int argc, char** argv,
+                                const std::string& experiment) {
+  benchmark::Initialize(&argc, &argv[0]);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonReporter json(experiment);
+  json.set_config("variant", "after");
+  GBenchJsonAdapter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.write_file(bench_json_path("BENCH_" + experiment + ".json"));
+  return 0;
+}
+
+}  // namespace tbwf::bench

@@ -75,25 +75,40 @@ int main() {
 
   Table table({"n", "flickering", "elected", "stabilized at step",
                "Definition 5 holds?"});
+  JsonReporter json("omega_election");
+  json.set_config("variant", "after");
+  const auto emit = [&json](int n, int flicker, std::uint64_t seed,
+                            const ElectionResult& r) {
+    const std::vector<std::pair<std::string, std::string>> config = {
+        {"n", fmt_i(n)}, {"flickering", fmt_i(flicker)}};
+    json.row("stabilized_at", static_cast<double>(r.stabilized_at), "steps",
+             seed, config);
+    json.row("spec_ok", r.spec_ok ? 1.0 : 0.0, "bool", seed, config);
+  };
 
   for (int n : {2, 4, 8, 12}) {
     const sim::Step steps = 400000ULL * n;
-    const auto r = run_election(n, 0, 17 + n, steps);
+    const std::uint64_t seed = 17 + n;
+    const auto r = run_election(n, 0, seed, steps);
     table.row({fmt_i(n), "0", r.leader == omega::kNoLeader
                                   ? "?"
                                   : fmt("p%d", r.leader),
                fmt_u(r.stabilized_at), r.spec_ok ? "yes" : "NO"});
+    emit(n, 0, seed, r);
   }
   for (int n : {4, 8}) {
     for (int flicker : {1, 2, 3}) {
       const sim::Step steps = 2500000ULL * n;
-      const auto r = run_election(n, flicker, 31 + n + flicker, steps);
+      const std::uint64_t seed = 31 + n + flicker;
+      const auto r = run_election(n, flicker, seed, steps);
       table.row({fmt_i(n), fmt_i(flicker),
                  r.leader == omega::kNoLeader ? "?" : fmt("p%d", r.leader),
                  fmt_u(r.stabilized_at), r.spec_ok ? "yes" : "NO"});
+      emit(n, flicker, seed, r);
     }
   }
   table.print();
+  json.write_file(bench_json_path("BENCH_omega_election.json"));
 
   std::printf(
       "\nreading: stabilization grows with n (monitor timeouts adapt per\n"

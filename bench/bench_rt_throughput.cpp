@@ -9,6 +9,8 @@
 // synchrony, not speed -- while staying within an order of magnitude.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.hpp"
+
 #include "qa/sequential_type.hpp"
 #include "rt/rt_baselines.hpp"
 #include "rt/rt_tbwf.hpp"
@@ -74,4 +76,6 @@ BENCHMARK(BM_TbwfLeaseCounter)->Threads(1)->Threads(2)->Threads(4)
 BENCHMARK(BM_TbwfUniversalObject)->Threads(1)->Threads(2)->Threads(4)
     ->Threads(8)->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tbwf::bench::run_gbench_with_json(argc, argv, "rt_throughput");
+}

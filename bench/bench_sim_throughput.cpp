@@ -5,6 +5,8 @@
 // in steps).
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.hpp"
+
 #include <memory>
 
 #include "core/tbwf.hpp"
@@ -83,4 +85,6 @@ BENCHMARK(BM_YieldOnlySteps)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_RegisterOpSteps)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_FullTbwfStackSteps)->Arg(2)->Arg(4)->Arg(8);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tbwf::bench::run_gbench_with_json(argc, argv, "sim_throughput");
+}

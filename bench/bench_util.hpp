@@ -6,7 +6,9 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/progress.hpp"
@@ -33,12 +35,18 @@ class Table {
   void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
 
   void print() const {
-    std::vector<std::size_t> width(headers_.size());
+    // Size the width vector to the longest ROW, not just the header
+    // count: a row with trailing extra cells (common for annotated
+    // last columns) must print them, not silently truncate -- and
+    // print_row below indexes width[] for every cell it prints.
+    std::size_t ncols = headers_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
     for (std::size_t c = 0; c < headers_.size(); ++c) {
       width[c] = headers_[c].size();
     }
     for (const auto& r : rows_) {
-      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
         width[c] = std::max(width[c], r[c].size());
       }
     }
@@ -79,6 +87,128 @@ inline std::string fmt_i(std::int64_t v) {
 }
 inline std::string fmt_f(double v, int digits = 2) {
   return fmt("%.*f", digits, v);
+}
+
+/// Machine-readable experiment output: one JSON document per bench
+/// binary, schema "tbwf-bench-v1":
+///   {"experiment": "<id>", "schema": "tbwf-bench-v1",
+///    "rows": [{"config": {"<k>": "<v>", ...}, "metric": "<name>",
+///              "value": <number>, "unit": "<unit>", "seed": <u64>}]}
+/// Config values are strings. Defaults installed with set_config apply
+/// to every subsequent row; per-row pairs override by key. The files
+/// land at bench_json_path() (BENCH_<id>.json) and feed the CI
+/// bench-smoke regression gate plus the EXPERIMENTS.md tables.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  /// Sticky config key applied to every row added after this call.
+  void set_config(const std::string& key, const std::string& value) {
+    upsert(defaults_, key, value);
+  }
+
+  void row(const std::string& metric, double value, const std::string& unit,
+           std::uint64_t seed,
+           const std::vector<std::pair<std::string, std::string>>& config =
+               {}) {
+    Row r;
+    r.config = defaults_;
+    for (const auto& kv : config) upsert(r.config, kv.first, kv.second);
+    r.metric = metric;
+    r.value = value;
+    r.unit = unit;
+    r.seed = seed;
+    rows_.push_back(std::move(r));
+  }
+
+  std::string str() const {
+    std::string out = "{\n  \"experiment\": " + quote(experiment_) +
+                      ",\n  \"schema\": \"tbwf-bench-v1\",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      out += (i == 0 ? "\n" : ",\n");
+      out += "    {\"config\": {";
+      for (std::size_t c = 0; c < r.config.size(); ++c) {
+        if (c > 0) out += ", ";
+        out += quote(r.config[c].first) + ": " + quote(r.config[c].second);
+      }
+      out += "}, \"metric\": " + quote(r.metric);
+      out += ", \"value\": " + fmt("%.17g", r.value);
+      out += ", \"unit\": " + quote(r.unit);
+      out += ", \"seed\": " + fmt_u(r.seed) + "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReporter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = str();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  using Config = std::vector<std::pair<std::string, std::string>>;
+  struct Row {
+    Config config;
+    std::string metric;
+    double value = 0;
+    std::string unit;
+    std::uint64_t seed = 0;
+  };
+
+  static void upsert(Config& config, const std::string& key,
+                     const std::string& value) {
+    for (auto& kv : config) {
+      if (kv.first == key) {
+        kv.second = value;
+        return;
+      }
+    }
+    config.emplace_back(key, value);
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            out += fmt("\\u%04x", ch);
+          } else {
+            out += ch;
+          }
+      }
+    }
+    return out + "\"";
+  }
+
+  std::string experiment_;
+  Config defaults_;
+  std::vector<Row> rows_;
+};
+
+/// Where a bench binary drops its BENCH_<id>.json: $TBWF_BENCH_JSON_DIR
+/// if set (CI points it at the workspace root), else the working
+/// directory.
+inline std::string bench_json_path(const std::string& filename) {
+  const char* dir = std::getenv("TBWF_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return filename;
+  std::string path = dir;
+  if (path.back() != '/') path += '/';
+  return path + filename;
 }
 
 /// Endless counter-increment worker usable with any object exposing

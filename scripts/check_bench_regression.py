@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a freshly produced tbwf-bench-v1 JSON against the checked-in
+baseline and fail on regressions.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.25]
+
+Rows are matched on (metric, config minus the "variant" key); only rows
+with variant == "after" (or no variant) participate -- "before" rows in
+the baseline document the pre-optimization state and are informational.
+
+Direction is inferred from the unit:
+  items/s, rounds          higher is better; fail below (1 - tol) * base
+  reads/round, steps       lower is better; fail above (1 + tol) * base
+  bool                     exact; fail if fresh < baseline (a 1 -> 0 flip)
+  anything else            informational only
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER = {"items/s", "rounds"}
+LOWER_BETTER = {"reads/round", "steps"}
+
+
+def key(row):
+    config = {k: v for k, v in row.get("config", {}).items() if k != "variant"}
+    return (row["metric"], tuple(sorted(config.items())))
+
+
+def after_rows(doc):
+    out = {}
+    for row in doc["rows"]:
+        if row.get("config", {}).get("variant", "after") != "after":
+            continue
+        out[key(row)] = row
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    with open(args.fresh) as f:
+        fresh_doc = json.load(f)
+    if base_doc.get("schema") != "tbwf-bench-v1":
+        sys.exit(f"{args.baseline}: not a tbwf-bench-v1 document")
+    if fresh_doc.get("schema") != "tbwf-bench-v1":
+        sys.exit(f"{args.fresh}: not a tbwf-bench-v1 document")
+
+    base = after_rows(base_doc)
+    fresh = after_rows(fresh_doc)
+
+    failures = []
+    checked = 0
+    for k, brow in sorted(base.items()):
+        frow = fresh.get(k)
+        label = f"{brow['metric']} {dict(k[1])}"
+        if frow is None:
+            failures.append(f"MISSING  {label}: no matching fresh row")
+            continue
+        unit, bv, fv = brow["unit"], brow["value"], frow["value"]
+        if unit in HIGHER_BETTER:
+            checked += 1
+            floor = bv * (1.0 - args.tolerance)
+            if fv < floor:
+                failures.append(
+                    f"REGRESSED {label}: {fv:.6g} {unit} < floor "
+                    f"{floor:.6g} (baseline {bv:.6g})")
+        elif unit in LOWER_BETTER:
+            checked += 1
+            ceil = bv * (1.0 + args.tolerance)
+            if fv > ceil:
+                failures.append(
+                    f"REGRESSED {label}: {fv:.6g} {unit} > ceiling "
+                    f"{ceil:.6g} (baseline {bv:.6g})")
+        elif unit == "bool":
+            checked += 1
+            if fv < bv:
+                failures.append(f"REGRESSED {label}: {bv:g} -> {fv:g}")
+
+    print(f"{args.fresh}: {checked} rows checked against {args.baseline}, "
+          f"{len(failures)} failures")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #include "omega/hb_channel.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace tbwf::omega {
 
@@ -51,7 +52,21 @@ sim::Co<void> send_heartbeat(sim::SimEnv& env, HbEndpoint& ep,
 // Figure 5, lines 26-40, with the degraded-medium screen in front of
 // the freshness judgment.
 sim::Co<void> receive_heartbeat(sim::SimEnv& env, HbEndpoint& ep) {
+  // Fast path: a previous sweep proved this invocation is timer
+  // decrements only -- no poll fires, activeSet cannot change.
+  if (ep.sweep_skip_credit > 0) {
+    --ep.sweep_skip_credit;
+    co_return;
+  }
   const int n = env.n();
+  // Pay back the decrements the skipped invocations owe.
+  if (ep.sweep_skip_debt > 0) {
+    for (sim::Pid q = 0; q < n; ++q) {
+      if (q == ep.self) continue;
+      ep.hb_timer[q] -= ep.sweep_skip_debt;
+    }
+    ep.sweep_skip_debt = 0;
+  }
   for (sim::Pid q = 0; q < n; ++q) {                              // line 27
     if (q == ep.self) continue;
     if (ep.hb_timer[q] >= 1) --ep.hb_timer[q];                    // line 28
@@ -121,6 +136,20 @@ sim::Co<void> receive_heartbeat(sim::SimEnv& env, HbEndpoint& ep) {
         ep.hb_timer[q] = std::max(ep.hb_timer[q], spaced);
       }
     }
+  }
+  // Bank the run of no-op invocations ahead: every timer is >= 1 after
+  // a sweep (resets go to hbTimeout, probe_delay, or suspect_delay, all
+  // >= 1), so the next min-1 invocations only count down. Once the
+  // timeouts have grown past the writers' cadence, most calls take the
+  // O(1) fast path above.
+  std::int64_t min_timer = std::numeric_limits<std::int64_t>::max();
+  for (sim::Pid q = 0; q < n; ++q) {
+    if (q == ep.self) continue;
+    min_timer = std::min(min_timer, ep.hb_timer[q]);
+  }
+  if (n > 1 && min_timer >= 2) {
+    ep.sweep_skip_credit = min_timer - 1;
+    ep.sweep_skip_debt = min_timer - 1;
   }
 }
 

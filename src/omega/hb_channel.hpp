@@ -66,6 +66,17 @@ struct HbEndpoint {
   /// recovery probes (see link_health.hpp).
   std::vector<LinkHealth> in_health, out_health;
 
+  /// Bulk-skip fast path for ReceiveHeartbeat, same contract as
+  /// MsgEndpoint::sweep_skip_credit: after a sweep in which every
+  /// per-peer timer (including probe/suspect delays, which also land in
+  /// hb_timer) stays >= 2, the next min-1 invocations decrement timers
+  /// and nothing else, so they are satisfied in O(1) and the owed
+  /// decrements are paid back before the next real sweep. The poll
+  /// schedule -- and with it every activeSet transition -- is
+  /// bit-identical.
+  std::int64_t sweep_skip_credit = 0;  ///< invocations left to skip
+  std::int64_t sweep_skip_debt = 0;    ///< decrements owed to each timer
+
   void init(int n, sim::Pid self_pid, const LinkHealthOptions& health = {}) {
     self = self_pid;
     out1.resize(n);
@@ -84,6 +95,8 @@ struct HbEndpoint {
     active_set[self] = true;
     in_health.assign(n, LinkHealth(health));
     out_health.assign(n, LinkHealth(health));
+    sweep_skip_credit = 0;
+    sweep_skip_debt = 0;
   }
 
   void export_metrics(util::Counters& metrics,

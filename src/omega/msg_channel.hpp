@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,17 @@ struct MsgEndpoint {
   /// (polling cadence never changes -- see link_health.hpp).
   std::vector<LinkHealth> out_health, in_health;
 
+  /// Bulk-skip fast path for ReadMsgs (performance only; the read
+  /// schedule is bit-identical). After a sweep leaves every peer timer
+  /// at >= 2, the next min-1 invocations cannot trigger any read --
+  /// they would only decrement timers. read_msgs banks that count here,
+  /// satisfies those invocations in O(1), and pays the owed decrements
+  /// back in bulk before the next real sweep. Sound because the timers
+  /// are touched by read_msgs alone, and a skipped invocation performs
+  /// no register ops either way (so sim-step sequences are unchanged).
+  std::int64_t sweep_skip_credit = 0;  ///< invocations left to skip
+  std::int64_t sweep_skip_debt = 0;    ///< decrements owed to each timer
+
   void init(int n, sim::Pid self_pid, const T& initial,
             const LinkHealthOptions& health = {}) {
     self = self_pid;
@@ -96,6 +108,8 @@ struct MsgEndpoint {
     refresh_pending.assign(n, false);
     out_health.assign(n, LinkHealth(health));
     in_health.assign(n, LinkHealth(health));
+    sweep_skip_credit = 0;
+    sweep_skip_debt = 0;
   }
 
   void export_metrics(util::Counters& metrics,
@@ -181,7 +195,22 @@ sim::Co<void> write_msgs(sim::SimEnv& env, MsgEndpoint<T>& ep,
 /// backoff; ep.prev_msg_from holds the last successfully read values.
 template <class T>
 sim::Co<void> read_msgs(sim::SimEnv& env, MsgEndpoint<T>& ep) {
+  // Fast path: a previous sweep proved this whole invocation is timer
+  // decrements only (no timer can reach 0). Skip the O(n) walk.
+  if (ep.sweep_skip_credit > 0) {
+    --ep.sweep_skip_credit;
+    co_return;
+  }
   const int n = env.n();
+  // Pay back the decrements the skipped invocations owe before the
+  // sweep below looks at the timers.
+  if (ep.sweep_skip_debt > 0) {
+    for (sim::Pid q = 0; q < n; ++q) {
+      if (q == ep.self) continue;
+      ep.read_timer[q] -= ep.sweep_skip_debt;
+    }
+    ep.sweep_skip_debt = 0;
+  }
   for (sim::Pid q = 0; q < n; ++q) {                              // line 9
     if (q == ep.self) continue;
     if (ep.read_timer[q] >= 1) --ep.read_timer[q];                // line 10
@@ -216,6 +245,20 @@ sim::Co<void> read_msgs(sim::SimEnv& env, MsgEndpoint<T>& ep) {
             std::min(ep.read_timeout[q] + 1, ep.read_timeout_cap);
       }
     }
+  }
+  // Bank the run of no-op invocations ahead: every timer is >= 1 after
+  // a sweep (a timer that hits 0 is reset to readTimeout >= 1), so the
+  // next min-1 invocations only count down. After stabilization the
+  // timeouts grow towards the cap, turning almost every ReadMsgs call
+  // into the O(1) fast path above.
+  std::int64_t min_timer = std::numeric_limits<std::int64_t>::max();
+  for (sim::Pid q = 0; q < n; ++q) {
+    if (q == ep.self) continue;
+    min_timer = std::min(min_timer, ep.read_timer[q]);
+  }
+  if (n > 1 && min_timer >= 2) {
+    ep.sweep_skip_credit = min_timer - 1;
+    ep.sweep_skip_debt = min_timer - 1;
   }
 }
 

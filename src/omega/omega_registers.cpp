@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/assert.hpp"
+
 namespace tbwf::omega {
 
 using monitor::Status;
@@ -36,6 +38,11 @@ void OmegaRegisters::install_all() {
   for (sim::Pid p = 0; p < n(); ++p) install(p);
 }
 
+void OmegaRegisters::set_scan_refresh_period(std::int64_t rounds) {
+  TBWF_ASSERT(rounds >= 1, "scan refresh period must be >= 1");
+  scan_refresh_period_ = rounds;
+}
+
 // Figure 3, faithful transcription. Loops over "each q in Pi" skip q = p
 // for the monitor interactions: A(p,p) is trivial (the paper's footnote
 // 6) -- p is always active for itself (line 12 adds p to activeSet
@@ -50,6 +57,16 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
   std::vector<std::int64_t> counter(n, 0);          // counter[q]
   std::vector<Status> status(n, Status::Unknown);   // status[q]
   std::vector<bool> active_set(n, false);           // activeSet
+
+  // Scan-cache state (only used when sys.scan_cache() is on): the
+  // counter[] snapshot is reusable while the candidate's local view is
+  // quiet -- same activeSet, no faultCntr growth, no counter write of
+  // our own -- and the snapshot is younger than the refresh period.
+  bool cache_valid = false;
+  std::int64_t cache_age = 0;
+  std::vector<bool> cached_active_set(n, false);
+  util::Counters& metrics = env.world().counters();
+  const std::string pid_tag = ".p" + std::to_string(p);
 
   for (;;) {                                                      // line 1
     io.leader = kNoLeader;                                        // line 2
@@ -69,6 +86,10 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
       counter[p] = co_await env.read(sys.counter_reg_[p]);        // line 7
       co_await env.write(sys.counter_reg_[p], counter[p] + 1);    // line 8
     }
+    // Any snapshot from a previous candidacy spell is stale (we just
+    // bumped our own counter, and arbitrarily much happened while we
+    // were not a candidate).
+    cache_valid = false;
 
     while (io.candidate) {                                        // line 9
       for (sim::Pid q = 0; q < n; ++q) {                          // line 10
@@ -84,8 +105,37 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
       for (sim::Pid q = 0; q < n; ++q) {                          // line 12
         active_set[q] = (q == p) || (status[q] == Status::Active);
       }
-      for (sim::Pid q = 0; q < n; ++q) {                          // line 13
-        counter[q] = co_await env.read(sys.counter_reg_[q]);
+
+      // Line 13, behind the opt-in scan cache: re-read all n counter
+      // registers only when the local view moved (activeSet changed or
+      // some faultCntr grew -- the latter means line 20 is about to
+      // write counters anyway) or the snapshot aged out. Between full
+      // scans the election at line 14 runs on the cached counter[].
+      bool scan = true;
+      if (sys.scan_cache_) {
+        bool quiet = cache_valid && active_set == cached_active_set &&
+                     cache_age < sys.scan_refresh_period_;
+        if (quiet) {
+          for (sim::Pid q = 0; q < n; ++q) {
+            if (q != p && fault_cntr[q] > max_fault_cntr[q]) {
+              quiet = false;
+              break;
+            }
+          }
+        }
+        scan = !quiet;
+        metrics.inc(scan ? "omega.scan.full" + pid_tag
+                         : "omega.scan.skipped" + pid_tag);
+      }
+      if (scan) {
+        for (sim::Pid q = 0; q < n; ++q) {                        // line 13
+          counter[q] = co_await env.read(sys.counter_reg_[q]);
+        }
+        cache_valid = true;
+        cache_age = 0;
+        cached_active_set = active_set;
+      } else {
+        ++cache_age;
       }
 
       sim::Pid leader = p;                                        // line 14
@@ -110,6 +160,8 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
         if (fault_cntr[q] > max_fault_cntr[q]) {                  // line 19
           co_await env.write(sys.counter_reg_[q], counter[q] + 1);  // line 20
           max_fault_cntr[q] = fault_cntr[q];                      // line 21
+          // Our own write moved a counter past the snapshot.
+          cache_valid = false;
         }
       }
     }

@@ -59,6 +59,26 @@ class OmegaRegisters {
   void set_self_punishment(bool enabled) { self_punishment_ = enabled; }
   bool self_punishment() const { return self_punishment_; }
 
+  /// OPT-IN stabilization-aware scan caching for the line-13 counter
+  /// sweep. A candidate that saw no monitor status change, no faultCntr
+  /// growth and issued no counter write since its last full scan reuses
+  /// the cached counter[] snapshot instead of re-reading all n shared
+  /// registers; a full scan still runs every scan_refresh_period()
+  /// rounds, which bounds the staleness window: any concurrent counter
+  /// write (another candidate's self-punishment is the one that is
+  /// invisible to this process's monitors) is observed at most one
+  /// refresh period late, so the Theorem 11/12 convergence arguments --
+  /// which only need changes to be seen EVENTUALLY -- go through with a
+  /// delay bounded by period * round length. Default OFF: skipped reads
+  /// change sim-step schedules, and the pinned conformance sweeps must
+  /// keep their exact traces. World counters "omega.scan.full.p<i>" /
+  /// "omega.scan.skipped.p<i>" record the effect.
+  void set_scan_cache(bool enabled) { scan_cache_ = enabled; }
+  bool scan_cache() const { return scan_cache_; }
+  /// Rounds a cached snapshot may be reused before a forced full scan.
+  void set_scan_refresh_period(std::int64_t rounds);
+  std::int64_t scan_refresh_period() const { return scan_refresh_period_; }
+
  private:
   friend sim::Task omega_registers_task(sim::SimEnv& env,
                                         OmegaRegisters& sys);
@@ -68,6 +88,8 @@ class OmegaRegisters {
   std::vector<sim::AtomicReg<std::int64_t>> counter_reg_;
   std::vector<OmegaIO> io_;
   bool self_punishment_ = true;
+  bool scan_cache_ = false;
+  std::int64_t scan_refresh_period_ = 64;
 };
 
 /// Figure 3: the main Omega-Delta loop for process env.pid().

@@ -1,9 +1,15 @@
 // Real-threads baseline counters for the E11 wall-clock benchmark.
+//
+// The contended word of each baseline is cache-line-aligned so the
+// comparison against the TBWF-style counters prices the algorithms, not
+// accidental false sharing between adjacent globals in the bench binary.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+
+#include "util/cacheline.hpp"
 
 namespace tbwf::rt {
 
@@ -14,19 +20,19 @@ class RtMutexCounter {
  public:
   std::int64_t fetch_add(std::int64_t delta) {
     std::lock_guard<std::mutex> lock(mutex_);
-    const std::int64_t before = value_;
-    value_ += delta;
+    const std::int64_t before = count_;
+    count_ += delta;
     return before;
   }
 
  private:
   std::mutex mutex_;
-  std::int64_t value_ = 0;
+  std::int64_t count_ = 0;  ///< plain: guarded by mutex_, not atomic
 };
 
 /// Lock-free baseline: explicit CAS loop (system-wide progress; an
 /// individual thread can starve under adversarial preemption).
-class RtCasCounter {
+class alignas(util::kCacheLineSize) RtCasCounter {
  public:
   std::int64_t fetch_add(std::int64_t delta) {
     std::int64_t cur = value_.load(std::memory_order_relaxed);
@@ -43,7 +49,7 @@ class RtCasCounter {
 
 /// Wait-free hardware baseline: a single fetch_add instruction; the
 /// hardware-assisted upper bound.
-class RtFaaCounter {
+class alignas(util::kCacheLineSize) RtFaaCounter {
  public:
   std::int64_t fetch_add(std::int64_t delta) {
     return value_.fetch_add(delta, std::memory_order_acq_rel);

@@ -23,6 +23,7 @@
 #include "qa/sequential_type.hpp"
 #include "rt/rt_registers.hpp"
 #include "util/assert.hpp"
+#include "util/cacheline.hpp"
 
 namespace tbwf::rt {
 
@@ -160,7 +161,7 @@ class RtQaUniversal {
     Result result{};
   };
 
-  struct alignas(64) Local {
+  struct alignas(util::kCacheLineSize) Local {
     Record mine;
     StateRec local_decided;
     std::uint64_t round = 0;

@@ -11,6 +11,22 @@
 // an operation that acquires the cell runs alone and succeeds. Solo
 // operations therefore never abort, and aborted writes never take
 // effect (one of the behaviours the spec allows).
+// Memory-order discipline (see docs/MODEL.md, "The rt memory model"):
+// every atomic operation in this backend names its order explicitly.
+// The orders fall into three documented roles:
+//
+//   acquire/release  publication edges -- the try-lock cell that guards
+//                    value_/prev_value_, and the injector pointer
+//                    handoff (arm() data must be visible to fire());
+//   relaxed          monotone statistics (draw indices, injected-fault
+//                    tallies, heartbeat counters): no reader infers
+//                    anything from their ordering, only from their
+//                    eventual value, and the supervisor's thread join
+//                    provides the final happens-before for exact reads.
+//
+// Per-thread and per-cell hot counters are cache-line-isolated
+// (util/cacheline.hpp) so one thread's relaxed bumps do not invalidate
+// another thread's line.
 #pragma once
 
 #include <atomic>
@@ -21,6 +37,7 @@
 #include <vector>
 
 #include "registers/reg_faults.hpp"
+#include "util/cacheline.hpp"
 
 namespace tbwf::rt {
 
@@ -122,29 +139,28 @@ class RtAbortInjector {
   bool fire() { return fire_op(/*is_write=*/false) != RtRegFault::None; }
 
   std::uint64_t injected() const {
-    return injected_.load(std::memory_order_relaxed);
+    return injected_->load(std::memory_order_relaxed);
   }
   /// Ground truth per fault kind, for judging detectors against.
   std::uint64_t injected(registers::RegFaultKind kind) const {
-    return injected_by_[static_cast<int>(kind)].load(
+    return injected_by_[static_cast<int>(kind)]->load(
         std::memory_order_relaxed);
   }
 
  private:
   /// SplitMix64 of (seed, draw index): uniform and replayable per seed.
   bool draw(std::uint32_t rate_millionths) {
-    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL *
-                                  (draws_.fetch_add(1,
-                                                    std::memory_order_relaxed) +
-                                   1);
+    std::uint64_t z =
+        seed_ + 0x9E3779B97F4A7C15ULL *
+                    (draws_->fetch_add(1, std::memory_order_relaxed) + 1);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     z ^= z >> 31;
     return z % 1000000 < rate_millionths;
   }
   RtRegFault note(RtRegFault fault, registers::RegFaultKind kind) {
-    injected_.fetch_add(1, std::memory_order_relaxed);
-    injected_by_[static_cast<int>(kind)].fetch_add(
+    injected_->fetch_add(1, std::memory_order_relaxed);
+    injected_by_[static_cast<int>(kind)]->fetch_add(
         1, std::memory_order_relaxed);
     return fault;
   }
@@ -152,13 +168,27 @@ class RtAbortInjector {
   std::uint64_t seed_ = 0;
   std::uint64_t origin_ns_ = 0;
   std::vector<Window> windows_;
-  std::atomic<std::uint64_t> draws_{0};
-  std::atomic<std::uint64_t> injected_{0};
-  std::atomic<std::uint64_t> injected_by_[registers::kRegFaultKinds] = {};
+  /// All three tallies are relaxed monotone counters: draws_ orders the
+  /// seeded hash sequence (any serialization of the fetch_adds is an
+  /// acceptable draw order), injected_* are statistics read either
+  /// relaxed (approximate, mid-run) or after join (exact). Each lives on
+  /// its own cache line: draws_ is hammered by every faulted operation
+  /// of every thread, and sharing a line would stall the injector-free
+  /// fast path of neighbouring cells.
+  util::CachelinePadded<std::atomic<std::uint64_t>> draws_{0};
+  util::CachelinePadded<std::atomic<std::uint64_t>> injected_{0};
+  util::CachelinePadded<std::atomic<std::uint64_t>>
+      injected_by_[registers::kRegFaultKinds] = {};
 };
 
+/// Cache-line-aligned so registers packed in arrays (one per process,
+/// as in RtQaUniversal) never share a line: the try-lock CAS of one
+/// cell must not steal the line under a neighbouring cell's reader.
+/// lock_ and the values it guards deliberately stay TOGETHER on the
+/// line -- an operation always touches both, so splitting them would
+/// double the line transfers per op.
 template <class T>
-class RtAbortableReg {
+class alignas(util::kCacheLineSize) RtAbortableReg {
  public:
   explicit RtAbortableReg(T initial)
       : value_(initial), prev_value_(std::move(initial)) {}
@@ -200,15 +230,21 @@ class RtAbortableReg {
 
  private:
   RtRegFault consult(bool is_write) {
+    // acquire pairs with set_injector's release: observing the pointer
+    // implies observing the windows armed before it was attached.
     RtAbortInjector* inj = injector_.load(std::memory_order_acquire);
     return inj != nullptr ? inj->fire_op(is_write) : RtRegFault::None;
   }
   bool try_acquire() {
+    // acquire on success pairs with release(): the winner sees every
+    // value_/prev_value_ write of the previous holder. Failure needs no
+    // ordering -- the op aborts without looking at the guarded data.
     std::uint32_t expected = 0;
     return lock_.compare_exchange_strong(expected, 1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed);
   }
+  // release publishes the critical section to the next try_acquire.
   void release() { lock_.store(0, std::memory_order_release); }
 
   std::atomic<std::uint32_t> lock_{0};
@@ -223,13 +259,20 @@ class RtAbortableReg {
 /// monitored/monitoring split.
 class RtHeartbeat {
  public:
-  void beat() { counter_.fetch_add(1, std::memory_order_relaxed); }
+  /// relaxed: the counter is a pure monotone activity signal. A reader
+  /// learns "the writer took a step" from the VALUE advancing; no other
+  /// data is published through it, so no release edge is needed, and
+  /// staleness only delays (never fakes) an activity judgment.
+  void beat() { counter_->fetch_add(1, std::memory_order_relaxed); }
   std::uint64_t value() const {
-    return counter_.load(std::memory_order_relaxed);
+    return counter_->load(std::memory_order_relaxed);
   }
 
  private:
-  std::atomic<std::uint64_t> counter_{0};
+  /// Own line: heartbeats placed in per-process arrays are each bumped
+  /// at step rate by their owner; sharing a line would make every beat
+  /// a cross-core invalidation for the monitors polling the others.
+  util::CachelinePadded<std::atomic<std::uint64_t>> counter_{0};
 };
 
 }  // namespace tbwf::rt

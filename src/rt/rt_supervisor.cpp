@@ -10,7 +10,12 @@ namespace tbwf::rt {
 // -- RtWorkerContext -----------------------------------------------------------
 
 bool RtWorkerContext::should_stop() const {
-  return sup_->stop_.load(std::memory_order_acquire);
+  // relaxed: the hottest load in the backend (every worker, every loop
+  // iteration). Nothing is published THROUGH the flag -- a worker that
+  // observes true simply returns, and the supervisor's join of that
+  // thread provides the happens-before for everything it wrote. A
+  // stale false only delays shutdown by one iteration.
+  return sup_->stop_->load(std::memory_order_relaxed);
 }
 
 std::uint64_t RtWorkerContext::now_ns() const {
@@ -61,7 +66,7 @@ RtSupervisor::RtSupervisor(RtSupervisorOptions options, RtFaultPlan plan,
 
 RtSupervisor::~RtSupervisor() {
   // Defensive: if run() threw mid-way, make sure no thread outlives us.
-  stop_.store(true, std::memory_order_release);
+  stop_->store(true, std::memory_order_release);
   for (auto& slot : slots_) {
     if (slot.thread.joinable()) slot.thread.join();
   }
@@ -118,7 +123,9 @@ void RtSupervisor::maybe_fire_faults(RtWorkerContext& ctx) {
 }
 
 void RtSupervisor::poll_restarts() {
-  const bool stopping = stop_.load(std::memory_order_acquire);
+  // relaxed: only the monitor thread itself ever stores stop_ before
+  // the final joins, so this is a same-thread read.
+  const bool stopping = stop_->load(std::memory_order_relaxed);
   for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) {
     Slot& slot = slots_[tid];
     if (!slot.joined && !slot.alive.load(std::memory_order_acquire)) {
@@ -158,7 +165,9 @@ void RtSupervisor::run() {
     poll_restarts();
   }
 
-  stop_.store(true, std::memory_order_release);
+  // release is not strictly required (join below synchronizes), but it
+  // keeps the flag a clean publication point for any future observer.
+  stop_->store(true, std::memory_order_release);
   for (auto& slot : slots_) {
     if (slot.thread.joinable()) slot.thread.join();
     slot.joined = true;

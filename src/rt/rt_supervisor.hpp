@@ -40,6 +40,7 @@
 #include "rt/rt_faults.hpp"
 #include "rt/rt_registers.hpp"
 #include "rt/rt_trace.hpp"
+#include "util/cacheline.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 
@@ -145,8 +146,13 @@ class RtSupervisor {
     std::uint64_t arg = 0;  ///< kill: restart_after_ns; stall: duration_ns
   };
 
-  struct Slot {
+  /// One line per slot: alive/kills/stalls are bumped by the owning
+  /// worker while the monitor thread polls every slot each period --
+  /// without the isolation each poll would bounce the workers' lines.
+  struct alignas(util::kCacheLineSize) Slot {
     std::thread thread;
+    /// release by the dying worker (its last act), acquire by the
+    /// monitor before join: the join precondition is "alive == false".
     std::atomic<bool> alive{false};
     std::uint32_t incarnation = 0;
     /// Cursor into fault_seq_[tid]; advanced only by the worker thread,
@@ -158,7 +164,8 @@ class RtSupervisor {
     bool joined = true;
     /// Firsthand lifecycle tallies (the trace ring is bounded and may
     /// evict early events; these never lose a fault). kills/stalls are
-    /// bumped by the worker thread, restarts by the monitor.
+    /// bumped by the worker thread (relaxed monotone counters -- the
+    /// final exact read happens after join), restarts by the monitor.
     std::atomic<std::uint64_t> kills{0};
     std::atomic<std::uint64_t> stalls{0};
     std::uint64_t restarts = 0;
@@ -180,7 +187,10 @@ class RtSupervisor {
   util::Counters counters_;
   std::vector<std::vector<FaultEvent>> fault_seq_;
   std::vector<Slot> slots_;
-  std::atomic<bool> stop_{false};
+  /// Shutdown flag, polled by every worker each loop iteration (see
+  /// should_stop for the relaxed-load rationale). Own line so the polls
+  /// stay local until the single store flips it.
+  util::CachelinePadded<std::atomic<bool>> stop_{false};
   std::uint64_t origin_ns_ = 0;
   std::uint64_t run_end_ns_ = 0;
   bool ran_ = false;

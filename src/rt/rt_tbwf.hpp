@@ -25,6 +25,7 @@
 
 #include "registers/abort_policy.hpp"
 #include "rt/rt_registers.hpp"
+#include "util/cacheline.hpp"
 
 namespace tbwf::rt {
 
@@ -55,16 +56,19 @@ class LeaseCalibrator {
       : options_(options), ewma_ns_(initial_latency_ns) {}
 
   /// Record one observed operation latency.
+  /// All orders relaxed: the EWMA is self-contained numeric state -- no
+  /// consumer reads other data "through" it, and a term computed from a
+  /// slightly stale estimate is exactly as valid as the fresh one.
   void observe(std::uint64_t latency_ns) {
-    std::uint64_t cur = ewma_ns_.load(std::memory_order_relaxed);
+    std::uint64_t cur = ewma_ns_->load(std::memory_order_relaxed);
     for (int tries = 0; tries < 4; ++tries) {
       const double next = static_cast<double>(cur) +
                           options_.alpha * (static_cast<double>(latency_ns) -
                                             static_cast<double>(cur));
       const auto packed =
           static_cast<std::uint64_t>(next < 1.0 ? 1.0 : next);
-      if (ewma_ns_.compare_exchange_weak(cur, packed,
-                                         std::memory_order_relaxed)) {
+      if (ewma_ns_->compare_exchange_weak(cur, packed,
+                                          std::memory_order_relaxed)) {
         samples_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
@@ -72,7 +76,7 @@ class LeaseCalibrator {
   }
 
   std::uint64_t ewma_ns() const {
-    return ewma_ns_.load(std::memory_order_relaxed);
+    return ewma_ns_->load(std::memory_order_relaxed);
   }
 
   /// The calibrated lease term: multiplier * ewma, clamped.
@@ -93,7 +97,11 @@ class LeaseCalibrator {
 
  private:
   Options options_;
-  std::atomic<std::uint64_t> ewma_ns_;
+  /// Own line: CASed by every committing leader; keeping it off the
+  /// read-only options_ line lets term_ns() readers stay in shared
+  /// state. samples_ lands on the trailing line alone (the struct is
+  /// line-aligned), so its relaxed bumps disturb no reader either.
+  util::CachelinePadded<std::atomic<std::uint64_t>> ewma_ns_;
   std::atomic<std::uint64_t> samples_{0};
 };
 
@@ -140,7 +148,10 @@ class LeaseElector {
   /// revoked and the call reports failure.
   bool try_lead(std::uint32_t tid, std::uint64_t* fence_out = nullptr) {
     const std::uint64_t now = now_ns();
-    std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    // acquire pairs with the release half of the CAS that last
+    // transferred ownership: observing a freed/expired word implies
+    // observing the fence value of that tenure.
+    std::uint64_t cur = hot_.lease.load(std::memory_order_acquire);
     const auto owner = static_cast<std::uint32_t>(cur >> 40);
     const std::uint64_t expiry = cur & kTimeMask;
     const bool live = owner != kNoOwner && lease_live(now, expiry);
@@ -148,19 +159,21 @@ class LeaseElector {
     const std::uint64_t next =
         (static_cast<std::uint64_t>(tid) << 40) |
         ((now + current_term_ns()) & kTimeMask);
-    if (!lease_.compare_exchange_strong(cur, next,
-                                        std::memory_order_acq_rel)) {
+    // acq_rel: acquire makes the previous tenure's writes visible to
+    // the new leader; release publishes this takeover to the next one.
+    if (!hot_.lease.compare_exchange_strong(cur, next,
+                                            std::memory_order_acq_rel)) {
       return false;
     }
     if (live) {
       // Renewal: same tenure, same token.
       if (fence_out != nullptr) {
-        *fence_out = fence_.load(std::memory_order_acquire);
+        *fence_out = hot_.fence.load(std::memory_order_acquire);
       }
       return true;
     }
     const std::uint64_t token =
-        fence_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        hot_.fence.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (fence_out != nullptr) *fence_out = token;
     return true;
   }
@@ -170,17 +183,19 @@ class LeaseElector {
   /// means the lease was lost (expired + re-elected, or revoked) and the
   /// commit must not happen.
   bool validate(std::uint32_t tid, std::uint64_t token) const {
-    const std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    const std::uint64_t cur = hot_.lease.load(std::memory_order_acquire);
     if (static_cast<std::uint32_t>(cur >> 40) != tid) return false;
     if (!lease_live(now_ns(), cur & kTimeMask)) return false;
-    return fence_.load(std::memory_order_acquire) == token;
+    return hot_.fence.load(std::memory_order_acquire) == token;
   }
 
   void release(std::uint32_t tid) {
-    std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    std::uint64_t cur = hot_.lease.load(std::memory_order_acquire);
     if (static_cast<std::uint32_t>(cur >> 40) == tid) {
-      lease_.compare_exchange_strong(cur, kFreed,
-                                     std::memory_order_acq_rel);
+      // acq_rel: release hands the critical-section writes to the next
+      // acquirer through the freed word.
+      hot_.lease.compare_exchange_strong(cur, kFreed,
+                                         std::memory_order_acq_rel);
     }
   }
 
@@ -188,11 +203,13 @@ class LeaseElector {
   /// incarnation is dead; any token it captured must never validate
   /// again). Frees the lease if tid holds it and advances the fence.
   void revoke(std::uint32_t tid) {
-    std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    std::uint64_t cur = hot_.lease.load(std::memory_order_acquire);
     while (static_cast<std::uint32_t>(cur >> 40) == tid) {
-      if (lease_.compare_exchange_weak(cur, kFreed,
-                                       std::memory_order_acq_rel)) {
-        fence_.fetch_add(1, std::memory_order_acq_rel);
+      if (hot_.lease.compare_exchange_weak(cur, kFreed,
+                                           std::memory_order_acq_rel)) {
+        // acq_rel: the bump must be ordered after the free above and
+        // visible before any reader can revalidate the dead token.
+        hot_.fence.fetch_add(1, std::memory_order_acq_rel);
         return;
       }
     }
@@ -201,14 +218,14 @@ class LeaseElector {
   /// Current owner; kNoOwner when free (also when an expired owner is
   /// still in the word -- the lease is only *held* while live).
   std::uint32_t owner() const {
-    const std::uint64_t cur = lease_.load(std::memory_order_acquire);
+    const std::uint64_t cur = hot_.lease.load(std::memory_order_acquire);
     const auto raw = static_cast<std::uint32_t>(cur >> 40);
     if (raw == kNoOwner) return kNoOwner;
     return lease_live(now_ns(), cur & kTimeMask) ? raw : kNoOwner;
   }
 
   std::uint64_t fence() const {
-    return fence_.load(std::memory_order_acquire);
+    return hot_.fence.load(std::memory_order_acquire);
   }
 
   /// Attach an adaptive term calibrator (nullptr detaches; the fixed
@@ -255,8 +272,18 @@ class LeaseElector {
     return (clock_ != nullptr ? clock_() : steady_clock_ns()) & kTimeMask;
   }
 
-  std::atomic<std::uint64_t> lease_{kFreed};
-  std::atomic<std::uint64_t> fence_{0};
+  /// The two contended words, isolated together on one line. They stay
+  /// TOGETHER deliberately: every ownership transfer writes both and
+  /// validate() reads both, so splitting them would double the line
+  /// transfers per election; what must NOT share their line is the
+  /// read-only configuration below (term, calibrator pointer, clock),
+  /// which every try_lead reads and which would otherwise miss on each
+  /// competitor's CAS.
+  struct alignas(util::kCacheLineSize) HotWords {
+    std::atomic<std::uint64_t> lease{kFreed};
+    std::atomic<std::uint64_t> fence{0};
+  };
+  HotWords hot_;
   std::uint64_t term_ns_;
   LeaseCalibrator* calibrator_ = nullptr;
   ClockFn clock_;

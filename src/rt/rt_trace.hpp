@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/cacheline.hpp"
 
 namespace tbwf::rt {
 
@@ -93,6 +94,8 @@ class RtTrace {
   void record(std::uint32_t tid, std::uint32_t incarnation, RtEventKind kind,
               std::uint64_t at_ns, std::uint64_t arg = 0) {
     Ring& ring = rings_[tid];
+    // relaxed self-read: head is written only by this ring's single
+    // writer, so the load needs no synchronization at all.
     const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
     RtEvent& slot = ring.slots[head & mask_];
     slot.at_ns = at_ns;
@@ -100,6 +103,8 @@ class RtTrace {
     slot.tid = tid;
     slot.incarnation = incarnation;
     slot.kind = kind;
+    // release publishes the slot: snapshot()'s acquire load of head
+    // (after join) is the consume edge that makes the event visible.
     ring.head.store(head + 1, std::memory_order_release);
   }
 
@@ -112,6 +117,8 @@ class RtTrace {
     snap.dropped.resize(rings_.size(), 0);
     for (std::size_t t = 0; t < rings_.size(); ++t) {
       const Ring& ring = rings_[t];
+      // acquire pairs with record()'s release store: every slot filled
+      // before the last published head is visible to this copy.
       const std::uint64_t head = ring.head.load(std::memory_order_acquire);
       const std::uint64_t kept = std::min<std::uint64_t>(head, cap_);
       snap.dropped[t] = head - kept;
@@ -129,7 +136,9 @@ class RtTrace {
   std::size_t capacity() const { return cap_; }
 
  private:
-  struct alignas(64) Ring {
+  /// One line per ring: each head is bumped at event rate by its single
+  /// writer; sharing a line across tids would serialize the writers.
+  struct alignas(util::kCacheLineSize) Ring {
     std::unique_ptr<RtEvent[]> slots;
     std::atomic<std::uint64_t> head{0};
   };

@@ -32,6 +32,7 @@
 #include "registers/abort_policy.hpp"
 #include "rt/rt_supervisor.hpp"
 #include "rt/rt_tbwf.hpp"
+#include "util/cacheline.hpp"
 
 namespace tbwf::rt {
 
@@ -55,13 +56,17 @@ class LeasedCounterWorkload {
                                  std::uint64_t rotation_wait_ns = 200000)
       : elector_(std::chrono::microseconds(500)),
         cell_(0),
-        commits_(std::make_unique<std::atomic<std::uint64_t>[]>(
+        commits_(std::make_unique<
+                 util::CachelinePadded<std::atomic<std::uint64_t>>[]>(
             static_cast<std::size_t>(nthreads))),
         health_(static_cast<std::size_t>(nthreads),
                 omega::LinkHealth(rt_cell_health_options())),
         rotation_wait_ns_(rotation_wait_ns) {
     elector_.set_calibrator(&calibrator_);
-    for (int t = 0; t < nthreads; ++t) commits_[t].store(0);
+    // relaxed: pre-spawn initialization; the thread launch publishes it.
+    for (int t = 0; t < nthreads; ++t) {
+      commits_[t]->store(0, std::memory_order_relaxed);
+    }
   }
 
   /// Expose the cell to the supervisor's storm injector. Call before
@@ -86,7 +91,8 @@ class LeasedCounterWorkload {
   LeaseCalibrator& calibrator() { return calibrator_; }
 
   std::uint64_t commits(std::uint32_t tid) const {
-    return commits_[tid].load(std::memory_order_relaxed);
+    // relaxed monotone counter: exact only after run() joined.
+    return commits_[tid]->load(std::memory_order_relaxed);
   }
 
   /// tid's health view of the shared cell. Quiescent-only for readers
@@ -170,7 +176,7 @@ class LeasedCounterWorkload {
         }
         committed = true;
         health.observe_fresh();
-        commits_[tid].fetch_add(1, std::memory_order_relaxed);
+        commits_[tid]->fetch_add(1, std::memory_order_relaxed);
         calibrator_.observe(ctx.now_ns() - op_begin);
         ctx.op_complete(static_cast<std::uint64_t>(*v + 1));
       }
@@ -198,7 +204,9 @@ class LeasedCounterWorkload {
   LeaseElector elector_;
   LeaseCalibrator calibrator_;
   RtAbortableReg<std::int64_t> cell_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> commits_;
+  /// Striped: each worker bumps its own line at commit rate.
+  std::unique_ptr<util::CachelinePadded<std::atomic<std::uint64_t>>[]>
+      commits_;
   /// Per-thread health view of the shared cell; health_[t] is written
   /// only by worker t and read by others only after run() joined.
   std::vector<omega::LinkHealth> health_;

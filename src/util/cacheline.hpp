@@ -1,0 +1,54 @@
+// Cache-line isolation helpers for the hot shared-memory paths.
+//
+// False sharing -- two logically independent cells mapped onto one
+// hardware cache line -- turns every relaxed counter bump into a
+// cross-core invalidation. The rt backend's per-thread tallies
+// (commit counters, supervisor slots, trace rings, injector draw
+// counters) are exactly the shape that suffers: written at high rate by
+// one thread, read rarely by others. This header centralizes the line
+// size and a padding wrapper so each such cell owns its line outright.
+//
+// kCacheLineSize is a compile-time constant (64 bytes covers x86-64 and
+// mainstream AArch64; std::hardware_destructive_interference_size is
+// deliberately not used -- its value can differ between translation
+// units compiled with different tuning flags, which would be an ODR
+// trap for the ABI of every struct padded with it).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace tbwf::util {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wrap a value so it starts on its own cache line and no neighbouring
+/// object can share that line (alignment rounds sizeof up to a multiple
+/// of the line). Use for per-thread slots that live in arrays: each
+/// element's writes then stay on the owning core.
+///
+///   CachelinePadded<std::atomic<std::uint64_t>> counters[kThreads];
+///
+/// The wrapper adds nothing else: access the cell through value or *,->.
+template <class T>
+struct alignas(kCacheLineSize) CachelinePadded {
+  T value;
+
+  CachelinePadded() = default;
+  template <class... Args>
+  explicit CachelinePadded(Args&&... args)
+      : value(std::forward<Args>(args)...) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+static_assert(sizeof(CachelinePadded<char>) == kCacheLineSize,
+              "padding must round a small cell up to one full line");
+static_assert(alignof(CachelinePadded<char>) == kCacheLineSize,
+              "padded cells must start on a line boundary");
+
+}  // namespace tbwf::util

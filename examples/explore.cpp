@@ -1,0 +1,146 @@
+// Command-line front end for the schedule explorer (docs/VERIFY.md).
+//
+// Explore the QA counter stack at bounded depth and grade every
+// interleaving with the linearizability oracle:
+//
+//   explore [--n N] [--ops K] [--depth D] [--runs R] [--seed S]
+//           [--mutate drop-fence] [--expect-violation]
+//
+// Replay a counterexample artifact written by a previous run (or by the
+// CI verify-explore job):
+//
+//   explore --replay FILE [--mutate drop-fence]
+//
+// A found (or expected-and-found) violation is written to
+// $TBWF_ARTIFACT_DIR when set. Exit status: 0 when the outcome matches
+// expectations (clean by default, violating under --expect-violation,
+// reproduced under --replay), 1 otherwise.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "sim/schedule.hpp"
+#include "verify/artifact.hpp"
+#include "verify/explorer.hpp"
+#include "verify/qa_harness.hpp"
+
+namespace {
+
+using namespace tbwf;
+using verify::CounterexampleArtifact;
+using verify::ExplorerOptions;
+using verify::QaExploreConfig;
+
+struct Args {
+  int n = 3;
+  int ops = 1;
+  std::size_t depth = 400;
+  std::uint64_t runs = 12000;
+  std::uint64_t seed = 1;
+  bool drop_fence = false;
+  bool expect_violation = false;
+  std::string replay;
+};
+
+bool parse(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--n") {
+      args.n = std::atoi(next());
+    } else if (a == "--ops") {
+      args.ops = std::atoi(next());
+    } else if (a == "--depth") {
+      args.depth = static_cast<std::size_t>(std::atoll(next()));
+    } else if (a == "--runs") {
+      args.runs = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--seed") {
+      args.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--mutate") {
+      const char* m = next();
+      if (m == nullptr || std::strcmp(m, "drop-fence") != 0) {
+        std::fprintf(stderr, "unknown mutant (supported: drop-fence)\n");
+        return false;
+      }
+      args.drop_fence = true;
+    } else if (a == "--expect-violation") {
+      args.expect_violation = true;
+    } else if (a == "--replay") {
+      const char* f = next();
+      if (f == nullptr) return false;
+      args.replay = f;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return args.n >= 2;
+}
+
+QaExploreConfig<qa::Counter> make_config(const Args& args) {
+  auto config = verify::counter_explore_config(args.n, args.ops, args.seed);
+  config.mutations.drop_decide_fence = args.drop_fence;
+  return config;
+}
+
+int replay(const Args& args) {
+  const auto artifact = CounterexampleArtifact::load(args.replay);
+  if (!artifact.has_value()) {
+    std::fprintf(stderr, "could not parse artifact %s\n",
+                 args.replay.c_str());
+    return 1;
+  }
+  Args run_args = args;
+  run_args.n = artifact->n;
+  run_args.seed = artifact->world_seed;
+  auto factory = verify::make_qa_run_factory(make_config(run_args));
+  auto run = factory(
+      std::make_unique<sim::ScriptedSchedule>(artifact->schedule));
+  run->world().run(static_cast<sim::Step>(artifact->schedule.size()));
+  const std::string violation = run->check();
+  const bool digest_ok =
+      run->world().trace().digest() == artifact->trace_digest;
+  std::printf("replayed %s (%zu steps)\n", args.replay.c_str(),
+              artifact->schedule.size());
+  std::printf("  digest:    %s\n", digest_ok ? "MATCH" : "MISMATCH");
+  std::printf("  verdict:   %s\n",
+              violation.empty() ? "clean" : violation.c_str());
+  std::printf("%s", run->describe().c_str());
+  return (digest_ok && !violation.empty()) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse(argc, argv, args)) {
+    std::fprintf(stderr,
+                 "usage: explore [--n N] [--ops K] [--depth D] [--runs R] "
+                 "[--seed S] [--mutate drop-fence] [--expect-violation] "
+                 "[--replay FILE]\n");
+    return 2;
+  }
+  if (!args.replay.empty()) return replay(args);
+
+  ExplorerOptions opt;
+  opt.name = args.drop_fence ? "drop-decide-fence" : "counter";
+  opt.max_depth = args.depth;
+  opt.max_runs = args.runs;
+  verify::Explorer explorer(verify::make_qa_run_factory(make_config(args)),
+                            opt);
+  const verify::ExploreResult result = explorer.explore();
+  std::printf("explore n=%d ops/proc=%d depth<=%zu: %s\n", args.n, args.ops,
+              args.depth, result.summary().c_str());
+
+  if (result.violation_found) {
+    const std::string saved =
+        verify::save_artifact(result.artifact, opt.name + "_cex.txt");
+    if (!saved.empty()) {
+      std::printf("counterexample artifact: %s\n", saved.c_str());
+    }
+  }
+  return result.violation_found == args.expect_violation ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace tbwf::core {
 
@@ -538,6 +539,49 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
   }
 
   return report;
+}
+
+// -- safety x progress grading --------------------------------------------------
+
+SafetySummary safety_from_oracle(const verify::OracleResult& oracle) {
+  SafetySummary safety;
+  safety.checked = true;
+  safety.ok = oracle.linearizable();
+  safety.verdict = verify::to_string(oracle.verdict);
+  safety.witness = oracle.witness;
+  return safety;
+}
+
+GradedRunReport grade_run(ConformanceReport progress, SafetySummary safety,
+                          util::Counters* metrics) {
+  GradedRunReport report;
+  report.progress = std::move(progress);
+  report.safety = std::move(safety);
+  if (metrics != nullptr) {
+    metrics->inc(report.ok() ? "graded.ok" : "graded.violated");
+    if (report.safety.checked && !report.safety.ok) {
+      metrics->inc("graded.safety_violation");
+    }
+    if (!report.progress.ok) metrics->inc("graded.progress_violation");
+  }
+  return report;
+}
+
+std::string GradedRunReport::summary() const {
+  std::string out = "graded run: ";
+  out += ok() ? "OK" : "VIOLATED";
+  out += "\n  safety: ";
+  if (!safety.checked) {
+    out += "(not checked)";
+  } else {
+    out += safety.verdict;
+    if (!safety.witness.empty()) out += " -- " + safety.witness;
+  }
+  out += "\n  progress: ";
+  out += progress.ok ? "OK" : "VIOLATED";
+  out += "\n";
+  out += progress.summary();
+  return out;
 }
 
 }  // namespace tbwf::core

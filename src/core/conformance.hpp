@@ -29,6 +29,7 @@
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 #include "util/metrics.hpp"
+#include "verify/oracle_result.hpp"
 
 namespace tbwf::core {
 
@@ -168,5 +169,40 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
                                          const rt::RtFaultPlan& plan,
                                          const RtConformanceOptions& options,
                                          util::Counters* metrics = nullptr);
+
+// -- safety x progress grading --------------------------------------------------
+//
+// The verify layer (src/verify/) adds a SAFETY verdict -- the
+// linearizability oracle over a captured history -- next to the
+// conformance checker's PROGRESS verdict. A GradedRunReport holds both,
+// so one run is judged on both axes: an algorithm that completes
+// operations briskly but returns non-linearizable results fails, and so
+// does one that is safe but starves a timely process.
+
+/// Type-erased safety verdict (built from verify::OracleResult via
+/// safety_from_oracle, or filled by hand for runs graded another way).
+struct SafetySummary {
+  bool checked = false;  ///< false = no oracle ran (progress-only run)
+  bool ok = true;
+  std::string verdict;  ///< "LINEARIZABLE" / "VIOLATION" / "RESOURCE_LIMIT"
+  std::string witness;  ///< non-empty on failure
+};
+
+/// Map an oracle result onto a SafetySummary. kResourceLimit counts as
+/// NOT ok: a verdict the oracle could not establish must not pass.
+SafetySummary safety_from_oracle(const verify::OracleResult& oracle);
+
+struct GradedRunReport {
+  ConformanceReport progress;
+  SafetySummary safety;
+
+  bool ok() const { return progress.ok && (!safety.checked || safety.ok); }
+  std::string summary() const;
+};
+
+/// Combine the two verdicts; `metrics`, when given, receives
+/// graded.{ok,safety_violation,progress_violation} tallies.
+GradedRunReport grade_run(ConformanceReport progress, SafetySummary safety,
+                          util::Counters* metrics = nullptr);
 
 }  // namespace tbwf::core

@@ -68,8 +68,18 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
   util::Counters& metrics = env.world().counters();
   const std::string pid_tag = ".p" + std::to_string(p);
 
+  // Verify-layer mutation state: with freeze_leader on, the first
+  // announced leader sticks forever (lines 2 and 14 are skipped once
+  // `announced`); with torn_counter_write on, the punishment writes at
+  // lines 8 and 20 store the old value back (increment torn off).
+  bool announced = false;
+  const std::int64_t punish_delta =
+      sys.mutation_torn_counter_write() ? 0 : 1;
+
   for (;;) {                                                      // line 1
-    io.leader = kNoLeader;                                        // line 2
+    if (!(sys.mutation_freeze_leader() && announced)) {
+      io.leader = kNoLeader;                                      // line 2
+    }
     for (sim::Pid q = 0; q < n; ++q) {                            // line 3
       if (q != p) sys.matrix_.io(p, q).monitoring = false;
     }
@@ -84,7 +94,8 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
     }
     if (sys.self_punishment_) {
       counter[p] = co_await env.read(sys.counter_reg_[p]);        // line 7
-      co_await env.write(sys.counter_reg_[p], counter[p] + 1);    // line 8
+      co_await env.write(sys.counter_reg_[p],
+                         counter[p] + punish_delta);              // line 8
     }
     // Any snapshot from a previous candidacy spell is stale (we just
     // bumped our own counter, and arbitrarily much happened while we
@@ -146,7 +157,10 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
           leader = q;
         }
       }
-      io.leader = leader;
+      if (!(sys.mutation_freeze_leader() && announced)) {
+        io.leader = leader;
+        announced = true;
+      }
 
       const bool self_leading = (leader == p);                    // line 15
       for (sim::Pid q = 0; q < n; ++q) {                          // lines 16-17
@@ -158,7 +172,8 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
       for (sim::Pid q = 0; q < n; ++q) {                          // line 18
         if (q == p) continue;
         if (fault_cntr[q] > max_fault_cntr[q]) {                  // line 19
-          co_await env.write(sys.counter_reg_[q], counter[q] + 1);  // line 20
+          co_await env.write(sys.counter_reg_[q],
+                             counter[q] + punish_delta);          // line 20
           max_fault_cntr[q] = fault_cntr[q];                      // line 21
           // Our own write moved a counter past the snapshot.
           cache_valid = false;

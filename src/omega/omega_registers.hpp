@@ -79,6 +79,30 @@ class OmegaRegisters {
   void set_scan_refresh_period(std::int64_t rounds);
   std::int64_t scan_refresh_period() const { return scan_refresh_period_; }
 
+  /// MUTATION -- freeze the published leader estimate: once a process
+  /// has announced any leader, the line-2 reset and line-14 update are
+  /// skipped, so io.leader goes permanently stale. A TBWF object on top
+  /// then waits on a dead leader after a crash, and the conformance
+  /// checker must flag the lost wait-freedom
+  /// (tests/verify_mutation_test.cpp). Never set in production code.
+  void set_mutation_freeze_leader(bool enabled) {
+    mutation_freeze_leader_ = enabled;
+  }
+  bool mutation_freeze_leader() const { return mutation_freeze_leader_; }
+
+  /// MUTATION -- torn CounterRegister punishment write: the line-8 /
+  /// line-20 increments write the OLD counter value back (the increment
+  /// is torn off). Equivalent to running without self-punishment or
+  /// effective punishment, so the oscillation scenario of
+  /// tests/omega_ablation_test.cpp never converges; the verify layer's
+  /// mutation suite must catch the churn. Never set in production code.
+  void set_mutation_torn_counter_write(bool enabled) {
+    mutation_torn_counter_write_ = enabled;
+  }
+  bool mutation_torn_counter_write() const {
+    return mutation_torn_counter_write_;
+  }
+
  private:
   friend sim::Task omega_registers_task(sim::SimEnv& env,
                                         OmegaRegisters& sys);
@@ -90,6 +114,8 @@ class OmegaRegisters {
   bool self_punishment_ = true;
   bool scan_cache_ = false;
   std::int64_t scan_refresh_period_ = 64;
+  bool mutation_freeze_leader_ = false;
+  bool mutation_torn_counter_write_ = false;
 };
 
 /// Figure 3: the main Omega-Delta loop for process env.pid().

@@ -119,6 +119,18 @@ struct AbortableBase {
 // The universal construction.
 // ---------------------------------------------------------------------------
 
+/// Injectable protocol faults for the verify layer's mutation tests
+/// (tests/verify_mutation_test.cpp). Production code never sets these;
+/// they exist so the schedule explorer + linearizability oracle can be
+/// shown to CATCH the bugs they are meant to catch.
+struct QaMutations {
+  /// Skip the step-5 validation read before deciding. That read is the
+  /// fence that makes a published accept safe to decide: without it two
+  /// rounds can decide different values at one slot, and the oracle must
+  /// flag the resulting history as non-linearizable.
+  bool drop_decide_fence = false;
+};
+
 template <Sequential S, class Base = AtomicBase>
 class QaUniversal {
  public:
@@ -268,6 +280,22 @@ class QaUniversal {
     return world_.template peek<Record>(regs_[p].idx);
   }
 
+  // -- verify-layer introspection (non-step) ---------------------------------
+  // The schedule explorer fingerprints the object's private per-process
+  // state alongside the shared records; these accessors expose exactly
+  // what a state digest needs and nothing mutable.
+  const Record& local_mine(sim::Pid p) const { return mine_[p]; }
+  const StateRec& local_decided_rec(sim::Pid p) const {
+    return local_decided_[p];
+  }
+  std::uint64_t round(sim::Pid p) const { return round_[p]; }
+  std::uint64_t pending_uid(sim::Pid p) const { return pending_uid_[p]; }
+  std::uint64_t pending_slot(sim::Pid p) const { return pending_slot_[p]; }
+  std::uint64_t last_real_uid(sim::Pid p) const { return last_real_uid_[p]; }
+
+  void set_mutations(QaMutations mutations) { mutations_ = mutations; }
+  const QaMutations& mutations() const { return mutations_; }
+
  private:
   struct Proposal {
     bool has_op = false;
@@ -399,11 +427,14 @@ class QaUniversal {
       co_return out;
     }
 
-    // Step 5: validate.
-    auto recs3 = co_await read_all(env, p);
-    if (!recs3.has_value() || conflicts(*recs3, p, me)) {
-      out.kind = AttemptKind::AbortMaybeEffect;
-      co_return out;
+    // Step 5: validate. (The drop_decide_fence mutant skips this read --
+    // exactly the bug the verify layer's explorer must catch.)
+    if (!mutations_.drop_decide_fence) {
+      auto recs3 = co_await read_all(env, p);
+      if (!recs3.has_value() || conflicts(*recs3, p, me)) {
+        out.kind = AttemptKind::AbortMaybeEffect;
+        co_return out;
+      }
     }
 
     // Decided. Step 6: publish (best effort -- see file comment).
@@ -435,6 +466,7 @@ class QaUniversal {
   std::vector<std::uint64_t> pending_slot_;
   std::vector<std::uint64_t> pending_uid_;
   std::vector<std::uint64_t> ops_started_;
+  QaMutations mutations_;
 };
 
 }  // namespace tbwf::qa

@@ -25,6 +25,7 @@ void World::advance(Pid p) {
   TBWF_ASSERT(!ps.subtasks.empty(), "advance on process with no sub-tasks");
 
   // This grant is one step of p.
+  if (options_.track_accesses) last_accesses_.clear();
   current_step_ = trace_.now();
   trace_.record_step(p);
   ++ps.steps;

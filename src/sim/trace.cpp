@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace tbwf::sim {
 
@@ -79,6 +80,17 @@ std::vector<Pid> Trace::timely_set(Step bound) const {
     if (timeliness(p).timely_with_bound(bound)) result.push_back(p);
   }
   return result;
+}
+
+std::uint64_t Trace::digest() const {
+  std::uint64_t h = util::hash_range(util::kFnvOffset, steps_);
+  h = util::hash_mix(h, fault_log_.size());
+  for (const FaultEvent& ev : fault_log_) {
+    h = util::hash_mix(h, ev.at);
+    h = util::hash_mix(h, ev.pid);
+    h = util::hash_mix(h, ev.restart);
+  }
+  return h;
 }
 
 }  // namespace tbwf::sim

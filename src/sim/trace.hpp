@@ -96,6 +96,12 @@ class Trace {
   /// Processes whose empirical bound is <= `bound` and did not crash.
   std::vector<Pid> timely_set(Step bound) const;
 
+  /// Order-sensitive 64-bit digest of the whole trace: every step owner
+  /// in sequence plus the fault log. Two runs are schedule-identical iff
+  /// their digests match (up to hash collision); the replay-determinism
+  /// regression tests pin seeded runs to this.
+  std::uint64_t digest() const;
+
   static constexpr Step kNever = std::numeric_limits<Step>::max();
 
  private:

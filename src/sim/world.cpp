@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/env.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 
 namespace tbwf::sim {
@@ -134,6 +135,7 @@ void World::crash(Pid p) {
     st.pending_completion->settle_crash(*this, ctx);
     cell->active.erase(it);
     st.pending_cell = nullptr;
+    st.pending_is_write = false;
     st.pending_completion = nullptr;
   };
   for (auto& st : ps.subtasks) settle(st);
@@ -198,7 +200,14 @@ void World::begin_op(detail::RegCellBase* cell, bool is_write,
 
   current_subtask_->pending_cell = cell;
   current_subtask_->pending_op = cell->active.back().id;
+  current_subtask_->pending_is_write = is_write;
   current_subtask_->pending_completion = completion;
+
+  if (options_.track_accesses) {
+    last_accesses_.push_back(StepAccess{cell->idx, is_write,
+                                        /*invocation=*/true,
+                                        cell->kind == RegKind::Atomic});
+  }
 }
 
 void World::complete_pending(detail::SubTask& st) {
@@ -221,9 +230,35 @@ void World::complete_pending(detail::SubTask& st) {
   cell->active.erase(it);
 
   st.pending_cell = nullptr;
+  st.pending_is_write = false;
   st.pending_completion = nullptr;
 
+  if (options_.track_accesses) {
+    last_accesses_.push_back(StepAccess{cell->idx, ctx.is_write,
+                                        /*invocation=*/false,
+                                        /*inert=*/false});
+  }
+
   completion->complete(*this, ctx, overlapped);
+}
+
+std::uint64_t World::process_signature(Pid p) const {
+  TBWF_ASSERT(p >= 0 && p < n_, "pid out of range");
+  const auto& ps = procs_[p];
+  std::uint64_t h = util::kFnvOffset;
+  h = util::hash_mix(h, ps.crashed);
+  h = util::hash_mix(h, ps.rr);
+  const auto fold = [&](const detail::SubTask& st) {
+    h = util::hash_mix(h, st.has_pending());
+    if (st.has_pending()) {
+      h = util::hash_mix(h, st.pending_cell->idx);
+      h = util::hash_mix(h, st.pending_is_write);
+    }
+  };
+  h = util::hash_mix(h, ps.subtasks.size() + ps.newborn.size());
+  for (const auto& st : ps.subtasks) fold(st);
+  for (const auto& st : ps.newborn) fold(st);
+  return h;
 }
 
 void World::note_write_effect(std::uint32_t reg_idx, Pid pid) {

@@ -140,6 +140,7 @@ struct SubTask {
   std::coroutine_handle<> resume_handle;
   RegCellBase* pending_cell = nullptr;
   OpId pending_op = 0;
+  bool pending_is_write = false;
   OpCompletion* pending_completion = nullptr;
 
   bool has_pending() const { return pending_completion != nullptr; }
@@ -193,8 +194,24 @@ struct WorldOptions {
   /// Record every successful register write in write_log() -- used by
   /// the write-efficiency experiment (E5).
   bool log_writes = false;
+  /// Record the register accesses of each step in last_step_accesses()
+  /// -- used by the schedule explorer's independence-based reduction.
+  /// Off by default: the sweeps and benches do not pay for the clears.
+  bool track_accesses = false;
   /// Seed for the world's auxiliary randomness (safe-register garbage).
   std::uint64_t seed = 1;
+};
+
+/// One register touch made by a step (verify/explorer reduction input).
+/// `invocation` marks the interval-opening half of an operation; on an
+/// Atomic register that half has no observable effect (atomic outcomes
+/// ignore overlap), so the explorer treats it as commuting with
+/// everything -- the `inert` flag.
+struct StepAccess {
+  std::uint32_t reg = kInvalidReg;
+  bool write = false;
+  bool invocation = false;
+  bool inert = false;
 };
 
 class World final : public WorldView {
@@ -314,6 +331,19 @@ class World final : public WorldView {
   util::Counters& counters() { return counters_; }
   const std::vector<WriteEvent>& write_log() const { return write_log_; }
 
+  /// Register accesses made by the most recently completed step; empty
+  /// unless Options::track_accesses is set.
+  const std::vector<StepAccess>& last_step_accesses() const {
+    return last_accesses_;
+  }
+
+  /// Digest of process p's scheduling-relevant control state: crash
+  /// flag, sub-task count, round-robin cursor, and each sub-task's
+  /// pending-operation signature (register + direction). The explorer
+  /// folds this into its state fingerprints; register *contents* are the
+  /// harness's responsibility (it knows the types).
+  std::uint64_t process_signature(Pid p) const;
+
   std::uint64_t total_reads() const { return total_reads_; }
   std::uint64_t total_writes() const { return total_writes_; }
   std::uint64_t total_read_aborts() const { return total_read_aborts_; }
@@ -386,6 +416,7 @@ class World final : public WorldView {
   std::vector<StepObserver> step_observers_;
 
   std::vector<WriteEvent> write_log_;
+  std::vector<StepAccess> last_accesses_;
   std::uint64_t total_reads_ = 0;
   std::uint64_t total_writes_ = 0;
   std::uint64_t total_read_aborts_ = 0;

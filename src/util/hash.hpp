@@ -1,0 +1,65 @@
+// Deterministic non-cryptographic hashing for state fingerprints.
+//
+// The verify layer (schedule explorer, linearizability oracle, replay
+// regression tests) identifies simulator states and traces by 64-bit
+// digests. Everything here is FNV-1a based: stable across platforms and
+// standard libraries (std::hash is not), cheap enough for the explorer's
+// per-node fingerprinting hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+namespace tbwf::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over a byte range, continuing from `seed`.
+inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                           std::uint64_t seed = kFnvOffset) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s,
+                           std::uint64_t seed = kFnvOffset) {
+  return fnv1a(s.data(), s.size(), seed);
+}
+
+/// Fold one integral value into a running digest. Values are widened to
+/// 64 bits first so the digest does not depend on the caller's choice of
+/// integer width.
+template <class T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+std::uint64_t hash_mix(std::uint64_t seed, T value) {
+  std::uint64_t v;
+  if constexpr (std::is_enum_v<T>) {
+    v = static_cast<std::uint64_t>(
+        static_cast<std::make_unsigned_t<std::underlying_type_t<T>>>(value));
+  } else if constexpr (std::is_same_v<T, bool>) {
+    v = value ? 1 : 0;
+  } else {
+    v = static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(value));
+  }
+  return fnv1a(&v, sizeof(v), seed);
+}
+
+/// Fold a range of integral values into a running digest, length first
+/// (so {1,2} and {1,2,0} differ even when the tail is zero).
+template <class Range>
+std::uint64_t hash_range(std::uint64_t seed, const Range& range) {
+  seed = hash_mix(seed, static_cast<std::uint64_t>(range.size()));
+  for (const auto& v : range) seed = hash_mix(seed, v);
+  return seed;
+}
+
+}  // namespace tbwf::util

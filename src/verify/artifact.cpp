@@ -1,0 +1,99 @@
+#include "verify/artifact.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tbwf::verify {
+
+namespace {
+
+constexpr const char* kMagic = "tbwf-counterexample v1";
+
+/// The violation field is a single artifact line; fold newlines away.
+std::string one_line(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CounterexampleArtifact::render() const {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "title: " << one_line(title) << "\n";
+  out << "n: " << n << "\n";
+  out << "world_seed: " << world_seed << "\n";
+  out << "trace_digest: " << trace_digest << "\n";
+  out << "schedule:";
+  for (const sim::Pid p : schedule) out << ' ' << p;
+  out << "\n";
+  out << "violation: " << one_line(violation) << "\n";
+  out << "details:\n" << details;
+  if (!details.empty() && details.back() != '\n') out << "\n";
+  return out.str();
+}
+
+bool CounterexampleArtifact::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+std::optional<CounterexampleArtifact> CounterexampleArtifact::load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+
+  CounterexampleArtifact art;
+  bool have_schedule = false;
+  while (std::getline(in, line)) {
+    const auto starts = [&line](const char* prefix) {
+      return line.rfind(prefix, 0) == 0;
+    };
+    if (starts("title: ")) {
+      art.title = line.substr(7);
+    } else if (starts("n: ")) {
+      art.n = std::atoi(line.c_str() + 3);
+    } else if (starts("world_seed: ")) {
+      art.world_seed = std::strtoull(line.c_str() + 12, nullptr, 10);
+    } else if (starts("trace_digest: ")) {
+      art.trace_digest = std::strtoull(line.c_str() + 14, nullptr, 10);
+    } else if (starts("schedule:")) {
+      std::istringstream pids(line.substr(9));
+      sim::Pid p;
+      while (pids >> p) art.schedule.push_back(p);
+      have_schedule = true;
+    } else if (starts("violation: ")) {
+      art.violation = line.substr(11);
+    } else if (line == "details:") {
+      std::ostringstream rest;
+      rest << in.rdbuf();
+      art.details = rest.str();
+      break;
+    }
+  }
+  if (art.n <= 0 || !have_schedule) return std::nullopt;
+  return art;
+}
+
+std::string artifact_dir() {
+  const char* dir = std::getenv("TBWF_ARTIFACT_DIR");
+  return dir != nullptr ? std::string(dir) : std::string();
+}
+
+std::string save_artifact(const CounterexampleArtifact& artifact,
+                          const std::string& file_name) {
+  const std::string dir = artifact_dir();
+  if (dir.empty()) return {};
+  const std::string path = dir + "/" + file_name;
+  return artifact.save(path) ? path : std::string();
+}
+
+}  // namespace tbwf::verify

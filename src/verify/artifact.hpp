@@ -1,0 +1,46 @@
+// Replayable counterexample artifacts.
+//
+// When the schedule explorer (or a mutation test) finds a violating run,
+// it emits the run as a plain-text artifact: the world seed plus the
+// exact pid schedule, which together replay the run bit-for-bit through
+// sim::ScriptedSchedule. CI uploads these files; a developer feeds one
+// back through CounterexampleArtifact::load and a ScriptedSchedule to
+// reproduce the violation locally (docs/VERIFY.md walks through it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tbwf::verify {
+
+struct CounterexampleArtifact {
+  std::string title;              ///< which harness / mutant produced it
+  int n = 0;                      ///< process count of the run
+  std::uint64_t world_seed = 0;   ///< WorldOptions::seed of the run
+  std::uint64_t trace_digest = 0; ///< Trace::digest() of the violating run
+  std::vector<sim::Pid> schedule; ///< pid per step; replay via ScriptedSchedule
+  std::string violation;          ///< one-line verdict (oracle witness etc.)
+  std::string details;            ///< free text: history dump, oracle summary
+
+  /// Serialize to the line-oriented artifact format.
+  std::string render() const;
+  /// Write render() to `path`; false on I/O failure.
+  bool save(const std::string& path) const;
+  /// Parse a file written by save(); nullopt on malformed input.
+  static std::optional<CounterexampleArtifact> load(const std::string& path);
+};
+
+/// Where artifacts go: $TBWF_ARTIFACT_DIR, or "" when unset (saving
+/// disabled -- local test runs stay clean unless asked).
+std::string artifact_dir();
+
+/// Save into artifact_dir()/file_name when the dir is configured.
+/// Returns the written path, or "" when disabled or on failure.
+std::string save_artifact(const CounterexampleArtifact& artifact,
+                          const std::string& file_name);
+
+}  // namespace tbwf::verify

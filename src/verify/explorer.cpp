@@ -1,0 +1,307 @@
+#include "verify/explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+
+namespace tbwf::verify {
+
+namespace {
+
+/// The explorer's end of the Schedule seam: each World::step consumes
+/// the single pid the explorer primed.
+class ControlledSchedule final : public sim::Schedule {
+ public:
+  sim::Pid next(const sim::WorldView&) override { return next_; }
+  void set(sim::Pid p) { next_ = p; }
+
+ private:
+  sim::Pid next_ = sim::kNoPid;
+};
+
+using AccessVec = std::vector<sim::StepAccess>;
+
+/// Two steps conflict iff they touch the same register, at least one
+/// writes, and neither access is inert (atomic invocation halves).
+bool steps_conflict(const AccessVec& a, const AccessVec& b) {
+  for (const sim::StepAccess& x : a) {
+    if (x.reg == sim::kInvalidReg || x.inert) continue;
+    for (const sim::StepAccess& y : b) {
+      if (y.reg == sim::kInvalidReg || y.inert) continue;
+      if (x.reg == y.reg && (x.write || y.write)) return true;
+    }
+  }
+  return false;
+}
+
+/// A sleeping pid, with the accesses of the step it would take (valid
+/// while it sleeps: a process that takes no step cannot change its next
+/// action).
+struct SleepEntry {
+  sim::Pid pid = sim::kNoPid;
+  AccessVec accesses;
+};
+
+struct Node {
+  std::vector<sim::Pid> enabled;
+  std::size_t next_choice = 0;            ///< next enabled index to try
+  std::vector<bool> explored;             ///< parallel to enabled
+  std::vector<AccessVec> explored_accesses;
+  std::vector<SleepEntry> sleep;
+  int preemptions = 0;                    ///< along the prefix to here
+};
+
+bool is_sleeping(const Node& node, sim::Pid p) {
+  for (const SleepEntry& e : node.sleep) {
+    if (e.pid == p) return true;
+  }
+  return false;
+}
+
+bool contains(const std::vector<sim::Pid>& pids, sim::Pid p) {
+  return std::find(pids.begin(), pids.end(), p) != pids.end();
+}
+
+std::vector<sim::Pid> enabled_pids(const sim::World& world) {
+  std::vector<sim::Pid> out;
+  for (sim::Pid p = 0; p < world.n(); ++p) {
+    if (world.runnable(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::uint64_t node_fingerprint(const ExploredRun& run, sim::World& world) {
+  std::uint64_t h = run.fingerprint();
+  for (sim::Pid p = 0; p < world.n(); ++p) {
+    h = util::hash_mix(h, world.process_signature(p));
+  }
+  return h;
+}
+
+/// Advance node.next_choice past sleeping / preemption-barred choices;
+/// true iff an untried viable choice remains (at node.next_choice).
+bool advance_to_viable(Node& node, sim::Pid prev,
+                       const ExplorerOptions& options, ExploreStats& stats) {
+  while (node.next_choice < node.enabled.size()) {
+    const sim::Pid cand = node.enabled[node.next_choice];
+    if (options.sleep_sets && is_sleeping(node, cand)) {
+      ++stats.sleep_skips;
+      ++node.next_choice;
+      continue;
+    }
+    const bool preempt =
+        prev != sim::kNoPid && cand != prev && contains(node.enabled, prev);
+    if (options.max_preemptions >= 0 && preempt &&
+        node.preemptions + 1 > options.max_preemptions) {
+      ++stats.preemption_skips;
+      ++node.next_choice;
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+Node make_node(const sim::World& world, int preemptions) {
+  Node node;
+  node.enabled = enabled_pids(world);
+  node.explored.assign(node.enabled.size(), false);
+  node.explored_accesses.resize(node.enabled.size());
+  node.preemptions = preemptions;
+  return node;
+}
+
+}  // namespace
+
+Explorer::Explorer(RunFactory factory, ExplorerOptions options)
+    : factory_(std::move(factory)), options_(std::move(options)) {
+  TBWF_ASSERT(factory_ != nullptr, "explorer needs a run factory");
+}
+
+ExploreResult Explorer::explore() {
+  ExploreResult result;
+  ExploreStats& stats = result.stats;
+
+  // stack[i] = node after i steps; path[i] = pid taken from stack[i].
+  std::vector<Node> stack;
+  std::vector<sim::Pid> path;
+  // fingerprint -> largest remaining depth already expanded from it.
+  std::unordered_map<std::uint64_t, std::size_t> visited;
+
+  for (;;) {
+    if (stats.runs >= options_.max_runs) {
+      stats.run_budget_exhausted = true;
+      break;
+    }
+
+    auto schedule = std::make_unique<ControlledSchedule>();
+    ControlledSchedule* ctl = schedule.get();
+    std::unique_ptr<ExploredRun> run = factory_(std::move(schedule));
+    sim::World& world = run->world();
+
+    // Replay the committed prefix (deterministic: same seed, same pids).
+    for (const sim::Pid p : path) {
+      ctl->set(p);
+      const bool ok = world.step();
+      TBWF_ASSERT(ok, "explorer replay step rejected");
+      ++stats.steps;
+    }
+
+    if (stack.empty()) {
+      stack.push_back(make_node(world, 0));
+      if (options_.state_pruning) {
+        visited.emplace(node_fingerprint(*run, world), options_.max_depth);
+      }
+    }
+
+    // Extend first-viable-choice until a leaf.
+    while (path.size() < options_.max_depth) {
+      Node& node = stack.back();
+      const sim::Pid prev = path.empty() ? sim::kNoPid : path.back();
+      if (!advance_to_viable(node, prev, options_, stats)) break;
+
+      const std::size_t ci = node.next_choice;
+      const sim::Pid p = node.enabled[ci];
+      const bool preempt =
+          prev != sim::kNoPid && p != prev && contains(node.enabled, prev);
+
+      ctl->set(p);
+      const bool ok = world.step();
+      TBWF_ASSERT(ok, "explorer step rejected");
+      ++stats.steps;
+
+      AccessVec accesses = world.last_step_accesses();
+      node.explored[ci] = true;
+      node.explored_accesses[ci] = accesses;
+      ++node.next_choice;
+      path.push_back(p);
+
+      Node child = make_node(world, node.preemptions + (preempt ? 1 : 0));
+      if (options_.sleep_sets) {
+        // Inherit sleepers that don't conflict with the step just taken,
+        // and put already-explored independent siblings to sleep.
+        for (const SleepEntry& e : node.sleep) {
+          if (e.pid != p && !steps_conflict(e.accesses, accesses)) {
+            child.sleep.push_back(e);
+          }
+        }
+        for (std::size_t j = 0; j < node.enabled.size(); ++j) {
+          if (j == ci || !node.explored[j]) continue;
+          const sim::Pid q = node.enabled[j];
+          if (q != p && !is_sleeping(child, q) &&
+              !steps_conflict(node.explored_accesses[j], accesses)) {
+            child.sleep.push_back(SleepEntry{q, node.explored_accesses[j]});
+          }
+        }
+      }
+
+      bool pruned = false;
+      if (options_.state_pruning) {
+        const std::uint64_t fp = node_fingerprint(*run, world);
+        const std::size_t remaining = options_.max_depth - path.size();
+        auto [it, inserted] = visited.try_emplace(fp, remaining);
+        if (!inserted) {
+          if (it->second >= remaining) {
+            pruned = true;
+            ++stats.state_prunes;
+          } else {
+            it->second = remaining;
+          }
+        }
+      }
+      if (pruned) {
+        // Treat as an exhausted leaf: the earlier visit explored at
+        // least this much depth below the same state.
+        child.next_choice = child.enabled.size();
+      }
+      stack.push_back(std::move(child));
+      if (pruned) break;
+    }
+
+    // One complete run: grade it.
+    ++stats.runs;
+    const std::string violation = run->check();
+    if (!violation.empty()) {
+      result.violation_found = true;
+      CounterexampleArtifact& art = result.artifact;
+      art.title = options_.name;
+      art.n = world.n();
+      art.world_seed = run->seed();
+      art.trace_digest = world.trace().digest();
+      art.schedule = path;
+      art.violation = violation;
+      art.details = run->describe();
+      if (options_.minimize) minimize_artifact(art, stats);
+      break;
+    }
+
+    // Backtrack to the deepest node with an untried viable choice.
+    for (;;) {
+      if (stack.empty()) break;
+      Node& node = stack.back();
+      const sim::Pid prev = path.empty() ? sim::kNoPid : path.back();
+      if (advance_to_viable(node, prev, options_, stats)) break;
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+    }
+    if (stack.empty()) break;  // bounded space fully explored
+  }
+
+  stats.distinct_states = visited.size();
+  return result;
+}
+
+void Explorer::minimize_artifact(CounterexampleArtifact& artifact,
+                                 ExploreStats& stats) {
+  const std::vector<sim::Pid> full = artifact.schedule;
+  for (std::size_t len = 1; len <= full.size(); ++len) {
+    std::vector<sim::Pid> prefix(full.begin(),
+                                 full.begin() + static_cast<std::ptrdiff_t>(len));
+    std::unique_ptr<ExploredRun> run =
+        factory_(std::make_unique<sim::ScriptedSchedule>(prefix));
+    const sim::Step taken = run->world().run(static_cast<sim::Step>(len));
+    stats.steps += taken;
+    const std::string violation = run->check();
+    if (!violation.empty()) {
+      artifact.schedule = std::move(prefix);
+      artifact.violation = violation;
+      artifact.trace_digest = run->world().trace().digest();
+      artifact.details = run->describe();
+      return;
+    }
+  }
+  // The full schedule violates by construction; reaching here would mean
+  // the run is not a deterministic function of its schedule.
+  TBWF_ASSERT(false, "counterexample did not replay -- nondeterministic run");
+}
+
+std::string ExploreStats::summary() const {
+  std::ostringstream out;
+  out << "runs=" << runs << " steps=" << steps
+      << " distinct_states=" << distinct_states
+      << " sleep_skips=" << sleep_skips
+      << " preemption_skips=" << preemption_skips
+      << " state_prunes=" << state_prunes;
+  if (run_budget_exhausted) out << " (run budget exhausted)";
+  return out.str();
+}
+
+std::string ExploreResult::summary() const {
+  std::ostringstream out;
+  if (violation_found) {
+    out << "VIOLATION after " << stats.runs << " runs: " << artifact.violation
+        << "\n  minimized schedule length: " << artifact.schedule.size();
+  } else {
+    out << (clean() ? "CLEAN (bounded space exhausted)"
+                    : "NO VIOLATION (budget exhausted)");
+  }
+  out << "\n  " << stats.summary();
+  return out.str();
+}
+
+}  // namespace tbwf::verify

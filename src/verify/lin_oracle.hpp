@@ -1,0 +1,299 @@
+// Wing-Gong linearizability oracle with memoization.
+//
+// Decides whether a finite invocation/response history of one object
+// (recorded by HistoryRecorder<S>) is linearizable against S's
+// sequential semantics. The search is the classic Wing-Gong algorithm
+// refined with Lowe-style memoization: a DFS that extends a candidate
+// linearization one operation at a time, caching (resolved-set, state)
+// pairs so the exponential tree collapses to the distinct reachable
+// configurations.
+//
+// T_QA fates map onto the search as follows:
+//
+//   Ok          REQUIRED: must appear in the linearization, inside its
+//               real-time interval, and S::apply must reproduce the
+//               recorded result;
+//   Bottom /    OPTIONAL: may appear anywhere after its invocation (an
+//   Pending     aborted accept can be adopted -- take effect -- after
+//               its caller's response, so the interval is right-open),
+//               with an unconstrained result;
+//   NotApplied  FORBIDDEN: excluded from the candidate set entirely; if
+//               the remaining required results cannot be explained
+//               without it, the history is a VIOLATION -- an F-fated
+//               operation whose effect is visible is exactly the bug
+//               this catches.
+//
+// Candidate rule: an unresolved operation o may be linearized next iff
+// no unresolved REQUIRED operation responded before o was invoked.
+// Linearizing o force-drops every unresolved optional op whose response
+// precedes o's invocation (they can no longer legally take effect).
+// This is complete: any optional op that needs to take effect before o
+// is itself a candidate at that point (its interval starts earlier).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "qa/sequential_type.hpp"
+#include "util/hash.hpp"
+#include "verify/history.hpp"
+#include "verify/oracle_result.hpp"
+
+namespace tbwf::verify {
+
+// -- state hashing ------------------------------------------------------------
+//
+// Memoization keys contain a digest of the sequential state. The canned
+// sequential types (sequential_type.hpp) are all covered; a new type
+// with a different State either satisfies one of these overloads or
+// supplies its own via the oracle's StateHash template parameter.
+
+struct DefaultStateHash {
+  template <class T>
+    requires std::is_integral_v<T>
+  std::uint64_t operator()(const T& v) const {
+    return util::hash_mix(util::kFnvOffset, v);
+  }
+  template <class T>
+  std::uint64_t operator()(const std::vector<T>& v) const {
+    return util::hash_range(util::kFnvOffset, v);
+  }
+  template <class T>
+  std::uint64_t operator()(const std::deque<T>& v) const {
+    return util::hash_range(util::kFnvOffset, v);
+  }
+};
+
+// -- result equality ----------------------------------------------------------
+
+template <class R>
+bool results_equal(const R& a, const R& b) {
+  if constexpr (requires(const R& x, const R& y) {
+                  { x == y } -> std::convertible_to<bool>;
+                }) {
+    return a == b;
+  } else {
+    static_assert(sizeof(R) == 0,
+                  "oracle needs operator== on S::Result (or a "
+                  "results_equal overload)");
+    return false;
+  }
+}
+
+inline bool results_equal(const qa::CasCell::Result& a,
+                          const qa::CasCell::Result& b) {
+  return a.success == b.success && a.old_value == b.old_value;
+}
+
+inline bool results_equal(const qa::OnceRegister::Result& a,
+                          const qa::OnceRegister::Result& b) {
+  return a.won == b.won && a.value == b.value;
+}
+
+// -- the oracle ---------------------------------------------------------------
+
+template <qa::Sequential S, class StateHash = DefaultStateHash>
+class LinOracle {
+ public:
+  struct Options {
+    /// DFS node budget; exceeding it yields kResourceLimit, never a
+    /// false verdict.
+    std::uint64_t max_states = 4'000'000;
+  };
+
+  explicit LinOracle(Options options = Options()) : options_(options) {}
+
+  OracleResult check(const std::vector<HistoryOp<S>>& history,
+                     typename S::State initial = typename S::State{}) {
+    OracleResult out;
+    out.ops = history.size();
+
+    // Classify; duplicates with conflicting fates fail immediately.
+    std::vector<std::size_t> live;  // indices of required + optional ops
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      const HistoryOp<S>& h = history[i];
+      if (h.duplicate_mismatch) {
+        out.verdict = LinVerdict::kViolation;
+        out.witness = "op #" + std::to_string(i) + " (p" +
+                      std::to_string(h.pid) +
+                      ") received conflicting duplicate responses";
+        return out;
+      }
+      switch (h.status) {
+        case OpStatus::Ok:
+          ++out.required;
+          live.push_back(i);
+          break;
+        case OpStatus::Bottom:
+        case OpStatus::Pending:
+          ++out.optional;
+          live.push_back(i);
+          break;
+        case OpStatus::NotApplied:
+          ++out.forbidden;
+          break;  // excluded from the search
+      }
+    }
+
+    if (live.size() > 64) {
+      out.verdict = LinVerdict::kResourceLimit;
+      out.witness = "history has " + std::to_string(live.size()) +
+                    " live operations; the memoized search is capped at "
+                    "64 -- check a shorter window";
+      return out;
+    }
+
+    // Dense search arrays over the live ops.
+    const std::size_t m = live.size();
+    std::vector<sim::Step> inv(m), resp(m);
+    std::vector<bool> req(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const HistoryOp<S>& h = history[live[j]];
+      inv[j] = h.invoked_at;
+      req[j] = h.status == OpStatus::Ok;
+      // Optional ops have right-open intervals: a floating accept can be
+      // adopted after its caller returned bottom.
+      resp[j] = req[j] ? h.responded_at : kNoStep;
+    }
+
+    if (m == 0) {
+      out.verdict = LinVerdict::kLinearizable;
+      return out;
+    }
+
+    std::uint64_t required_mask = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (req[j]) required_mask |= 1ULL << j;
+    }
+
+    // memo[resolved-mask] = set of state digests already expanded there.
+    std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+        memo;
+    StateHash hash_state;
+
+    struct Frame {
+      std::uint64_t mask;
+      typename S::State state;
+      std::vector<std::size_t> order;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{0, std::move(initial), {}});
+
+    // Best progress for the violation witness.
+    std::size_t best_required = 0;
+    std::uint64_t best_mask = 0;
+
+    while (!stack.empty()) {
+      if (++out.states_explored > options_.max_states) {
+        out.verdict = LinVerdict::kResourceLimit;
+        out.witness = "state budget exhausted after " +
+                      std::to_string(options_.max_states) + " nodes";
+        return out;
+      }
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+
+      if ((frame.mask & required_mask) == required_mask) {
+        // Every required op explained; unresolved optionals are dropped.
+        out.verdict = LinVerdict::kLinearizable;
+        for (const std::size_t j : frame.order) out.order.push_back(live[j]);
+        return out;
+      }
+
+      if (!memo[frame.mask].insert(hash_state(frame.state)).second) {
+        ++out.memo_hits;
+        continue;
+      }
+
+      const std::size_t done_required =
+          static_cast<std::size_t>(std::popcount(frame.mask & required_mask));
+      if (done_required > best_required ||
+          (done_required == best_required &&
+           std::popcount(frame.mask) >
+               std::popcount(best_mask))) {
+        best_required = done_required;
+        best_mask = frame.mask;
+      }
+
+      // Earliest response among unresolved required ops bounds the
+      // candidates: anything invoked after it must wait.
+      sim::Step frontier = kNoStep;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (req[j] && (frame.mask & (1ULL << j)) == 0) {
+          frontier = std::min(frontier, resp[j]);
+        }
+      }
+
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t bit = 1ULL << j;
+        if (frame.mask & bit) continue;
+        // j itself may be the frontier op; it is always eligible then.
+        if (inv[j] >= frontier && !(req[j] && resp[j] == frontier)) {
+          continue;
+        }
+
+        typename S::State next_state = frame.state;
+        const typename S::Result r =
+            S::apply(next_state, history[live[j]].op);
+        if (req[j] && !results_equal(r, history[live[j]].result)) continue;
+
+        std::uint64_t next_mask = frame.mask | bit;
+        // Force-drop optionals whose (real) response precedes j's
+        // invocation; they can no longer legally take effect. Required
+        // ops in that position make j ineligible -- but the frontier
+        // rule above already excluded that case.
+        for (std::size_t k = 0; k < m; ++k) {
+          const std::uint64_t kbit = 1ULL << k;
+          if ((next_mask & kbit) || req[k]) continue;
+          const sim::Step kresp = history[live[k]].responded_at;
+          if (kresp != kNoStep && kresp < inv[j]) next_mask |= kbit;
+        }
+
+        Frame child;
+        child.mask = next_mask;
+        child.state = std::move(next_state);
+        child.order = frame.order;
+        child.order.push_back(j);
+        stack.push_back(std::move(child));
+      }
+    }
+
+    out.verdict = LinVerdict::kViolation;
+    {
+      std::ostringstream w;
+      w << "no linearization: best prefix explains " << best_required
+        << "/" << std::popcount(required_mask)
+        << " required ops; stuck required ops:";
+      for (std::size_t j = 0; j < m; ++j) {
+        if (req[j] && (best_mask & (1ULL << j)) == 0) {
+          const HistoryOp<S>& h = history[live[j]];
+          w << " #" << live[j] << "(p" << h.pid << ",[" << h.invoked_at
+            << "," << h.responded_at << "])";
+        }
+      }
+      out.witness = w.str();
+    }
+    return out;
+  }
+
+ private:
+  Options options_;
+};
+
+/// Convenience: classify + check in one call with default options.
+template <qa::Sequential S>
+OracleResult check_linearizable(const std::vector<HistoryOp<S>>& history,
+                                typename S::State initial =
+                                    typename S::State{}) {
+  return LinOracle<S>().check(history, std::move(initial));
+}
+
+}  // namespace tbwf::verify

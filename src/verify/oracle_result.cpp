@@ -1,0 +1,25 @@
+#include "verify/oracle_result.hpp"
+
+#include <sstream>
+
+namespace tbwf::verify {
+
+const char* to_string(LinVerdict verdict) {
+  switch (verdict) {
+    case LinVerdict::kLinearizable:  return "LINEARIZABLE";
+    case LinVerdict::kViolation:     return "VIOLATION";
+    case LinVerdict::kResourceLimit: return "RESOURCE_LIMIT";
+  }
+  return "?";
+}
+
+std::string OracleResult::summary() const {
+  std::ostringstream out;
+  out << to_string(verdict) << " ops=" << ops << " (required=" << required
+      << " optional=" << optional << " forbidden=" << forbidden
+      << ") states=" << states_explored << " memo_hits=" << memo_hits;
+  if (!witness.empty()) out << "\n  witness: " << witness;
+  return out.str();
+}
+
+}  // namespace tbwf::verify

@@ -1,0 +1,49 @@
+// Type-erased verdict of a linearizability-oracle run.
+//
+// The oracle itself (lin_oracle.hpp) is templated on the sequential
+// type; this plain struct is what crosses module boundaries -- the
+// conformance grader (core/conformance.hpp) and the counterexample
+// artifacts consume it without knowing the object type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbwf::verify {
+
+enum class LinVerdict : std::uint8_t {
+  kLinearizable,   ///< a witness linearization was found
+  kViolation,      ///< no linearization exists; witness explains why
+  kResourceLimit,  ///< search gave up (state budget / too many ops)
+};
+
+const char* to_string(LinVerdict verdict);
+
+struct OracleResult {
+  LinVerdict verdict = LinVerdict::kLinearizable;
+  /// Human-readable explanation: on kViolation, the stuck frontier (the
+  /// required operations no candidate order can explain); on
+  /// kLinearizable, empty.
+  std::string witness;
+
+  // History shape.
+  std::size_t ops = 0;        ///< total operations in the history
+  std::size_t required = 0;   ///< responded Ok: must linearize, result-checked
+  std::size_t optional = 0;   ///< bottom/pending: may linearize
+  std::size_t forbidden = 0;  ///< F (not applied): must NOT linearize
+
+  // Search effort.
+  std::uint64_t states_explored = 0;
+  std::uint64_t memo_hits = 0;
+
+  /// Indices into the checked history, in linearization order (only on
+  /// kLinearizable; dropped optional ops are absent).
+  std::vector<std::size_t> order;
+
+  bool linearizable() const { return verdict == LinVerdict::kLinearizable; }
+
+  std::string summary() const;
+};
+
+}  // namespace tbwf::verify

@@ -1,0 +1,223 @@
+// Explorer harness for the QA universal construction: a bounded
+// workload over QaUniversal<S, Base> with full history capture, packaged
+// as an ExploredRun so the schedule explorer can enumerate its
+// interleavings and grade each one with the linearizability oracle.
+//
+// Each process runs its configured operation list through a
+// HistoryRecorder; a bottom response is optionally chased with one query
+// so the recorded fate is as resolved as the protocol allows. The run
+// fingerprint covers the shared records, the object's private
+// per-process state and the history fates -- everything the oracle
+// verdict depends on up to operation intervals (which state-hash pruning
+// deliberately abstracts; see explorer.hpp).
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qa/qa_universal.hpp"
+#include "qa/sequential_type.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "verify/explorer.hpp"
+#include "verify/history.hpp"
+#include "verify/lin_oracle.hpp"
+
+namespace tbwf::verify {
+
+namespace detail {
+
+template <class T>
+  requires std::is_integral_v<T>
+std::uint64_t fold_value(std::uint64_t h, T v) {
+  return util::hash_mix(h, v);
+}
+template <class T>
+std::uint64_t fold_value(std::uint64_t h, const std::vector<T>& v) {
+  return util::hash_range(h, v);
+}
+template <class T>
+std::uint64_t fold_value(std::uint64_t h, const std::deque<T>& v) {
+  return util::hash_range(h, v);
+}
+inline std::uint64_t fold_value(std::uint64_t h,
+                                const qa::CasCell::Result& r) {
+  return util::hash_mix(util::hash_mix(h, r.success), r.old_value);
+}
+inline std::uint64_t fold_value(std::uint64_t h,
+                                const qa::OnceRegister::Result& r) {
+  return util::hash_mix(util::hash_mix(h, r.won), r.value);
+}
+
+}  // namespace detail
+
+template <qa::Sequential S, class Base = qa::AtomicBase>
+struct QaExploreConfig {
+  int n = 2;
+  std::uint64_t world_seed = 1;
+  typename S::State initial{};
+  /// ops[p] = the operations process p issues, in order.
+  std::vector<std::vector<typename S::Op>> ops;
+  /// Chase each bottom response with one query to resolve its fate.
+  bool query_to_resolve = true;
+  /// Protocol faults under test (all off = the real protocol).
+  qa::QaMutations mutations{};
+  /// Abort policy for AbortableBase stacks (must outlive the runs).
+  registers::AbortPolicy* policy = nullptr;
+  /// Oracle node budget per run.
+  std::uint64_t oracle_max_states = 200000;
+};
+
+template <qa::Sequential S, class Base = qa::AtomicBase>
+class QaExploredRun final : public ExploredRun {
+ public:
+  QaExploredRun(const QaExploreConfig<S, Base>& config,
+                std::unique_ptr<sim::Schedule> schedule)
+      : config_(config),
+        world_(config.n, std::move(schedule), world_options(config)),
+        object_(world_, config.initial, config.policy) {
+    TBWF_ASSERT(static_cast<int>(config_.ops.size()) == config_.n,
+                "QaExploreConfig::ops needs one op list per process");
+    object_.set_mutations(config_.mutations);
+    for (sim::Pid p = 0; p < config_.n; ++p) {
+      world_.spawn(p, "qa-explore", [this](sim::SimEnv& env) {
+        return worker(env, *this);
+      });
+    }
+  }
+
+  sim::World& world() override { return world_; }
+  std::uint64_t seed() const override { return config_.world_seed; }
+
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = util::kFnvOffset;
+    for (sim::Pid p = 0; p < config_.n; ++p) {
+      h = fold_record(h, object_.peek_record(p));
+      h = fold_record(h, object_.local_mine(p));
+      h = fold_state_rec(h, object_.local_decided_rec(p));
+      h = util::hash_mix(h, object_.round(p));
+      h = util::hash_mix(h, object_.pending_uid(p));
+      h = util::hash_mix(h, object_.pending_slot(p));
+      h = util::hash_mix(h, object_.last_real_uid(p));
+    }
+    // History fates matter to the verdict; intervals are abstracted
+    // (states merged across depths -- the documented best-effort cut).
+    for (const HistoryOp<S>& op : recorder_.history()) {
+      h = util::hash_mix(h, op.pid);
+      h = util::hash_mix(h, op.status);
+      h = util::hash_mix(h, op.responses);
+      if (op.status == OpStatus::Ok) h = detail::fold_value(h, op.result);
+    }
+    return h;
+  }
+
+  std::string check() override {
+    typename LinOracle<S>::Options opt;
+    opt.max_states = config_.oracle_max_states;
+    oracle_ = LinOracle<S>(opt).check(recorder_.history(), config_.initial);
+    if (oracle_.linearizable()) return {};
+    return oracle_.summary();
+  }
+
+  std::string describe() const override {
+    std::ostringstream out;
+    out << "history (" << recorder_.size() << " ops):\n"
+        << recorder_.render();
+    out << "oracle: " << oracle_.summary() << "\n";
+    return out.str();
+  }
+
+  const OracleResult& oracle() const { return oracle_; }
+  const HistoryRecorder<S>& recorder() const { return recorder_; }
+
+ private:
+  static sim::WorldOptions world_options(
+      const QaExploreConfig<S, Base>& config) {
+    sim::WorldOptions options;
+    options.track_accesses = true;
+    options.seed = config.world_seed;
+    return options;
+  }
+
+  static sim::Task worker(sim::SimEnv& env, QaExploredRun& self) {
+    const sim::Pid p = env.pid();
+    for (const typename S::Op& op : self.config_.ops[p]) {
+      auto response =
+          co_await self.recorder_.invoke(self.object_, env, op);
+      if (self.config_.query_to_resolve && response.bottom()) {
+        (void)co_await self.recorder_.query(self.object_, env);
+      }
+    }
+  }
+
+  using Obj = qa::QaUniversal<S, Base>;
+
+  static std::uint64_t fold_token(std::uint64_t h,
+                                  const typename Obj::Token& t) {
+    h = util::hash_mix(h, t.seq);
+    h = util::hash_mix(h, t.round);
+    return util::hash_mix(h, t.pid);
+  }
+  static std::uint64_t fold_state_rec(std::uint64_t h,
+                                      const typename Obj::StateRec& r) {
+    h = util::hash_mix(h, r.seq);
+    h = detail::fold_value(h, r.state);
+    h = util::hash_range(h, r.last_uid);
+    h = util::hash_mix(h, r.last_result.size());
+    for (const typename S::Result& res : r.last_result) {
+      h = detail::fold_value(h, res);
+    }
+    return h;
+  }
+  static std::uint64_t fold_record(std::uint64_t h,
+                                   const typename Obj::Record& rec) {
+    h = fold_token(h, rec.promised);
+    h = fold_token(h, rec.accepted);
+    h = fold_state_rec(h, rec.accepted_state);
+    return fold_state_rec(h, rec.decided);
+  }
+
+  QaExploreConfig<S, Base> config_;
+  sim::World world_;
+  Obj object_;
+  HistoryRecorder<S> recorder_;
+  OracleResult oracle_;
+};
+
+/// Factory adapter for Explorer. The config is copied into every run;
+/// any policy pointer it carries must outlive the exploration.
+template <qa::Sequential S, class Base = qa::AtomicBase>
+RunFactory make_qa_run_factory(QaExploreConfig<S, Base> config) {
+  return [config](std::unique_ptr<sim::Schedule> schedule)
+             -> std::unique_ptr<ExploredRun> {
+    return std::make_unique<QaExploredRun<S, Base>>(config,
+                                                    std::move(schedule));
+  };
+}
+
+/// Convenience: n processes, each issuing `ops_per_process` Counter
+/// increments of distinct deltas -- the canonical explorer workload.
+inline QaExploreConfig<qa::Counter> counter_explore_config(
+    int n, int ops_per_process, std::uint64_t world_seed = 1) {
+  QaExploreConfig<qa::Counter> config;
+  config.n = n;
+  config.world_seed = world_seed;
+  config.ops.resize(n);
+  for (int p = 0; p < n; ++p) {
+    for (int k = 0; k < ops_per_process; ++k) {
+      // Distinct powers of two: any lost or duplicated increment is
+      // visible in every later Ok result.
+      config.ops[p].push_back(
+          qa::Counter::Op{std::int64_t{1} << (p * ops_per_process + k)});
+    }
+  }
+  return config;
+}
+
+}  // namespace tbwf::verify

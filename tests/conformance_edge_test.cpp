@@ -1,0 +1,186 @@
+// Edge cases of the chaos conformance checker: empty traces, a single
+// process running solo (the k = 0 obstruction floor), runs where every
+// process ends up crashed, and runs whose timeliness exists only in the
+// stable suffix. The checker must neither crash nor silently award a
+// guarantee no one earned.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/conformance.hpp"
+#include "core/tbwf.hpp"
+#include "qa/qa_universal.hpp"
+#include "qa/sequential_type.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf {
+namespace {
+
+using qa::Counter;
+using sim::FaultPlan;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::Task;
+using sim::World;
+
+bool mentions(const core::ConformanceReport& report, const char* needle) {
+  for (const auto& v : report.violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ConformanceEdge, EmptyTraceIsInconclusiveUnderRealBounds) {
+  World world(2, std::make_unique<sim::RoundRobinSchedule>());
+  world.run(0);
+  const FaultPlan plan;
+  core::OpLog log(2);
+  const auto report = core::check_chaos_conformance(
+      world.trace(), log, plan, {0, 1}, core::ConformanceOptions{});
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "inconclusive")) << report.summary();
+}
+
+TEST(ConformanceEdge, EmptyTraceAtZeroBoundsDemandsNothing) {
+  World world(2, std::make_unique<sim::RoundRobinSchedule>());
+  world.run(0);
+  const FaultPlan plan;
+  core::OpLog log(2);
+  core::ConformanceOptions opt;
+  opt.stabilization = 0;
+  opt.min_suffix = 0;
+  opt.max_completion_gap = 0;
+  const auto report = core::check_chaos_conformance(world.trace(), log,
+                                                    plan, {0, 1}, opt);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.suffix_timely.empty());
+}
+
+TEST(ConformanceEdge, SoloRunnerIsWaitFreeAtTheObstructionFloor) {
+  // k = 0 timely peers beyond itself: a lone stepper must still make
+  // progress (Theorem 14's obstruction floor). Solo QA operations never
+  // abort, so the checker's solo path must come back green.
+  const int n = 3;
+  World world(n, std::make_unique<sim::RandomSchedule>(11));
+  qa::QaUniversal<Counter> obj(world, 0);
+  core::OpLog log(n);
+  world.spawn(0, "solo", [&](SimEnv& env) -> Task {
+    for (;;) {
+      ++log.started[0];
+      const auto res = co_await obj.invoke(env, Counter::Op{1});
+      if (res.ok()) log.completions[0].push_back(env.now());
+    }
+  });
+  world.run(30000);
+
+  const FaultPlan plan;
+  core::ConformanceOptions opt;
+  opt.timely_bound = 4;
+  opt.stabilization = 2000;
+  opt.min_suffix = 10000;
+  opt.max_completion_gap = 2000;
+  const auto report = core::check_chaos_conformance(world.trace(), log,
+                                                    plan, {0}, opt);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.suffix_timely, std::vector<Pid>{0});
+  EXPECT_GT(log.completed(0), 0u);
+}
+
+TEST(ConformanceEdge, AllCrashedRunDemandsNothingAtZeroBounds) {
+  const int n = 3;
+  FaultPlan plan;
+  plan.crash(0, 5000).crash(1, 5200).crash(2, 5400);
+  World world(n, plan.wrap(std::make_unique<sim::RandomSchedule>(3)));
+  core::TbwfSystem<Counter> sys(world, 0,
+                                core::OmegaBackend::AtomicRegisters);
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) -> Task {
+      for (;;) (void)co_await sys.object().invoke(env, Counter::Op{1});
+    });
+  }
+  plan.install(world);
+  world.run(60000);  // halts once everyone is crashed
+
+  core::OpLog log = sys.object().log();
+  core::ConformanceOptions opt;
+  opt.stabilization = 0;
+  opt.min_suffix = 0;
+  const auto report = core::check_chaos_conformance(
+      world.trace(), log, plan, /*issuing=*/{}, opt);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.suffix_timely.empty());
+}
+
+TEST(ConformanceEdge, AllCrashedRunIsInconclusiveUnderRealBounds) {
+  // Same run graded with real suffix demands: the checker must flag the
+  // missing stable suffix instead of passing silently.
+  const int n = 3;
+  FaultPlan plan;
+  plan.crash(0, 5000).crash(1, 5200).crash(2, 5400);
+  World world(n, plan.wrap(std::make_unique<sim::RandomSchedule>(3)));
+  core::TbwfSystem<Counter> sys(world, 0,
+                                core::OmegaBackend::AtomicRegisters);
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) -> Task {
+      for (;;) (void)co_await sys.object().invoke(env, Counter::Op{1});
+    });
+  }
+  plan.install(world);
+  world.run(60000);
+
+  const auto report = core::check_chaos_conformance(
+      world.trace(), sys.object().log(), plan, {},
+      core::ConformanceOptions{});
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(mentions(report, "inconclusive")) << report.summary();
+}
+
+TEST(ConformanceEdge, TimelinessOnlyInTheSuffixStillEarnsTheVerdict) {
+  // p0 stutters (one step every 200) through the first 60k steps --
+  // untimely by any bound -- then runs cleanly. Definition 1 is graded
+  // over the stable suffix, so p0 still earns (and must honor) the
+  // wait-free verdict there.
+  const int n = 3;
+  FaultPlan plan;
+  plan.stutter(0, 0, 60000, 200);
+  World world(n, plan.wrap(std::make_unique<sim::RandomSchedule>(29)));
+  core::TbwfSystem<Counter> sys(world, 0,
+                                core::OmegaBackend::AtomicRegisters);
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) -> Task {
+      for (;;) (void)co_await sys.object().invoke(env, Counter::Op{1});
+    });
+  }
+  plan.install(world);
+  world.run(300000);
+
+  core::ConformanceOptions opt;
+  opt.timely_bound = 64;
+  opt.stabilization = 40000;
+  opt.max_completion_gap = 100000;
+  opt.min_suffix = 100000;
+  const auto report = core::check_chaos_conformance(
+      world.trace(), sys.object().log(), plan, {0, 1, 2}, opt);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_NE(std::find(report.suffix_timely.begin(),
+                      report.suffix_timely.end(), 0),
+            report.suffix_timely.end())
+      << report.summary();
+
+  // ...and the per-phase diagnostics prove p0 was NOT timely early on.
+  bool untimely_early = false;
+  for (const auto& w : report.windows) {
+    if (w.to <= 60000 && w.realized_bound[0] != sim::Trace::kNever &&
+        w.realized_bound[0] > opt.timely_bound) {
+      untimely_early = true;
+    }
+  }
+  EXPECT_TRUE(untimely_early) << report.summary();
+}
+
+}  // namespace
+}  // namespace tbwf

@@ -1,0 +1,280 @@
+// Unit tests for the Wing-Gong linearizability oracle over handcrafted
+// histories: the T_QA fate semantics (Ok required, Bottom/Pending
+// optional, F forbidden), real-time ordering, duplicate-delivery
+// handling, resource limits, and the safety x progress grading glue.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/conformance.hpp"
+#include "qa/sequential_type.hpp"
+#include "verify/history.hpp"
+#include "verify/lin_oracle.hpp"
+
+namespace tbwf::verify {
+namespace {
+
+using qa::CasCell;
+using qa::Counter;
+using sim::Step;
+
+HistoryOp<Counter> op(sim::Pid pid, std::int64_t delta, OpStatus status,
+                      Step inv, Step resp, std::int64_t result = 0) {
+  HistoryOp<Counter> h;
+  h.pid = pid;
+  h.op = Counter::Op{delta};
+  h.status = status;
+  h.invoked_at = inv;
+  h.responded_at = resp;
+  h.responses = resp == kNoStep ? 0 : 1;
+  if (status == OpStatus::Ok) h.result = result;
+  return h;
+}
+
+TEST(LinOracle, EmptyHistoryIsLinearizable) {
+  const auto r = check_linearizable<Counter>({});
+  EXPECT_EQ(r.verdict, LinVerdict::kLinearizable);
+  EXPECT_TRUE(r.linearizable());
+  EXPECT_EQ(r.ops, 0u);
+}
+
+TEST(LinOracle, SequentialHistoryLinearizesInOrder) {
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 1, 0));
+  h.push_back(op(0, 2, OpStatus::Ok, 2, 3, 1));
+  h.push_back(op(1, 4, OpStatus::Ok, 4, 5, 3));
+  const auto r = check_linearizable<Counter>(h);
+  ASSERT_TRUE(r.linearizable()) << r.summary();
+  EXPECT_EQ(r.required, 3u);
+  EXPECT_EQ(r.order, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(LinOracle, LostUpdateIsAViolation) {
+  // Two non-overlapping increments both claim to have seen 0: the
+  // second op's result ignores the first's committed effect. This is
+  // exactly the shape the dropped decide-fence mutation produces.
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 1, 0));
+  h.push_back(op(1, 1, OpStatus::Ok, 2, 3, 0));
+  const auto r = check_linearizable<Counter>(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kViolation);
+  EXPECT_FALSE(r.witness.empty());
+}
+
+TEST(LinOracle, ConcurrentOpsMayReorder) {
+  // p0's long op saw p1's effect, so p1 linearizes first even though
+  // p0 invoked earlier -- legal because the intervals overlap.
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 10, 2));
+  h.push_back(op(1, 2, OpStatus::Ok, 1, 2, 0));
+  const auto r = check_linearizable<Counter>(h);
+  ASSERT_TRUE(r.linearizable()) << r.summary();
+  EXPECT_EQ(r.order, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(LinOracle, BottomOpMayTakeEffect) {
+  // The aborted op's increment is visible in the later Ok result: the
+  // oracle must be willing to linearize the bottom op (adoption).
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Bottom, 0, 1));
+  h.push_back(op(1, 2, OpStatus::Ok, 2, 3, 1));
+  const auto r = check_linearizable<Counter>(h);
+  ASSERT_TRUE(r.linearizable()) << r.summary();
+  EXPECT_EQ(r.optional, 1u);
+  EXPECT_EQ(r.order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(LinOracle, BottomOpMayBeDropped) {
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Bottom, 0, 1));
+  h.push_back(op(1, 2, OpStatus::Ok, 2, 3, 0));
+  const auto r = check_linearizable<Counter>(h);
+  ASSERT_TRUE(r.linearizable()) << r.summary();
+  EXPECT_EQ(r.order, (std::vector<std::size_t>{1}));
+}
+
+TEST(LinOracle, NotAppliedEffectVisibleIsViolation) {
+  // Same history as BottomOpMayTakeEffect, but the first op's fate was
+  // resolved to F (never took effect). Its increment showing up in a
+  // later result is the committed-aborted-effect bug.
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::NotApplied, 0, 1));
+  h.push_back(op(1, 2, OpStatus::Ok, 2, 3, 1));
+  const auto r = check_linearizable<Counter>(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kViolation);
+  EXPECT_EQ(r.forbidden, 1u);
+}
+
+TEST(LinOracle, PendingOpAtTraceEndIsOptional) {
+  // An invocation with no response by run end may or may not have taken
+  // effect; both continuations must be accepted.
+  for (const std::int64_t later_result : {0, 1}) {
+    std::vector<HistoryOp<Counter>> h;
+    h.push_back(op(0, 1, OpStatus::Pending, 0, kNoStep));
+    h.push_back(op(1, 2, OpStatus::Ok, 2, 3, later_result));
+    const auto r = check_linearizable<Counter>(h);
+    EXPECT_TRUE(r.linearizable())
+        << "later_result=" << later_result << ": " << r.summary();
+  }
+}
+
+TEST(LinOracle, BottomEffectCannotSurfaceAfterLaterSlotDecides) {
+  // Force-drop semantics: once an op that was invoked after the bottom
+  // op's response linearizes, the floating accept is dead -- the
+  // protocol's slot order forbids it landing later. A history that
+  // needs the bottom effect to appear between two later sequential ops
+  // is a violation.
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Bottom, 0, 1));
+  h.push_back(op(1, 2, OpStatus::Ok, 5, 6, 0));   // no bottom effect yet
+  h.push_back(op(1, 4, OpStatus::Ok, 7, 8, 3));   // ...but now it shows
+  const auto r = check_linearizable<Counter>(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kViolation) << r.summary();
+}
+
+TEST(LinOracle, ConflictingDuplicateResponsesAreAViolation) {
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 1, 0));
+  h.back().responses = 2;
+  h.back().duplicate_mismatch = true;
+  const auto r = check_linearizable<Counter>(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kViolation);
+  EXPECT_NE(r.witness.find("duplicate"), std::string::npos);
+}
+
+TEST(LinOracle, BenignDuplicateResponsesPass) {
+  // A restarted process re-observing the same response is harmless.
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 1, 0));
+  h.back().responses = 2;
+  const auto r = check_linearizable<Counter>(h);
+  EXPECT_TRUE(r.linearizable()) << r.summary();
+}
+
+TEST(LinOracle, MoreThan64LiveOpsHitsResourceLimit) {
+  std::vector<HistoryOp<Counter>> h;
+  for (int i = 0; i < 65; ++i) {
+    h.push_back(op(0, 0, OpStatus::Pending, 2 * i, kNoStep));
+  }
+  const auto r = check_linearizable<Counter>(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kResourceLimit);
+  EXPECT_FALSE(r.linearizable());
+}
+
+TEST(LinOracle, StateBudgetExhaustionIsNeverAVerdict) {
+  LinOracle<Counter>::Options opt;
+  opt.max_states = 1;
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 10, 2));
+  h.push_back(op(1, 2, OpStatus::Ok, 1, 2, 0));
+  const auto r = LinOracle<Counter>(opt).check(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kResourceLimit);
+}
+
+TEST(LinOracle, MemoizationCollapsesExhaustiveSearch) {
+  // Two commuting reads linearize in either order onto the same
+  // (resolved-set, state) pair, and the impossible third op forces the
+  // search to exhaust the tree -- so the converging orders must hit the
+  // memo table instead of being expanded twice.
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 0, OpStatus::Ok, 0, 100, 0));
+  h.push_back(op(1, 0, OpStatus::Ok, 1, 101, 0));
+  h.push_back(op(2, 1, OpStatus::Ok, 2, 102, 5));
+  const auto r = check_linearizable<Counter>(h);
+  EXPECT_EQ(r.verdict, LinVerdict::kViolation);
+  EXPECT_GT(r.memo_hits, 0u);
+}
+
+TEST(LinOracle, CasCellResultsCompareFieldwise) {
+  std::vector<HistoryOp<CasCell>> h;
+  HistoryOp<CasCell> a;
+  a.pid = 0;
+  a.op = CasCell::cas(0, 5);
+  a.status = OpStatus::Ok;
+  a.invoked_at = 0;
+  a.responded_at = 1;
+  a.responses = 1;
+  a.result = CasCell::Result{true, 0};
+  HistoryOp<CasCell> b = a;
+  b.pid = 1;
+  b.op = CasCell::cas(0, 7);
+  b.invoked_at = 2;
+  b.responded_at = 3;
+  b.result = CasCell::Result{false, 5};
+  h.push_back(a);
+  h.push_back(b);
+  EXPECT_TRUE(check_linearizable<CasCell>(h).linearizable());
+
+  // Both CASes claiming success from the same expected value cannot be
+  // linearized.
+  h[1].result = CasCell::Result{true, 0};
+  EXPECT_EQ(check_linearizable<CasCell>(h).verdict,
+            LinVerdict::kViolation);
+}
+
+TEST(LinOracle, NonZeroInitialStateIsRespected) {
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 1, 41));
+  EXPECT_TRUE(check_linearizable<Counter>(h, 41).linearizable());
+  EXPECT_EQ(check_linearizable<Counter>(h, 0).verdict,
+            LinVerdict::kViolation);
+}
+
+// -- safety x progress grading ------------------------------------------------
+
+TEST(GradeRun, OracleVerdictMapsOntoSafetySummary) {
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 1, 0));
+  const auto good = core::safety_from_oracle(check_linearizable<Counter>(h));
+  EXPECT_TRUE(good.checked);
+  EXPECT_TRUE(good.ok);
+  EXPECT_EQ(good.verdict, "LINEARIZABLE");
+
+  h.push_back(op(1, 1, OpStatus::Ok, 2, 3, 0));
+  const auto bad = core::safety_from_oracle(check_linearizable<Counter>(h));
+  EXPECT_TRUE(bad.checked);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.witness.empty());
+}
+
+TEST(GradeRun, ResourceLimitNeverPasses) {
+  LinOracle<Counter>::Options opt;
+  opt.max_states = 1;
+  std::vector<HistoryOp<Counter>> h;
+  h.push_back(op(0, 1, OpStatus::Ok, 0, 10, 2));
+  h.push_back(op(1, 2, OpStatus::Ok, 1, 2, 0));
+  const auto s = core::safety_from_oracle(LinOracle<Counter>(opt).check(h));
+  EXPECT_TRUE(s.checked);
+  EXPECT_FALSE(s.ok);
+}
+
+TEST(GradeRun, CombinesSafetyAndProgress) {
+  core::ConformanceReport progress;
+  progress.ok = true;
+  core::SafetySummary safety;
+  safety.checked = true;
+  safety.ok = true;
+  safety.verdict = "LINEARIZABLE";
+
+  util::Counters metrics;
+  auto graded = core::grade_run(progress, safety, &metrics);
+  EXPECT_TRUE(graded.ok());
+  EXPECT_EQ(metrics.get("graded.ok"), 1u);
+
+  safety.ok = false;
+  safety.verdict = "VIOLATION";
+  graded = core::grade_run(progress, safety, &metrics);
+  EXPECT_FALSE(graded.ok());
+  EXPECT_EQ(metrics.get("graded.safety_violation"), 1u);
+
+  // A safety-unchecked run is graded on progress alone.
+  core::SafetySummary unchecked;
+  EXPECT_TRUE(core::grade_run(progress, unchecked).ok());
+  progress.ok = false;
+  progress.violations.push_back("wait-freedom: ...");
+  EXPECT_FALSE(core::grade_run(progress, unchecked).ok());
+}
+
+}  // namespace
+}  // namespace tbwf::verify

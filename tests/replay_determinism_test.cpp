@@ -1,0 +1,98 @@
+// Deterministic-replay regression: a run is a pure function of its
+// (schedule seed, fault plan, configuration). Two runs with identical
+// inputs must produce bit-identical traces -- Trace::digest() covers
+// every step and every fault event -- and this must hold per
+// configuration with the scan cache on and off. (On vs off are NOT
+// compared: caching legitimately changes how many register operations
+// the omega tasks issue, hence the schedule of steps. What replay
+// guarantees is that each configuration is self-deterministic.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "core/tbwf.hpp"
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_registers.hpp"
+#include "qa/sequential_type.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf {
+namespace {
+
+using qa::Counter;
+using sim::FaultPlan;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::Task;
+using sim::World;
+
+constexpr int kN = 3;
+
+Task forever_inc(SimEnv& env, core::TbwfObject<Counter>& obj) {
+  for (;;) (void)co_await obj.invoke(env, Counter::Op{1});
+}
+
+/// One full chaos run of the TBWF stack; returns the trace digest.
+std::uint64_t chaos_digest(std::uint64_t seed) {
+  FaultPlan::GenOptions opt;
+  opt.n = kN;
+  opt.horizon = 150000;
+  opt.quiet_tail = 0.5;
+  opt.max_crash_cycles = 2;
+  opt.max_stutters = 2;
+  opt.max_storms = 0;
+  const FaultPlan plan = FaultPlan::generate(seed, opt);
+
+  World world(kN, plan.wrap(std::make_unique<sim::RandomSchedule>(
+                      seed * 977 + 13)));
+  core::TbwfSystem<Counter> sys(world, 0,
+                                core::OmegaBackend::AtomicRegisters);
+  for (Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) {
+      return forever_inc(env, sys.object());
+    });
+  }
+  plan.install(world);
+  world.run(300000);
+  return world.trace().digest();
+}
+
+TEST(ReplayDeterminism, ChaosRunsReplayBitIdentically) {
+  for (const std::uint64_t seed : {3u, 17u}) {
+    EXPECT_EQ(chaos_digest(seed), chaos_digest(seed)) << "seed " << seed;
+  }
+}
+
+TEST(ReplayDeterminism, DifferentSeedsDiverge) {
+  EXPECT_NE(chaos_digest(3), chaos_digest(17));
+}
+
+/// Omega-on-registers election run with the scan cache toggled.
+std::uint64_t omega_digest(bool scan_cache, std::uint64_t seed) {
+  const int n = 3;
+  auto specs = sim::uniform_specs(n, sim::ActivitySpec::timely(4 * n));
+  World world(n, std::make_unique<sim::TimelinessSchedule>(specs, seed));
+  omega::OmegaRegisters om(world);
+  om.set_scan_cache(scan_cache);
+  om.install_all();
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "cand", [&, p](SimEnv& env) {
+      return omega::permanent_candidate(env, om.io(p));
+    });
+  }
+  world.run(200000);
+  return world.trace().digest();
+}
+
+TEST(ReplayDeterminism, ScanCacheConfigsAreEachSelfDeterministic) {
+  EXPECT_EQ(omega_digest(false, 5), omega_digest(false, 5));
+  EXPECT_EQ(omega_digest(true, 5), omega_digest(true, 5));
+}
+
+}  // namespace
+}  // namespace tbwf

@@ -46,6 +46,7 @@ inline int run_gbench_with_json(int argc, char** argv,
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonReporter json(experiment);
   json.set_config("variant", "after");
+  json.set_meta("harness", "google-benchmark");
   GBenchJsonAdapter reporter(json);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();

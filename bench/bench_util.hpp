@@ -108,6 +108,12 @@ class JsonReporter {
     upsert(defaults_, key, value);
   }
 
+  /// Extra run-metadata key stamped into the document's top-level
+  /// "meta" object (overrides the automatic keys on collision).
+  void set_meta(const std::string& key, const std::string& value) {
+    upsert(meta_, key, value);
+  }
+
   void row(const std::string& metric, double value, const std::string& unit,
            std::uint64_t seed,
            const std::vector<std::pair<std::string, std::string>>& config =
@@ -124,7 +130,13 @@ class JsonReporter {
 
   std::string str() const {
     std::string out = "{\n  \"experiment\": " + quote(experiment_) +
-                      ",\n  \"schema\": \"tbwf-bench-v1\",\n  \"rows\": [";
+                      ",\n  \"schema\": \"tbwf-bench-v1\",\n  \"meta\": {";
+    const Config meta = stamped_meta();
+    for (std::size_t i = 0; i < meta.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += quote(meta[i].first) + ": " + quote(meta[i].second);
+    }
+    out += "},\n  \"rows\": [";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
       out += (i == 0 ? "\n" : ",\n");
@@ -176,6 +188,27 @@ class JsonReporter {
     config.emplace_back(key, value);
   }
 
+  /// Automatic run metadata: the producing commit (CI exports
+  /// GITHUB_SHA; local runs may export TBWF_GIT_SHA), the row count and
+  /// how many distinct seeds fed the rows -- enough provenance to tell
+  /// two BENCH_*.json artifacts apart. set_meta() entries override.
+  Config stamped_meta() const {
+    Config meta;
+    const char* sha = std::getenv("TBWF_GIT_SHA");
+    if (sha == nullptr || *sha == '\0') sha = std::getenv("GITHUB_SHA");
+    upsert(meta, "git_sha", sha != nullptr && *sha != '\0' ? sha : "unknown");
+    upsert(meta, "rows", fmt_u(rows_.size()));
+    std::vector<std::uint64_t> seeds;
+    for (const Row& r : rows_) {
+      bool known = false;
+      for (const std::uint64_t s : seeds) known = known || s == r.seed;
+      if (!known) seeds.push_back(r.seed);
+    }
+    upsert(meta, "distinct_seeds", fmt_u(seeds.size()));
+    for (const auto& kv : meta_) upsert(meta, kv.first, kv.second);
+    return meta;
+  }
+
   static std::string quote(const std::string& s) {
     std::string out = "\"";
     for (const char ch : s) {
@@ -197,6 +230,7 @@ class JsonReporter {
 
   std::string experiment_;
   Config defaults_;
+  Config meta_;
   std::vector<Row> rows_;
 };
 

@@ -4,9 +4,15 @@ baseline and fail on regressions.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [--tolerance 0.25]
 
-Rows are matched on (metric, config minus the "variant" key); only rows
-with variant == "after" (or no variant) participate -- "before" rows in
-the baseline document the pre-optimization state and are informational.
+Rows are matched on (metric, config minus the "variant" key), NEVER on
+their position in the rows array: reordering the emitting bench must not
+silently compare unrelated rows. Rows sharing a (metric, config) pair
+are disambiguated by occurrence index, in emission order. Only rows with
+variant == "after" (or no variant) participate -- "before" rows in the
+baseline document the pre-optimization state and are informational.
+Fresh rows with no baseline counterpart are reported as warnings (new
+metrics are visible, not regressions); baseline rows with no fresh
+counterpart fail (a gated metric silently disappearing IS a regression).
 
 Direction is inferred from the unit:
   items/s, rounds          higher is better; fail below (1 - tol) * base
@@ -31,11 +37,21 @@ def key(row):
 
 def after_rows(doc):
     out = {}
+    seen = {}
     for row in doc["rows"]:
         if row.get("config", {}).get("variant", "after") != "after":
             continue
-        out[key(row)] = row
+        k = key(row)
+        idx = seen.get(k, 0)
+        seen[k] = idx + 1
+        out[k + (idx,)] = row
     return out
+
+
+def label_of(k, row):
+    metric, config, idx = k
+    suffix = f" #{idx + 1}" if idx > 0 else ""
+    return f"{row['metric']} {dict(config)}{suffix}"
 
 
 def main():
@@ -65,10 +81,16 @@ def main():
     fresh = after_rows(fresh_doc)
 
     failures = []
+    warnings = []
     checked = 0
+    for k, frow in sorted(fresh.items()):
+        if k not in base:
+            warnings.append(
+                f"NEW      {label_of(k, frow)}: no baseline counterpart "
+                "(informational until the baseline is regenerated)")
     for k, brow in sorted(base.items()):
         frow = fresh.get(k)
-        label = f"{brow['metric']} {dict(k[1])}"
+        label = label_of(k, brow)
         if frow is None:
             failures.append(f"MISSING  {label}: no matching fresh row")
             continue
@@ -93,7 +115,9 @@ def main():
                 failures.append(f"REGRESSED {label}: {bv:g} -> {fv:g}")
 
     print(f"{args.fresh}: {checked} rows checked against {args.baseline}, "
-          f"{len(failures)} failures")
+          f"{len(failures)} failures, {len(warnings)} warnings")
+    for w in warnings:
+        print("  " + w)
     for f in failures:
         print("  " + f)
     sys.exit(1 if failures else 0)

@@ -584,4 +584,69 @@ std::string GradedRunReport::summary() const {
   return out;
 }
 
+// -- SLO x progress grading -----------------------------------------------------
+
+namespace {
+
+ServiceRunReport join_service_verdicts(bool progress_ok,
+                                       std::string progress_summary,
+                                       SloSummary slo,
+                                       util::Counters* metrics) {
+  ServiceRunReport report;
+  report.progress_ok = progress_ok;
+  report.progress_summary = std::move(progress_summary);
+  report.slo = std::move(slo);
+  if (metrics != nullptr) {
+    metrics->inc(report.ok() ? "service.ok" : "service.violated");
+    if (report.slo.checked && !report.slo.ok) {
+      metrics->inc("service.slo_violation");
+    }
+    if (!report.progress_ok) metrics->inc("service.progress_violation");
+  }
+  return report;
+}
+
+}  // namespace
+
+ServiceRunReport grade_service_run(const ConformanceReport& progress,
+                                   SloSummary slo, util::Counters* metrics) {
+  return join_service_verdicts(progress.ok, progress.summary(),
+                               std::move(slo), metrics);
+}
+
+ServiceRunReport grade_service_run(const RtConformanceReport& progress,
+                                   SloSummary slo, util::Counters* metrics) {
+  return join_service_verdicts(progress.ok, progress.summary(),
+                               std::move(slo), metrics);
+}
+
+std::string ServiceRunReport::summary() const {
+  std::ostringstream out;
+  out << "service run: " << (ok() ? "OK" : "VIOLATED");
+  if (!ok()) {
+    // Name the failing axis outright: that is the whole point of the
+    // joint verdict.
+    out << " (";
+    if (!progress_ok && slo.checked && !slo.ok) {
+      out << "progress AND slo failed";
+    } else if (!progress_ok) {
+      out << "progress failed, slo "
+          << (slo.checked ? "passed" : "not checked");
+    } else {
+      out << "slo failed, progress passed";
+    }
+    out << ")";
+  }
+  out << "\n  slo: ";
+  if (!slo.checked) {
+    out << "(not checked)";
+  } else {
+    out << slo.verdict;
+    for (const auto& v : slo.violations) out << "\n    SLO: " << v;
+  }
+  out << "\n  progress: " << (progress_ok ? "OK" : "VIOLATED") << "\n";
+  out << progress_summary;
+  return out.str();
+}
+
 }  // namespace tbwf::core

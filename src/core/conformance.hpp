@@ -205,4 +205,45 @@ struct GradedRunReport {
 GradedRunReport grade_run(ConformanceReport progress, SafetySummary safety,
                           util::Counters* metrics = nullptr);
 
+// -- SLO x progress grading -----------------------------------------------------
+//
+// The soak harness (src/soak/) adds a SERVICE verdict next to the
+// progress verdict: client-visible latency and availability budgets
+// over the whole run. The two are judged independently on purpose --
+// heavy mid-run churn with a clean tail passes progress conformance
+// (the graded guarantees are suffix properties) yet can blow the SLO's
+// cumulative budgets, and a medium the plan jammed through the suffix
+// voids every progress demand while the SLO still fails the frozen
+// service. A ServiceRunReport holds both and says which axis failed.
+
+/// Type-erased SLO verdict (built from soak::SloReport via
+/// soak::slo_summary, or filled by hand). Mirrors SafetySummary:
+/// `checked` false = no SLO was graded (progress-only run).
+struct SloSummary {
+  bool checked = false;
+  bool ok = true;
+  std::string verdict;  ///< "SLO-OK" / "SLO-VIOLATED" / "SLO-INCONCLUSIVE"
+  std::vector<std::string> violations;
+};
+
+struct ServiceRunReport {
+  bool progress_ok = false;
+  /// The progress checker's full human-readable report.
+  std::string progress_summary;
+  SloSummary slo;
+
+  bool ok() const { return progress_ok && (!slo.checked || slo.ok); }
+  std::string summary() const;
+};
+
+/// Join the verdicts of a sim soak run; `metrics`, when given, receives
+/// service.{ok,slo_violation,progress_violation} tallies.
+ServiceRunReport grade_service_run(const ConformanceReport& progress,
+                                   SloSummary slo,
+                                   util::Counters* metrics = nullptr);
+/// Same join for an rt soak run.
+ServiceRunReport grade_service_run(const RtConformanceReport& progress,
+                                   SloSummary slo,
+                                   util::Counters* metrics = nullptr);
+
 }  // namespace tbwf::core

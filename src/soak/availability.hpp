@@ -1,0 +1,146 @@
+// Service-availability bookkeeping for the soak harness: a sampled
+// record of whether the leader-routed service was reachable, collapsed
+// into maximal outage windows (no-leader / wrong-leader intervals).
+//
+// The tracker is clock-agnostic: `at` is whatever monotone time unit
+// the backend samples in (simulator steps, rt nanoseconds). Samples
+// must arrive in non-decreasing order; a window opens at the first
+// non-Ok sample, splits when the outage kind changes, and closes at
+// the next Ok sample (or at finish()). Between samples the tracker
+// assumes the state of the *previous* sample, so the sampling cadence
+// bounds the measurement error, not the verdict's soundness.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tbwf::soak {
+
+enum class ServiceState : std::uint8_t {
+  kOk = 0,
+  /// No live process considers itself leader: requests cannot be
+  /// served by anyone.
+  kNoLeader = 1,
+  /// Some live process would route to a target that is not a
+  /// self-acknowledged leader (stale or crashed): its requests go to
+  /// the wrong place. A "?" view is NOT an outage -- that client just
+  /// waits, which shows up as route latency instead.
+  kWrongLeader = 2,
+};
+
+inline const char* to_string(ServiceState s) {
+  switch (s) {
+    case ServiceState::kOk: return "ok";
+    case ServiceState::kNoLeader: return "no-leader";
+    case ServiceState::kWrongLeader: return "wrong-leader";
+  }
+  return "?";
+}
+
+/// One maximal run of a single non-Ok state: [from, to).
+struct OutageWindow {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  ServiceState state = ServiceState::kOk;
+
+  std::uint64_t length() const { return to - from; }
+};
+
+class AvailabilityTracker {
+ public:
+  void observe(std::uint64_t at, ServiceState s) {
+    TBWF_ASSERT(!finished_, "observe after finish");
+    TBWF_ASSERT(!any_ || at >= last_at_, "samples must be monotone");
+    if (!any_) {
+      any_ = true;
+      first_at_ = at;
+    }
+    last_at_ = at;
+    ++samples_;
+    if (s == ServiceState::kOk) {
+      if (open_) close(at);
+      return;
+    }
+    if (open_ && cur_ != s) close(at);
+    if (!open_) {
+      open_ = true;
+      cur_ = s;
+      open_from_ = at;
+    }
+  }
+
+  /// Seal the record at `end` (>= the last sample); an open outage is
+  /// closed there. Idempotent only in the no-sample case; call once.
+  void finish(std::uint64_t end) {
+    TBWF_ASSERT(!finished_, "finish called twice");
+    finished_ = true;
+    end_ = any_ && end < last_at_ ? last_at_ : end;
+    if (open_) close(end_);
+  }
+
+  const std::vector<OutageWindow>& windows() const { return windows_; }
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t total_unavailable() const { return total_; }
+
+  std::uint64_t longest_outage() const {
+    std::uint64_t worst = 0;
+    for (const auto& w : windows_) {
+      if (w.length() > worst) worst = w.length();
+    }
+    return worst;
+  }
+
+  /// Observed span: first sample to the finish() edge. 0 if nothing
+  /// was ever sampled.
+  std::uint64_t observed_span() const {
+    return any_ ? end_ - first_at_ : 0;
+  }
+
+  double unavailable_fraction() const {
+    const std::uint64_t span = observed_span();
+    return span == 0 ? 0.0
+                     : static_cast<double>(total_) /
+                           static_cast<double>(span);
+  }
+
+  std::string summary() const {
+    std::ostringstream out;
+    out << windows_.size() << " outage window(s), " << total_
+        << " unavailable over span " << observed_span() << " ("
+        << samples_ << " samples)";
+    for (const auto& w : windows_) {
+      out << "\n    [" << w.from << ", " << w.to << ") "
+          << to_string(w.state);
+    }
+    return out.str();
+  }
+
+ private:
+  void close(std::uint64_t at) {
+    // A same-sample flip (open and close at one instant) is a
+    // zero-length window; keep it out of the record.
+    if (at > open_from_) {
+      windows_.push_back({open_from_, at, cur_});
+      total_ += at - open_from_;
+    }
+    open_ = false;
+  }
+
+  bool any_ = false;
+  bool open_ = false;
+  bool finished_ = false;
+  ServiceState cur_ = ServiceState::kOk;
+  std::uint64_t open_from_ = 0;
+  std::uint64_t first_at_ = 0;
+  std::uint64_t last_at_ = 0;
+  std::uint64_t end_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<OutageWindow> windows_;
+};
+
+}  // namespace tbwf::soak

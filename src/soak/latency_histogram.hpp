@@ -1,0 +1,146 @@
+// HDR-style log-bucketed latency histogram for the soak harness.
+//
+// util::Histogram keeps every sample exactly -- right for laptop-scale
+// experiments, hopeless for a soak recording millions of per-request
+// phase latencies. LogHistogram trades exactness for O(1) memory:
+// values below 2^(kSubBucketBits + 1) are recorded exactly (one bucket
+// per value); above that, each power-of-two tier splits into
+// 2^kSubBucketBits sub-buckets, so a recorded value is off by at most
+// 1/2^kSubBucketBits (~3%) of itself -- the HdrHistogram bucket scheme.
+// Quantiles report the inclusive upper bound of the bucket the rank
+// falls in (clamped to the exact maximum seen), which makes them
+// deterministic and conservative: a quantile never under-reports.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace tbwf::soak {
+
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 sub-buckets per power-of-two tier,
+  /// giving <= 1/32 relative bucket width above the exact range.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+  /// Values < 2 * kSubBuckets land in a bucket of width 1 (exact).
+  static constexpr std::uint64_t kExactMax = 2 * kSubBuckets - 1;
+  /// Highest tier shift for a 64-bit value: bit_width(v) <= 64, so
+  /// shift <= 64 - kSubBucketBits - 1; indices reach
+  /// kSubBuckets * shift + 2 * kSubBuckets - 1.
+  static constexpr std::size_t kBuckets =
+      kSubBuckets * (64 - kSubBucketBits + 1);
+
+  /// Bucket index of a value; monotone non-decreasing in v.
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int shift = std::bit_width(v) - kSubBucketBits - 1;
+    const std::uint64_t sub = v >> shift;  // in [kSubBuckets, 2*kSubBuckets)
+    return static_cast<std::size_t>(kSubBuckets) * shift +
+           static_cast<std::size_t>(sub);
+  }
+
+  /// Smallest value mapped to bucket i.
+  static std::uint64_t bucket_lower(std::size_t i) {
+    if (i < kSubBuckets) return i;
+    const int shift = static_cast<int>(i / kSubBuckets) - 1;
+    const std::uint64_t sub = i % kSubBuckets + kSubBuckets;
+    return sub << shift;
+  }
+
+  /// Largest value mapped to bucket i (inclusive).
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i < kSubBuckets) return i;
+    const int shift = static_cast<int>(i / kSubBuckets) - 1;
+    const std::uint64_t sub = i % kSubBuckets + kSubBuckets;
+    return ((sub + 1) << shift) - 1;
+  }
+
+  void record(std::uint64_t v) { record_n(v, 1); }
+
+  /// Record `n` samples of value v (a routed batch shares one measured
+  /// route latency; recording it per request keeps quantiles weighted).
+  void record_n(std::uint64_t v, std::uint64_t n) {
+    if (n == 0) return;
+    const std::size_t i = index_of(v);
+    if (counts_.empty()) counts_.assign(kBuckets, 0);
+    counts_[i] += n;
+    total_ += n;
+    sum_ += v * n;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LogHistogram& other) {
+    if (other.total_ == 0) return;
+    if (counts_.empty()) counts_.assign(kBuckets, 0);
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  std::uint64_t min() const { return total_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return total_ == 0 ? 0 : max_; }
+  double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Conservative quantile, q in [0, 1]: the upper bound of the bucket
+  /// holding the ceil(q * count)-th sample, clamped to the exact max.
+  /// 0 on an empty histogram.
+  std::uint64_t quantile(double q) const {
+    if (total_ == 0) return 0;
+    if (q <= 0.0) return min_;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_) + 0.9999999);
+    if (rank < 1) rank = 1;
+    if (rank > total_) rank = total_;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += counts_[i];
+      if (cum >= rank) {
+        const std::uint64_t upper = bucket_upper(i);
+        return upper < max_ ? upper : max_;
+      }
+    }
+    return max_;  // unreachable: total_ > 0 implies the loop hits rank
+  }
+
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  std::string summary() const {
+    std::ostringstream out;
+    out << "n=" << total_;
+    if (total_ > 0) {
+      out << " p50=" << p50() << " p99=" << p99() << " p999=" << p999()
+          << " max=" << max_;
+    }
+    return out.str();
+  }
+
+ private:
+  /// Lazily sized: a default-constructed histogram costs nothing until
+  /// the first sample (rt keeps one per phase per thread slot).
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace tbwf::soak

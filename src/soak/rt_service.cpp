@@ -1,0 +1,328 @@
+#include "soak/rt_service.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "registers/abort_policy.hpp"
+#include "util/assert.hpp"
+
+namespace tbwf::soak {
+
+namespace {
+
+void yield_for(std::uint64_t yields) {
+  for (std::uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
+}
+
+const registers::BoundedBackoff& pump_backoff() {
+  static const registers::BoundedBackoff backoff{
+      {.base = 1, .cap = 32, .free_retries = 4}};
+  return backoff;
+}
+
+}  // namespace
+
+RtLeaderService::RtLeaderService(int nthreads, RtServiceOptions options)
+    : options_(std::move(options)),
+      nthreads_(nthreads),
+      elector_(options_.lease_term),
+      calibrator_(
+          {.alpha = 0.125,
+           .multiplier = 32.0,
+           .floor_ns = options_.term_floor_ns,
+           .ceil_ns = options_.term_ceil_ns},
+          static_cast<std::uint64_t>(options_.lease_term.count()) / 32),
+      state_(0),
+      tails_(std::make_unique<
+             util::CachelinePadded<std::atomic<std::int64_t>>[]>(
+          static_cast<std::size_t>(nthreads))),
+      acks_(std::make_unique<
+            util::CachelinePadded<std::atomic<std::int64_t>>[]>(
+          static_cast<std::size_t>(nthreads))),
+      commits_(std::make_unique<
+               util::CachelinePadded<std::atomic<std::int64_t>>[]>(
+          static_cast<std::size_t>(nthreads))),
+      slots_(static_cast<std::size_t>(nthreads)) {
+  TBWF_ASSERT(options_.batch > 0, "batch must be positive");
+  TBWF_ASSERT(options_.max_inflight >= options_.batch,
+              "inflight window must fit one batch");
+  elector_.set_calibrator(&calibrator_);
+  for (int t = 0; t < nthreads; ++t) {
+    // relaxed: pre-spawn initialization; the thread launch publishes it.
+    tails_[t]->store(0, std::memory_order_relaxed);
+    acks_[t]->store(0, std::memory_order_relaxed);
+    commits_[t]->store(0, std::memory_order_relaxed);
+    slots_[t].acked.assign(static_cast<std::size_t>(nthreads), 0);
+    slots_[t].committed.assign(static_cast<std::size_t>(nthreads), 0);
+  }
+}
+
+ServiceStats RtLeaderService::stats() const {
+  ServiceStats merged;
+  for (const auto& slot : slots_) merged.merge(slot.stats);
+  return merged;
+}
+
+std::int64_t RtLeaderService::state_value() {
+  // Bounded: under a permanently jammed medium every read aborts, and
+  // diagnostics must not hang on it.
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const auto v = state_.read();
+    if (v.has_value()) return *v;
+  }
+  return -1;
+}
+
+void RtLeaderService::run_worker(rt::RtWorkerContext& ctx) {
+  Slot& slot = slots_[ctx.tid()];
+  // A dead incarnation may have been killed mid-stint; the monitor
+  // already revoked its lease (on_restart), so just drop the role. Its
+  // unapplied backlog is forgotten too -- the next leader's from-zero
+  // rescan re-derives it from the tail counters.
+  slot.role = Role::kFollower;
+  slot.backlog = 0;
+  slot.lost_elections = 0;
+  // Server half first: after a rotation or kill, the next scheduled
+  // thread must elect BEFORE its client half starts probing for an
+  // owner, or every thread burns its route patience against a vacant
+  // lease and the handover stretches into a milliseconds-long outage.
+  while (!ctx.should_stop()) {
+    server_pump(ctx, slot);
+    if (ctx.should_stop()) break;
+    client_pump(ctx, slot);
+  }
+}
+
+bool RtLeaderService::route(rt::RtWorkerContext& ctx, Slot& slot) {
+  constexpr std::uint32_t kNoOwner = rt::LeaseElector::kNoOwner;
+  std::uint64_t probes = 0;
+  bool routed = false;
+  if (options_.route == RouteMode::kAdvice) {
+    for (int i = 0; i < options_.route_patience && !ctx.should_stop();
+         ++i) {
+      ++probes;
+      if (elector_.owner() != kNoOwner) {
+        routed = true;
+        break;
+      }
+      ctx.fault_point();
+      std::this_thread::yield();
+    }
+  } else {
+    std::uint32_t last = kNoOwner;
+    int streak = 0;
+    for (int i = 0; i < options_.route_patience && !ctx.should_stop();
+         ++i) {
+      ++probes;
+      const std::uint32_t owner = elector_.owner();
+      if (owner != kNoOwner && owner == last) {
+        ++streak;
+      } else {
+        last = owner;
+        streak = owner == kNoOwner ? 0 : 1;
+      }
+      if (streak >= options_.confirm_probes) {
+        routed = true;
+        break;
+      }
+      ctx.fault_point();
+      std::this_thread::yield();
+    }
+  }
+  slot.stats.route_probes += probes;
+  return routed;
+}
+
+void RtLeaderService::client_pump(rt::RtWorkerContext& ctx, Slot& slot) {
+  const std::uint32_t tid = ctx.tid();
+  // Thinned: an idle pump takes ~200ns, so a fault_point every pump
+  // floods the bounded trace ring with kStep events (the supervisor
+  // logs one per 16 calls) and evicts the conformance suffix at full
+  // soak scale. Every 8th pump still fires plan events within ~2us.
+  if (++slot.pumps % 8 == 0) ctx.fault_point();
+
+  // Drain: acquire pairs with the leader's release stores; the client's
+  // view only moves forward (a deposed leader's stale late store may
+  // regress the counters themselves).
+  const std::int64_t commit_reg =
+      commits_[tid]->load(std::memory_order_acquire);
+  if (commit_reg > slot.commit_seen) slot.commit_seen = commit_reg;
+  const std::int64_t ack_reg = acks_[tid]->load(std::memory_order_acquire);
+  if (ack_reg > slot.ack_seen) slot.ack_seen = ack_reg;
+
+  const std::uint64_t now = ctx.now_ns();
+  std::uint64_t drained = 0;
+  while (!slot.pending.empty() &&
+         slot.pending.front().seq <= slot.commit_seen) {
+    const Pending& req = slot.pending.front();
+    slot.stats.commit.record(now - req.submitted_ns);
+    ++slot.stats.completed;
+    slot.stats.last_commit_at = now;
+    slot.pending.pop_front();
+    ++drained;
+  }
+  // Coalesce completion events to batch granularity: commits trickle in
+  // a request or two per pump, and logging each dribble floods the
+  // bounded trace ring (millions of kOpComplete events evict the
+  // conformance suffix). A full batch or an empty window flushes.
+  slot.undrained_log += drained;
+  if (slot.undrained_log > 0 &&
+      (slot.pending.empty() ||
+       slot.undrained_log >= static_cast<std::uint64_t>(options_.batch))) {
+    ctx.op_complete(slot.undrained_log);
+    slot.undrained_log = 0;
+  }
+  for (Pending& req : slot.pending) {
+    if (req.acked || req.seq > slot.ack_seen) continue;
+    req.acked = true;
+    slot.stats.ack.record(now - req.submitted_ns);
+  }
+
+  const int batch = options_.batch;
+  if (static_cast<int>(slot.pending.size()) + batch >
+      options_.max_inflight) {
+    return;
+  }
+  const std::uint64_t route_start = ctx.now_ns();
+  if (!route(ctx, slot)) return;  // leaderless; retry next pump
+  slot.stats.route.record_n(ctx.now_ns() - route_start,
+                            static_cast<std::uint64_t>(batch));
+
+  const std::uint64_t submitted_at = ctx.now_ns();
+  for (int i = 0; i < batch; ++i) {
+    slot.pending.push_back({slot.next_seq++, submitted_at, false});
+  }
+  slot.stats.submitted += static_cast<std::uint64_t>(batch);
+  ctx.op_start();
+  // release: publishes the batch to the leader's acquire scan.
+  tails_[tid]->store(slot.next_seq - 1, std::memory_order_release);
+}
+
+void RtLeaderService::server_pump(rt::RtWorkerContext& ctx, Slot& slot) {
+  const std::uint32_t tid = ctx.tid();
+  if (++slot.pumps % 8 == 0) ctx.fault_point();
+  switch (slot.role) {
+    case Role::kFollower: {
+      std::uint64_t token = 0;
+      if (!elector_.try_lead(tid, &token)) {
+        yield_for(pump_backoff().delay(slot.lost_elections++));
+        return;
+      }
+      slot.lost_elections = 0;
+      slot.token = token;
+      slot.last_renew_ns = ctx.now_ns();
+      slot.stint_begin_ns = slot.last_renew_ns;
+      ctx.record(rt::RtEventKind::kLeaseAcquire, token);
+      slot.role = Role::kLeader;
+      // Conservative from-zero rescan (see header).
+      std::fill(slot.acked.begin(), slot.acked.end(), 0);
+      std::fill(slot.committed.begin(), slot.committed.end(), 0);
+      slot.backlog = 0;
+      return;
+    }
+    case Role::kLeader: {
+      // Renew (same tenure, same token); a false return means the lease
+      // expired and was stolen or revoked -- step down.
+      if (!elector_.try_lead(tid, &slot.token)) {
+        ctx.record(rt::RtEventKind::kStaleFenceBlocked);
+        slot.role = Role::kFollower;
+        return;
+      }
+      // Calibrate the lease term on the INTER-RENEWAL gap, not on op
+      // latency: on a timesliced box the gap is dominated by how long
+      // this thread goes unscheduled between pumps, which is exactly
+      // what the term must outlast for the lease to read as held.
+      {
+        const std::uint64_t renewed_at = ctx.now_ns();
+        if (slot.last_renew_ns != 0) {
+          calibrator_.observe(renewed_at - slot.last_renew_ns);
+        }
+        slot.last_renew_ns = renewed_at;
+      }
+      ++slot.rounds_total;
+      if (options_.repair_every > 0 &&
+          slot.rounds_total %
+                  static_cast<std::uint64_t>(options_.repair_every) ==
+              0) {
+        // Commit-watermark repair against stale deposed-leader stores;
+        // same rationale as the sim server.
+        std::fill(slot.committed.begin(), slot.committed.end(), 0);
+      }
+
+      std::int64_t newly = 0;
+      for (int q = 0; q < nthreads_; ++q) {
+        // acquire pairs with the client's release tail store.
+        const std::int64_t tail =
+            tails_[q]->load(std::memory_order_acquire);
+        if (tail <= slot.acked[q]) continue;
+        newly += tail - slot.acked[q];
+        slot.acked[q] = tail;
+        // release: the owning client acquires its ack watermark.
+        acks_[q]->store(tail, std::memory_order_release);
+      }
+      slot.backlog += newly;
+
+      if (slot.backlog > 0) {
+        bool applied = false;
+        for (int attempt = 0;
+             attempt < options_.apply_attempts && !ctx.should_stop();
+             ++attempt) {
+          ctx.fault_point();
+          const auto value = state_.read();
+          if (!value.has_value()) {
+            ctx.record(rt::RtEventKind::kAbort);
+            yield_for(pump_backoff().delay(attempt));
+            continue;
+          }
+          ctx.fault_point();  // mid-operation danger zone
+          if (!elector_.validate(tid, slot.token)) {
+            ctx.record(rt::RtEventKind::kStaleFenceBlocked);
+            slot.role = Role::kFollower;
+            return;
+          }
+          if (!state_.write(*value + slot.backlog)) {
+            ctx.record(rt::RtEventKind::kAbort);
+            yield_for(pump_backoff().delay(attempt));
+            continue;
+          }
+          applied = true;
+          break;
+        }
+        // Unapplied backlog (storm/jam window): keep it and retry next
+        // pump. Commits must not outrun the state application.
+        if (!applied) return;
+        slot.backlog = 0;
+      }
+
+      for (int q = 0; q < nthreads_; ++q) {
+        if (slot.committed[q] >= slot.acked[q]) continue;
+        // release: the owning client acquires its commit watermark.
+        commits_[q]->store(slot.acked[q], std::memory_order_release);
+        slot.committed[q] = slot.acked[q];
+      }
+
+      if (ctx.now_ns() - slot.stint_begin_ns >= options_.tenure_ns) {
+        slot.fence_at_release = elector_.fence();
+        elector_.release(tid);
+        ctx.record(rt::RtEventKind::kLeaseRelease);
+        slot.role = Role::kRotating;
+        slot.rotate_wait_begin_ns = ctx.now_ns();
+      }
+      return;
+    }
+    case Role::kRotating: {
+      // Canonical-use rotation: wait until someone else has held the
+      // lease (fence advanced) or a bounded solo timeout.
+      if (elector_.fence() != slot.fence_at_release ||
+          ctx.now_ns() - slot.rotate_wait_begin_ns >=
+              options_.rotation_wait_ns) {
+        slot.role = Role::kFollower;
+      } else {
+        std::this_thread::yield();
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace tbwf::soak

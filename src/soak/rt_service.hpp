@@ -1,0 +1,178 @@
+// RtLeaderService: the leader-routed request service on real threads --
+// the rt twin of SimLeaderService, built on the fenced LeaseElector.
+//
+// Every supervised worker runs BOTH roles each pump -- server half
+// first (so a vacant lease is re-won before anyone burns route patience
+// on it), then client half. The server half competes for the lease,
+// scans tails while leading, applies the new requests to the shared
+// abortable state cell under the fence, publishes watermarks, and
+// voluntarily rotates after `tenure_rounds` serving rounds
+// (canonical-use fairness: wait for the fence to advance or a bounded
+// timeout before re-competing). The client half routes request batches
+// by observing elector.owner() (advice mode trusts the first live
+// owner; probe mode demands `confirm_probes` consecutive identical
+// observations, one yield per probe), publishes them on its
+// single-writer tail counter and completes them against the leader's
+// ack/commit watermarks.
+//
+// Routing buys latency, not correctness: delivery is via the tail
+// counters, so a stale or absent owner costs route time while the
+// published batch stays servable by whoever leads next. The route loop
+// gives up after `route_patience` probes and retries next pump so a
+// leaderless startup or outage can never wedge the pump loop.
+//
+// Crash model: per-thread slots are touched only by their own worker
+// thread; the supervisor's monitor joins a dead incarnation before
+// spawning its replacement, which orders the accesses. Client
+// bookkeeping survives incarnations (durable client); server
+// bookkeeping is reset on election, so a new leader rescans
+// conservatively from zero -- re-acking is harmless (clients take
+// monotone maxima) and re-applying only over-counts the at-least-once
+// state cell. Commit watermarks are repaired every `repair_every`
+// rounds against stale deposed-leader writes, as in the sim service.
+//
+// Trace discipline: one kOpStart per submitted batch, one kOpComplete
+// per drain (arg = requests drained), NOT one pair per request -- a
+// full soak pushes millions of requests through a bounded trace ring,
+// and per-request events would evict the stable suffix the conformance
+// checker needs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rt/rt_supervisor.hpp"
+#include "rt/rt_tbwf.hpp"
+#include "util/cacheline.hpp"
+#include "util/metrics.hpp"
+#include "soak/service_stats.hpp"
+
+namespace tbwf::soak {
+
+struct RtServiceOptions {
+  RouteMode route = RouteMode::kProbe;
+  /// Probe-mode confirmation threshold (advice mode ignores it).
+  int confirm_probes = 3;
+  /// Requests per routed batch.
+  int batch = 8;
+  /// Max pending requests per client; submission pauses at the cap so a
+  /// frozen service shows up as a commit stall, not unbounded memory.
+  int max_inflight = 64;
+  /// Route probes before giving up on this pump and retrying later.
+  /// Deliberately small: a failed route costs one pump and the server
+  /// half runs in between, so short patience keeps a vacant lease from
+  /// soaking up milliseconds of probing during every handover.
+  int route_patience = 16;
+  /// Leadership stint length before voluntary rotation. Time-based, not
+  /// round-based: idle pump rounds complete in microseconds, so a
+  /// round-counted stint finishes almost instantly and the service
+  /// spends most of its life in rotation vacancy (observed: ~50us
+  /// stints behind ~200us+ handovers).
+  std::uint64_t tenure_ns = 2000000;
+  /// Serving rounds between commit-watermark repair scans (0 = never).
+  int repair_every = 64;
+  /// Bounded state-apply attempts per server pump; an unapplied backlog
+  /// is kept and retried so a storm or jam window stalls instead of
+  /// spinning.
+  int apply_attempts = 8;
+  /// Post-release rotation wait: fence advance or this timeout.
+  std::uint64_t rotation_wait_ns = 200000;
+  /// Starting lease term. The calibrator adapts it to the observed
+  /// inter-renewal gap but never below term_floor_ns: on a timesliced
+  /// box the gap EWMA is swamped by sub-us same-burst renewals, and a
+  /// micro-term reads as "no leader" at every sampled instant even
+  /// while commits flow (observed: 98% phantom unavailability).
+  std::chrono::nanoseconds lease_term = std::chrono::milliseconds(4);
+  std::uint64_t term_floor_ns = 2000000;
+  std::uint64_t term_ceil_ns = 20000000;
+};
+
+class RtLeaderService {
+ public:
+  RtLeaderService(int nthreads, RtServiceOptions options);
+
+  /// Expose the state cell to the supervisor's storm/reg-fault
+  /// injector. Call before RtSupervisor::run().
+  void attach_storms(rt::RtSupervisor& supervisor) {
+    state_.set_injector(&supervisor.injector());
+  }
+
+  /// Fence off a dead incarnation's lease before its replacement runs.
+  std::function<void(std::uint32_t, std::uint32_t)> on_restart() {
+    return [this](std::uint32_t tid, std::uint32_t) {
+      elector_.revoke(tid);
+    };
+  }
+
+  rt::RtWorkerBody body() {
+    return [this](rt::RtWorkerContext& ctx) { run_worker(ctx); };
+  }
+
+  rt::LeaseElector& elector() { return elector_; }
+
+  /// Merged request statistics. Quiescent-only (after run() joined).
+  ServiceStats stats() const;
+
+  /// Final shared-state value (diagnostics). Quiescent-only.
+  std::int64_t state_value();
+
+ private:
+  enum class Role : std::uint8_t { kFollower, kLeader, kRotating };
+
+  struct Pending {
+    std::int64_t seq = 0;
+    std::uint64_t submitted_ns = 0;
+    bool acked = false;
+  };
+
+  /// Per-thread slot, touched only by its own worker thread (the
+  /// monitor's join happens-before the replacement incarnation).
+  struct Slot {
+    // Client half: survives incarnations (durable client).
+    std::int64_t next_seq = 1;
+    std::int64_t ack_seen = 0;
+    std::int64_t commit_seen = 0;
+    std::deque<Pending> pending;
+    ServiceStats stats;
+    // Server half: reset on election / incarnation boot.
+    Role role = Role::kFollower;
+    std::uint64_t token = 0;
+    std::uint64_t last_renew_ns = 0;
+    std::uint64_t stint_begin_ns = 0;
+    std::uint64_t fence_at_release = 0;
+    std::uint64_t rotate_wait_begin_ns = 0;
+    std::uint64_t rounds_total = 0;
+    std::vector<std::int64_t> acked;
+    std::vector<std::int64_t> committed;
+    std::int64_t backlog = 0;
+    int lost_elections = 0;
+    std::uint64_t pumps = 0;
+    std::uint64_t undrained_log = 0;
+  };
+
+  void run_worker(rt::RtWorkerContext& ctx);
+  void client_pump(rt::RtWorkerContext& ctx, Slot& slot);
+  void server_pump(rt::RtWorkerContext& ctx, Slot& slot);
+  bool route(rt::RtWorkerContext& ctx, Slot& slot);
+
+  const RtServiceOptions options_;
+  const int nthreads_;
+  rt::LeaseElector elector_;
+  rt::LeaseCalibrator calibrator_;
+  rt::RtAbortableReg<std::int64_t> state_;
+  /// Striped watermark counters: tails_[t] is written by client t and
+  /// read by the leader; acks_/commits_[t] are written by the leader
+  /// and read by client t.
+  std::unique_ptr<util::CachelinePadded<std::atomic<std::int64_t>>[]> tails_;
+  std::unique_ptr<util::CachelinePadded<std::atomic<std::int64_t>>[]> acks_;
+  std::unique_ptr<util::CachelinePadded<std::atomic<std::int64_t>>[]>
+      commits_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace tbwf::soak

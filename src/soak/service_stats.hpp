@@ -1,0 +1,78 @@
+// Per-client request accounting for the leader-service soak: one
+// latency histogram per request phase plus throughput tallies. Kept
+// per client (sim) / per thread slot (rt) and merged quiescently.
+//
+// Phase semantics (all latencies in the backend's time unit):
+//   route   batch generation -> a leader hint this client trusts
+//           (advice mode: first hint; probe mode: confirmed hint);
+//   ack     request submission -> the leader's ack watermark covers it
+//           (recorded only when the ack is observed before the commit
+//           -- a commit subsumes its ack);
+//   commit  request submission -> the commit watermark covers it (the
+//           client-visible completion latency).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "soak/latency_histogram.hpp"
+
+namespace tbwf::soak {
+
+/// How a client turns leadership output into a routing decision -- the
+/// advice-mode ablation axis shared by both backends.
+enum class RouteMode : std::uint8_t {
+  /// Trust the first live leader hint (timeliness advice).
+  kAdvice,
+  /// Demand `confirm_probes` consecutive identical hints before
+  /// trusting one; each probe costs a local step / yield.
+  kProbe,
+};
+
+inline const char* to_string(RouteMode mode) {
+  switch (mode) {
+    case RouteMode::kAdvice: return "advice";
+    case RouteMode::kProbe: return "probe";
+  }
+  return "?";
+}
+
+struct ServiceStats {
+  LogHistogram route;
+  LogHistogram ack;
+  LogHistogram commit;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  /// Leadership probes spent routing; the advice-mode ablation's
+  /// second measured delta next to route latency.
+  std::uint64_t route_probes = 0;
+  /// Time of the most recent commit observation (0 = none): a frozen
+  /// service shows up as a large run_end - last_commit_at stall even
+  /// when every pre-freeze latency was fine.
+  std::uint64_t last_commit_at = 0;
+
+  void merge(const ServiceStats& other) {
+    route.merge(other.route);
+    ack.merge(other.ack);
+    commit.merge(other.commit);
+    submitted += other.submitted;
+    completed += other.completed;
+    route_probes += other.route_probes;
+    if (other.last_commit_at > last_commit_at) {
+      last_commit_at = other.last_commit_at;
+    }
+  }
+
+  std::string summary() const {
+    std::ostringstream out;
+    out << "submitted=" << submitted << " completed=" << completed
+        << " probes=" << route_probes;
+    out << "\n    route:  " << route.summary();
+    out << "\n    ack:    " << ack.summary();
+    out << "\n    commit: " << commit.summary();
+    return out.str();
+  }
+};
+
+}  // namespace tbwf::soak

@@ -1,0 +1,209 @@
+#include "soak/sim_service.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/env.hpp"
+#include "util/assert.hpp"
+
+namespace tbwf::soak {
+
+SimLeaderService::SimLeaderService(sim::World& world, LeaderView view,
+                                   SimServiceOptions options)
+    : world_(world),
+      view_(std::move(view)),
+      options_(std::move(options)),
+      client_state_(static_cast<std::size_t>(world.n())),
+      log_(world.n()) {
+  TBWF_ASSERT(view_ != nullptr, "leader view required");
+  TBWF_ASSERT(options_.batch > 0, "batch must be positive");
+  TBWF_ASSERT(options_.max_inflight >= options_.batch,
+              "inflight window must fit one batch");
+  if (options_.client_pids.empty()) {
+    for (sim::Pid p = 0; p < world_.n(); ++p) clients_on_.push_back(p);
+  } else {
+    clients_on_ = options_.client_pids;
+  }
+}
+
+void SimLeaderService::install() {
+  TBWF_ASSERT(!installed_, "install called twice");
+  installed_ = true;
+  const int n = world_.n();
+  for (sim::Pid p = 0; p < n; ++p) {
+    const std::string suffix = std::to_string(p);
+    tail_.push_back(world_.make_atomic<std::int64_t>("SvcTail" + suffix, 0));
+    ack_.push_back(world_.make_atomic<std::int64_t>("SvcAck" + suffix, 0));
+    commit_.push_back(
+        world_.make_atomic<std::int64_t>("SvcCommit" + suffix, 0));
+  }
+  state_ = world_.make_atomic<std::int64_t>("SvcState", 0);
+
+  for (const sim::Pid p : clients_on_) {
+    world_.spawn(p, "svc-client",
+                 [this](sim::SimEnv& env) { return client_task(env, *this); });
+  }
+  for (sim::Pid p = 0; p < n; ++p) {
+    world_.spawn(p, "svc-server",
+                 [this](sim::SimEnv& env) { return server_task(env, *this); });
+  }
+  world_.add_step_observer([this](sim::Step at, sim::Pid) {
+    if (at % options_.sample_every == 0) availability_.observe(at, classify());
+  });
+}
+
+ServiceStats SimLeaderService::stats() const {
+  ServiceStats merged;
+  for (const auto& c : client_state_) merged.merge(c.stats);
+  return merged;
+}
+
+ServiceState SimLeaderService::classify() const {
+  const int n = world_.n();
+  bool any_self_leader = false;
+  for (sim::Pid p = 0; p < n; ++p) {
+    if (!world_.crashed(p) && view_(p).leader == p) any_self_leader = true;
+  }
+  if (!any_self_leader) return ServiceState::kNoLeader;
+  for (sim::Pid p = 0; p < n; ++p) {
+    if (world_.crashed(p)) continue;
+    const sim::Pid target = view_(p).leader;
+    if (target == omega::kNoLeader || target == p) continue;
+    // A live process would route to a target that is crashed or does
+    // not consider itself leader: its requests go to the wrong place.
+    if (world_.crashed(target) || view_(target).leader != target) {
+      return ServiceState::kWrongLeader;
+    }
+  }
+  return ServiceState::kOk;
+}
+
+sim::Task SimLeaderService::client_task(sim::SimEnv& env,
+                                        SimLeaderService& svc) {
+  const sim::Pid self = env.pid();
+  ClientState& cs = svc.client_state_[self];
+  for (;;) {
+    // Drain: watermarks only move the client's view forward -- a stale
+    // deposed-leader write may regress the registers themselves.
+    const std::int64_t commit_reg = co_await env.read(svc.commit_[self]);
+    if (commit_reg > cs.commit_seen) cs.commit_seen = commit_reg;
+    const std::int64_t ack_reg = co_await env.read(svc.ack_[self]);
+    if (ack_reg > cs.ack_seen) cs.ack_seen = ack_reg;
+
+    const sim::Step now = env.now();
+    while (!cs.pending.empty() &&
+           cs.pending.front().seq <= cs.commit_seen) {
+      const Pending& req = cs.pending.front();
+      cs.stats.commit.record(now - req.submitted_at);
+      ++cs.stats.completed;
+      cs.stats.last_commit_at = now;
+      svc.log_.completions[self].push_back(now);
+      cs.pending.pop_front();
+    }
+    for (Pending& req : cs.pending) {
+      if (req.acked || req.seq > cs.ack_seen) continue;
+      req.acked = true;
+      cs.stats.ack.record(now - req.submitted_at);
+    }
+
+    const int batch = svc.options_.batch;
+    if (static_cast<int>(cs.pending.size()) + batch <=
+        svc.options_.max_inflight) {
+      // Route: wait for a leader hint this client trusts. The hint buys
+      // latency only -- delivery is via the tail register -- so an
+      // untrusted or absent hint costs route time, never correctness.
+      const sim::Step route_start = env.now();
+      std::uint64_t probes = 0;
+      if (svc.options_.route == RouteMode::kAdvice) {
+        ++probes;
+        while (svc.view_(self).leader == omega::kNoLeader) {
+          co_await env.yield();
+          ++probes;
+        }
+      } else {
+        sim::Pid last = omega::kNoLeader;
+        int streak = 0;
+        for (;;) {
+          const sim::Pid hint = svc.view_(self).leader;
+          ++probes;
+          if (hint != omega::kNoLeader && hint == last) {
+            ++streak;
+          } else {
+            last = hint;
+            streak = hint == omega::kNoLeader ? 0 : 1;
+          }
+          if (streak >= svc.options_.confirm_probes) break;
+          co_await env.yield();
+        }
+      }
+      cs.stats.route_probes += probes;
+      cs.stats.route.record_n(env.now() - route_start,
+                              static_cast<std::uint64_t>(batch));
+
+      const sim::Step submitted_at = env.now();
+      for (int i = 0; i < batch; ++i) {
+        cs.pending.push_back({cs.next_seq++, submitted_at, false});
+      }
+      cs.stats.submitted += static_cast<std::uint64_t>(batch);
+      svc.log_.started[self] += static_cast<std::uint64_t>(batch);
+      co_await env.write(svc.tail_[self], cs.next_seq - 1);
+    }
+
+    for (int i = 0; i < svc.options_.pace; ++i) co_await env.yield();
+  }
+}
+
+sim::Task SimLeaderService::server_task(sim::SimEnv& env,
+                                        SimLeaderService& svc) {
+  const sim::Pid self = env.pid();
+  // Frame-local, so a restart or re-election rescans conservatively
+  // from zero: re-acking is harmless (clients take monotone maxima) and
+  // re-applying only over-counts the at-least-once state register.
+  std::vector<std::int64_t> acked(static_cast<std::size_t>(env.n()), 0);
+  std::vector<std::int64_t> committed(static_cast<std::size_t>(env.n()), 0);
+  std::uint64_t round = 0;
+  for (;;) {
+    if (svc.view_(self).leader != self) {
+      co_await env.yield();
+      continue;
+    }
+    ++round;
+    if (svc.options_.repair_every > 0 &&
+        round % static_cast<std::uint64_t>(svc.options_.repair_every) == 0) {
+      // Repair: a deposed leader's stale late write can leave a commit
+      // register BELOW this leader's committed[] view, which would
+      // otherwise never be overwritten again -- the affected client
+      // stalls at its inflight cap forever. Forgetting committed[]
+      // forces one refresh write per client at a bounded cadence.
+      std::fill(committed.begin(), committed.end(), 0);
+    }
+
+    std::int64_t newly = 0;
+    for (const sim::Pid q : svc.clients_on_) {
+      if (svc.view_(self).leader != self) break;
+      const std::int64_t tail = co_await env.read(svc.tail_[q]);
+      if (tail <= acked[q]) continue;
+      newly += tail - acked[q];
+      acked[q] = tail;
+      co_await env.write(svc.ack_[q], tail);
+    }
+
+    if (newly > 0 && svc.view_(self).leader == self) {
+      const std::int64_t state = co_await env.read(svc.state_);
+      co_await env.write(svc.state_, state + newly);
+    }
+
+    bool committed_any = false;
+    for (const sim::Pid q : svc.clients_on_) {
+      if (svc.view_(self).leader != self) break;
+      if (committed[q] >= acked[q]) continue;
+      co_await env.write(svc.commit_[q], acked[q]);
+      committed[q] = acked[q];
+      committed_any = true;
+    }
+
+    if (newly == 0 && !committed_any) co_await env.yield();
+  }
+}
+
+}  // namespace tbwf::soak

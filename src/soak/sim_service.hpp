@@ -1,0 +1,142 @@
+// SimLeaderService: the leader-routed request service the soak harness
+// drives on the simulator, promoted out of examples/leader_service.cpp.
+//
+// Every client pid runs a durable client sub-task: it generates request
+// batches, ROUTES each batch by consulting its local Omega-Delta LEADER
+// output (advice mode trusts the first non-"?" hint; probe mode demands
+// `confirm_probes` consecutive identical hints, paying one local step
+// per probe), submits by bumping its single-writer tail register, and
+// later observes the leader's ack and commit watermarks to complete
+// requests. Every pid also runs a server sub-task that serves only
+// while its own LEADER output names itself: it scans client tails,
+// acknowledges, applies the new requests to the shared state register,
+// and publishes commit watermarks.
+//
+// Delivery is through the shared registers, so the routing hint buys
+// LATENCY, not correctness: a client with a stale or absent hint just
+// waits (route phase) while the tail it already wrote stays servable by
+// whoever actually leads. Churn shows up exactly where the SLO looks:
+// route stalls under "?" views, commit stalls across leader handovers,
+// and no-leader/wrong-leader outage windows in the availability record.
+//
+// Crash behavior: client bookkeeping lives in member structs, so a
+// crashed-and-restarted client resumes its pending window (a durable
+// client); server bookkeeping lives in the coroutine frame, so a new or
+// re-elected leader rescans conservatively from zero. A deposed
+// leader's stale late write can regress an ack/commit register; clients
+// take monotone maxima, and the server repairs commit watermarks every
+// `repair_every` serving rounds by resetting its local committed[] view
+// (bounded self-heal; see server_task).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/tbwf_object.hpp"
+#include "omega/omega.hpp"
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+#include "sim/world.hpp"
+#include "soak/availability.hpp"
+#include "soak/service_stats.hpp"
+
+namespace tbwf::sim {
+class SimEnv;
+}  // namespace tbwf::sim
+
+namespace tbwf::soak {
+
+struct SimServiceOptions {
+  RouteMode route = RouteMode::kProbe;
+  /// Probe-mode confirmation threshold (advice mode ignores it).
+  int confirm_probes = 3;
+  /// Requests per routed batch.
+  int batch = 8;
+  /// Max pending requests per client; submission pauses at the cap so a
+  /// dead service shows up as a commit stall, not unbounded memory.
+  int max_inflight = 64;
+  /// Local pacing steps between client iterations.
+  int pace = 2;
+  /// Serving rounds between commit-watermark repair scans (0 = never).
+  int repair_every = 64;
+  /// Availability sampling period in steps.
+  sim::Step sample_every = 64;
+  /// Pids that run a client (empty = every pid). Keep never-candidates
+  /// clientless: Definition 5 drives their LEADER view to "?", so their
+  /// router would starve by design.
+  std::vector<sim::Pid> client_pids;
+};
+
+class SimLeaderService {
+ public:
+  /// Reads pid p's Omega-Delta interface; must outlive the world run
+  /// (both backends' io(p) accessors qualify).
+  using LeaderView = std::function<const omega::OmegaIO&(sim::Pid)>;
+
+  SimLeaderService(sim::World& world, LeaderView view,
+                   SimServiceOptions options);
+
+  /// Create the service registers, spawn a server on every pid and a
+  /// client on every client pid, and attach the availability sampler.
+  /// Call once, before the world runs.
+  void install();
+
+  const SimServiceOptions& options() const { return options_; }
+  const std::vector<sim::Pid>& client_pids() const { return clients_on_; }
+
+  /// Per-request issue/completion log for the conformance checker.
+  const core::OpLog& log() const { return log_; }
+
+  /// Merged request statistics across all clients.
+  ServiceStats stats() const;
+
+  /// Seal the availability record at `run_end`; call once, after the
+  /// world runs.
+  void finish(sim::Step run_end) { availability_.finish(run_end); }
+  const AvailabilityTracker& availability() const { return availability_; }
+
+  /// Instantaneous service state (the availability sampler's probe).
+  ServiceState classify() const;
+
+  /// Final shared-state value (diagnostics). Call after the world runs.
+  std::int64_t state_value() const { return world_.peek(state_); }
+
+ private:
+  struct Pending {
+    std::int64_t seq = 0;
+    sim::Step submitted_at = 0;
+    bool acked = false;
+  };
+
+  /// Survives crashes: the client is durable, its server-side state
+  /// (tail register) is too, so a restart resumes the pending window.
+  struct ClientState {
+    std::int64_t next_seq = 1;
+    std::int64_t ack_seen = 0;
+    std::int64_t commit_seen = 0;
+    std::deque<Pending> pending;
+    ServiceStats stats;
+  };
+
+  static sim::Task client_task(sim::SimEnv& env, SimLeaderService& svc);
+  static sim::Task server_task(sim::SimEnv& env, SimLeaderService& svc);
+
+  sim::World& world_;
+  LeaderView view_;
+  SimServiceOptions options_;
+  std::vector<sim::Pid> clients_on_;
+  bool installed_ = false;
+
+  std::vector<sim::AtomicReg<std::int64_t>> tail_;
+  std::vector<sim::AtomicReg<std::int64_t>> ack_;
+  std::vector<sim::AtomicReg<std::int64_t>> commit_;
+  sim::AtomicReg<std::int64_t> state_;
+
+  std::vector<ClientState> client_state_;
+  core::OpLog log_;
+  AvailabilityTracker availability_;
+};
+
+}  // namespace tbwf::soak

@@ -1,0 +1,154 @@
+#include "soak/slo.hpp"
+
+#include <sstream>
+
+namespace tbwf::soak {
+
+namespace {
+
+void check_latency(std::vector<std::string>& violations,
+                   const char* phase, const char* which,
+                   std::uint64_t measured, std::uint64_t budget,
+                   const std::string& unit) {
+  if (budget == 0 || measured <= budget) return;
+  std::ostringstream out;
+  out << phase << " " << which << " " << measured << " " << unit
+      << " exceeds budget " << budget << " " << unit;
+  violations.push_back(out.str());
+}
+
+}  // namespace
+
+SloReport grade_slo(const ServiceStats& stats,
+                    const AvailabilityTracker& availability,
+                    const SloBudget& budget, const std::string& unit,
+                    std::uint64_t run_end) {
+  SloReport r;
+  r.unit = unit;
+  r.submitted = stats.submitted;
+  r.completed = stats.completed;
+  r.completed_fraction =
+      stats.submitted == 0
+          ? 0.0
+          : static_cast<double>(stats.completed) /
+                static_cast<double>(stats.submitted);
+  r.route_p50 = stats.route.p50();
+  r.route_p99 = stats.route.p99();
+  r.route_max = stats.route.max();
+  r.ack_p99 = stats.ack.p99();
+  r.commit_p50 = stats.commit.p50();
+  r.commit_p99 = stats.commit.p99();
+  r.commit_p999 = stats.commit.p999();
+  r.commit_max = stats.commit.max();
+  r.route_probes = stats.route_probes;
+  r.outage_total = availability.total_unavailable();
+  r.outage_longest = availability.longest_outage();
+  r.outage_fraction = availability.unavailable_fraction();
+  r.outage_windows = availability.windows().size();
+  r.commit_stall = run_end > stats.last_commit_at
+                       ? run_end - stats.last_commit_at
+                       : 0;
+
+  if (stats.submitted == 0) {
+    // Nothing was ever asked of the service; no budget is gradeable.
+    r.conclusive = false;
+    r.ok = false;
+    r.violations.push_back(
+        "inconclusive: no requests were submitted (the SLO grades "
+        "nothing)");
+    return r;
+  }
+  r.conclusive = true;
+
+  if (stats.completed == 0) {
+    std::ostringstream out;
+    out << "all " << stats.submitted << " submitted requests failed "
+        << "(none committed)";
+    r.violations.push_back(out.str());
+  }
+
+  // Latency budgets are graded over completed requests only; the
+  // all-failed and stall checks cover what never completed.
+  if (stats.completed > 0) {
+    check_latency(r.violations, "route", "p99", r.route_p99,
+                  budget.route_p99, unit);
+    check_latency(r.violations, "ack", "p99", r.ack_p99, budget.ack_p99,
+                  unit);
+    check_latency(r.violations, "commit", "p99", r.commit_p99,
+                  budget.commit_p99, unit);
+    check_latency(r.violations, "commit", "p999", r.commit_p999,
+                  budget.commit_p999, unit);
+  }
+
+  if (budget.max_unavailable_fraction >= 0.0 &&
+      r.outage_fraction > budget.max_unavailable_fraction) {
+    std::ostringstream out;
+    out << "cumulative unavailability " << r.outage_total << " " << unit
+        << " (" << r.outage_fraction * 100.0 << "% of span) exceeds "
+        << budget.max_unavailable_fraction * 100.0 << "% budget across "
+        << r.outage_windows << " window(s)";
+    r.violations.push_back(out.str());
+  }
+  if (budget.max_outage > 0 && r.outage_longest > budget.max_outage) {
+    std::ostringstream out;
+    out << "longest outage window " << r.outage_longest << " " << unit
+        << " exceeds budget " << budget.max_outage << " " << unit;
+    r.violations.push_back(out.str());
+  }
+  if (budget.min_completed_fraction >= 0.0 &&
+      r.completed_fraction < budget.min_completed_fraction) {
+    std::ostringstream out;
+    out << "completed fraction " << r.completed_fraction << " ("
+        << r.completed << "/" << r.submitted << ") below budget "
+        << budget.min_completed_fraction;
+    r.violations.push_back(out.str());
+  }
+  if (budget.max_commit_stall > 0 &&
+      r.commit_stall > budget.max_commit_stall) {
+    std::ostringstream out;
+    out << "final commit stall " << r.commit_stall << " " << unit
+        << " (no commit observed since "
+        << (stats.last_commit_at == 0 ? "the run started"
+                                      : "t=" + std::to_string(
+                                            stats.last_commit_at))
+        << ") exceeds budget " << budget.max_commit_stall << " " << unit;
+    r.violations.push_back(out.str());
+  }
+
+  r.ok = r.violations.empty();
+  return r;
+}
+
+std::string SloReport::summary() const {
+  std::ostringstream out;
+  out << "slo: "
+      << (ok ? "OK" : (conclusive ? "VIOLATED" : "INCONCLUSIVE"));
+  out << "\n  requests: " << completed << "/" << submitted
+      << " completed (" << completed_fraction * 100.0 << "%), "
+      << route_probes << " route probes";
+  out << "\n  route (" << unit << "): p50=" << route_p50
+      << " p99=" << route_p99 << " max=" << route_max;
+  out << "\n  ack p99=" << ack_p99 << " commit: p50=" << commit_p50
+      << " p99=" << commit_p99 << " p999=" << commit_p999
+      << " max=" << commit_max;
+  out << "\n  outages: " << outage_windows << " window(s), total "
+      << outage_total << " (" << outage_fraction * 100.0
+      << "% of span), longest " << outage_longest
+      << "; final commit stall " << commit_stall;
+  for (const auto& v : violations) out << "\n  SLO VIOLATION: " << v;
+  return out.str();
+}
+
+core::SloSummary slo_summary(const SloReport& report) {
+  core::SloSummary s;
+  s.checked = true;
+  s.ok = report.ok;
+  s.verdict = report.ok
+                  ? "SLO-OK"
+                  : (report.conclusive ? "SLO-VIOLATED"
+                                       : "SLO-INCONCLUSIVE");
+  s.violations = report.violations;
+  return s;
+}
+
+}  // namespace tbwf::soak

@@ -1,0 +1,82 @@
+// SLO grading for the leader-service soak: latency budgets (p99/p999
+// per phase), availability budgets (cumulative and longest-outage),
+// and end-state budgets (completion fraction, final commit stall),
+// graded over one run's ServiceStats + AvailabilityTracker.
+//
+// The verdict is deliberately separate from the TBWF conformance
+// verdict: progress conformance judges the paper's graded guarantees
+// over the stable suffix, the SLO judges what the churn cost clients
+// over the WHOLE run. A run can pass progress yet blow its budgets
+// (heavy mid-run churn with a clean tail), or meet every budget while
+// violating a graded guarantee. core::grade_service_run joins the two.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/conformance.hpp"
+#include "soak/availability.hpp"
+#include "soak/service_stats.hpp"
+
+namespace tbwf::soak {
+
+/// Budgets in the backend's time unit (sim steps / rt nanoseconds).
+/// Zero (or negative, for the fractions) disables that budget --
+/// a default-constructed SloBudget grades nothing and always passes.
+struct SloBudget {
+  std::uint64_t route_p99 = 0;
+  std::uint64_t ack_p99 = 0;
+  std::uint64_t commit_p99 = 0;
+  std::uint64_t commit_p999 = 0;
+  /// Cumulative outage budget as a fraction of the observed span.
+  double max_unavailable_fraction = -1.0;
+  /// Longest single outage window tolerated.
+  std::uint64_t max_outage = 0;
+  /// completed / submitted at run end; in-flight tails and crash-lost
+  /// requests eat into this.
+  double min_completed_fraction = -1.0;
+  /// Budget on run_end - last commit observation: catches a service
+  /// frozen mid-run (e.g. a permanently jammed commit medium) whose
+  /// recorded latencies are all pre-freeze and fine.
+  std::uint64_t max_commit_stall = 0;
+};
+
+struct SloReport {
+  bool ok = false;
+  /// False when the run submitted nothing: no budget is gradeable and
+  /// the verdict is "inconclusive", which does NOT count as ok.
+  bool conclusive = false;
+  std::string unit;  ///< "steps" or "ns"
+
+  // Measured numbers (also what the bench JSON rows carry).
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  double completed_fraction = 0.0;
+  std::uint64_t route_p50 = 0, route_p99 = 0, route_max = 0;
+  std::uint64_t ack_p99 = 0;
+  std::uint64_t commit_p50 = 0, commit_p99 = 0, commit_p999 = 0,
+                commit_max = 0;
+  std::uint64_t route_probes = 0;
+  std::uint64_t outage_total = 0, outage_longest = 0;
+  double outage_fraction = 0.0;
+  std::uint64_t outage_windows = 0;
+  std::uint64_t commit_stall = 0;
+
+  std::vector<std::string> violations;
+
+  std::string summary() const;
+};
+
+/// Grade one finished run. `run_end` is the run's end time in the same
+/// unit as the stats (for the commit-stall budget); the availability
+/// tracker must already be finish()ed.
+SloReport grade_slo(const ServiceStats& stats,
+                    const AvailabilityTracker& availability,
+                    const SloBudget& budget, const std::string& unit,
+                    std::uint64_t run_end);
+
+/// Type-erase into the conformance layer's joint-grading input.
+core::SloSummary slo_summary(const SloReport& report);
+
+}  // namespace tbwf::soak

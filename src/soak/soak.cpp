@@ -1,0 +1,374 @@
+#include "soak/soak.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "omega/candidate_drivers.hpp"
+#include "omega/omega_abortable.hpp"
+#include "omega/omega_registers.hpp"
+#include "registers/abort_policy.hpp"
+#include "registers/reg_faults.hpp"
+#include "rt/rt_registers.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::soak {
+
+// -- sim ------------------------------------------------------------------------
+
+const char* to_string(SimBackend backend) {
+  switch (backend) {
+    case SimBackend::kAtomic: return "atomic";
+    case SimBackend::kAbortable: return "abortable";
+  }
+  return "?";
+}
+
+SloBudget default_sim_budget(sim::Step run_steps) {
+  SloBudget budget;
+  budget.route_p99 = 20000;
+  budget.commit_p99 = 80000;
+  budget.commit_p999 = run_steps / 10;
+  budget.max_unavailable_fraction = 0.25;
+  budget.max_outage = run_steps / 4;
+  budget.min_completed_fraction = 0.9;
+  budget.max_commit_stall = run_steps / 10;
+  return budget;
+}
+
+SimSoakOptions SimSoakOptions::quick(std::uint64_t seed,
+                                     SimBackend backend) {
+  SimSoakOptions options;
+  options.backend = backend;
+  options.seed = seed;
+  options.run_steps = 1200000;
+  options.horizon = 240000;
+  options.conformance.stabilization = 300000;
+  options.conformance.max_completion_gap = 250000;
+  options.conformance.min_suffix = 200000;
+  options.budget = default_sim_budget(options.run_steps);
+  return options;
+}
+
+SimSoakOptions SimSoakOptions::full(std::uint64_t seed,
+                                    SimBackend backend) {
+  // The struct defaults ARE the acceptance scale.
+  SimSoakOptions options;
+  options.backend = backend;
+  options.seed = seed;
+  return options;
+}
+
+namespace {
+
+sim::FaultPlan::GenOptions sim_gen_options(const SimSoakOptions& options) {
+  sim::FaultPlan::GenOptions gen;
+  gen.n = options.n;
+  gen.horizon = options.horizon;
+  gen.quiet_tail = 0.4;
+  gen.max_crash_cycles = 2;
+  gen.max_stutters = 2;
+  gen.p_restart = 0.9;
+  if (options.backend == SimBackend::kAbortable) {
+    gen.max_storms = 1;
+    gen.max_link_faults = 2;
+    // Every drawn link fault heals: the soak's degraded channels are
+    // quarantine-and-rejoin cycles. Permanent jams are a deliberate
+    // breach scenario, not background churn.
+    gen.p_link_permanent = 0.0;
+  }
+  return gen;
+}
+
+/// Degraded-sweep health tuning: quarantine must confirm AND heal well
+/// inside the run, or a jam window freezes counter views into a
+/// leader disagreement that outlives the churn.
+omega::OmegaAbortable::Options soak_omega_options() {
+  omega::OmegaAbortable::Options options;
+  options.msg_refresh_period = 8;
+  options.link_health.suspect_after = 12;
+  options.link_health.jam_rounds = 8;
+  options.link_health.heal_rounds = 2;
+  options.link_health.write_jam_rounds = 64;
+  options.link_health.probe_backoff = {/*base=*/16, /*cap=*/128,
+                                       /*free_retries=*/0};
+  return options;
+}
+
+void spawn_candidates(sim::World& world, const SimSoakOptions& options,
+                      const SimLeaderService::LeaderView& view) {
+  for (sim::Pid p = 0; p < options.n; ++p) {
+    // The view returns a reference into the omega backend's io array;
+    // cast away const for the driver, which owns the CANDIDATE input.
+    omega::OmegaIO* io = const_cast<omega::OmegaIO*>(&view(p));
+    if (options.membership_flicker && p == options.n - 1) {
+      world.spawn(p, "cand", [io](sim::SimEnv& env) {
+        return omega::canonical_repeated_candidate(env, *io, 30000, 30000);
+      });
+    } else {
+      world.spawn(p, "cand", [io](sim::SimEnv& env) {
+        return omega::permanent_candidate(env, *io);
+      });
+    }
+  }
+}
+
+std::vector<sim::Pid> issuing_clients(const SimLeaderService& service,
+                                      const sim::FaultPlan& plan) {
+  std::vector<sim::Pid> issuing;
+  for (const sim::Pid p : service.client_pids()) {
+    if (!plan.crashed_at_end(p)) issuing.push_back(p);
+  }
+  return issuing;
+}
+
+}  // namespace
+
+SimSoakResult run_sim_soak(const SimSoakOptions& options) {
+  SimSoakResult result;
+  result.plan = options.plan_override
+                    ? *options.plan_override
+                    : (options.churn
+                           ? sim::FaultPlan::generate(
+                                 options.seed, sim_gen_options(options))
+                           : sim::FaultPlan(options.seed));
+  const sim::FaultPlan& plan = result.plan;
+
+  sim::World world(options.n,
+                   plan.wrap(std::make_unique<sim::RandomSchedule>(
+                       options.seed * 991 + 7)));
+
+  // Backend objects outlive the run via these scope-level owners.
+  std::unique_ptr<omega::OmegaRegisters> om_atomic;
+  std::unique_ptr<omega::OmegaAbortable> om_abortable;
+  std::optional<registers::PhasedAbortPolicy> calm;
+  std::optional<registers::RegisterFaultInjector> injector;
+  SimLeaderService::LeaderView view;
+  if (options.backend == SimBackend::kAtomic) {
+    om_atomic = std::make_unique<omega::OmegaRegisters>(world);
+    om_atomic->install_all();
+    view = [om = om_atomic.get()](sim::Pid p) -> const omega::OmegaIO& {
+      return om->io(p);
+    };
+  } else {
+    calm.emplace(options.seed * 5 + 2);
+    plan.arm(*calm);
+    // Channel registers run behind the fault injector; the calm phased
+    // policy still rules whenever no register fault fires, so the
+    // plan's abort storms stay in force.
+    injector.emplace(options.seed * 13 + 11, &*calm);
+    om_abortable = std::make_unique<omega::OmegaAbortable>(
+        world, &*injector, soak_omega_options());
+    om_abortable->install_all();
+    plan.arm(*injector, world);
+    view = [om = om_abortable.get()](sim::Pid p) -> const omega::OmegaIO& {
+      return om->io(p);
+    };
+  }
+
+  spawn_candidates(world, options, view);
+
+  SimServiceOptions service_options = options.service;
+  if (service_options.client_pids.empty() && options.membership_flicker) {
+    // The flickering candidate legitimately rests at "?" -- keep it
+    // clientless (see SimSoakOptions::membership_flicker).
+    for (sim::Pid p = 0; p < options.n - 1; ++p) {
+      service_options.client_pids.push_back(p);
+    }
+  }
+  SimLeaderService service(world, view, service_options);
+  service.install();
+
+  plan.install(world);
+  world.run(options.run_steps);
+  result.run_end = world.now();
+  service.finish(result.run_end);
+
+  result.stats = service.stats();
+  result.availability = service.availability();
+  result.slo = grade_slo(result.stats, result.availability, options.budget,
+                         "steps", result.run_end);
+  result.progress = core::check_chaos_conformance(
+      world.trace(), service.log(), plan, issuing_clients(service, plan),
+      options.conformance, &world.counters());
+  result.joint = core::grade_service_run(
+      result.progress, slo_summary(result.slo), &world.counters());
+  result.trace_digest = world.trace().digest();
+  result.state_value = service.state_value();
+  return result;
+}
+
+std::string SimSoakResult::summary() const {
+  std::ostringstream out;
+  out << "sim soak: seed " << plan.seed() << ", " << stats.completed << "/"
+      << stats.submitted << " requests over " << run_end
+      << " steps, trace digest " << trace_digest << "\n"
+      << joint.summary();
+  return out.str();
+}
+
+sim::FaultPlan blackout_churn_plan(std::uint64_t seed, int n, int blackouts,
+                                   sim::Step first_at, sim::Step spacing,
+                                   sim::Step outage) {
+  sim::FaultPlan plan(seed);
+  for (int k = 0; k < blackouts; ++k) {
+    const sim::Step at = first_at + static_cast<sim::Step>(k) * spacing;
+    // Spare pid n-1: simulated time IS steps, so crashing every process
+    // freezes the clock and the restart events would never come due.
+    // The survivor keeps the world stepping; until it elects itself the
+    // service is a guaranteed no-leader outage.
+    for (sim::Pid p = 0; p < n - 1; ++p) {
+      plan.crash(p, at);
+      plan.restart(p, at + outage);
+    }
+  }
+  return plan;
+}
+
+// -- rt -------------------------------------------------------------------------
+
+SloBudget default_rt_budget(std::uint64_t run_ns) {
+  SloBudget budget;
+  budget.route_p99 = 5000000;     // 5 ms: timeslicing is multi-ms here
+  budget.commit_p99 = 10000000;   // 10 ms
+  budget.commit_p999 = 20000000;  // 20 ms
+  budget.max_unavailable_fraction = 0.35;
+  budget.max_outage = run_ns / 2;
+  budget.min_completed_fraction = 0.8;
+  budget.max_commit_stall = run_ns / 2;
+  return budget;
+}
+
+RtSoakOptions RtSoakOptions::quick(std::uint64_t seed) {
+  // The struct defaults ARE the smoke scale (~32 ms wall).
+  RtSoakOptions options;
+  options.seed = seed;
+  return options;
+}
+
+RtSoakOptions RtSoakOptions::full(std::uint64_t seed) {
+  RtSoakOptions options;
+  options.seed = seed;
+  options.horizon_ns = 2400000000ULL;  // 2.4 s of churn
+  options.extra_run_ns = 800000000ULL;
+  options.budget =
+      default_rt_budget(options.horizon_ns + options.extra_run_ns);
+  // Tens of millions of requests flow at this scale; batch them 32 at a
+  // time (one op-event pair per batch) and keep a large ring so the
+  // conformance suffix (~55% of the run) survives the event volume.
+  // The memory cost is why the CI smoke job uses quick() instead.
+  options.service.batch = 32;
+  options.service.max_inflight = 256;
+  options.trace_capacity = 1 << 21;
+  return options;
+}
+
+namespace {
+
+rt::RtFaultPlan::GenOptions rt_gen_options(const RtSoakOptions& options) {
+  rt::RtFaultPlan::GenOptions gen;
+  gen.nthreads = options.nthreads;
+  gen.horizon_ns = options.horizon_ns;
+  gen.max_kills = 2;
+  gen.max_stalls = 2;
+  gen.max_storms = 1;
+  gen.max_reg_faults = 1;
+  // As in the sim soak: background reg faults heal; a permanent jam is
+  // the explicit breach scenario (jammed_medium_plan).
+  gen.p_reg_permanent = 0.0;
+  return gen;
+}
+
+}  // namespace
+
+RtSoakResult run_rt_soak(const RtSoakOptions& options) {
+  RtSoakResult result;
+  result.plan =
+      options.plan_override
+          ? *options.plan_override
+          : (options.churn ? rt::RtFaultPlan::generate(
+                                 options.seed, rt_gen_options(options))
+                           : rt::RtFaultPlan(options.seed));
+
+  RtLeaderService service(options.nthreads, options.service);
+  rt::RtSupervisorOptions sup_options;
+  sup_options.nthreads = options.nthreads;
+  sup_options.run_for =
+      std::chrono::nanoseconds(options.horizon_ns + options.extra_run_ns);
+  sup_options.trace_capacity = options.trace_capacity;
+  sup_options.on_restart = service.on_restart();
+  rt::RtSupervisor supervisor(sup_options, result.plan, service.body());
+  service.attach_storms(supervisor);
+
+  // Availability sampler: its own thread and steady-clock origin (the
+  // budgets consume durations and fractions, so origin alignment with
+  // the supervisor does not matter). It stops itself at the run
+  // deadline so the post-deadline join window -- workers stopped, lease
+  // expiring -- cannot register a phantom outage.
+  const std::uint64_t sample_until =
+      options.horizon_ns + options.extra_run_ns;
+  std::atomic<bool> sampler_stop{false};
+  AvailabilityTracker availability;
+  std::uint64_t sampler_end = 0;
+  std::thread sampler([&] {
+    const auto origin = std::chrono::steady_clock::now();
+    const auto elapsed_ns = [&origin] {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - origin)
+              .count());
+    };
+    for (;;) {
+      if (sampler_stop.load(std::memory_order_acquire)) break;
+      const std::uint64_t at = elapsed_ns();
+      if (at >= sample_until) break;
+      availability.observe(
+          at, service.elector().owner() == rt::LeaseElector::kNoOwner
+                  ? ServiceState::kNoLeader
+                  : ServiceState::kOk);
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(options.sample_period_ns));
+    }
+    sampler_end = elapsed_ns();
+  });
+
+  supervisor.run();
+  sampler_stop.store(true, std::memory_order_release);
+  sampler.join();
+  availability.finish(sampler_end);
+
+  result.run_end_ns = supervisor.run_end_ns();
+  result.stats = service.stats();
+  result.availability = availability;
+  result.slo = grade_slo(result.stats, result.availability, options.budget,
+                         "ns", result.run_end_ns);
+  result.progress = core::check_rt_conformance(
+      supervisor.snapshot(), result.plan, options.conformance,
+      &supervisor.counters());
+  result.joint = core::grade_service_run(
+      result.progress, slo_summary(result.slo), &supervisor.counters());
+  result.state_value = service.state_value();
+  return result;
+}
+
+std::string RtSoakResult::summary() const {
+  std::ostringstream out;
+  out << "rt soak: seed " << plan.seed() << ", " << stats.completed << "/"
+      << stats.submitted << " requests over " << run_end_ns << " ns\n"
+      << joint.summary();
+  return out.str();
+}
+
+rt::RtFaultPlan jammed_medium_plan(std::uint64_t seed,
+                                   std::uint64_t from_ns) {
+  rt::RtFaultPlan plan(seed);
+  plan.reg_fault(registers::RegFaultKind::Jam, from_ns,
+                 rt::RtAbortInjector::kForeverNs);
+  return plan;
+}
+
+}  // namespace tbwf::soak

@@ -19,6 +19,7 @@
 #include "sim/faultplan.hpp"
 #include "sim/schedule.hpp"
 #include "sim/world.hpp"
+#include "soak/soak.hpp"
 
 namespace tbwf {
 namespace {
@@ -92,6 +93,34 @@ std::uint64_t omega_digest(bool scan_cache, std::uint64_t seed) {
 TEST(ReplayDeterminism, ScanCacheConfigsAreEachSelfDeterministic) {
   EXPECT_EQ(omega_digest(false, 5), omega_digest(false, 5));
   EXPECT_EQ(omega_digest(true, 5), omega_digest(true, 5));
+}
+
+/// The soak harness extends the replay property all the way up: one
+/// seed fixes not just the trace but the SLO verdict -- every measured
+/// number the budgets grade -- and the joint service verdict.
+TEST(ReplayDeterminism, SoakSloVerdictsReplayIdentically) {
+  for (const std::uint64_t seed : {1ULL, 9ULL}) {
+    const soak::SimSoakResult a =
+        soak::run_sim_soak(soak::SimSoakOptions::quick(seed));
+    const soak::SimSoakResult b =
+        soak::run_sim_soak(soak::SimSoakOptions::quick(seed));
+    EXPECT_EQ(a.trace_digest, b.trace_digest) << "seed " << seed;
+    EXPECT_EQ(a.stats.submitted, b.stats.submitted);
+    EXPECT_EQ(a.stats.completed, b.stats.completed);
+    EXPECT_EQ(a.stats.route_probes, b.stats.route_probes);
+    EXPECT_EQ(a.stats.commit.p999(), b.stats.commit.p999());
+    EXPECT_EQ(a.availability.total_unavailable(),
+              b.availability.total_unavailable());
+    EXPECT_EQ(a.slo.ok, b.slo.ok);
+    EXPECT_EQ(a.slo.violations, b.slo.violations);
+    EXPECT_EQ(a.joint.ok(), b.joint.ok());
+    EXPECT_EQ(a.state_value, b.state_value);
+  }
+}
+
+TEST(ReplayDeterminism, SoakSeedsDiverge) {
+  EXPECT_NE(soak::run_sim_soak(soak::SimSoakOptions::quick(1)).trace_digest,
+            soak::run_sim_soak(soak::SimSoakOptions::quick(9)).trace_digest);
 }
 
 }  // namespace

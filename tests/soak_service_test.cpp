@@ -1,0 +1,151 @@
+// Soak-harness integration tests: a clean churned run passes BOTH
+// grading axes, the injected breach plans fail exactly the SLO axis
+// while progress conformance stays satisfied (the two axes are
+// independent), and advice-mode routing measurably cuts route cost on
+// both backends.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "soak/soak.hpp"
+
+namespace tbwf::soak {
+namespace {
+
+bool mentions(const SloReport& r, const std::string& what) {
+  for (const auto& v : r.violations) {
+    if (v.find(what) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// -- sim ------------------------------------------------------------------------
+
+TEST(SoakServiceTest, CleanChurnedRunPassesJointVerdict) {
+  const SimSoakResult result = run_sim_soak(SimSoakOptions::quick(1));
+  EXPECT_TRUE(result.progress.ok) << result.progress.summary();
+  EXPECT_TRUE(result.slo.ok) << result.slo.summary();
+  EXPECT_TRUE(result.slo.conclusive);
+  EXPECT_TRUE(result.joint.ok()) << result.joint.summary();
+  // The quick profile still pushes real volume through the router.
+  EXPECT_GT(result.stats.submitted, 100000u);
+  EXPECT_GT(result.stats.completed, 0u);
+}
+
+TEST(SoakServiceTest, BlackoutChurnBreachesSloNotProgress) {
+  SimSoakOptions options = SimSoakOptions::quick(5);
+  // Three crash-everyone blackouts, each a guaranteed 100k-step
+  // no-leader window, all inside the first half of the 1.2M-step run:
+  // the stable tail still earns its progress grade while the
+  // cumulative-unavailability budget (tightened to 10%) blows.
+  const sim::FaultPlan plan =
+      blackout_churn_plan(5, options.n, /*blackouts=*/3,
+                          /*first_at=*/100000, /*spacing=*/150000,
+                          /*outage=*/100000);
+  options.plan_override = &plan;
+  options.budget.max_unavailable_fraction = 0.10;
+  const SimSoakResult result = run_sim_soak(options);
+
+  EXPECT_TRUE(result.progress.ok) << result.progress.summary();
+  EXPECT_FALSE(result.slo.ok) << result.slo.summary();
+  EXPECT_TRUE(result.slo.conclusive);
+  EXPECT_TRUE(mentions(result.slo, "unavailability"))
+      << result.slo.summary();
+  EXPECT_FALSE(result.joint.ok());
+  // The blackouts really were observed as no-leader windows (~16% of
+  // the run for this seed; deterministic, so the floor is safe).
+  EXPECT_GE(result.availability.windows().size(), 3u);
+  EXPECT_GT(result.availability.total_unavailable(), 150000u);
+}
+
+TEST(SoakServiceTest, AdviceModeCutsRouteCost) {
+  SimSoakOptions probe = SimSoakOptions::quick(3);
+  probe.service.route = RouteMode::kProbe;
+  SimSoakOptions advice = SimSoakOptions::quick(3);
+  advice.service.route = RouteMode::kAdvice;
+  const SimSoakResult probed = run_sim_soak(probe);
+  const SimSoakResult advised = run_sim_soak(advice);
+
+  ASSERT_GT(probed.stats.submitted, 0u);
+  ASSERT_GT(advised.stats.submitted, 0u);
+  const double probe_cost =
+      static_cast<double>(probed.stats.route_probes) /
+      static_cast<double>(probed.stats.submitted);
+  const double advice_cost =
+      static_cast<double>(advised.stats.route_probes) /
+      static_cast<double>(advised.stats.submitted);
+  EXPECT_LT(advice_cost, probe_cost);
+  EXPECT_LE(advised.stats.route.p99(), probed.stats.route.p99());
+  // Advice mode trades verification for trust, not correctness: it
+  // still completes its requests and passes the joint verdict.
+  EXPECT_TRUE(advised.joint.ok()) << advised.joint.summary();
+}
+
+TEST(SoakServiceTest, AtomicBackendAlsoPasses) {
+  const SimSoakResult result =
+      run_sim_soak(SimSoakOptions::quick(11, SimBackend::kAtomic));
+  EXPECT_TRUE(result.joint.ok()) << result.joint.summary();
+  EXPECT_GT(result.stats.submitted, 100000u);
+}
+
+// -- rt -------------------------------------------------------------------------
+
+TEST(RtSoakServiceTest, CleanChurnedRunPassesProgressAndGradesSlo) {
+  const RtSoakResult result = run_rt_soak(RtSoakOptions::quick(3));
+  EXPECT_TRUE(result.progress.ok) << result.progress.summary();
+  EXPECT_TRUE(result.slo.conclusive);
+  EXPECT_GT(result.stats.submitted, 0u);
+  // Wall-clock availability budgets are graded but not asserted here:
+  // on a contended CI core a parallel test run can deschedule the
+  // workers past any outage budget (the bench marks rt SLO rows
+  // informational for the same reason). The breach axis the jam test
+  // flips -- a frozen commit stream -- must never appear in a clean run.
+  EXPECT_FALSE(mentions(result.slo, "commit stall"))
+      << result.slo.summary();
+  // The joint verdict must agree with its two inputs.
+  EXPECT_EQ(result.joint.ok(), result.progress.ok && result.slo.ok);
+}
+
+TEST(RtSoakServiceTest, JammedMediumBreachesSloWhileProgressExcuses) {
+  RtSoakOptions options = RtSoakOptions::quick(7);
+  // Permanently jam the shared state cell 10ms into the ~32ms run:
+  // commits freeze, so the final commit stall (~22ms) blows the
+  // 16ms budget -- while the progress checker correctly excuses the
+  // jammed medium instead of demanding completions it cannot earn.
+  const rt::RtFaultPlan plan = jammed_medium_plan(7, 10000000);
+  options.plan_override = &plan;
+  const RtSoakResult result = run_rt_soak(options);
+
+  EXPECT_TRUE(result.progress.ok) << result.progress.summary();
+  EXPECT_TRUE(result.progress.medium_jammed);
+  EXPECT_FALSE(result.slo.ok) << result.slo.summary();
+  EXPECT_TRUE(mentions(result.slo, "commit stall"))
+      << result.slo.summary();
+  EXPECT_FALSE(result.joint.ok());
+}
+
+TEST(RtSoakServiceTest, AdviceModeCutsRouteCost) {
+  RtSoakOptions probe = RtSoakOptions::quick(3);
+  probe.service.route = RouteMode::kProbe;
+  RtSoakOptions advice = RtSoakOptions::quick(3);
+  advice.service.route = RouteMode::kAdvice;
+  const RtSoakResult probed = run_rt_soak(probe);
+  const RtSoakResult advised = run_rt_soak(advice);
+
+  ASSERT_GT(probed.stats.submitted, 0u);
+  ASSERT_GT(advised.stats.submitted, 0u);
+  const double probe_cost =
+      static_cast<double>(probed.stats.route_probes) /
+      static_cast<double>(probed.stats.submitted);
+  const double advice_cost =
+      static_cast<double>(advised.stats.route_probes) /
+      static_cast<double>(advised.stats.submitted);
+  // Probe mode pays >= confirm_probes observations per routed batch;
+  // advice mode pays one. The ratio is structural, so it holds even
+  // under sanitizer timing noise.
+  EXPECT_LT(advice_cost, probe_cost);
+}
+
+}  // namespace
+}  // namespace tbwf::soak

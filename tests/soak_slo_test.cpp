@@ -1,0 +1,181 @@
+// SLO grading unit tests: budget boundary semantics, the inconclusive
+// (nothing-submitted) and all-failed edge cases, commit-stall
+// accounting, and the availability tracker's window algebra that the
+// budgets consume.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "soak/availability.hpp"
+#include "soak/slo.hpp"
+
+namespace tbwf::soak {
+namespace {
+
+/// Healthy-looking stats: 100 requests, all completed, every phase
+/// latency exactly 10 (inside the histogram's exact range).
+ServiceStats healthy_stats(std::uint64_t last_commit_at = 900) {
+  ServiceStats stats;
+  stats.submitted = 100;
+  stats.completed = 100;
+  stats.route.record_n(10, 100);
+  stats.ack.record_n(10, 100);
+  stats.commit.record_n(10, 100);
+  stats.last_commit_at = last_commit_at;
+  return stats;
+}
+
+AvailabilityTracker quiet_tracker(std::uint64_t end = 1000) {
+  AvailabilityTracker t;
+  t.observe(0, ServiceState::kOk);
+  t.finish(end);
+  return t;
+}
+
+bool has_violation_containing(const SloReport& r, const std::string& what) {
+  for (const auto& v : r.violations) {
+    if (v.find(what) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(SloTest, DefaultBudgetGradesNothingAndPasses) {
+  const SloReport r = grade_slo(healthy_stats(), quiet_tracker(),
+                                SloBudget{}, "steps", 1000);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.conclusive);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(SloTest, NothingSubmittedIsInconclusiveNotOk) {
+  const SloReport r = grade_slo(ServiceStats{}, quiet_tracker(),
+                                SloBudget{}, "steps", 1000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.conclusive);
+  EXPECT_TRUE(has_violation_containing(r, "inconclusive"));
+  EXPECT_EQ(slo_summary(r).verdict, "SLO-INCONCLUSIVE");
+  // The joint grade treats inconclusive as a failed SLO axis.
+  EXPECT_TRUE(slo_summary(r).checked);
+  EXPECT_FALSE(slo_summary(r).ok);
+}
+
+TEST(SloTest, AllRequestsFailedIsAViolation) {
+  ServiceStats stats;
+  stats.submitted = 50;  // everything submitted, nothing ever committed
+  const SloReport r =
+      grade_slo(stats, quiet_tracker(), SloBudget{}, "steps", 1000);
+  EXPECT_TRUE(r.conclusive);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_violation_containing(r, "failed"));
+  EXPECT_EQ(slo_summary(r).verdict, "SLO-VIOLATED");
+}
+
+TEST(SloTest, LatencyBudgetBoundaryIsInclusive) {
+  SloBudget at;
+  at.route_p99 = 10;  // measured p99 is exactly 10: on-budget passes
+  EXPECT_TRUE(
+      grade_slo(healthy_stats(), quiet_tracker(), at, "steps", 1000).ok);
+
+  SloBudget under;
+  under.route_p99 = 9;
+  const SloReport r =
+      grade_slo(healthy_stats(), quiet_tracker(), under, "steps", 1000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_violation_containing(r, "route p99"));
+}
+
+TEST(SloTest, CommitStallMeasuresRunTail) {
+  SloBudget budget;
+  budget.max_commit_stall = 100;
+  // Last commit at 900, run end 1000: the 100-step stall is on-budget.
+  EXPECT_TRUE(grade_slo(healthy_stats(900), quiet_tracker(), budget,
+                        "steps", 1000)
+                  .ok);
+  // Last commit at 899: stall 101 breaches.
+  const SloReport r = grade_slo(healthy_stats(899), quiet_tracker(),
+                                budget, "steps", 1000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.commit_stall, 101u);
+  EXPECT_TRUE(has_violation_containing(r, "commit stall"));
+}
+
+TEST(SloTest, AvailabilityBudgetsGradeWindows) {
+  AvailabilityTracker t;
+  t.observe(0, ServiceState::kOk);
+  t.observe(100, ServiceState::kNoLeader);
+  t.observe(150, ServiceState::kOk);
+  t.observe(500, ServiceState::kNoLeader);
+  t.finish(600);  // open outage sealed at the end: [500, 600)
+  ASSERT_EQ(t.windows().size(), 2u);
+  EXPECT_EQ(t.total_unavailable(), 150u);
+  EXPECT_EQ(t.longest_outage(), 100u);
+
+  SloBudget fraction;
+  fraction.max_unavailable_fraction = 0.25;  // 150/600 = 25%: on-budget
+  EXPECT_TRUE(
+      grade_slo(healthy_stats(), t, fraction, "steps", 600).ok);
+  fraction.max_unavailable_fraction = 0.24;
+  EXPECT_TRUE(has_violation_containing(
+      grade_slo(healthy_stats(), t, fraction, "steps", 600),
+      "unavailability"));
+
+  SloBudget longest;
+  longest.max_outage = 99;  // the [500, 600) window is 100 long
+  EXPECT_TRUE(has_violation_containing(
+      grade_slo(healthy_stats(), t, longest, "steps", 600),
+      "longest outage"));
+}
+
+TEST(SloTest, EmptyAvailabilityRecordPassesTightBudgets) {
+  // A run whose sampler never fired: no span, no outage, and even a
+  // zero-tolerance fraction budget passes (0 is not > 0).
+  AvailabilityTracker t;
+  t.finish(0);
+  EXPECT_EQ(t.observed_span(), 0u);
+  SloBudget budget;
+  budget.max_unavailable_fraction = 0.0;
+  budget.max_outage = 1;
+  EXPECT_TRUE(grade_slo(healthy_stats(), t, budget, "steps", 1000).ok);
+}
+
+TEST(AvailabilityTrackerTest, ZeroLengthWindowsAreDropped) {
+  AvailabilityTracker t;
+  t.observe(5, ServiceState::kNoLeader);
+  t.observe(5, ServiceState::kOk);  // opens and closes at one instant
+  t.finish(10);
+  EXPECT_TRUE(t.windows().empty());
+  EXPECT_EQ(t.total_unavailable(), 0u);
+}
+
+TEST(AvailabilityTrackerTest, StateChangeSplitsTheWindow) {
+  AvailabilityTracker t;
+  t.observe(0, ServiceState::kOk);
+  t.observe(10, ServiceState::kNoLeader);
+  t.observe(20, ServiceState::kWrongLeader);  // same outage, new kind
+  t.observe(30, ServiceState::kOk);
+  t.finish(40);
+  ASSERT_EQ(t.windows().size(), 2u);
+  EXPECT_EQ(t.windows()[0].state, ServiceState::kNoLeader);
+  EXPECT_EQ(t.windows()[0].from, 10u);
+  EXPECT_EQ(t.windows()[0].to, 20u);
+  EXPECT_EQ(t.windows()[1].state, ServiceState::kWrongLeader);
+  EXPECT_EQ(t.windows()[1].to, 30u);
+  EXPECT_EQ(t.total_unavailable(), 20u);
+}
+
+TEST(SloTest, CompletionFractionBudget) {
+  ServiceStats stats = healthy_stats();
+  stats.completed = 89;  // 89% completion
+  SloBudget budget;
+  budget.min_completed_fraction = 0.9;
+  const SloReport r =
+      grade_slo(stats, quiet_tracker(), budget, "steps", 1000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(has_violation_containing(r, "completed fraction"));
+  budget.min_completed_fraction = 0.89;
+  EXPECT_TRUE(grade_slo(stats, quiet_tracker(), budget, "steps", 1000).ok);
+}
+
+}  // namespace
+}  // namespace tbwf::soak

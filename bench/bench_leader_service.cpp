@@ -15,6 +15,13 @@
 // progress axis via the exit code.
 //
 // Usage: bench_leader_service [--quick] [--seed=N] [--backend=sim|rt|both]
+//        [--membership]
+//
+// --membership switches both backends from the static/flicker group to
+// generated epoch churn (seed-replayable join/leave/replace events with
+// fenced reconfiguration and per-epoch conformance grades). Every row
+// carries a "membership" config key so churn rows and static rows can
+// never be compared against each other by the regression gate.
 #include <cstring>
 #include <string>
 
@@ -44,10 +51,13 @@ struct Outcome {
 };
 
 void run_sim(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
-             std::uint64_t seed, bool quick, soak::RouteMode mode) {
+             std::uint64_t seed, bool quick, bool membership,
+             soak::RouteMode mode) {
   soak::SimSoakOptions options = quick ? soak::SimSoakOptions::quick(seed)
                                        : soak::SimSoakOptions::full(seed);
   options.service.route = mode;
+  if (membership) options.membership = soak::MembershipMode::kEpochChurn;
+  json.set_meta("sim_n", std::to_string(options.n));
   const soak::SimSoakResult result = soak::run_sim_soak(options);
 
   const std::string mode_name = soak::to_string(mode);
@@ -57,7 +67,9 @@ void run_sim(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
   std::printf("%s", result.slo.summary().c_str());
 
   const std::vector<std::pair<std::string, std::string>> config = {
-      {"backend", "sim"}, {"mode", mode_name}};
+      {"backend", "sim"},
+      {"mode", mode_name},
+      {"membership", membership ? "epoch-churn" : "static"}};
   const soak::ServiceStats& stats = result.stats;
   json.row("requests", static_cast<double>(stats.submitted), "req", seed,
            config);
@@ -89,10 +101,13 @@ void run_sim(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
 }
 
 void run_rt(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
-            std::uint64_t seed, bool quick, soak::RouteMode mode) {
+            std::uint64_t seed, bool quick, bool membership,
+            soak::RouteMode mode) {
   soak::RtSoakOptions options = quick ? soak::RtSoakOptions::quick(seed)
                                       : soak::RtSoakOptions::full(seed);
   options.service.route = mode;
+  options.membership_churn = membership;
+  json.set_meta("rt_nthreads", std::to_string(options.nthreads));
   const soak::RtSoakResult result = soak::run_rt_soak(options);
 
   const std::string mode_name = soak::to_string(mode);
@@ -102,7 +117,9 @@ void run_rt(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
   std::printf("%s", result.slo.summary().c_str());
 
   const std::vector<std::pair<std::string, std::string>> config = {
-      {"backend", "rt"}, {"mode", mode_name}};
+      {"backend", "rt"},
+      {"mode", mode_name},
+      {"membership", membership ? "epoch-churn" : "static"}};
   const soak::ServiceStats& stats = result.stats;
   const double seconds = static_cast<double>(result.run_end_ns) / 1e9;
   json.row("requests", static_cast<double>(stats.submitted), "req", seed,
@@ -140,19 +157,23 @@ void run_rt(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool membership = false;
   std::uint64_t seed = 1;
   std::string backend = "both";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--membership") {
+      membership = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--backend=", 0) == 0) {
       backend = arg.substr(10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--seed=N] [--backend=sim|rt|both]\n",
+                   "usage: %s [--quick] [--seed=N] [--backend=sim|rt|both] "
+                   "[--membership]\n",
                    argv[0]);
       return 2;
     }
@@ -173,6 +194,7 @@ int main(int argc, char** argv) {
   json.set_config("variant", "after");
   json.set_config("profile", quick ? "quick" : "full");
   json.set_meta("backend_filter", backend);
+  json.set_meta("membership", membership ? "epoch-churn" : "static");
 
   bench::Table table({"backend", "mode", "submitted", "completed",
                       "route_p99", "commit_p99", "probes/req", "unavail%",
@@ -180,8 +202,8 @@ int main(int argc, char** argv) {
   Outcome outcome;
   for (const soak::RouteMode mode :
        {soak::RouteMode::kProbe, soak::RouteMode::kAdvice}) {
-    if (want_sim) run_sim(json, table, outcome, seed, quick, mode);
-    if (want_rt) run_rt(json, table, outcome, seed, quick, mode);
+    if (want_sim) run_sim(json, table, outcome, seed, quick, membership, mode);
+    if (want_rt) run_rt(json, table, outcome, seed, quick, membership, mode);
   }
 
   std::printf("\n(sim latencies in steps; rt latencies in us)\n");

@@ -11,10 +11,14 @@
 // Both implementations run: Figure 3 (atomic registers + activity
 // monitors) and Figure 6 (abortable registers).
 //
-//   ./leader_service [steps] [seed] [--json]
+//   ./leader_service [steps] [seed] [--json] [--membership]
 //
 // --json replaces the human-readable report with one machine-readable
 // JSON object (timelines, router stats, outage windows) on stdout.
+// --membership reconfigures the group mid-run: p0 (the usual eventual
+// leader) is removed from the view at steps/4 and re-admitted at
+// steps/2. Its fenced rounds are counted, leadership re-stabilizes
+// among the remaining members, and the printout names each epoch.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,9 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "omega/candidate_drivers.hpp"
 #include "omega/omega_abortable.hpp"
 #include "omega/omega_registers.hpp"
+#include "sim/membership.hpp"
 #include "sim/schedule.hpp"
 #include "sim/trajectory.hpp"
 #include "sim/world.hpp"
@@ -50,6 +56,8 @@ struct BackendRun {
   sim::Step run_end = 0;
   soak::ServiceStats stats;
   soak::AvailabilityTracker availability;
+  std::vector<core::MembershipEvent> membership;  // empty: static group
+  std::uint64_t fenced_p0 = 0;
 };
 
 /// Drive the shared scenario on one omega backend. p1 joins/leaves
@@ -59,21 +67,37 @@ struct BackendRun {
 /// from it would starve by design, exactly as in the soak harness.
 template <class OmegaImpl>
 BackendRun drive(const char* name, sim::World& world, OmegaImpl& omega,
-                 sim::Step steps) {
+                 sim::Step steps,
+                 const std::vector<core::MembershipEvent>& membership) {
   BackendRun run;
   run.name = name;
+  run.membership = membership;
   const int n = 4;
 
+  // With --membership the permanent candidates follow the view instead:
+  // a removed process stops competing and the service fences its tenure.
+  sim::MembershipDirector director(n);
+  if (!membership.empty()) omega.set_membership(&director);
+
   omega.install_all();
-  world.spawn(0, "cand", [&](sim::SimEnv& env) {
-    return omega::permanent_candidate(env, omega.io(0));
-  });
+  if (membership.empty()) {
+    world.spawn(0, "cand", [&](sim::SimEnv& env) {
+      return omega::permanent_candidate(env, omega.io(0));
+    });
+    world.spawn(2, "cand", [&](sim::SimEnv& env) {
+      return omega::permanent_candidate(env, omega.io(2));
+    });
+  } else {
+    world.spawn(0, "cand", [&](sim::SimEnv& env) {
+      return omega::membership_candidate(env, omega.io(0), director);
+    });
+    world.spawn(2, "cand", [&](sim::SimEnv& env) {
+      return omega::membership_candidate(env, omega.io(2), director);
+    });
+  }
   world.spawn(1, "cand", [&](sim::SimEnv& env) {
     return omega::canonical_repeated_candidate(env, omega.io(1), 30000,
                                                30000);
-  });
-  world.spawn(2, "cand", [&](sim::SimEnv& env) {
-    return omega::permanent_candidate(env, omega.io(2));
   });
   world.spawn(3, "cand", [&](sim::SimEnv& env) {
     return omega::never_candidate(env, omega.io(3));
@@ -85,6 +109,10 @@ BackendRun drive(const char* name, sim::World& world, OmegaImpl& omega,
       world,
       [&omega](sim::Pid p) -> const omega::OmegaIO& { return omega.io(p); },
       service_options);
+  if (!membership.empty()) {
+    service.set_membership(&director);
+    director.install(world, membership);
+  }
   service.install();
 
   run.leaders.resize(n);
@@ -98,6 +126,7 @@ BackendRun drive(const char* name, sim::World& world, OmegaImpl& omega,
   service.finish(run.run_end);
   run.stats = service.stats();
   run.availability = service.availability();
+  run.fenced_p0 = world.counters().get("membership.fenced.p0");
   return run;
 }
 
@@ -128,6 +157,24 @@ void print_human(const BackendRun& run) {
   }
   std::printf("  router: %s\n", run.stats.summary().c_str());
   std::printf("  availability: %s\n", run.availability.summary().c_str());
+  if (!run.membership.empty()) {
+    std::printf("  epochs:\n");
+    for (const auto& w : core::epoch_windows(
+             static_cast<int>(run.leaders.size()), run.membership,
+             run.run_end)) {
+      std::string members;
+      for (std::size_t p = 0; p < w.members.size(); ++p) {
+        if (!w.members[p]) continue;
+        if (!members.empty()) members += ",";
+        members += "p" + std::to_string(p);
+      }
+      std::printf("    epoch %u [%llu,%llu) members={%s}\n", w.epoch,
+                  static_cast<unsigned long long>(w.from),
+                  static_cast<unsigned long long>(w.to), members.c_str());
+    }
+    std::printf("  fenced p0 rounds at the boundary: %llu\n",
+                static_cast<unsigned long long>(run.fenced_p0));
+  }
 }
 
 void print_json_histogram(const char* key, const soak::LogHistogram& h,
@@ -198,10 +245,13 @@ int main(int argc, char** argv) {
   sim::Step steps = 3000000ULL;
   std::uint64_t seed = 3;
   bool json = false;
+  bool membership = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--membership") == 0) {
+      membership = true;
     } else if (positional == 0) {
       steps = std::strtoull(argv[i], nullptr, 10);
       ++positional;
@@ -212,13 +262,20 @@ int main(int argc, char** argv) {
   }
   const int n = 4;
 
+  // --membership: remove p0 a quarter in, re-admit it at the midpoint.
+  std::vector<core::MembershipEvent> events;
+  if (membership) {
+    events = {{core::MembershipKind::kLeave, 0, -1, steps / 4},
+              {core::MembershipKind::kJoin, 0, -1, steps / 2}};
+  }
+
   std::vector<BackendRun> runs;
   {
     sim::World world(
         n, std::make_unique<sim::TimelinessSchedule>(scenario_specs(), seed));
     omega::OmegaRegisters omega(world);
     runs.push_back(drive("Figure 3: atomic registers + activity monitors",
-                         world, omega, steps));
+                         world, omega, steps, events));
   }
   {
     sim::World world(
@@ -226,8 +283,8 @@ int main(int argc, char** argv) {
     registers::ProbabilisticAbortPolicy policy(seed, 0.6, 0.6, 0.5);
     omega::OmegaAbortable omega(world, &policy);
     // The abortable stack stabilizes more slowly; give it double time.
-    runs.push_back(
-        drive("Figure 6: abortable registers", world, omega, steps * 2));
+    runs.push_back(drive("Figure 6: abortable registers", world, omega,
+                         steps * 2, events));
   }
 
   if (json) {

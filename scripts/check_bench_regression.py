@@ -19,6 +19,21 @@ Direction is inferred from the unit:
   reads/round, steps       lower is better; fail above (1 + tol) * base
   bool                     exact; fail if fresh < baseline (a 1 -> 0 flip)
   anything else            informational only
+
+Metadata must agree before values are compared -- a number from a
+different experimental setup is not a regression signal, it is a
+category error, and it must fail LOUDLY rather than produce a
+plausible-looking verdict:
+  * a matched row whose unit or seed differs from its baseline row
+    fails with MISMATCH (the row's meaning changed; regenerate the
+    baseline instead of comparing unlike runs);
+  * a baseline row whose config has no fresh counterpart, while
+    same-named fresh rows ran under a different config, fails with
+    MISMATCH listing both configs (e.g. membership=epoch-churn vs
+    static, or a different n);
+  * document-level meta keys present in BOTH files must agree, except
+    the volatile provenance keys {git_sha, rows, distinct_seeds,
+    backend_filter}; a key present in only one file warns.
 """
 
 import argparse
@@ -28,6 +43,10 @@ import sys
 
 HIGHER_BETTER = {"items/s", "rounds"}
 LOWER_BETTER = {"reads/round", "steps"}
+
+# Provenance keys that legitimately differ run to run; every other meta
+# key describes the experimental setup and must match.
+VOLATILE_META = {"git_sha", "rows", "distinct_seeds", "backend_filter"}
 
 
 def key(row):
@@ -83,6 +102,30 @@ def main():
     failures = []
     warnings = []
     checked = 0
+
+    if base_doc.get("experiment") != fresh_doc.get("experiment"):
+        failures.append(
+            f"MISMATCH experiment: baseline is "
+            f"{base_doc.get('experiment')!r}, fresh is "
+            f"{fresh_doc.get('experiment')!r} -- these files describe "
+            "different experiments and cannot be compared")
+    base_meta = {k: v for k, v in base_doc.get("meta", {}).items()
+                 if k not in VOLATILE_META}
+    fresh_meta = {k: v for k, v in fresh_doc.get("meta", {}).items()
+                  if k not in VOLATILE_META}
+    for mk in sorted(base_meta.keys() | fresh_meta.keys()):
+        if mk not in base_meta or mk not in fresh_meta:
+            warnings.append(
+                f"META     {mk}: present only in "
+                f"{'baseline' if mk in base_meta else 'fresh'} "
+                "(regenerate the baseline to record it on both sides)")
+        elif base_meta[mk] != fresh_meta[mk]:
+            failures.append(
+                f"MISMATCH meta {mk}: baseline {base_meta[mk]!r} != fresh "
+                f"{fresh_meta[mk]!r} -- the fresh run used a different "
+                "setup; regenerate the baseline instead of comparing "
+                "unlike runs")
+
     for k, frow in sorted(fresh.items()):
         if k not in base:
             warnings.append(
@@ -92,7 +135,29 @@ def main():
         frow = fresh.get(k)
         label = label_of(k, brow)
         if frow is None:
-            failures.append(f"MISSING  {label}: no matching fresh row")
+            same_name = sorted({str(dict(k2[1])) for k2 in fresh
+                                if k2[0] == k[0]})
+            if same_name:
+                failures.append(
+                    f"MISMATCH {label}: no fresh row with this config; "
+                    f"fresh '{k[0]}' rows ran with "
+                    f"{', '.join(same_name)} -- the config metadata "
+                    "differs; regenerate the baseline instead of "
+                    "comparing unlike runs")
+            else:
+                failures.append(f"MISSING  {label}: no matching fresh row")
+            continue
+        if frow.get("unit") != brow.get("unit"):
+            failures.append(
+                f"MISMATCH {label}: unit {brow.get('unit')!r} -> "
+                f"{frow.get('unit')!r} -- the row's meaning changed; "
+                "regenerate the baseline instead of comparing unlike runs")
+            continue
+        if frow.get("seed") != brow.get("seed"):
+            failures.append(
+                f"MISMATCH {label}: seed {brow.get('seed')} -> "
+                f"{frow.get('seed')} -- not the same seeded run; "
+                "regenerate the baseline instead of comparing unlike runs")
             continue
         unit, bv, fv = brow["unit"], brow["value"], frow["value"]
         if unit in HIGHER_BETTER:

@@ -26,6 +26,33 @@ sim::Step max_completion_gap_in(const std::vector<sim::Step>& completions,
   return std::max(best, to - prev);
 }
 
+/// Shared epoch-grade pretty-printer ("p" for sim pids, "t" for rt
+/// tids, "step"/"ns" for the time unit).
+void append_epoch_lines(std::ostringstream& out,
+                        const std::vector<EpochGrade>& grades,
+                        const char* who, const char* unit) {
+  for (const auto& g : grades) {
+    out << "  epoch " << g.epoch << " [" << g.from << unit << ", " << g.to
+        << unit << ") members={";
+    bool first = true;
+    for (std::size_t p = 0; p < g.members.size(); ++p) {
+      if (!g.members[p]) continue;
+      out << (first ? "" : ",") << who << p;
+      first = false;
+    }
+    out << "} ";
+    if (!g.conclusive) {
+      out << "inconclusive (sub-suffix too short)\n";
+      continue;
+    }
+    out << "suffix_from=" << g.suffix_from << unit << " timely={";
+    for (std::size_t i = 0; i < g.suffix_timely.size(); ++i) {
+      out << (i ? "," : "") << who << g.suffix_timely[i];
+    }
+    out << "}\n";
+  }
+}
+
 }  // namespace
 
 std::string ConformanceReport::summary() const {
@@ -55,6 +82,7 @@ std::string ConformanceReport::summary() const {
     }
     out << "\n";
   }
+  append_epoch_lines(out, epoch_grades, "p", "");
   for (const auto& v : violations) out << "  VIOLATION: " << v << "\n";
   return out.str();
 }
@@ -105,6 +133,63 @@ ConformanceReport check_chaos_conformance(
     }
   }
 
+  // Per-epoch grading under reconfiguration: each epoch earns its own
+  // verdict over its own stable sub-suffix, so a clean final view can
+  // never lend an unearned wait-free verdict to a churned middle.
+  // Graded BEFORE the whole-run inconclusive gate: a view thrash that
+  // eats the global tail still gets its early epochs judged.
+  if (!plan.membership().empty()) {
+    const std::vector<sim::Step> fault_edges =
+        plan.phase_boundaries(report.run_end);
+    for (const core::EpochWindow& w :
+         plan.epoch_timeline(n, report.run_end)) {
+      EpochGrade g;
+      g.epoch = w.epoch;
+      g.from = w.from;
+      g.to = w.to;
+      g.members = w.members;
+      // Anchor on the last fault edge strictly inside the window; the
+      // view change at the boundary already anchors the epoch start.
+      sim::Step anchor = w.from;
+      for (const sim::Step e : fault_edges) {
+        if (e > w.from && e < w.to) anchor = std::max(anchor, e);
+      }
+      g.suffix_from = anchor + options.stabilization;
+      g.conclusive = g.suffix_from + options.min_suffix <= w.to;
+      if (g.conclusive) {
+        const std::vector<sim::Pid> degraded =
+            plan.channel_degraded(n, g.suffix_from, w.to);
+        const bool partitioned =
+            plan.link_partitioned(n, g.suffix_from, w.to);
+        for (sim::Pid p = 0; p < n; ++p) {
+          if (!w.members[static_cast<std::size_t>(p)]) continue;
+          if (trace.steps_of_in(p, g.suffix_from, w.to) == 0) continue;
+          const sim::Step bound =
+              trace.max_gap_in(p, g.suffix_from, w.to) + 1;
+          if (bound > options.timely_bound) continue;
+          if (std::find(degraded.begin(), degraded.end(), p) !=
+              degraded.end()) {
+            continue;
+          }
+          g.suffix_timely.push_back(p);
+          if (partitioned || !is_issuing(p)) continue;
+          const sim::Step gap = max_completion_gap_in(
+              log.completions[static_cast<std::size_t>(p)],
+              g.suffix_from, w.to);
+          if (gap > options.max_completion_gap) {
+            std::ostringstream out;
+            out << "epoch " << w.epoch << ": wait-freedom: p" << p
+                << " is a timely member of the epoch's sub-suffix (bound "
+                << bound << ") but its completion gap " << gap
+                << " exceeds " << options.max_completion_gap;
+            violate(out.str());
+          }
+        }
+      }
+      report.epoch_grades.push_back(std::move(g));
+    }
+  }
+
   if (report.run_end < report.suffix_from + options.min_suffix) {
     std::ostringstream out;
     out << "stable suffix too short: run_end=" << report.run_end
@@ -138,7 +223,11 @@ ConformanceReport check_chaos_conformance(
     const sim::Step bound =
         trace.max_gap_in(p, report.suffix_from, report.run_end) + 1;
     suffix_bound[static_cast<std::size_t>(p)] = bound;
-    if (bound <= options.timely_bound && !is_degraded(p)) {
+    // A pid outside the view the plan leaves in force is fenced from
+    // leadership: like a channel-degraded pid it is graded untimely --
+    // no guarantee is demanded of it and none is counted through it.
+    if (bound <= options.timely_bound && !is_degraded(p) &&
+        plan.member_at_end(n, p)) {
       report.suffix_timely.push_back(p);
     }
   }
@@ -231,6 +320,10 @@ ConformanceReport check_chaos_conformance(
     }
     metrics->inc("chaos.conformance.link_faults",
                  plan.link_faults().size());
+    metrics->inc("chaos.conformance.epochs", report.epoch_grades.size());
+    for (const auto& g : report.epoch_grades) {
+      if (g.conclusive) metrics->inc("chaos.conformance.epochs_conclusive");
+    }
     metrics->inc(report.ok ? "chaos.conformance.ok"
                            : "chaos.conformance.violated");
     metrics->inc("chaos.conformance.violations", report.violations.size());
@@ -302,6 +395,7 @@ std::string RtConformanceReport::summary() const {
   if (!reelection_ns.empty()) {
     out << "  re-election: " << reelection_ns.summary() << "\n";
   }
+  append_epoch_lines(out, epoch_grades, "t", "ns");
   for (const auto& v : violations) out << "  VIOLATION: " << v << "\n";
   return out.str();
 }
@@ -370,6 +464,98 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
     }
   }
 
+  // Per-epoch grading under reconfiguration (the rt mirror of the sim
+  // checker's block): each epoch earns its own verdict over its own
+  // stable sub-suffix, graded BEFORE the whole-run inconclusive gate so
+  // a view thrash that eats the global tail still gets its early
+  // epochs judged.
+  if (!plan.membership().empty()) {
+    // Fault edges, mirroring last_event_ns but kept individually so an
+    // epoch can anchor on the last edge inside its own window.
+    std::vector<std::uint64_t> fault_edges;
+    for (const rt::RtKill& k : plan.kills()) {
+      fault_edges.push_back(k.at_ns);
+      if (k.restart_after_ns > 0) {
+        fault_edges.push_back(k.at_ns + k.restart_after_ns);
+      }
+    }
+    for (const rt::RtStall& s : plan.stalls()) {
+      fault_edges.push_back(s.at_ns);
+      fault_edges.push_back(s.at_ns + s.duration_ns);
+    }
+    for (const rt::RtStorm& s : plan.storms()) {
+      fault_edges.push_back(s.from_ns);
+      fault_edges.push_back(s.to_ns);
+    }
+    for (const rt::RtRegFaultEvent& r : plan.reg_faults()) {
+      fault_edges.push_back(r.from_ns);
+      if (r.to_ns != rt::RtAbortInjector::kForeverNs) {
+        fault_edges.push_back(r.to_ns);
+      }
+    }
+    for (const core::EpochWindow& w :
+         plan.epoch_timeline(n, report.run_end_ns)) {
+      EpochGrade g;
+      g.epoch = w.epoch;
+      g.from = w.from;
+      g.to = w.to;
+      g.members = w.members;
+      std::uint64_t anchor = w.from;
+      for (const std::uint64_t e : fault_edges) {
+        if (e > w.from && e < w.to) anchor = std::max(anchor, e);
+      }
+      g.suffix_from = anchor + options.stabilization_ns;
+      g.conclusive = g.suffix_from + options.min_suffix_ns <= w.to;
+      // A ring that overflowed past this epoch's sub-suffix has evicted
+      // the evidence; the epoch is unjudgeable, not violated.
+      for (int t = 0; t < n && g.conclusive; ++t) {
+        const auto& events = trace.per_tid[static_cast<std::size_t>(t)];
+        if (trace.dropped[static_cast<std::size_t>(t)] > 0 &&
+            (events.empty() || events.front().at_ns > g.suffix_from)) {
+          g.conclusive = false;
+        }
+      }
+      if (g.conclusive) {
+        // A jam covering the sub-suffix voids completion demands; the
+        // timeliness derivation below still runs (threads keep
+        // stepping through a jam).
+        const bool jammed = plan.jam_covers(g.suffix_from, w.to);
+        for (int t = 0; t < n; ++t) {
+          if (!w.members[static_cast<std::size_t>(t)]) continue;
+          std::vector<std::uint64_t> activity;
+          std::vector<std::uint64_t> comps;
+          bool issued_here = false;
+          for (const rt::RtEvent& ev :
+               trace.per_tid[static_cast<std::size_t>(t)]) {
+            if (ev.at_ns < g.suffix_from || ev.at_ns > w.to) continue;
+            activity.push_back(ev.at_ns);
+            if (ev.kind == rt::RtEventKind::kOpStart) issued_here = true;
+            if (ev.kind == rt::RtEventKind::kOpComplete) {
+              comps.push_back(ev.at_ns);
+            }
+          }
+          if (activity.empty()) continue;
+          const std::uint64_t bound =
+              max_ns_gap_in(activity, g.suffix_from, w.to);
+          if (bound > options.timely_bound_ns) continue;
+          g.suffix_timely.push_back(t);
+          if (jammed || !issued_here) continue;
+          const std::uint64_t gap =
+              max_ns_gap_in(comps, g.suffix_from, w.to);
+          if (gap > options.max_completion_gap_ns) {
+            std::ostringstream out;
+            out << "epoch " << w.epoch << ": wait-freedom: t" << t
+                << " is a timely member of the epoch's sub-suffix (bound "
+                << bound << "ns) but its completion gap " << gap
+                << "ns exceeds " << options.max_completion_gap_ns << "ns";
+            violate(out.str());
+          }
+        }
+      }
+      report.epoch_grades.push_back(std::move(g));
+    }
+  }
+
   if (report.run_end_ns <
       report.suffix_from_ns + options.min_suffix_ns) {
     std::ostringstream out;
@@ -415,7 +601,11 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
     const std::uint64_t bound =
         max_ns_gap_in(activity, report.suffix_from_ns, report.run_end_ns);
     report.realized_bound_ns[static_cast<std::size_t>(t)] = bound;
-    if (bound <= options.timely_bound_ns) {
+    // A tid outside the view the plan leaves in force is fenced from
+    // the lease: graded untimely, so no guarantee is demanded of it
+    // and none is counted through it.
+    if (bound <= options.timely_bound_ns &&
+        plan.member_at_end(n, static_cast<std::uint32_t>(t))) {
       report.suffix_timely.push_back(static_cast<std::uint32_t>(t));
     }
   }
@@ -531,6 +721,10 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
     metrics->inc("rt.reelect.count", report.reelection_ns.count());
     if (!report.reelection_ns.empty()) {
       metrics->max_of("rt.reelect.max_ns", report.reelection_ns.max());
+    }
+    metrics->inc("rt.conformance.epochs", report.epoch_grades.size());
+    for (const auto& g : report.epoch_grades) {
+      if (g.conclusive) metrics->inc("rt.conformance.epochs_conclusive");
     }
     metrics->inc(std::string("rt.conformance.grade.") +
                  to_string(report.grade));

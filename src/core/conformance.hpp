@@ -58,6 +58,30 @@ struct WindowTimeliness {
   std::vector<sim::Step> realized_bound;  ///< indexed by pid
 };
 
+/// One epoch's independent verdict under a reconfiguring plan. Time is
+/// backend-native (global steps for sim, wall-clock ns for rt), widened
+/// to uint64 so both checkers share the struct. A reconfiguration must
+/// never let a clean final view lend an unearned wait-free verdict to a
+/// churned middle: each epoch is graded over its OWN stable sub-suffix.
+struct EpochGrade {
+  std::uint32_t epoch = 0;
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  /// The view in force during the epoch, indexed by pid/tid.
+  std::vector<bool> members;
+  /// An epoch is conclusive iff its sub-suffix -- from the last fault
+  /// edge strictly inside the window (the view change at the boundary
+  /// already anchors the start) plus stabilization -- is at least
+  /// min_suffix long. Inconclusive mid-run epochs are reported, never
+  /// violated: a window too short to judge earns nothing and owes
+  /// nothing.
+  bool conclusive = false;
+  std::uint64_t suffix_from = 0;
+  /// Members empirically timely in the epoch's sub-suffix (populated
+  /// for conclusive epochs only).
+  std::vector<int> suffix_timely;
+};
+
 struct ConformanceReport {
   bool ok = false;
   std::uint64_t plan_seed = 0;
@@ -79,6 +103,10 @@ struct ConformanceReport {
   bool link_partitioned = false;
   /// Realized timeliness per plan phase, for diagnostics.
   std::vector<WindowTimeliness> windows;
+  /// Per-epoch independent grading; populated only when the plan has
+  /// membership events. Violations inside an epoch carry an
+  /// "epoch <e>:" prefix.
+  std::vector<EpochGrade> epoch_grades;
   std::vector<std::string> violations;
 
   std::string summary() const;
@@ -156,6 +184,9 @@ struct RtConformanceReport {
   std::vector<std::uint32_t> issuing;
   /// Lease-holder death/stall -> next acquisition by anyone, full run.
   util::Histogram reelection_ns;
+  /// Per-epoch independent grading; populated only when the plan has
+  /// membership events (see EpochGrade).
+  std::vector<EpochGrade> epoch_grades;
   std::vector<std::string> violations;
 
   std::string summary() const;

@@ -1,0 +1,72 @@
+#include "core/membership.hpp"
+
+#include <sstream>
+
+namespace tbwf::core {
+
+const char* to_string(MembershipKind kind) {
+  switch (kind) {
+    case MembershipKind::kJoin:
+      return "join";
+    case MembershipKind::kLeave:
+      return "leave";
+    case MembershipKind::kReplace:
+      return "replace";
+  }
+  return "?";
+}
+
+std::string describe(const MembershipEvent& event) {
+  std::ostringstream out;
+  out << to_string(event.kind) << " p" << event.pid;
+  if (event.kind == MembershipKind::kReplace) {
+    out << "->p" << event.replacement;
+  }
+  out << " @" << event.at;
+  return out.str();
+}
+
+std::vector<EpochWindow> epoch_windows(int n,
+                                       std::vector<MembershipEvent> events,
+                                       std::uint64_t run_end) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const MembershipEvent& a, const MembershipEvent& b) {
+                     return a.at < b.at;
+                   });
+
+  std::vector<EpochWindow> windows;
+  EpochWindow current;
+  current.epoch = 0;
+  current.from = 0;
+  current.members.assign(static_cast<std::size_t>(n), true);
+
+  auto set_member = [&](int pid, bool in) {
+    if (pid >= 0 && pid < n) {
+      current.members[static_cast<std::size_t>(pid)] = in;
+    }
+  };
+
+  for (const MembershipEvent& event : events) {
+    current.to = event.at;
+    windows.push_back(current);
+    current.epoch += 1;
+    current.from = event.at;
+    switch (event.kind) {
+      case MembershipKind::kJoin:
+        set_member(event.pid, true);
+        break;
+      case MembershipKind::kLeave:
+        set_member(event.pid, false);
+        break;
+      case MembershipKind::kReplace:
+        set_member(event.pid, false);
+        set_member(event.replacement, true);
+        break;
+    }
+  }
+  current.to = run_end;
+  windows.push_back(current);
+  return windows;
+}
+
+}  // namespace tbwf::core

@@ -1,0 +1,69 @@
+// Epoch-based dynamic membership: the backend-neutral vocabulary for
+// reconfiguration. A run starts in epoch 0 with every process a member;
+// each membership event (join / leave / replace) bumps the epoch by one
+// and edits the member set. Both backends elect over the *current*
+// view only, and fence a departed member's in-flight writes (sim:
+// epoch+membership check before every shared service write; rt:
+// LeaseElector::revoke bumps the monotone fence so stale lease tokens
+// fail validate()). The conformance checkers grade each epoch's stable
+// suffix independently -- a reconfiguration must never earn an
+// unearned wait-free verdict (see epoch_windows and the per-epoch
+// grading in core/conformance).
+//
+// Event timestamps are backend-native: sim steps for FaultPlan,
+// nanoseconds for RtFaultPlan. The epoch-window derivation below is
+// unit-agnostic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tbwf::core {
+
+enum class MembershipKind : std::uint8_t {
+  kJoin,     ///< pid (re-)enters the election group
+  kLeave,    ///< pid is removed; its in-flight writes must be fenced
+  kReplace,  ///< pid leaves and `replacement` joins in one view change
+};
+
+const char* to_string(MembershipKind kind);
+
+/// One seed-replayable reconfiguration event. `at` is in backend-native
+/// units (sim steps or rt nanoseconds). Every event bumps the epoch by
+/// exactly one, even when it is a membership no-op (joining a current
+/// member, removing a non-member): the epoch counts *view changes*, and
+/// fencing keys off the epoch, not the set.
+struct MembershipEvent {
+  MembershipKind kind = MembershipKind::kLeave;
+  int pid = 0;
+  /// Only meaningful for kReplace: the pid that joins.
+  int replacement = -1;
+  std::uint64_t at = 0;
+};
+
+std::string describe(const MembershipEvent& event);
+
+/// One epoch's view: half-open time window [from, to) and the member
+/// set in force throughout it. Zero-length windows (two events at the
+/// same timestamp) are legal and trivially inconclusive.
+struct EpochWindow {
+  std::uint32_t epoch = 0;
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  std::vector<bool> members;  ///< size n, members[p] == p is in the view
+
+  int member_count() const {
+    return static_cast<int>(std::count(members.begin(), members.end(), true));
+  }
+};
+
+/// Derive the epoch timeline for a run of n processes: epoch 0 spans
+/// [0, first event) with everyone a member; each event starts the next
+/// epoch at its timestamp; the last epoch runs to `run_end`. Events are
+/// applied in timestamp order (stable for ties).
+std::vector<EpochWindow> epoch_windows(
+    int n, std::vector<MembershipEvent> events, std::uint64_t run_end);
+
+}  // namespace tbwf::core

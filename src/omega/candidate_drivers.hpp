@@ -7,6 +7,7 @@
 
 #include "omega/omega.hpp"
 #include "sim/env.hpp"
+#include "sim/membership.hpp"
 #include "sim/task.hpp"
 
 namespace tbwf::omega {
@@ -38,6 +39,21 @@ inline sim::Task repeated_candidate(sim::SimEnv& env, OmegaIO& io,
     for (sim::Step i = 0; i < on; ++i) co_await env.yield();
     io.candidate = false;
     for (sim::Step i = 0; i < off; ++i) co_await env.yield();
+  }
+}
+
+/// Membership-driven candidacy: candidate exactly while the director's
+/// current view contains this process. Leaving the view is a canonical
+/// withdrawal (the Figure 3/6 loop resets LEADER and stops
+/// heartbeating); re-joining in a later epoch re-enters candidacy with
+/// the usual self-punishment, so a re-admitted seat cannot reclaim
+/// leadership on its old counter. Plain loads only -- the driver costs
+/// one yield per step like every other driver.
+inline sim::Task membership_candidate(sim::SimEnv& env, OmegaIO& io,
+                                      const sim::MembershipDirector& dir) {
+  for (;;) {
+    io.candidate = dir.member(env.pid());
+    co_await env.yield();
   }
 }
 

@@ -77,6 +77,11 @@ sim::Task omega_abortable_task(sim::SimEnv& env, OmegaAbortable& sys) {
         // eventually active forever at p, then p learned q's final
         // counter" cannot hold over a link that serves nothing.
         if (q != p && msg.in_health[q].quarantined()) continue;
+        // Epoch-based membership: a peer outside the current view is
+        // ineligible the same way -- a departed member's counter must
+        // not be trusted into a leadership choice, however fresh its
+        // heartbeats still look.
+        if (q != p && !sys.member(q)) continue;
         if (counter[q] < counter[leader] ||
             (counter[q] == counter[leader] && q < leader)) {
           leader = q;

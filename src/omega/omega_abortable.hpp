@@ -27,6 +27,7 @@
 #include "omega/omega.hpp"
 #include "registers/abort_policy.hpp"
 #include "sim/env.hpp"
+#include "sim/membership.hpp"
 #include "sim/task.hpp"
 #include "sim/world.hpp"
 
@@ -75,6 +76,20 @@ class OmegaAbortable {
   /// link.hb.*) into `metrics`.
   void export_link_metrics(util::Counters& metrics) const;
 
+  /// Elect over the director's current view: a non-member peer is
+  /// ineligible at the line 48 choice exactly like a msg-quarantined
+  /// one -- its (possibly fresh) heartbeats stop earning it leadership.
+  /// Null (the default) preserves the static all-member group; plain
+  /// loads only, so an event-free director changes no schedules. Must
+  /// outlive the run.
+  void set_membership(const sim::MembershipDirector* director) {
+    membership_ = director;
+  }
+  const sim::MembershipDirector* membership() const { return membership_; }
+  bool member(sim::Pid q) const {
+    return membership_ == nullptr || membership_->member(q);
+  }
+
   int n() const { return world_.n(); }
 
  private:
@@ -85,6 +100,7 @@ class OmegaAbortable {
   std::vector<MsgEndpoint<CounterMsg>> msg_;
   std::vector<HbEndpoint> hb_;
   std::vector<OmegaIO> io_;
+  const sim::MembershipDirector* membership_ = nullptr;
   /// counter[p][q]: p's view of q's counter (Figure 6 local state),
   /// hoisted into the system object so tests can inspect it.
   std::vector<std::vector<std::int64_t>> counter_;

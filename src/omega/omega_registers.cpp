@@ -68,6 +68,13 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
   util::Counters& metrics = env.world().counters();
   const std::string pid_tag = ".p" + std::to_string(p);
 
+  // Membership view (plain loads, no co_await -- a null or event-free
+  // director leaves every schedule untouched). A view change is as
+  // disruptive as a faultCntr bump: the cached counter snapshot was
+  // taken under the old member set, so force a full scan.
+  std::uint32_t seen_epoch =
+      sys.membership_ != nullptr ? sys.membership_->epoch() : 0;
+
   // Verify-layer mutation state: with freeze_leader on, the first
   // announced leader sticks forever (lines 2 and 14 are skipped once
   // `announced`); with torn_counter_write on, the punishment writes at
@@ -113,8 +120,17 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
         }
       }
 
+      if (sys.membership_ != nullptr &&
+          sys.membership_->epoch() != seen_epoch) {
+        seen_epoch = sys.membership_->epoch();
+        cache_valid = false;
+      }
       for (sim::Pid q = 0; q < n; ++q) {                          // line 12
-        active_set[q] = (q == p) || (status[q] == Status::Active);
+        // The election runs over the current view: a non-member is
+        // skipped exactly like a crashed-looking process, however
+        // fresh its heartbeats still are.
+        active_set[q] = sys.member(q) &&
+                        ((q == p) || (status[q] == Status::Active));
       }
 
       // Line 13, behind the opt-in scan cache: re-read all n counter
@@ -149,14 +165,20 @@ sim::Task omega_registers_task(sim::SimEnv& env, OmegaRegisters& sys) {
         ++cache_age;
       }
 
-      sim::Pid leader = p;                                        // line 14
+      // Line 14 over the view: min (counter, pid) among activeSet.
+      // With a static group active_set[p] is always true, so starting
+      // from kNoPid is identical to the paper's "leader := p" seed; a
+      // non-member candidate must not nominate itself, so it falls
+      // back to p only when the view exposes nobody at all.
+      sim::Pid leader = sim::kNoPid;                              // line 14
       for (sim::Pid q = 0; q < n; ++q) {
         if (!active_set[q]) continue;
-        if (counter[q] < counter[leader] ||
+        if (leader == sim::kNoPid || counter[q] < counter[leader] ||
             (counter[q] == counter[leader] && q < leader)) {
           leader = q;
         }
       }
+      if (leader == sim::kNoPid) leader = p;
       if (!(sys.mutation_freeze_leader() && announced)) {
         io.leader = leader;
         announced = true;

@@ -22,6 +22,7 @@
 #include "monitor/activity_monitor.hpp"
 #include "omega/omega.hpp"
 #include "sim/env.hpp"
+#include "sim/membership.hpp"
 #include "sim/task.hpp"
 #include "sim/world.hpp"
 
@@ -58,6 +59,22 @@ class OmegaRegisters {
   /// tests/omega_ablation_test.cpp and the E3 commentary exhibit it.
   void set_self_punishment(bool enabled) { self_punishment_ = enabled; }
   bool self_punishment() const { return self_punishment_; }
+
+  /// Elect over the director's current view instead of the full
+  /// compile-time group: non-members are skipped at line 12 exactly the
+  /// way crashed-looking processes are, and a view change (epoch bump)
+  /// invalidates the scan cache so the next round re-reads the world.
+  /// Null (the default) preserves the static all-member group. The
+  /// director must outlive the run; tasks read it with plain loads
+  /// (no co_await), so attaching one with no events changes no
+  /// schedules.
+  void set_membership(const sim::MembershipDirector* director) {
+    membership_ = director;
+  }
+  const sim::MembershipDirector* membership() const { return membership_; }
+  bool member(sim::Pid q) const {
+    return membership_ == nullptr || membership_->member(q);
+  }
 
   /// OPT-IN stabilization-aware scan caching for the line-13 counter
   /// sweep. A candidate that saw no monitor status change, no faultCntr
@@ -111,6 +128,7 @@ class OmegaRegisters {
   monitor::MonitorMatrix matrix_;
   std::vector<sim::AtomicReg<std::int64_t>> counter_reg_;
   std::vector<OmegaIO> io_;
+  const sim::MembershipDirector* membership_ = nullptr;
   bool self_punishment_ = true;
   bool scan_cache_ = false;
   std::int64_t scan_refresh_period_ = 64;

@@ -37,6 +37,25 @@ RtFaultPlan& RtFaultPlan::reg_fault(registers::RegFaultKind kind,
   return *this;
 }
 
+RtFaultPlan& RtFaultPlan::join(std::uint32_t tid, std::uint64_t at_ns) {
+  membership_.push_back(
+      {core::MembershipKind::kJoin, static_cast<int>(tid), -1, at_ns});
+  return *this;
+}
+
+RtFaultPlan& RtFaultPlan::leave(std::uint32_t tid, std::uint64_t at_ns) {
+  membership_.push_back(
+      {core::MembershipKind::kLeave, static_cast<int>(tid), -1, at_ns});
+  return *this;
+}
+
+RtFaultPlan& RtFaultPlan::replace(std::uint32_t out, std::uint32_t in,
+                                  std::uint64_t at_ns) {
+  membership_.push_back({core::MembershipKind::kReplace,
+                         static_cast<int>(out), static_cast<int>(in), at_ns});
+  return *this;
+}
+
 RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
                                   const GenOptions& options) {
   TBWF_ASSERT(options.nthreads >= 1, "need at least one thread");
@@ -164,6 +183,38 @@ RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
                    permanent ? RtAbortInjector::kForeverNs : t + d, rate);
   }
 
+  // Membership churn (only bites when the supervisor fires
+  // on_membership). Cycles are sequential in time, so the view history
+  // per cycle is a clean leave -> rejoin chain (or one replace event).
+  // Draws append after every other family, so plans generated with the
+  // default max_membership_cycles = 0 replay byte for byte.
+  const int ncycles =
+      options.nthreads >= 2 && options.max_membership_cycles > 0
+          ? static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(options.max_membership_cycles) +
+                1))
+          : 0;
+  std::uint64_t mcursor = lo;
+  for (int i = 0; i < ncycles; ++i) {
+    if (mcursor + 8 >= hi) break;  // no room left in the event window
+    const auto tid =
+        options.churn_tid >= 0
+            ? static_cast<std::uint32_t>(options.churn_tid)
+            : static_cast<std::uint32_t>(rng.below(
+                  static_cast<std::uint64_t>(options.nthreads)));
+    if (rng.chance(options.p_replace)) {
+      const std::uint64_t t = rng.range(mcursor, hi - 1);
+      plan.replace(tid, tid, t);
+      mcursor = t + 1;
+    } else {
+      const std::uint64_t out_at = rng.range(mcursor, hi - 3);
+      const std::uint64_t back = rng.range(out_at + 1, hi - 1);
+      plan.leave(tid, out_at);
+      plan.join(tid, back);
+      mcursor = back + 1;
+    }
+  }
+
   // Never return an empty plan: a sweep case with nothing to inject
   // would silently test nothing. Default to a mid-window stall.
   if (plan.empty()) {
@@ -191,7 +242,20 @@ std::uint64_t RtFaultPlan::last_event_ns() const {
                               ? f.from_ns
                               : f.to_ns);
   }
+  for (const auto& ev : membership_) last = std::max(last, ev.at);
   return last;
+}
+
+std::vector<core::EpochWindow> RtFaultPlan::epoch_timeline(
+    int nthreads, std::uint64_t run_end_ns) const {
+  return core::epoch_windows(nthreads, membership_, run_end_ns);
+}
+
+bool RtFaultPlan::member_at_end(int nthreads, std::uint32_t tid) const {
+  const auto windows =
+      epoch_timeline(nthreads, /*run_end_ns=*/last_event_ns() + 1);
+  const auto& final_members = windows.back().members;
+  return static_cast<int>(tid) < nthreads && final_members[tid];
 }
 
 bool RtFaultPlan::jam_covers(std::uint64_t from_ns,
@@ -261,6 +325,9 @@ std::string RtFaultPlan::summary() const {
       out << f.to_ns;
     }
     out << ")ns rate=" << f.rate_millionths << "ppm\n";
+  }
+  for (const auto& ev : membership_) {
+    out << "  view " << core::describe(ev) << "ns\n";
   }
   if (empty()) out << "  (empty)\n";
   return out.str();

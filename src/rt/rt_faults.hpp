@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "rt/rt_registers.hpp"
 
 namespace tbwf::rt {
@@ -90,6 +91,13 @@ class RtFaultPlan {
   RtFaultPlan& reg_fault(registers::RegFaultKind kind, std::uint64_t from_ns,
                          std::uint64_t to_ns,
                          std::uint32_t rate_millionths = 1000000);
+  /// Membership events (epoch-based reconfiguration): each bumps the
+  /// view epoch at `at_ns` (fired from the supervisor's monitor loop
+  /// through RtSupervisorOptions::on_membership).
+  RtFaultPlan& join(std::uint32_t tid, std::uint64_t at_ns);
+  RtFaultPlan& leave(std::uint32_t tid, std::uint64_t at_ns);
+  RtFaultPlan& replace(std::uint32_t out, std::uint32_t in,
+                       std::uint64_t at_ns);
 
   // -- random generation --------------------------------------------------------
   struct GenOptions {
@@ -123,6 +131,16 @@ class RtFaultPlan {
     double p_reg_permanent = 0.25;
     std::uint64_t min_reg_fault_ns = 1000000;  // 1 ms
     std::uint64_t max_reg_fault_ns = 6000000;  // 6 ms
+    /// Membership churn, off by default: plans generated without it are
+    /// unchanged draw for draw (membership draws append after every
+    /// other family), so existing seeds replay byte for byte. Each
+    /// cycle removes `churn_tid` from the view and re-admits it (or,
+    /// with p_replace, swaps the seat in one replace event).
+    int max_membership_cycles = 0;
+    /// Tid the generated churn targets; -1 draws one per cycle.
+    int churn_tid = -1;
+    /// Chance a cycle is a single replace event instead of leave+join.
+    double p_replace = 0.25;
   };
 
   /// Deterministic: the same (seed, options) always yields the same plan.
@@ -134,15 +152,28 @@ class RtFaultPlan {
   const std::vector<RtStall>& stalls() const { return stalls_; }
   const std::vector<RtStorm>& storms() const { return storms_; }
   const std::vector<RtRegFaultEvent>& reg_faults() const { return reg_faults_; }
+  const std::vector<core::MembershipEvent>& membership() const {
+    return membership_;
+  }
   bool empty() const {
     return kills_.empty() && stalls_.empty() && storms_.empty() &&
-           reg_faults_.empty();
+           reg_faults_.empty() && membership_.empty();
   }
 
   /// Offset of the last event boundary (kill, restart, stall end, storm
-  /// end, finite reg-fault end; a permanent reg fault contributes its
-  /// start); 0 for an empty plan. Everything after is the stable tail.
+  /// end, membership event, finite reg-fault end; a permanent reg fault
+  /// contributes its start); 0 for an empty plan. Everything after is
+  /// the stable tail.
   std::uint64_t last_event_ns() const;
+
+  /// Epoch timeline for a run of nthreads ending at run_end_ns: one
+  /// window per view, everyone a member of epoch 0.
+  std::vector<core::EpochWindow> epoch_timeline(
+      int nthreads, std::uint64_t run_end_ns) const;
+
+  /// True iff tid is in the view the plan leaves in force at the end of
+  /// the run (non-members are not graded for progress).
+  bool member_at_end(int nthreads, std::uint32_t tid) const;
 
   /// True iff the plan kills tid without a restart.
   bool killed_at_end(std::uint32_t tid) const;
@@ -168,6 +199,7 @@ class RtFaultPlan {
   std::vector<RtStall> stalls_;
   std::vector<RtStorm> storms_;
   std::vector<RtRegFaultEvent> reg_faults_;
+  std::vector<core::MembershipEvent> membership_;
 };
 
 }  // namespace tbwf::rt

@@ -1,0 +1,93 @@
+// Real-thread membership view: one packed atomic word -- epoch in the
+// high 32 bits, a member bitmask in the low 32 -- so workers read the
+// whole view (epoch + set) in a single acquire load and can never see
+// a new epoch paired with an old member set. Only the supervisor's
+// monitor thread mutates it (release stores through apply()), which is
+// what makes the plain read-modify-write below safe without a CAS
+// loop: there is exactly one writer.
+//
+// Fencing on removal is delegated to the lease layer: the service's
+// on_membership hook calls LeaseElector::revoke(tid) for a departing
+// member, which frees the lease AND bumps the monotone fence, so the
+// departed leader's stale token fails validate() before its next state
+// write (recorded as kStaleFenceBlocked). Epoch bumps here are the
+// bookkeeping the per-epoch conformance grading keys off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/membership.hpp"
+
+namespace tbwf::rt {
+
+class RtMembership {
+ public:
+  static constexpr int kMaxThreads = 32;
+
+  /// Everyone with tid < nthreads is a member of epoch 0.
+  explicit RtMembership(int nthreads) {
+    const std::uint32_t mask =
+        nthreads >= kMaxThreads
+            ? ~std::uint32_t{0}
+            : ((std::uint32_t{1} << nthreads) - 1);
+    view_.store(pack(0, mask), std::memory_order_release);
+  }
+
+  /// Apply one view change. Monitor thread only (single writer).
+  void apply(const core::MembershipEvent& event) {
+    const std::uint64_t v = view_.load(std::memory_order_relaxed);
+    std::uint32_t mask = unpack_mask(v);
+    switch (event.kind) {
+      case core::MembershipKind::kJoin:
+        mask |= bit(event.pid);
+        break;
+      case core::MembershipKind::kLeave:
+        mask &= ~bit(event.pid);
+        break;
+      case core::MembershipKind::kReplace:
+        mask &= ~bit(event.pid);
+        mask |= bit(event.replacement);
+        break;
+    }
+    view_.store(pack(unpack_epoch(v) + 1, mask), std::memory_order_release);
+  }
+
+  std::uint32_t epoch() const {
+    return unpack_epoch(view_.load(std::memory_order_acquire));
+  }
+  bool member(int tid) const {
+    return (unpack_mask(view_.load(std::memory_order_acquire)) & bit(tid)) !=
+           0;
+  }
+  /// One coherent (epoch, member?) sample from a single load.
+  struct View {
+    std::uint32_t epoch;
+    std::uint32_t mask;
+    bool member(int tid) const { return (mask & bit(tid)) != 0; }
+  };
+  View sample() const {
+    const std::uint64_t v = view_.load(std::memory_order_acquire);
+    return {unpack_epoch(v), unpack_mask(v)};
+  }
+
+ private:
+  static std::uint32_t bit(int tid) {
+    return (tid >= 0 && tid < kMaxThreads)
+               ? (std::uint32_t{1} << static_cast<unsigned>(tid))
+               : 0;
+  }
+  static std::uint64_t pack(std::uint32_t epoch, std::uint32_t mask) {
+    return (static_cast<std::uint64_t>(epoch) << 32) | mask;
+  }
+  static std::uint32_t unpack_epoch(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v >> 32);
+  }
+  static std::uint32_t unpack_mask(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::atomic<std::uint64_t> view_{0};
+};
+
+}  // namespace tbwf::rt

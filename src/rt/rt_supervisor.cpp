@@ -62,6 +62,10 @@ RtSupervisor::RtSupervisor(RtSupervisorOptions options, RtFaultPlan plan,
                        return a.at_ns < b.at_ns;
                      });
   }
+  membership_seq_ = plan_.membership();
+  std::stable_sort(membership_seq_.begin(), membership_seq_.end(),
+                   [](const core::MembershipEvent& a,
+                      const core::MembershipEvent& b) { return a.at < b.at; });
 }
 
 RtSupervisor::~RtSupervisor() {
@@ -122,6 +126,20 @@ void RtSupervisor::maybe_fire_faults(RtWorkerContext& ctx) {
   }
 }
 
+void RtSupervisor::fire_membership_events() {
+  // Monitor thread only, like restarts: view changes land at the
+  // monitor cadence (at most restart_poll late), and the hook runs
+  // with no worker lock held -- workers observe the new view through
+  // whatever the hook publishes (RtMembership's release store).
+  while (next_membership_ < membership_seq_.size() &&
+         since_origin_ns() >= membership_seq_[next_membership_].at) {
+    if (options_.on_membership) {
+      options_.on_membership(membership_seq_[next_membership_]);
+    }
+    ++next_membership_;
+  }
+}
+
 void RtSupervisor::poll_restarts() {
   // relaxed: only the monitor thread itself ever stores stop_ before
   // the final joins, so this is a same-thread read.
@@ -162,6 +180,7 @@ void RtSupervisor::run() {
     const std::uint64_t remaining = deadline - steady_now_ns();
     std::this_thread::sleep_for(std::chrono::nanoseconds(std::min(
         remaining, static_cast<std::uint64_t>(options_.restart_poll.count()))));
+    fire_membership_events();
     poll_restarts();
   }
 

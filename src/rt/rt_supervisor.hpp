@@ -106,6 +106,12 @@ struct RtSupervisorOptions {
   /// here (LeaseElector::revoke).
   std::function<void(std::uint32_t tid, std::uint32_t incarnation)>
       on_restart;
+  /// Fired from the monitor thread when a plan membership event comes
+  /// due (at the monitor cadence, so with at most restart_poll extra
+  /// latency). Apply the view change here (RtMembership::apply) and
+  /// fence a departing member's leases (LeaseElector::revoke) -- the
+  /// hook runs outside every worker thread, mirroring on_restart.
+  std::function<void(const core::MembershipEvent&)> on_membership;
 };
 
 class RtSupervisor {
@@ -177,6 +183,7 @@ class RtSupervisor {
   void worker_main(std::uint32_t tid, std::uint32_t incarnation);
   void maybe_fire_faults(RtWorkerContext& ctx);
   void poll_restarts();
+  void fire_membership_events();
   void tally_counters();
 
   RtSupervisorOptions options_;
@@ -186,6 +193,10 @@ class RtSupervisor {
   RtAbortInjector injector_;
   util::Counters counters_;
   std::vector<std::vector<FaultEvent>> fault_seq_;
+  /// Plan membership events sorted by at_ns; cursor advanced by the
+  /// monitor thread only.
+  std::vector<core::MembershipEvent> membership_seq_;
+  std::size_t next_membership_ = 0;
   std::vector<Slot> slots_;
   /// Shutdown flag, polled by every worker each loop iteration (see
   /// should_stop for the relaxed-load rationale). Own line so the polls

@@ -93,6 +93,19 @@ class LeaseCalibrator {
     return samples_.load(std::memory_order_relaxed);
   }
 
+  /// Forget everything observed so far and restart the EWMA from
+  /// `initial_latency_ns`. Call when the observing process is restarted
+  /// or re-joins in a new epoch: a replacement worker must not inherit
+  /// the corpse's timing estimate (a dead leader's last samples say
+  /// nothing about the machine state its successor runs under).
+  /// relaxed, like observe(): self-contained numeric state -- a racing
+  /// observe() that lands after the reset is just the first sample of
+  /// the new incarnation's estimate.
+  void reset(std::uint64_t initial_latency_ns = 10000) {
+    ewma_ns_->store(initial_latency_ns, std::memory_order_relaxed);
+    samples_.store(0, std::memory_order_relaxed);
+  }
+
   const Options& options() const { return options_; }
 
  private:

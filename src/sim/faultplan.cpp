@@ -58,6 +58,21 @@ FaultPlan& FaultPlan::link_fault(Pid writer, Pid reader, LinkPart part,
   return *this;
 }
 
+FaultPlan& FaultPlan::join(Pid p, Step at) {
+  membership_.push_back({core::MembershipKind::kJoin, p, -1, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::leave(Pid p, Step at) {
+  membership_.push_back({core::MembershipKind::kLeave, p, -1, at});
+  return *this;
+}
+
+FaultPlan& FaultPlan::replace(Pid out, Pid in, Step at) {
+  membership_.push_back({core::MembershipKind::kReplace, out, in, at});
+  return *this;
+}
+
 FaultPlan FaultPlan::generate(std::uint64_t seed,
                               const GenOptions& options) {
   TBWF_ASSERT(options.n >= 1, "need at least one process");
@@ -164,6 +179,35 @@ FaultPlan FaultPlan::generate(std::uint64_t seed,
                     permanent ? registers::kFaultForever : from + len, rate);
   }
 
+  // Membership churn (only bites when a MembershipDirector is
+  // installed). Cycles are sequential in time, so the view history per
+  // cycle is a clean leave -> rejoin chain (or one replace event:
+  // crash-and-be-replaced on the same seat). The cycle count is drawn
+  // HERE, after every other family's draws, so enabling the knob
+  // appends view events to the plan a churn-free generation of the
+  // same seed would produce instead of perturbing its other draws.
+  const int membership_cycles =
+      options.n >= 2 ? draw_count(options.max_membership_cycles) : 0;
+  Step mcursor = lo;
+  for (int m = 0; m < membership_cycles; ++m) {
+    if (mcursor + 8 >= hi) break;  // no room left in the event window
+    const Pid p = options.churn_pid != kNoPid
+                      ? options.churn_pid
+                      : static_cast<Pid>(rng.below(
+                            static_cast<std::uint64_t>(options.n)));
+    if (rng.chance(options.p_replace)) {
+      const Step at = rng.range(mcursor, hi - 1);
+      plan.replace(p, p, at);
+      mcursor = at + 1;
+    } else {
+      const Step out_at = rng.range(mcursor, hi - 3);
+      const Step back = rng.range(out_at + 1, hi - 1);
+      plan.leave(p, out_at);
+      plan.join(p, back);
+      mcursor = back + 1;
+    }
+  }
+
   return plan;
 }
 
@@ -222,7 +266,19 @@ Step FaultPlan::last_event_step() const {
     last = std::max(last,
                     f.to == registers::kFaultForever ? f.from : f.to);
   }
+  for (const auto& ev : membership_) last = std::max(last, ev.at);
   return last;
+}
+
+std::vector<core::EpochWindow> FaultPlan::epoch_timeline(
+    int n, Step run_end) const {
+  return core::epoch_windows(n, membership_, run_end);
+}
+
+bool FaultPlan::member_at_end(int n, Pid p) const {
+  const auto windows = epoch_timeline(n, /*run_end=*/last_event_step() + 1);
+  const auto& final_members = windows.back().members;
+  return p >= 0 && p < n && final_members[static_cast<std::size_t>(p)];
 }
 
 bool FaultPlan::crashed_at_end(Pid p) const {
@@ -371,6 +427,7 @@ std::vector<Step> FaultPlan::phase_boundaries(Step run_end) const {
     add(f.from);
     if (f.to != registers::kFaultForever) add(f.to);
   }
+  for (const auto& ev : membership_) add(ev.at);
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   return edges;
@@ -403,6 +460,9 @@ std::string FaultPlan::summary() const {
       out << f.to;
     }
     out << ") rate " << f.rate << "\n";
+  }
+  for (const auto& ev : membership_) {
+    out << "  view    " << core::describe(ev) << "\n";
   }
   if (empty()) out << "  (no events)\n";
   return out.str();

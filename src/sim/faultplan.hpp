@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/membership.hpp"
 #include "registers/reg_faults.hpp"
 #include "sim/chaos_schedule.hpp"
 #include "sim/types.hpp"
@@ -100,6 +101,11 @@ class FaultPlan {
   FaultPlan& link_fault(Pid writer, Pid reader, LinkPart part,
                         registers::RegFaultKind kind, Step from, Step to,
                         double rate = 1.0);
+  /// Membership events (epoch-based reconfiguration): each bumps the
+  /// view epoch at `at` (applied by a sim::MembershipDirector).
+  FaultPlan& join(Pid p, Step at);
+  FaultPlan& leave(Pid p, Step at);
+  FaultPlan& replace(Pid out, Pid in, Step at);
 
   // -- random generation --------------------------------------------------------
   struct GenOptions {
@@ -130,6 +136,17 @@ class FaultPlan {
     double p_link_jam = 0.5;
     /// Chance a link fault never heals (to = registers::kFaultForever).
     double p_link_permanent = 0.5;
+    /// Membership churn, off by default: a plan generated without it is
+    /// unchanged draw for draw (membership draws append after every
+    /// other family), so existing seeds replay byte for byte. Each
+    /// cycle removes `churn_pid` from the view and re-admits it (or,
+    /// with p_replace, swaps it for itself via a replace event -- same
+    /// set, two epoch bumps collapsed into one).
+    int max_membership_cycles = 0;
+    /// Pid the generated churn targets; kNoPid draws one per cycle.
+    Pid churn_pid = kNoPid;
+    /// Chance a cycle is a single replace event instead of leave+join.
+    double p_replace = 0.25;
   };
 
   /// Deterministic: the same (seed, options) always yields the same plan.
@@ -165,15 +182,28 @@ class FaultPlan {
   const std::vector<LinkFaultEvent>& link_faults() const {
     return link_faults_;
   }
+  const std::vector<core::MembershipEvent>& membership() const {
+    return membership_;
+  }
   bool empty() const {
     return crashes_.empty() && restarts_.empty() && stutters_.empty() &&
-           storms_.empty() && link_faults_.empty();
+           storms_.empty() && link_faults_.empty() && membership_.empty();
   }
 
   /// Step of the last event boundary (crash, restart, stutter end, storm
-  /// end, finite link-fault end; a permanent link fault contributes its
-  /// start); 0 for an empty plan. Everything after is the stable tail.
+  /// end, membership event, finite link-fault end; a permanent link
+  /// fault contributes its start); 0 for an empty plan. Everything
+  /// after is the stable tail.
   Step last_event_step() const;
+
+  /// Epoch timeline for a run of n processes ending at run_end: one
+  /// window per view, everyone a member of epoch 0. A plan with no
+  /// membership events yields the single all-member epoch.
+  std::vector<core::EpochWindow> epoch_timeline(int n, Step run_end) const;
+
+  /// True iff p is in the view the plan leaves in force at the end of
+  /// the run (non-members are not graded for progress).
+  bool member_at_end(int n, Pid p) const;
 
   /// True iff the plan crashes p without a later restart.
   bool crashed_at_end(Pid p) const;
@@ -223,6 +253,7 @@ class FaultPlan {
   std::vector<StutterPhase> stutters_;
   std::vector<AbortStorm> storms_;
   std::vector<LinkFaultEvent> link_faults_;
+  std::vector<core::MembershipEvent> membership_;
 };
 
 }  // namespace tbwf::sim

@@ -1,0 +1,51 @@
+#include "sim/membership.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace tbwf::sim {
+
+void MembershipDirector::install(World& world,
+                                 std::vector<core::MembershipEvent> events) {
+  if (events.empty()) return;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const core::MembershipEvent& a,
+                      const core::MembershipEvent& b) { return a.at < b.at; });
+  pending_ = std::move(events);
+  next_ = 0;
+  world.add_step_observer([this](Step step, Pid) {
+    while (next_ < pending_.size() && pending_[next_].at <= step) {
+      apply(pending_[next_]);
+      ++next_;
+    }
+  });
+}
+
+void MembershipDirector::apply(const core::MembershipEvent& event) {
+  epoch_ += 1;
+  auto set_member = [&](int pid, bool in) {
+    if (pid >= 0 && static_cast<std::size_t>(pid) < members_.size()) {
+      members_[static_cast<std::size_t>(pid)] = in;
+    }
+  };
+  switch (event.kind) {
+    case core::MembershipKind::kJoin:
+      set_member(event.pid, true);
+      break;
+    case core::MembershipKind::kLeave:
+      set_member(event.pid, false);
+      break;
+    case core::MembershipKind::kReplace:
+      set_member(event.pid, false);
+      set_member(event.replacement, true);
+      break;
+  }
+}
+
+int MembershipDirector::member_count() const {
+  return static_cast<int>(
+      std::count(members_.begin(), members_.end(), true));
+}
+
+}  // namespace tbwf::sim

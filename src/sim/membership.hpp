@@ -1,0 +1,55 @@
+// The sim-side view of dynamic membership: a MembershipDirector applies
+// a FaultPlan's membership events at their exact steps (via a World
+// step observer, so replays are bit-identical) and exposes the current
+// epoch + member set as plain fields. Coroutine code reads them with
+// ordinary loads -- NO co_await is involved, so attaching a director
+// changes zero schedules: a run with an empty event list is
+// digest-identical to a run with no director at all.
+//
+// Election code (OmegaRegisters line 12, OmegaAbortable line 48) skips
+// non-members exactly the way it already skips quarantined channels;
+// the service's server half fences itself by validating
+// (epoch unchanged && member(self)) before every shared write, so a
+// leader removed by reconfiguration that wakes up late has its writes
+// rejected, not trusted (counted under "membership.fenced.p<i>").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/membership.hpp"
+#include "sim/types.hpp"
+
+namespace tbwf::sim {
+
+class World;
+
+class MembershipDirector {
+ public:
+  /// Everyone is a member of epoch 0.
+  explicit MembershipDirector(int n) : members_(static_cast<std::size_t>(n), true) {}
+
+  /// Register a step observer on `world` that applies `events` (sorted
+  /// by step, stable for ties) at their exact steps. Call once, before
+  /// World::run. An empty list registers nothing.
+  void install(World& world, std::vector<core::MembershipEvent> events);
+
+  /// Apply one event immediately (tests / manual orchestration).
+  void apply(const core::MembershipEvent& event);
+
+  std::uint32_t epoch() const { return epoch_; }
+  bool member(Pid p) const {
+    return p >= 0 && static_cast<std::size_t>(p) < members_.size() &&
+           members_[static_cast<std::size_t>(p)];
+  }
+  int n() const { return static_cast<int>(members_.size()); }
+  int member_count() const;
+
+ private:
+  std::uint32_t epoch_ = 0;
+  std::vector<bool> members_;
+  std::vector<core::MembershipEvent> pending_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace tbwf::sim

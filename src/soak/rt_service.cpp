@@ -32,6 +32,7 @@ RtLeaderService::RtLeaderService(int nthreads, RtServiceOptions options)
            .floor_ns = options_.term_floor_ns,
            .ceil_ns = options_.term_ceil_ns},
           static_cast<std::uint64_t>(options_.lease_term.count()) / 32),
+      membership_(nthreads),
       state_(0),
       tails_(std::make_unique<
              util::CachelinePadded<std::atomic<std::int64_t>>[]>(
@@ -203,6 +204,10 @@ void RtLeaderService::server_pump(rt::RtWorkerContext& ctx, Slot& slot) {
   if (++slot.pumps % 8 == 0) ctx.fault_point();
   switch (slot.role) {
     case Role::kFollower: {
+      // Only members of the current view compete for the lease. A
+      // non-member keeps its client half (the leader serves every
+      // tail); its server half idles until a later epoch re-admits it.
+      if (!membership_.member(static_cast<int>(tid))) return;
       std::uint64_t token = 0;
       if (!elector_.try_lead(tid, &token)) {
         yield_for(pump_backoff().delay(slot.lost_elections++));

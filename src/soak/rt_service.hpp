@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "rt/rt_membership.hpp"
 #include "rt/rt_supervisor.hpp"
 #include "rt/rt_tbwf.hpp"
 #include "util/cacheline.hpp"
@@ -102,12 +103,40 @@ class RtLeaderService {
     state_.set_injector(&supervisor.injector());
   }
 
-  /// Fence off a dead incarnation's lease before its replacement runs.
+  /// Fence off a dead incarnation's lease before its replacement runs,
+  /// and restart the term calibration: the replacement must not inherit
+  /// the corpse's timing estimate.
   std::function<void(std::uint32_t, std::uint32_t)> on_restart() {
     return [this](std::uint32_t tid, std::uint32_t) {
       elector_.revoke(tid);
+      calibrator_.reset(
+          static_cast<std::uint64_t>(options_.lease_term.count()) / 32);
     };
   }
+
+  /// Apply a plan membership event (supervisor monitor thread): bump
+  /// the packed view, and for a departing seat revoke its lease -- the
+  /// monotone fence then rejects the removed leader's stale token
+  /// before its next state write (kStaleFenceBlocked), which is the rt
+  /// epoch fence. A joining/replacing seat restarts the term
+  /// calibration like a restart does.
+  std::function<void(const core::MembershipEvent&)> on_membership() {
+    return [this](const core::MembershipEvent& event) {
+      membership_.apply(event);
+      if (event.kind == core::MembershipKind::kLeave ||
+          event.kind == core::MembershipKind::kReplace) {
+        elector_.revoke(static_cast<std::uint32_t>(event.pid));
+      }
+      if (event.kind == core::MembershipKind::kJoin ||
+          event.kind == core::MembershipKind::kReplace) {
+        calibrator_.reset(
+            static_cast<std::uint64_t>(options_.lease_term.count()) / 32);
+      }
+    };
+  }
+
+  rt::RtMembership& membership() { return membership_; }
+  const rt::RtMembership& membership() const { return membership_; }
 
   rt::RtWorkerBody body() {
     return [this](rt::RtWorkerContext& ctx) { run_worker(ctx); };
@@ -164,6 +193,11 @@ class RtLeaderService {
   const int nthreads_;
   rt::LeaseElector elector_;
   rt::LeaseCalibrator calibrator_;
+  /// Current election view; mutated only through on_membership (the
+  /// supervisor's monitor thread). Clients keep running regardless of
+  /// membership -- the leader serves every tail -- but only members
+  /// compete for the lease.
+  rt::RtMembership membership_;
   rt::RtAbortableReg<std::int64_t> state_;
   /// Striped watermark counters: tails_[t] is written by client t and
   /// read by the leader; acks_/commits_[t] are written by the leader

@@ -162,8 +162,28 @@ sim::Task SimLeaderService::server_task(sim::SimEnv& env,
   std::vector<std::int64_t> acked(static_cast<std::size_t>(env.n()), 0);
   std::vector<std::int64_t> committed(static_cast<std::size_t>(env.n()), 0);
   std::uint64_t round = 0;
+  util::Counters& metrics = env.world().counters();
+  const std::string fenced_key = "membership.fenced.p" + std::to_string(self);
   for (;;) {
     if (svc.view_(self).leader != self) {
+      co_await env.yield();
+      continue;
+    }
+    // Epoch fence: capture the view this round serves under. Before
+    // every shared write below the round re-validates (epoch unchanged
+    // && self still a member); a reconfiguration in between means this
+    // leader may already be deposed in the new view, so the round is
+    // abandoned and the write REJECTED, not trusted. Plain field reads
+    // -- no co_await -- so a null/event-free director changes nothing.
+    const std::uint32_t epoch_at =
+        svc.membership_ != nullptr ? svc.membership_->epoch() : 0;
+    const auto fenced = [&] {
+      return svc.membership_ != nullptr &&
+             (svc.membership_->epoch() != epoch_at ||
+              !svc.membership_->member(self));
+    };
+    if (fenced()) {
+      metrics.inc(fenced_key);
       co_await env.yield();
       continue;
     }
@@ -178,18 +198,29 @@ sim::Task SimLeaderService::server_task(sim::SimEnv& env,
       std::fill(committed.begin(), committed.end(), 0);
     }
 
+    bool abandoned = false;
     std::int64_t newly = 0;
     for (const sim::Pid q : svc.clients_on_) {
       if (svc.view_(self).leader != self) break;
       const std::int64_t tail = co_await env.read(svc.tail_[q]);
       if (tail <= acked[q]) continue;
+      if (fenced()) {  // a view change landed mid-round: reject the write
+        metrics.inc(fenced_key);
+        abandoned = true;
+        break;
+      }
       newly += tail - acked[q];
       acked[q] = tail;
       co_await env.write(svc.ack_[q], tail);
     }
+    if (abandoned) continue;
 
     if (newly > 0 && svc.view_(self).leader == self) {
       const std::int64_t state = co_await env.read(svc.state_);
+      if (fenced()) {
+        metrics.inc(fenced_key);
+        continue;
+      }
       co_await env.write(svc.state_, state + newly);
     }
 
@@ -197,10 +228,16 @@ sim::Task SimLeaderService::server_task(sim::SimEnv& env,
     for (const sim::Pid q : svc.clients_on_) {
       if (svc.view_(self).leader != self) break;
       if (committed[q] >= acked[q]) continue;
+      if (fenced()) {
+        metrics.inc(fenced_key);
+        abandoned = true;
+        break;
+      }
       co_await env.write(svc.commit_[q], acked[q]);
       committed[q] = acked[q];
       committed_any = true;
     }
+    if (abandoned) continue;
 
     if (newly == 0 && !committed_any) co_await env.yield();
   }

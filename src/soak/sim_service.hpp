@@ -36,6 +36,7 @@
 
 #include "core/tbwf_object.hpp"
 #include "omega/omega.hpp"
+#include "sim/membership.hpp"
 #include "sim/task.hpp"
 #include "sim/types.hpp"
 #include "sim/world.hpp"
@@ -86,6 +87,21 @@ class SimLeaderService {
   const SimServiceOptions& options() const { return options_; }
   const std::vector<sim::Pid>& client_pids() const { return clients_on_; }
 
+  /// Epoch-fence the server half against reconfiguration: a serving
+  /// round captures the director's epoch when it observes leadership
+  /// and re-validates (same epoch && still a member) before EVERY
+  /// shared write; on mismatch it abandons the round and bumps the
+  /// world counter "membership.fenced.p<i>". A leader removed by a
+  /// view change that wakes up late therefore lands at most the one
+  /// write already in flight at the boundary (check passed, write not
+  /// yet executed); every later write re-validates and is rejected.
+  /// Null (the default) keeps the static group. The director must
+  /// outlive the run; set before install().
+  void set_membership(const sim::MembershipDirector* director) {
+    membership_ = director;
+  }
+  const sim::MembershipDirector* membership() const { return membership_; }
+
   /// Per-request issue/completion log for the conformance checker.
   const core::OpLog& log() const { return log_; }
 
@@ -127,6 +143,7 @@ class SimLeaderService {
   LeaderView view_;
   SimServiceOptions options_;
   std::vector<sim::Pid> clients_on_;
+  const sim::MembershipDirector* membership_ = nullptr;
   bool installed_ = false;
 
   std::vector<sim::AtomicReg<std::int64_t>> tail_;

@@ -28,6 +28,15 @@ const char* to_string(SimBackend backend) {
   return "?";
 }
 
+const char* to_string(MembershipMode mode) {
+  switch (mode) {
+    case MembershipMode::kStatic: return "static";
+    case MembershipMode::kFlicker: return "flicker";
+    case MembershipMode::kEpochChurn: return "epoch-churn";
+  }
+  return "?";
+}
+
 SloBudget default_sim_budget(sim::Step run_steps) {
   SloBudget budget;
   budget.route_p99 = 20000;
@@ -81,6 +90,15 @@ sim::FaultPlan::GenOptions sim_gen_options(const SimSoakOptions& options) {
     // breach scenario, not background churn.
     gen.p_link_permanent = 0.0;
   }
+  if (options.membership == MembershipMode::kEpochChurn) {
+    // Membership draws append after every other family, so flicker- and
+    // static-mode plans from the same seed are unchanged draw for draw.
+    // Churn only the spare clientless seat: removing a routed client's
+    // seat would (correctly) starve its router, which is a different
+    // scenario than background reconfiguration churn.
+    gen.max_membership_cycles = 2;
+    gen.churn_pid = options.n - 1;
+  }
   return gen;
 }
 
@@ -100,12 +118,18 @@ omega::OmegaAbortable::Options soak_omega_options() {
 }
 
 void spawn_candidates(sim::World& world, const SimSoakOptions& options,
-                      const SimLeaderService::LeaderView& view) {
+                      const SimLeaderService::LeaderView& view,
+                      const sim::MembershipDirector* director) {
   for (sim::Pid p = 0; p < options.n; ++p) {
     // The view returns a reference into the omega backend's io array;
     // cast away const for the driver, which owns the CANDIDATE input.
     omega::OmegaIO* io = const_cast<omega::OmegaIO*>(&view(p));
-    if (options.membership_flicker && p == options.n - 1) {
+    if (options.membership == MembershipMode::kEpochChurn) {
+      world.spawn(p, "cand", [io, director](sim::SimEnv& env) {
+        return omega::membership_candidate(env, *io, *director);
+      });
+    } else if (options.membership == MembershipMode::kFlicker &&
+               p == options.n - 1) {
       world.spawn(p, "cand", [io](sim::SimEnv& env) {
         return omega::canonical_repeated_candidate(env, *io, 30000, 30000);
       });
@@ -118,10 +142,16 @@ void spawn_candidates(sim::World& world, const SimSoakOptions& options,
 }
 
 std::vector<sim::Pid> issuing_clients(const SimLeaderService& service,
-                                      const sim::FaultPlan& plan) {
+                                      const sim::FaultPlan& plan, int n) {
   std::vector<sim::Pid> issuing;
   for (const sim::Pid p : service.client_pids()) {
-    if (!plan.crashed_at_end(p)) issuing.push_back(p);
+    // A client whose seat the plan leaves outside the final view is
+    // not held to completion guarantees (the checker also grades it
+    // untimely); with the generated churn pinned to the clientless
+    // spare seat this only matters for hand-built plans.
+    if (!plan.crashed_at_end(p) && plan.member_at_end(n, p)) {
+      issuing.push_back(p);
+    }
   }
   return issuing;
 }
@@ -142,6 +172,15 @@ SimSoakResult run_sim_soak(const SimSoakOptions& options) {
                    plan.wrap(std::make_unique<sim::RandomSchedule>(
                        options.seed * 991 + 7)));
 
+  // Epoch-churn mode: a director applies the plan's membership events
+  // at their steps; the election backends and the service fence on it.
+  // Null in the other modes -- a null director changes no schedule and
+  // no digest.
+  std::unique_ptr<sim::MembershipDirector> director;
+  if (options.membership == MembershipMode::kEpochChurn) {
+    director = std::make_unique<sim::MembershipDirector>(options.n);
+  }
+
   // Backend objects outlive the run via these scope-level owners.
   std::unique_ptr<omega::OmegaRegisters> om_atomic;
   std::unique_ptr<omega::OmegaAbortable> om_abortable;
@@ -150,6 +189,7 @@ SimSoakResult run_sim_soak(const SimSoakOptions& options) {
   SimLeaderService::LeaderView view;
   if (options.backend == SimBackend::kAtomic) {
     om_atomic = std::make_unique<omega::OmegaRegisters>(world);
+    om_atomic->set_membership(director.get());
     om_atomic->install_all();
     view = [om = om_atomic.get()](sim::Pid p) -> const omega::OmegaIO& {
       return om->io(p);
@@ -163,6 +203,7 @@ SimSoakResult run_sim_soak(const SimSoakOptions& options) {
     injector.emplace(options.seed * 13 + 11, &*calm);
     om_abortable = std::make_unique<omega::OmegaAbortable>(
         world, &*injector, soak_omega_options());
+    om_abortable->set_membership(director.get());
     om_abortable->install_all();
     plan.arm(*injector, world);
     view = [om = om_abortable.get()](sim::Pid p) -> const omega::OmegaIO& {
@@ -170,19 +211,22 @@ SimSoakResult run_sim_soak(const SimSoakOptions& options) {
     };
   }
 
-  spawn_candidates(world, options, view);
+  spawn_candidates(world, options, view, director.get());
 
   SimServiceOptions service_options = options.service;
-  if (service_options.client_pids.empty() && options.membership_flicker) {
-    // The flickering candidate legitimately rests at "?" -- keep it
-    // clientless (see SimSoakOptions::membership_flicker).
+  if (service_options.client_pids.empty() &&
+      options.membership != MembershipMode::kStatic) {
+    // The flickering / churned candidate legitimately rests at "?" --
+    // keep it clientless (see SimSoakOptions::membership).
     for (sim::Pid p = 0; p < options.n - 1; ++p) {
       service_options.client_pids.push_back(p);
     }
   }
   SimLeaderService service(world, view, service_options);
+  service.set_membership(director.get());
   service.install();
 
+  if (director) director->install(world, plan.membership());
   plan.install(world);
   world.run(options.run_steps);
   result.run_end = world.now();
@@ -193,8 +237,9 @@ SimSoakResult run_sim_soak(const SimSoakOptions& options) {
   result.slo = grade_slo(result.stats, result.availability, options.budget,
                          "steps", result.run_end);
   result.progress = core::check_chaos_conformance(
-      world.trace(), service.log(), plan, issuing_clients(service, plan),
-      options.conformance, &world.counters());
+      world.trace(), service.log(), plan,
+      issuing_clients(service, plan, options.n), options.conformance,
+      &world.counters());
   result.joint = core::grade_service_run(
       result.progress, slo_summary(result.slo), &world.counters());
   result.trace_digest = world.trace().digest();
@@ -224,6 +269,21 @@ sim::FaultPlan blackout_churn_plan(std::uint64_t seed, int n, int blackouts,
     for (sim::Pid p = 0; p < n - 1; ++p) {
       plan.crash(p, at);
       plan.restart(p, at + outage);
+    }
+  }
+  return plan;
+}
+
+sim::FaultPlan view_thrash_plan(std::uint64_t seed, int n, int flips,
+                                sim::Step first_at, sim::Step spacing) {
+  sim::FaultPlan plan(seed);
+  const sim::Pid spare = static_cast<sim::Pid>(n - 1);
+  for (int k = 0; k < flips; ++k) {
+    const sim::Step at = first_at + static_cast<sim::Step>(k) * spacing;
+    if (k % 2 == 0) {
+      plan.leave(spare, at);
+    } else {
+      plan.join(spare, at);
     }
   }
   return plan;
@@ -280,6 +340,12 @@ rt::RtFaultPlan::GenOptions rt_gen_options(const RtSoakOptions& options) {
   // As in the sim soak: background reg faults heal; a permanent jam is
   // the explicit breach scenario (jammed_medium_plan).
   gen.p_reg_permanent = 0.0;
+  if (options.membership_churn) {
+    // Membership draws append after every other family: plans without
+    // churn are unchanged draw for draw. Spare seat only, as in sim.
+    gen.max_membership_cycles = 2;
+    gen.churn_tid = options.nthreads - 1;
+  }
   return gen;
 }
 
@@ -301,6 +367,9 @@ RtSoakResult run_rt_soak(const RtSoakOptions& options) {
       std::chrono::nanoseconds(options.horizon_ns + options.extra_run_ns);
   sup_options.trace_capacity = options.trace_capacity;
   sup_options.on_restart = service.on_restart();
+  // Always wired: it only fires for plans that carry membership events,
+  // so a plain run pays one empty check per monitor wake.
+  sup_options.on_membership = service.on_membership();
   rt::RtSupervisor supervisor(sup_options, result.plan, service.body());
   service.attach_storms(supervisor);
 
@@ -368,6 +437,22 @@ rt::RtFaultPlan jammed_medium_plan(std::uint64_t seed,
   rt::RtFaultPlan plan(seed);
   plan.reg_fault(registers::RegFaultKind::Jam, from_ns,
                  rt::RtAbortInjector::kForeverNs);
+  return plan;
+}
+
+rt::RtFaultPlan rt_view_thrash_plan(std::uint64_t seed, int nthreads,
+                                    int flips, std::uint64_t first_ns,
+                                    std::uint64_t spacing_ns) {
+  rt::RtFaultPlan plan(seed);
+  const std::uint32_t spare = static_cast<std::uint32_t>(nthreads - 1);
+  for (int k = 0; k < flips; ++k) {
+    const std::uint64_t at = first_ns + static_cast<std::uint64_t>(k) * spacing_ns;
+    if (k % 2 == 0) {
+      plan.leave(spare, at);
+    } else {
+      plan.join(spare, at);
+    }
+  }
   return plan;
 }
 

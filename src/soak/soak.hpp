@@ -12,7 +12,8 @@
 //   run_sim_soak  deterministic coroutine simulator, Omega-Delta on
 //                 atomic or abortable registers, FaultPlan churn
 //                 (crash/restart storms, stutters, degraded channels
-//                 with quarantine-heal cycles, membership flicker).
+//                 with quarantine-heal cycles, candidacy flicker or
+//                 epoch-based membership reconfiguration).
 //                 Bit-replayable: one seed fixes the plan, the
 //                 schedule, the trace digest and the joint verdict.
 //   run_rt_soak   real threads under RtSupervisor, LeaseElector
@@ -26,7 +27,10 @@
 // clean tail still passes progress; jammed_medium_plan (rt) jams
 // the state cell permanently -- commits freeze and the commit-stall
 // budget fails while the progress checker (correctly) excuses the
-// jammed medium. A clean run passes both axes.
+// jammed medium; view_thrash_plan / rt_view_thrash_plan thrash the
+// spare seat's membership through the tail -- the epoch never stops
+// bumping, the stable suffix never fits, and ONLY the TBWF axis fails
+// while the SLO stays green. A clean run passes both axes.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +55,27 @@ enum class SimBackend : std::uint8_t {
 
 const char* to_string(SimBackend backend);
 
+/// How the soak churns the candidate set.
+enum class MembershipMode : std::uint8_t {
+  /// Every pid competes permanently; no view changes.
+  kStatic,
+  /// Compat shim for the old `membership_flicker = true` default: pid
+  /// n-1 runs the canonical repeated-candidate join/leave cycle
+  /// (Definition 6) with the historical 30000/30000 cadence. Candidacy
+  /// flickers but the VIEW never changes -- no MembershipDirector is
+  /// constructed -- so existing seeds replay bit-identically.
+  kFlicker,
+  /// Epoch-based reconfiguration: the generated FaultPlan carries
+  /// membership events targeting the spare seat n-1, a
+  /// MembershipDirector applies them at their steps, every candidate
+  /// follows the current view (omega::membership_candidate), both the
+  /// election backend and the service are fenced on it, and the
+  /// conformance checker grades each epoch independently.
+  kEpochChurn,
+};
+
+const char* to_string(MembershipMode mode);
+
 /// Default budgets for a clean churned run of `run_steps`; breach tests
 /// tighten individual budgets instead of relying on these.
 SloBudget default_sim_budget(sim::Step run_steps);
@@ -67,11 +92,11 @@ struct SimSoakOptions {
   sim::Step horizon = 1200000;
   /// Generate a FaultPlan from the seed (false = fault-free run).
   bool churn = true;
-  /// Pid n-1 joins/leaves leadership canonically (Definition 6) instead
-  /// of competing permanently -- membership flicker as churn. That pid
-  /// runs no client: a repeated candidate's LEADER view legitimately
-  /// rests at "?" (Definition 5), which would starve its router.
-  bool membership_flicker = true;
+  /// Candidate-set churn mode. In kFlicker and kEpochChurn the spare
+  /// pid n-1 runs no client: a seat that withdraws (or leaves the
+  /// view) legitimately rests at LEADER == "?" (Definition 5), which
+  /// would starve its router.
+  MembershipMode membership = MembershipMode::kFlicker;
   /// Replaces the generated plan when set (must outlive the call).
   const sim::FaultPlan* plan_override = nullptr;
   SimServiceOptions service;
@@ -117,6 +142,18 @@ sim::FaultPlan blackout_churn_plan(std::uint64_t seed, int n, int blackouts,
                                    sim::Step first_at, sim::Step spacing,
                                    sim::Step outage);
 
+/// View-thrash breach (sim): `flips` alternating leave/join events on
+/// the spare seat n-1, starting at `first_at` and spaced `spacing`
+/// apart. Run it with membership = kEpochChurn and a spacing that
+/// carries the flips through the end of the run: every flip bumps the
+/// epoch and extends the plan's last event, so the global stable
+/// suffix never fits and progress fails as inconclusive ("stable
+/// suffix too short") -- while the clients on seats 0..n-2 keep being
+/// served and the SLO stays green. The breach that flips ONLY the
+/// TBWF axis of the joint verdict.
+sim::FaultPlan view_thrash_plan(std::uint64_t seed, int n, int flips,
+                                sim::Step first_at, sim::Step spacing);
+
 // -- rt -------------------------------------------------------------------------
 
 /// Default budgets for a clean churned rt run of `run_ns` wall time.
@@ -131,6 +168,14 @@ struct RtSoakOptions {
   std::uint64_t horizon_ns = 24000000;
   std::uint64_t extra_run_ns = 8000000;
   bool churn = true;
+  /// Adds generated membership churn (epoch-based reconfiguration) on
+  /// the spare seat nthreads-1 to the fault plan: leave/join cycles or
+  /// one-shot replaces, fired from the supervisor's monitor thread
+  /// through RtLeaderService::on_membership -- the departing seat's
+  /// lease is revoked so its stale token is fence-rejected
+  /// (kStaleFenceBlocked), and the conformance checker grades each
+  /// epoch independently.
+  bool membership_churn = false;
   /// Replaces the generated plan when set (must outlive the call).
   const rt::RtFaultPlan* plan_override = nullptr;
   RtServiceOptions service;
@@ -172,5 +217,15 @@ RtSoakResult run_rt_soak(const RtSoakOptions& options);
 /// "SLO catches what progress conformance must not" breach.
 rt::RtFaultPlan jammed_medium_plan(std::uint64_t seed,
                                    std::uint64_t from_ns);
+
+/// View-thrash breach (rt twin of view_thrash_plan): `flips`
+/// alternating leave/join events on the spare seat nthreads-1, spaced
+/// `spacing_ns` apart from `first_ns`. With a spacing that carries the
+/// thrash through the end of the run the global stable suffix never
+/// fits, so progress fails as inconclusive while the other seats keep
+/// committing and the SLO stays green -- only the TBWF axis flips.
+rt::RtFaultPlan rt_view_thrash_plan(std::uint64_t seed, int nthreads,
+                                    int flips, std::uint64_t first_ns,
+                                    std::uint64_t spacing_ns);
 
 }  // namespace tbwf::soak

@@ -1,0 +1,310 @@
+// Epoch-based dynamic membership: the core epoch timeline, the sim
+// MembershipDirector, seed-replayable membership generation, the
+// service-level epoch fence (a removed leader's stale writes are
+// REJECTED, not trusted), re-stabilization after a remove-and-rejoin,
+// per-epoch conformance grading, and the view-thrash breach that flips
+// only the TBWF axis of the joint verdict.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/membership.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/membership.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+#include "soak/soak.hpp"
+
+namespace tbwf {
+namespace {
+
+// -- core::epoch_windows --------------------------------------------------------
+
+TEST(EpochWindows, NoEventsIsOneFullWindow) {
+  const auto windows = core::epoch_windows(3, {}, 1000);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].epoch, 0u);
+  EXPECT_EQ(windows[0].from, 0u);
+  EXPECT_EQ(windows[0].to, 1000u);
+  EXPECT_EQ(windows[0].member_count(), 3);
+}
+
+TEST(EpochWindows, LeaveAndJoinSplitTheTimeline) {
+  std::vector<core::MembershipEvent> events = {
+      {core::MembershipKind::kLeave, 1, -1, 100},
+      {core::MembershipKind::kJoin, 1, -1, 400},
+  };
+  const auto windows = core::epoch_windows(3, events, 1000);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].to, 100u);
+  EXPECT_TRUE(windows[0].members[1]);
+  EXPECT_EQ(windows[1].epoch, 1u);
+  EXPECT_EQ(windows[1].from, 100u);
+  EXPECT_EQ(windows[1].to, 400u);
+  EXPECT_FALSE(windows[1].members[1]);
+  EXPECT_EQ(windows[1].member_count(), 2);
+  EXPECT_EQ(windows[2].epoch, 2u);
+  EXPECT_TRUE(windows[2].members[1]);
+  EXPECT_EQ(windows[2].to, 1000u);
+}
+
+TEST(EpochWindows, ReplaceSwapsOneSeatInOneEpoch) {
+  // Seat 3 leaves first so the later replace genuinely swaps one seat
+  // for another: the membership count is conserved across the replace.
+  std::vector<core::MembershipEvent> events = {
+      {core::MembershipKind::kLeave, 3, -1, 100},
+      {core::MembershipKind::kReplace, 0, 3, 500},
+  };
+  const auto windows = core::epoch_windows(4, events, 1000);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[1].member_count(), 3);
+  EXPECT_FALSE(windows[2].members[0]);
+  EXPECT_TRUE(windows[2].members[3]);
+  EXPECT_EQ(windows[2].member_count(), 3);
+}
+
+TEST(EpochWindows, UnsortedEventsAreOrderedByTime) {
+  std::vector<core::MembershipEvent> events = {
+      {core::MembershipKind::kJoin, 2, -1, 700},
+      {core::MembershipKind::kLeave, 2, -1, 200},
+  };
+  const auto windows = core::epoch_windows(3, events, 1000);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_FALSE(windows[1].members[2]);
+  EXPECT_TRUE(windows[2].members[2]);
+}
+
+// -- MembershipDirector ---------------------------------------------------------
+
+TEST(MembershipDirector, AppliesEventsAtTheirSteps) {
+  sim::World world(2, std::make_unique<sim::RoundRobinSchedule>());
+  sim::MembershipDirector director(2);
+  std::vector<core::MembershipEvent> events = {
+      {core::MembershipKind::kLeave, 1, -1, 50},
+      {core::MembershipKind::kJoin, 1, -1, 120},
+  };
+  director.install(world, events);
+  // Keep both pids stepping so the observer fires.
+  for (sim::Pid p = 0; p < 2; ++p) {
+    world.spawn(p, "idle", [](sim::SimEnv& env) -> sim::Task {
+      for (;;) co_await env.yield();
+    });
+  }
+  EXPECT_EQ(director.epoch(), 0u);
+  EXPECT_TRUE(director.member(1));
+  world.run(80);
+  EXPECT_EQ(director.epoch(), 1u);
+  EXPECT_FALSE(director.member(1));
+  EXPECT_TRUE(director.member(0));
+  world.run(200);
+  EXPECT_EQ(director.epoch(), 2u);
+  EXPECT_TRUE(director.member(1));
+  EXPECT_EQ(director.member_count(), 2);
+}
+
+// -- FaultPlan membership generation --------------------------------------------
+
+std::string without_view_lines(const std::string& summary) {
+  std::istringstream in(summary);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("view ") == std::string::npos) out << line << "\n";
+  }
+  return out.str();
+}
+
+TEST(FaultPlanMembership, DrawsAppendAfterEveryOtherFamily) {
+  // The membership knob must not perturb any other draw: a plan
+  // generated with churn enabled is the churn-free plan plus view
+  // events -- existing seeds replay byte for byte.
+  sim::FaultPlan::GenOptions base;
+  base.n = 4;
+  base.max_storms = 1;
+  base.max_link_faults = 2;
+  const sim::FaultPlan before = sim::FaultPlan::generate(321, base);
+  sim::FaultPlan::GenOptions churn = base;
+  churn.max_membership_cycles = 3;
+  churn.churn_pid = 3;
+  const sim::FaultPlan after = sim::FaultPlan::generate(321, churn);
+  EXPECT_TRUE(before.membership().empty());
+  EXPECT_EQ(without_view_lines(before.summary()),
+            without_view_lines(after.summary()));
+}
+
+TEST(FaultPlanMembership, GeneratedChurnTargetsThePinnedSeat) {
+  sim::FaultPlan::GenOptions gen;
+  gen.n = 4;
+  gen.max_membership_cycles = 3;
+  gen.churn_pid = 3;
+  bool any = false;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const sim::FaultPlan plan = sim::FaultPlan::generate(seed, gen);
+    for (const auto& ev : plan.membership()) {
+      any = true;
+      EXPECT_EQ(ev.pid, 3);
+      EXPECT_LT(ev.at, gen.horizon);
+      if (ev.kind == core::MembershipKind::kReplace) {
+        EXPECT_EQ(ev.replacement, 3);
+      }
+    }
+    // Cycles come in matched leave/join pairs or single replaces, so
+    // the seat is always back in the view at the end.
+    EXPECT_TRUE(plan.member_at_end(gen.n, 3));
+    EXPECT_EQ(plan.epoch_timeline(gen.n, 2 * gen.horizon).size(),
+              plan.membership().size() + 1);
+  }
+  EXPECT_TRUE(any) << "no seed drew membership events";
+}
+
+TEST(FaultPlanMembership, BuildersExtendLastEventStep) {
+  sim::FaultPlan plan(7);
+  plan.crash(0, 100).restart(0, 200);
+  EXPECT_EQ(plan.last_event_step(), 200u);
+  plan.leave(1, 5000).join(1, 9000);
+  EXPECT_EQ(plan.last_event_step(), 9000u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.member_at_end(2, 1));  // rejoined at 9000
+}
+
+// -- the service-level epoch fence ----------------------------------------------
+
+// A leader removed by a view change must have ZERO accepted stale
+// writes after the change: every serving-round write re-validates the
+// epoch first. The election layer is pinned (a constant view that
+// always names p0 leader) so the test isolates the service fence.
+TEST(MembershipFence, RemovedLeaderStaleWritesAreRejected) {
+  const int n = 2;
+  sim::WorldOptions world_options;
+  world_options.log_writes = true;
+  sim::World world(n, std::make_unique<sim::RandomSchedule>(42),
+                   world_options);
+  sim::MembershipDirector director(n);
+
+  omega::OmegaIO fixed;
+  fixed.leader = 0;
+  soak::SimLeaderService::LeaderView view =
+      [&fixed](sim::Pid) -> const omega::OmegaIO& { return fixed; };
+  soak::SimServiceOptions service_options;
+  service_options.client_pids = {1};
+  soak::SimLeaderService service(world, view, service_options);
+  service.set_membership(&director);
+  service.install();
+
+  const sim::Step leave_at = 60000;
+  std::vector<core::MembershipEvent> events = {
+      {core::MembershipKind::kLeave, 0, -1, leave_at},
+  };
+  director.install(world, events);
+  world.run(120000);
+
+  // p0 served before the view change...
+  bool wrote_before = false;
+  sim::Step last_p0_write = 0;
+  for (const auto& ev : world.write_log()) {
+    if (ev.pid != 0) continue;
+    if (ev.step < leave_at) wrote_before = true;
+    last_p0_write = std::max(last_p0_write, ev.step);
+  }
+  EXPECT_TRUE(wrote_before);
+  // ...and the fence closed at the boundary. p0 runs only the server
+  // task here, so every p0 write is a served-round write. The service
+  // re-validates the view before EVERY write, but a write whose check
+  // passed just before the event lands a few steps after it -- at most
+  // that single in-flight write crosses the boundary, and every later
+  // write is rejected.
+  std::size_t stale_writes = 0;
+  for (const auto& ev : world.write_log()) {
+    if (ev.pid == 0 && ev.step > leave_at) ++stale_writes;
+  }
+  EXPECT_LE(stale_writes, 1u);
+  EXPECT_LE(last_p0_write, leave_at + 64);
+  // The abandoned rounds were counted.
+  EXPECT_GT(world.counters().get("membership.fenced.p0"), 0u);
+}
+
+// -- epoch churn through the full soak ------------------------------------------
+
+TEST(MembershipSoak, RemoveAndRejoinRestabilizesAndGradesEpochs) {
+  for (const auto backend :
+       {soak::SimBackend::kAtomic, soak::SimBackend::kAbortable}) {
+    auto options = soak::SimSoakOptions::quick(5, backend);
+    options.membership = soak::MembershipMode::kEpochChurn;
+    // Remove the initial leader p0 from the view, then re-admit it:
+    // leadership must re-stabilize among {p1, p2, p3} in epoch 1 and
+    // the run must still pass jointly, with each epoch graded on its
+    // own sub-suffix.
+    sim::FaultPlan plan(5);
+    plan.leave(0, 60000).join(0, 160000);
+    options.plan_override = &plan;
+    const auto result = soak::run_sim_soak(options);
+    EXPECT_TRUE(result.joint.ok())
+        << to_string(backend) << "\n"
+        << result.joint.summary();
+    ASSERT_EQ(result.progress.epoch_grades.size(), 3u);
+    EXPECT_FALSE(result.progress.epoch_grades[1].members[0]);
+    EXPECT_EQ(result.progress.epoch_grades[1].epoch, 1u);
+    // Epoch 1 is a short mid-run window: reported, not violated.
+    EXPECT_FALSE(result.progress.epoch_grades[1].conclusive);
+    // The final epoch independently earns its verdict.
+    EXPECT_TRUE(result.progress.epoch_grades[2].conclusive);
+    EXPECT_EQ(result.progress.epoch_grades[2].suffix_timely.size(),
+              static_cast<std::size_t>(options.n));
+    // Seed-replayable: the whole run is bit-identical.
+    const auto replay = soak::run_sim_soak(options);
+    EXPECT_EQ(result.trace_digest, replay.trace_digest);
+    EXPECT_EQ(result.state_value, replay.state_value);
+  }
+}
+
+TEST(MembershipSoak, GeneratedChurnModeStaysDeterministic) {
+  auto options = soak::SimSoakOptions::quick(2, soak::SimBackend::kAtomic);
+  options.membership = soak::MembershipMode::kEpochChurn;
+  const auto a = soak::run_sim_soak(options);
+  const auto b = soak::run_sim_soak(options);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_FALSE(a.plan.membership().empty());
+  EXPECT_TRUE(a.joint.ok()) << a.joint.summary();
+  EXPECT_EQ(a.progress.epoch_grades.size(), a.plan.membership().size() + 1);
+}
+
+TEST(MembershipSoak, FlickerModeReplaysLegacySeeds) {
+  // The kFlicker compat shim must be draw-for-draw identical to the old
+  // membership_flicker bool: same seed, same digest, whether or not the
+  // epoch machinery is compiled in. (The digests here pin the behavior
+  // observed before the membership layer existed.)
+  auto options = soak::SimSoakOptions::quick(1, soak::SimBackend::kAtomic);
+  ASSERT_EQ(options.membership, soak::MembershipMode::kFlicker);
+  const auto result = soak::run_sim_soak(options);
+  EXPECT_EQ(result.trace_digest, 0xab82371b139eaa92ull);
+  EXPECT_EQ(result.state_value, 206752);
+}
+
+TEST(MembershipSoak, ViewThrashFailsOnlyTheProgressAxis) {
+  auto options = soak::SimSoakOptions::quick(11, soak::SimBackend::kAbortable);
+  options.membership = soak::MembershipMode::kEpochChurn;
+  // Thrash the spare seat's membership through the end of the run: the
+  // epoch never stops bumping, so the global stable suffix never fits.
+  const auto thrash =
+      soak::view_thrash_plan(11, options.n, 40, 200000, 25000);
+  options.plan_override = &thrash;
+  const auto result = soak::run_sim_soak(options);
+  EXPECT_FALSE(result.joint.progress_ok);
+  EXPECT_TRUE(result.slo.ok) << result.joint.summary();
+  EXPECT_TRUE(result.joint.slo.ok);
+  ASSERT_FALSE(result.progress.violations.empty());
+  EXPECT_NE(result.progress.violations.front().find(
+                "stable suffix too short"),
+            std::string::npos);
+  // Every thrash epoch is reported inconclusive, none violated.
+  EXPECT_EQ(result.progress.epoch_grades.size(), 41u);
+  for (const auto& grade : result.progress.epoch_grades) {
+    EXPECT_FALSE(grade.conclusive);
+  }
+}
+
+}  // namespace
+}  // namespace tbwf

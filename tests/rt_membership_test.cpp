@@ -1,0 +1,219 @@
+// Real-thread epoch membership: the packed view word, the fence across
+// an epoch boundary (a removed leader that wakes up late must have its
+// stale token rejected -- run under TSan in CI like every Rt* suite),
+// generated churn draw compatibility, and the rt soak with membership
+// events, including the view-thrash breach that fails only the TBWF
+// axis.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/membership.hpp"
+#include "rt/rt_faults.hpp"
+#include "rt/rt_membership.hpp"
+#include "rt/rt_tbwf.hpp"
+#include "soak/soak.hpp"
+
+namespace tbwf {
+namespace {
+
+// -- the packed view word -------------------------------------------------------
+
+TEST(RtMembershipView, EpochZeroHasEveryThread) {
+  rt::RtMembership membership(4);
+  EXPECT_EQ(membership.epoch(), 0u);
+  for (int t = 0; t < 4; ++t) EXPECT_TRUE(membership.member(t));
+  EXPECT_FALSE(membership.member(4));
+  const auto view = membership.sample();
+  EXPECT_EQ(view.epoch, 0u);
+  EXPECT_TRUE(view.member(3));
+  EXPECT_FALSE(view.member(4));
+}
+
+TEST(RtMembershipView, EventsBumpTheEpochAndEditTheMask) {
+  rt::RtMembership membership(3);
+  membership.apply({core::MembershipKind::kLeave, 2, -1, 0});
+  EXPECT_EQ(membership.epoch(), 1u);
+  EXPECT_FALSE(membership.member(2));
+  membership.apply({core::MembershipKind::kJoin, 2, -1, 0});
+  EXPECT_EQ(membership.epoch(), 2u);
+  EXPECT_TRUE(membership.member(2));
+  membership.apply({core::MembershipKind::kReplace, 0, 2, 0});
+  EXPECT_EQ(membership.epoch(), 3u);
+  EXPECT_FALSE(membership.member(0));
+  EXPECT_TRUE(membership.member(2));
+}
+
+TEST(RtMembershipView, SampleIsOneConsistentWord) {
+  // A reader that races apply() may see the old or the new view, but
+  // never a new epoch with an old mask: both live in one atomic word.
+  rt::RtMembership membership(2);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto view = membership.sample();
+      if (view.epoch % 2 == 1) {
+        EXPECT_FALSE(view.member(1));
+      } else {
+        EXPECT_TRUE(view.member(1));
+      }
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    membership.apply({core::MembershipKind::kLeave, 1, -1, 0});
+    membership.apply({core::MembershipKind::kJoin, 1, -1, 0});
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(membership.epoch(), 4000u);
+}
+
+// -- the fence across an epoch boundary -----------------------------------------
+
+TEST(RtMembershipFence, RevokedSeatTokenFailsValidate) {
+  rt::LeaseElector elector(std::chrono::seconds(1));
+  std::uint64_t token = 0;
+  ASSERT_TRUE(elector.try_lead(0, &token));
+  ASSERT_TRUE(elector.validate(0, token));
+  // The on_membership hook revokes a departing seat's lease: the fence
+  // bumps, so the removed leader's stale token is dead.
+  elector.revoke(0);
+  EXPECT_FALSE(elector.validate(0, token));
+  // The next epoch's leader gets a strictly newer token; the old one
+  // stays dead even if the same tid later rejoins and wins again.
+  std::uint64_t next_token = 0;
+  ASSERT_TRUE(elector.try_lead(1, &next_token));
+  EXPECT_GT(next_token, token);
+  EXPECT_FALSE(elector.validate(0, token));
+}
+
+TEST(RtMembershipFence, RemovedLeaderWakesUpFenced) {
+  // The acceptance scenario on real threads: a leader is removed from
+  // the view while it holds the lease (and is oblivious -- stalled);
+  // when it wakes up, every validate() of its stale token must fail,
+  // so it can accept ZERO stale writes. TSan checks the ordering.
+  rt::LeaseElector elector(std::chrono::seconds(1));
+  rt::RtMembership membership(2);
+  std::atomic<int> phase{0};
+  std::thread leader([&] {
+    std::uint64_t token = 0;
+    while (!elector.try_lead(0, &token)) std::this_thread::yield();
+    ASSERT_TRUE(elector.validate(0, token));
+    phase.store(1, std::memory_order_release);
+    // "Stalled": sleeps through the reconfiguration.
+    while (phase.load(std::memory_order_acquire) < 2) {
+      std::this_thread::yield();
+    }
+    // Woke up in the new epoch: the write gate must hold.
+    EXPECT_FALSE(elector.validate(0, token));
+  });
+  while (phase.load(std::memory_order_acquire) < 1) {
+    std::this_thread::yield();
+  }
+  // Monitor side of RtLeaderService::on_membership for a kLeave.
+  membership.apply({core::MembershipKind::kLeave, 0, -1, 0});
+  elector.revoke(0);
+  EXPECT_EQ(membership.epoch(), 1u);
+  EXPECT_FALSE(membership.member(0));
+  phase.store(2, std::memory_order_release);
+  leader.join();
+}
+
+// -- generated churn ------------------------------------------------------------
+
+std::string without_view_lines(const std::string& summary) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < summary.size()) {
+    std::size_t end = summary.find('\n', pos);
+    if (end == std::string::npos) end = summary.size();
+    const std::string line = summary.substr(pos, end - pos);
+    if (line.find("view ") == std::string::npos) out += line + "\n";
+    pos = end + 1;
+  }
+  return out;
+}
+
+TEST(RtMembershipGen, DrawsAppendAfterEveryOtherFamily) {
+  rt::RtFaultPlan::GenOptions base;
+  base.nthreads = 4;
+  base.max_reg_faults = 1;
+  const rt::RtFaultPlan before = rt::RtFaultPlan::generate(77, base);
+  rt::RtFaultPlan::GenOptions churn = base;
+  churn.max_membership_cycles = 3;
+  churn.churn_tid = 3;
+  const rt::RtFaultPlan after = rt::RtFaultPlan::generate(77, churn);
+  EXPECT_TRUE(before.membership().empty());
+  EXPECT_EQ(without_view_lines(before.summary()),
+            without_view_lines(after.summary()));
+}
+
+TEST(RtMembershipGen, ChurnTargetsThePinnedSeatAndRejoins) {
+  rt::RtFaultPlan::GenOptions gen;
+  gen.nthreads = 4;
+  gen.max_membership_cycles = 2;
+  gen.churn_tid = 3;
+  bool any = false;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const rt::RtFaultPlan plan = rt::RtFaultPlan::generate(seed, gen);
+    for (const auto& ev : plan.membership()) {
+      any = true;
+      EXPECT_EQ(ev.pid, 3);
+      EXPECT_LT(ev.at, gen.horizon_ns);
+    }
+    EXPECT_TRUE(plan.member_at_end(gen.nthreads, 3));
+  }
+  EXPECT_TRUE(any) << "no seed drew membership events";
+}
+
+// -- the rt soak under membership churn -----------------------------------------
+
+TEST(RtMembershipSoak, GeneratedChurnPassesJointlyWithEpochGrades) {
+  auto options = soak::RtSoakOptions::quick(1);
+  options.membership_churn = true;
+  const auto result = soak::run_rt_soak(options);
+  EXPECT_FALSE(result.plan.membership().empty());
+  EXPECT_TRUE(result.joint.ok()) << result.joint.summary();
+  EXPECT_EQ(result.progress.epoch_grades.size(),
+            result.plan.membership().size() + 1);
+}
+
+TEST(RtMembershipSoak, RemoveAndRejoinIsFencedAndGraded) {
+  auto options = soak::RtSoakOptions::quick(3);
+  rt::RtFaultPlan plan(3);
+  // Remove seat nthreads-1 early, re-admit it mid-run; the monitor
+  // revokes its lease on departure, so any tenure it held dies at the
+  // boundary and the final epoch re-earns its own verdict.
+  plan.leave(static_cast<std::uint32_t>(options.nthreads - 1), 6000000);
+  plan.join(static_cast<std::uint32_t>(options.nthreads - 1), 14000000);
+  options.plan_override = &plan;
+  const auto result = soak::run_rt_soak(options);
+  EXPECT_TRUE(result.joint.ok()) << result.joint.summary();
+  ASSERT_EQ(result.progress.epoch_grades.size(), 3u);
+  EXPECT_FALSE(
+      result.progress.epoch_grades[1].members[options.nthreads - 1]);
+  EXPECT_TRUE(result.progress.epoch_grades[2].conclusive);
+}
+
+TEST(RtMembershipSoak, ViewThrashFailsOnlyTheProgressAxis) {
+  auto options = soak::RtSoakOptions::quick(9);
+  const auto thrash =
+      soak::rt_view_thrash_plan(9, options.nthreads, 40, 4000000, 700000);
+  options.plan_override = &thrash;
+  const auto result = soak::run_rt_soak(options);
+  EXPECT_FALSE(result.joint.progress_ok);
+  EXPECT_TRUE(result.slo.ok) << result.joint.summary();
+  ASSERT_FALSE(result.progress.violations.empty());
+  EXPECT_NE(result.progress.violations.front().find(
+                "stable suffix too short"),
+            std::string::npos);
+  for (const auto& grade : result.progress.epoch_grades) {
+    EXPECT_FALSE(grade.conclusive);
+  }
+}
+
+}  // namespace
+}  // namespace tbwf

@@ -15,13 +15,19 @@
 // progress axis via the exit code.
 //
 // Usage: bench_leader_service [--quick] [--seed=N] [--backend=sim|rt|both]
-//        [--membership]
+//        [--membership] [--clock-faults]
 //
 // --membership switches both backends from the static/flicker group to
 // generated epoch churn (seed-replayable join/leave/replace events with
 // fenced reconfiguration and per-epoch conformance grades). Every row
 // carries a "membership" config key so churn rows and static rows can
 // never be compared against each other by the regression gate.
+//
+// --clock-faults adds generated per-seat clock faults (skew / drift /
+// jumps / freezes through the supervisor's FaultClock) to the rt runs
+// and arms the service's drift-margin guard; the simulator has no
+// wall clock, so its runs are unchanged. Every row carries a
+// "clock_faults" config key for the same never-cross-compare reason.
 #include <cstring>
 #include <string>
 
@@ -52,7 +58,7 @@ struct Outcome {
 
 void run_sim(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
              std::uint64_t seed, bool quick, bool membership,
-             soak::RouteMode mode) {
+             bool clock_faults, soak::RouteMode mode) {
   soak::SimSoakOptions options = quick ? soak::SimSoakOptions::quick(seed)
                                        : soak::SimSoakOptions::full(seed);
   options.service.route = mode;
@@ -69,7 +75,8 @@ void run_sim(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
   const std::vector<std::pair<std::string, std::string>> config = {
       {"backend", "sim"},
       {"mode", mode_name},
-      {"membership", membership ? "epoch-churn" : "static"}};
+      {"membership", membership ? "epoch-churn" : "static"},
+      {"clock_faults", clock_faults ? "on" : "off"}};
   const soak::ServiceStats& stats = result.stats;
   json.row("requests", static_cast<double>(stats.submitted), "req", seed,
            config);
@@ -102,11 +109,12 @@ void run_sim(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
 
 void run_rt(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
             std::uint64_t seed, bool quick, bool membership,
-            soak::RouteMode mode) {
+            bool clock_faults, soak::RouteMode mode) {
   soak::RtSoakOptions options = quick ? soak::RtSoakOptions::quick(seed)
                                       : soak::RtSoakOptions::full(seed);
   options.service.route = mode;
   options.membership_churn = membership;
+  options.clock_faults = clock_faults;
   json.set_meta("rt_nthreads", std::to_string(options.nthreads));
   const soak::RtSoakResult result = soak::run_rt_soak(options);
 
@@ -119,7 +127,8 @@ void run_rt(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
   const std::vector<std::pair<std::string, std::string>> config = {
       {"backend", "rt"},
       {"mode", mode_name},
-      {"membership", membership ? "epoch-churn" : "static"}};
+      {"membership", membership ? "epoch-churn" : "static"},
+      {"clock_faults", clock_faults ? "on" : "off"}};
   const soak::ServiceStats& stats = result.stats;
   const double seconds = static_cast<double>(result.run_end_ns) / 1e9;
   json.row("requests", static_cast<double>(stats.submitted), "req", seed,
@@ -139,6 +148,9 @@ void run_rt(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
   // "flag", not "bool": wall-clock SLO grades on a shared (sanitized)
   // CI box are informational; the progress axis gates via exit code.
   json.row("joint_ok", result.joint.ok() ? 1.0 : 0.0, "flag", seed, config);
+  json.row("clock_degraded_seats",
+           static_cast<double>(result.progress.clock_degraded.size()),
+           "flag", seed, config);
 
   table.row({"rt", mode_name, bench::fmt_u(stats.submitted),
              bench::fmt_u(stats.completed),
@@ -158,6 +170,7 @@ void run_rt(bench::JsonReporter& json, bench::Table& table, Outcome& outcome,
 int main(int argc, char** argv) {
   bool quick = false;
   bool membership = false;
+  bool clock_faults = false;
   std::uint64_t seed = 1;
   std::string backend = "both";
   for (int i = 1; i < argc; ++i) {
@@ -166,6 +179,8 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--membership") {
       membership = true;
+    } else if (arg == "--clock-faults") {
+      clock_faults = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--backend=", 0) == 0) {
@@ -173,7 +188,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--seed=N] [--backend=sim|rt|both] "
-                   "[--membership]\n",
+                   "[--membership] [--clock-faults]\n",
                    argv[0]);
       return 2;
     }
@@ -195,6 +210,7 @@ int main(int argc, char** argv) {
   json.set_config("profile", quick ? "quick" : "full");
   json.set_meta("backend_filter", backend);
   json.set_meta("membership", membership ? "epoch-churn" : "static");
+  json.set_meta("clock_faults", clock_faults ? "on" : "off");
 
   bench::Table table({"backend", "mode", "submitted", "completed",
                       "route_p99", "commit_p99", "probes/req", "unavail%",
@@ -202,8 +218,14 @@ int main(int argc, char** argv) {
   Outcome outcome;
   for (const soak::RouteMode mode :
        {soak::RouteMode::kProbe, soak::RouteMode::kAdvice}) {
-    if (want_sim) run_sim(json, table, outcome, seed, quick, membership, mode);
-    if (want_rt) run_rt(json, table, outcome, seed, quick, membership, mode);
+    if (want_sim) {
+      run_sim(json, table, outcome, seed, quick, membership, clock_faults,
+              mode);
+    }
+    if (want_rt) {
+      run_rt(json, table, outcome, seed, quick, membership, clock_faults,
+             mode);
+    }
   }
 
   std::printf("\n(sim latencies in steps; rt latencies in us)\n");

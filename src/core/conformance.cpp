@@ -372,8 +372,15 @@ std::string RtConformanceReport::summary() const {
   std::ostringstream out;
   out << "rt conformance plan seed=" << plan_seed
       << " grade=" << to_string(grade)
-      << (medium_jammed ? " (medium jammed)" : "")
-      << " run_end=" << run_end_ns
+      << (medium_jammed ? " (medium jammed)" : "");
+  if (!clock_degraded.empty()) {
+    out << " clock-degraded={";
+    for (std::size_t i = 0; i < clock_degraded.size(); ++i) {
+      out << (i ? "," : "") << "t" << clock_degraded[i];
+    }
+    out << "}";
+  }
+  out << " run_end=" << run_end_ns
       << "ns suffix_from=" << suffix_from_ns << "ns timely={";
   for (std::size_t i = 0; i < suffix_timely.size(); ++i) {
     out << (i ? "," : "") << "t" << suffix_timely[i];
@@ -408,9 +415,49 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
   RtConformanceReport report;
   report.plan_seed = plan.seed();
   report.run_end_ns = trace.run_end_ns;
+  // A faulted clock must not define the common timeline either: each
+  // trace ring is stamped by its owning thread, so a forward-skewed
+  // seat stamps its final events PAST the honest end of the run,
+  // handing every well-clocked tid a phantom tail gap ~= the skew --
+  // blame the lying timestamps cannot support. Anchor run_end at the
+  // last event a never-clock-faulted tid stamped (the snapshot max is
+  // kept only if no seat escaped the fault family).
+  if (!plan.clock_faults().empty()) {
+    std::uint64_t honest_end = 0;
+    for (int t = 0; t < n; ++t) {
+      const auto faulted = [&](const rt::RtClockFaultEvent& c) {
+        return c.tid == static_cast<std::uint32_t>(t);
+      };
+      if (std::any_of(plan.clock_faults().begin(),
+                      plan.clock_faults().end(), faulted)) {
+        continue;
+      }
+      for (const rt::RtEvent& ev :
+           trace.per_tid[static_cast<std::size_t>(t)]) {
+        honest_end = std::max(honest_end, ev.at_ns);
+      }
+    }
+    if (honest_end != 0) report.run_end_ns = honest_end;
+  }
   report.suffix_from_ns = plan.last_event_ns() + options.stabilization_ns;
   report.realized_bound_ns.assign(static_cast<std::size_t>(n),
                                   RtConformanceReport::kNeverNs);
+
+  // A tid whose clock the plan faulted within distortion reach of the
+  // suffix stamped its suffix events with a lying clock: it is graded
+  // untimely (no unearned wait-freedom through it) and excused from
+  // every per-tid demand (no blame its timestamps cannot support).
+  for (int t = 0; t < n; ++t) {
+    if (plan.clock_faulted_in(static_cast<std::uint32_t>(t),
+                              report.suffix_from_ns, report.run_end_ns)) {
+      report.clock_degraded.push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+  const auto is_clock_degraded = [&](std::uint32_t t) {
+    return std::find(report.clock_degraded.begin(),
+                     report.clock_degraded.end(),
+                     t) != report.clock_degraded.end();
+  };
 
   const auto violate = [&](const std::string& what) {
     std::ostringstream out;
@@ -493,6 +540,12 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
         fault_edges.push_back(r.to_ns);
       }
     }
+    for (const rt::RtClockFaultEvent& c : plan.clock_faults()) {
+      fault_edges.push_back(c.from_ns);
+      if (c.to_ns != rt::RtClockFaultEvent::kForeverNs) {
+        fault_edges.push_back(c.to_ns);
+      }
+    }
     for (const core::EpochWindow& w :
          plan.epoch_timeline(n, report.run_end_ns)) {
       EpochGrade g;
@@ -535,9 +588,17 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
             }
           }
           if (activity.empty()) continue;
+          // Faulted clocks stamp out of order; the gap scan needs
+          // sorted streams.
+          std::sort(activity.begin(), activity.end());
+          std::sort(comps.begin(), comps.end());
           const std::uint64_t bound =
               max_ns_gap_in(activity, g.suffix_from, w.to);
           if (bound > options.timely_bound_ns) continue;
+          if (plan.clock_faulted_in(static_cast<std::uint32_t>(t),
+                                    g.suffix_from, w.to)) {
+            continue;  // a faulted clock earns no timely verdict here
+          }
           g.suffix_timely.push_back(t);
           if (jammed || !issued_here) continue;
           const std::uint64_t gap =
@@ -590,7 +651,15 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
       }
     }
     if (activity.empty()) continue;  // dead or silent: exempt from all
-    if (plan.killed_at_end(static_cast<std::uint32_t>(t))) {
+    // Faulted clocks stamp out of order; the gap scans need sorted
+    // streams. A forward-distorted stamp can also push a pre-death
+    // event past suffix_from, so a clock-degraded tid is excused from
+    // the zombie check -- its timestamps cannot carry that blame.
+    std::sort(activity.begin(), activity.end());
+    std::sort(completions[static_cast<std::size_t>(t)].begin(),
+              completions[static_cast<std::size_t>(t)].end());
+    if (plan.killed_at_end(static_cast<std::uint32_t>(t)) &&
+        !is_clock_degraded(static_cast<std::uint32_t>(t))) {
       std::ostringstream out;
       out << "t" << t
           << " is permanently killed by the plan but has "
@@ -603,8 +672,10 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
     report.realized_bound_ns[static_cast<std::size_t>(t)] = bound;
     // A tid outside the view the plan leaves in force is fenced from
     // the lease: graded untimely, so no guarantee is demanded of it
-    // and none is counted through it.
+    // and none is counted through it. A clock-degraded tid is graded
+    // untimely for the same no-unearned-wait-freedom reason.
     if (bound <= options.timely_bound_ns &&
+        !is_clock_degraded(static_cast<std::uint32_t>(t)) &&
         plan.member_at_end(n, static_cast<std::uint32_t>(t))) {
       report.suffix_timely.push_back(static_cast<std::uint32_t>(t));
     }
@@ -722,6 +793,11 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
     if (!report.reelection_ns.empty()) {
       metrics->max_of("rt.reelect.max_ns", report.reelection_ns.max());
     }
+    for (const std::uint32_t t : report.clock_degraded) {
+      metrics->inc("rt.conformance.clock_degraded.t" + std::to_string(t));
+    }
+    metrics->inc("rt.conformance.clock_faults",
+                 plan.clock_faults().size());
     metrics->inc("rt.conformance.epochs", report.epoch_grades.size());
     for (const auto& g : report.epoch_grades) {
       if (g.conclusive) metrics->inc("rt.conformance.epochs_conclusive");

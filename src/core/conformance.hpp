@@ -175,6 +175,12 @@ struct RtConformanceReport {
   /// and awards no grade -- wait-freedom a jammed register cannot earn
   /// is never reported.
   bool medium_jammed = false;
+  /// Tids whose clock the plan faulted inside (or within distortion
+  /// reach of) the stable suffix: graded untimely regardless of their
+  /// trace -- timestamps a faulted clock stamped can neither earn a
+  /// timely verdict nor carry blame for one (the clock twin of the sim
+  /// checker's channel_degraded escape).
+  std::vector<std::uint32_t> clock_degraded;
   std::uint64_t suffix_from_ns = 0;
   std::uint64_t run_end_ns = 0;
   /// Empirical suffix timeliness bound per tid (kNeverNs = silent/dead).

@@ -1,0 +1,184 @@
+// FaultClock: the injectable time seam for the rt backend.
+//
+// Every rt time read funnels through FaultClock::read(), a plain
+// function usable as LeaseElector::ClockFn. A thread that is *bound*
+// to an armed FaultClock (the supervisor binds each worker for the
+// worker's lifetime) observes the monotone source distorted by the
+// plan's per-thread clock-fault windows; an unbound thread (the
+// monitor loop, the main thread, samplers) observes true time. That
+// split is deliberate: the supervisor's fault-firing timeline stays
+// honest while each worker's *perception* of time -- its lease reads,
+// trace timestamps, fault-point checks, injector draws -- degrades
+// exactly as the plan dictates.
+//
+// Five distortions, all windows [from_ns, to_ns) in run-origin offsets:
+//
+//   - Skew: a constant signed offset for the whole window (the classic
+//     "this clock is 3 ms fast");
+//   - Drift: a progressive ppm-style error -- offset grows as
+//     (t - from) * magnitude / 1e6, the shape of a bad oscillator;
+//   - JumpForward / JumpBackward: a step offset, semantically a
+//     one-shot jump that the source later corrects when the window
+//     closes (NTP step, VM migration);
+//   - Freeze: observed time sticks at `from` for the window (tickless
+//     stall, SMI storm), then snaps back to true time.
+//
+// Overlapping windows on one thread sum their offsets; a Freeze
+// overrides them. Observed time is clamped at the run origin so a
+// backward fault can never underflow the 64-bit clock.
+//
+// Concurrency: arm() must be called before the observed threads spawn
+// (the supervisor arms in run(), pre-spawn); the window list is
+// immutable afterwards, so reads need no synchronization -- thread
+// creation publishes it. The binding itself is thread_local.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tbwf::rt {
+
+enum class RtClockFaultKind {
+  Skew,
+  Drift,
+  JumpForward,
+  JumpBackward,
+  Freeze,
+};
+
+inline const char* to_string(RtClockFaultKind kind) {
+  switch (kind) {
+    case RtClockFaultKind::Skew:
+      return "skew";
+    case RtClockFaultKind::Drift:
+      return "drift";
+    case RtClockFaultKind::JumpForward:
+      return "jump+";
+    case RtClockFaultKind::JumpBackward:
+      return "jump-";
+    case RtClockFaultKind::Freeze:
+      return "freeze";
+  }
+  return "?";
+}
+
+/// One per-thread clock-fault window, offsets from the run origin.
+/// `magnitude` is signed ns for Skew/JumpForward/JumpBackward, signed
+/// ppm for Drift, and unused for Freeze.
+struct RtClockFaultEvent {
+  static constexpr std::uint64_t kForeverNs = ~std::uint64_t{0};
+
+  RtClockFaultKind kind = RtClockFaultKind::Skew;
+  std::uint32_t tid = 0;
+  std::uint64_t from_ns = 0;
+  std::uint64_t to_ns = 0;  ///< kForeverNs never closes
+  std::int64_t magnitude = 0;
+};
+
+/// The raw monotone source, ns since an unspecified epoch.
+inline std::uint64_t raw_steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class FaultClock {
+ public:
+  FaultClock() = default;
+
+  /// Install the fault windows. Must happen before any observed thread
+  /// spawns; thread creation is the publication edge.
+  void arm(std::uint64_t origin_ns, std::vector<RtClockFaultEvent> events) {
+    origin_ns_ = origin_ns;
+    events_ = std::move(events);
+  }
+
+  std::uint64_t origin_ns() const { return origin_ns_; }
+  const std::vector<RtClockFaultEvent>& events() const { return events_; }
+
+  /// What thread `tid` believes the absolute clock reads when the true
+  /// absolute clock reads `true_abs_ns`.
+  std::uint64_t observed_ns(std::uint32_t tid,
+                            std::uint64_t true_abs_ns) const {
+    if (events_.empty()) return true_abs_ns;
+    const std::uint64_t rel =
+        true_abs_ns >= origin_ns_ ? true_abs_ns - origin_ns_ : 0;
+    std::int64_t offset = 0;
+    bool frozen = false;
+    std::uint64_t freeze_at = 0;
+    for (const auto& ev : events_) {
+      if (ev.tid != tid || rel < ev.from_ns) continue;
+      if (ev.to_ns != RtClockFaultEvent::kForeverNs && rel >= ev.to_ns) {
+        continue;
+      }
+      switch (ev.kind) {
+        case RtClockFaultKind::Skew:
+        case RtClockFaultKind::JumpForward:
+        case RtClockFaultKind::JumpBackward:
+          offset += ev.magnitude;
+          break;
+        case RtClockFaultKind::Drift:
+          offset += static_cast<std::int64_t>(rel - ev.from_ns) *
+                    ev.magnitude / 1000000;
+          break;
+        case RtClockFaultKind::Freeze:
+          frozen = true;
+          freeze_at = ev.from_ns;
+          break;
+      }
+    }
+    std::int64_t obs = frozen ? static_cast<std::int64_t>(freeze_at)
+                              : static_cast<std::int64_t>(rel) + offset;
+    if (obs < 0) obs = 0;
+    return origin_ns_ + static_cast<std::uint64_t>(obs);
+  }
+
+  /// This thread's current observed absolute time.
+  std::uint64_t now_ns(std::uint32_t tid) const {
+    return observed_ns(tid, raw_steady_ns());
+  }
+
+  /// RAII thread binding: while alive, FaultClock::read() on this
+  /// thread routes through `clock` as `tid`. Nestable (restores the
+  /// previous binding on destruction).
+  class Binding {
+   public:
+    Binding(const FaultClock* clock, std::uint32_t tid)
+        : prev_clock_(tl_clock_), prev_tid_(tl_tid_) {
+      tl_clock_ = clock;
+      tl_tid_ = tid;
+    }
+    ~Binding() {
+      tl_clock_ = prev_clock_;
+      tl_tid_ = prev_tid_;
+    }
+    Binding(const Binding&) = delete;
+    Binding& operator=(const Binding&) = delete;
+
+   private:
+    const FaultClock* prev_clock_;
+    std::uint32_t prev_tid_;
+  };
+
+  /// The shared time seam: distorted for bound threads, the raw
+  /// monotone source otherwise. Matches LeaseElector::ClockFn.
+  static std::uint64_t read() {
+    const std::uint64_t t = raw_steady_ns();
+    return tl_clock_ ? tl_clock_->observed_ns(tl_tid_, t) : t;
+  }
+
+  /// True iff the calling thread currently reads through a binding.
+  static bool bound() { return tl_clock_ != nullptr; }
+
+ private:
+  std::uint64_t origin_ns_ = 0;
+  std::vector<RtClockFaultEvent> events_;
+
+  inline static thread_local const FaultClock* tl_clock_ = nullptr;
+  inline static thread_local std::uint32_t tl_tid_ = 0;
+};
+
+}  // namespace tbwf::rt

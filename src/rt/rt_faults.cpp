@@ -56,6 +56,21 @@ RtFaultPlan& RtFaultPlan::replace(std::uint32_t out, std::uint32_t in,
   return *this;
 }
 
+RtFaultPlan& RtFaultPlan::clock_fault(RtClockFaultKind kind,
+                                      std::uint32_t tid,
+                                      std::uint64_t from_ns,
+                                      std::uint64_t to_ns,
+                                      std::int64_t magnitude) {
+  TBWF_ASSERT(to_ns == RtClockFaultEvent::kForeverNs || from_ns < to_ns,
+              "clock-fault window must be non-empty");
+  TBWF_ASSERT(to_ns != RtClockFaultEvent::kForeverNs ||
+                  kind == RtClockFaultKind::Skew ||
+                  kind == RtClockFaultKind::Drift,
+              "only skew and drift may be permanent");
+  clock_faults_.push_back({kind, tid, from_ns, to_ns, magnitude});
+  return *this;
+}
+
 RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
                                   const GenOptions& options) {
   TBWF_ASSERT(options.nthreads >= 1, "need at least one thread");
@@ -215,6 +230,61 @@ RtFaultPlan RtFaultPlan::generate(std::uint64_t seed,
     }
   }
 
+  // Clock faults (only bite when the supervisor's FaultClock is the
+  // thread's time source, which it always is once armed). Draws append
+  // after every other family, so plans generated with the default
+  // max_clock_faults = 0 replay byte for byte.
+  const int nclock =
+      options.max_clock_faults > 0
+          ? static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(options.max_clock_faults) + 1))
+          : 0;
+  for (int i = 0; i < nclock; ++i) {
+    const auto tid =
+        options.clock_tid >= 0
+            ? static_cast<std::uint32_t>(options.clock_tid)
+            : static_cast<std::uint32_t>(rng.below(
+                  static_cast<std::uint64_t>(options.nthreads)));
+    constexpr RtClockFaultKind kKinds[] = {
+        RtClockFaultKind::Skew, RtClockFaultKind::Drift,
+        RtClockFaultKind::JumpForward, RtClockFaultKind::JumpBackward,
+        RtClockFaultKind::Freeze};
+    const RtClockFaultKind kind = kKinds[rng.below(5)];
+    const std::uint64_t t = at();
+    std::uint64_t d =
+        rng.range(options.min_clock_fault_ns, options.max_clock_fault_ns);
+    if (t + d > hi) d = hi > t ? hi - t : 1;
+    const bool permanent = (kind == RtClockFaultKind::Skew ||
+                            kind == RtClockFaultKind::Drift) &&
+                           rng.chance(options.p_clock_permanent);
+    std::int64_t magnitude = 0;
+    switch (kind) {
+      case RtClockFaultKind::Skew:
+        magnitude = static_cast<std::int64_t>(rng.range(
+            options.min_clock_skew_ns, options.max_clock_skew_ns));
+        if (rng.chance(0.5)) magnitude = -magnitude;
+        break;
+      case RtClockFaultKind::Drift:
+        magnitude = static_cast<std::int64_t>(rng.range(
+            options.min_clock_drift_ppm, options.max_clock_drift_ppm));
+        if (rng.chance(0.5)) magnitude = -magnitude;
+        break;
+      case RtClockFaultKind::JumpForward:
+        magnitude = static_cast<std::int64_t>(rng.range(
+            options.min_clock_skew_ns, options.max_clock_skew_ns));
+        break;
+      case RtClockFaultKind::JumpBackward:
+        magnitude = -static_cast<std::int64_t>(rng.range(
+            options.min_clock_skew_ns, options.max_clock_skew_ns));
+        break;
+      case RtClockFaultKind::Freeze:
+        break;
+    }
+    plan.clock_fault(kind, tid, t,
+                     permanent ? RtClockFaultEvent::kForeverNs : t + d,
+                     magnitude);
+  }
+
   // Never return an empty plan: a sweep case with nothing to inject
   // would silently test nothing. Default to a mid-window stall.
   if (plan.empty()) {
@@ -243,7 +313,52 @@ std::uint64_t RtFaultPlan::last_event_ns() const {
                               : f.to_ns);
   }
   for (const auto& ev : membership_) last = std::max(last, ev.at);
+  for (const auto& c : clock_faults_) {
+    // A permanent clock fault never closes: its start is the boundary,
+    // the distortion itself is part of the stable suffix.
+    last = std::max(last, c.to_ns == RtClockFaultEvent::kForeverNs
+                              ? c.from_ns
+                              : c.to_ns);
+  }
   return last;
+}
+
+bool RtFaultPlan::clock_faulted_in(std::uint32_t tid, std::uint64_t from_ns,
+                                   std::uint64_t to_ns) const {
+  constexpr std::uint64_t kForever = RtClockFaultEvent::kForeverNs;
+  for (const auto& c : clock_faults_) {
+    if (c.tid != tid) continue;
+    // Worst-case distortion reach: how far outside the window the
+    // faulted clock can stamp an event.
+    std::uint64_t reach = 0;
+    switch (c.kind) {
+      case RtClockFaultKind::Skew:
+      case RtClockFaultKind::JumpForward:
+      case RtClockFaultKind::JumpBackward:
+        reach = static_cast<std::uint64_t>(
+            c.magnitude < 0 ? -c.magnitude : c.magnitude);
+        break;
+      case RtClockFaultKind::Drift: {
+        if (c.to_ns == kForever) break;  // permanent: forward reach moot
+        const std::uint64_t span = c.to_ns - c.from_ns;
+        const auto mag = static_cast<std::uint64_t>(
+            c.magnitude < 0 ? -c.magnitude : c.magnitude);
+        reach = span / 1000000 * mag + span % 1000000 * mag / 1000000;
+        break;
+      }
+      case RtClockFaultKind::Freeze:
+        reach = c.to_ns == kForever ? 0 : c.to_ns - c.from_ns;
+        break;
+    }
+    const std::uint64_t eff_from =
+        c.from_ns > reach ? c.from_ns - reach : 0;
+    const std::uint64_t eff_to =
+        c.to_ns == kForever || c.to_ns + reach < c.to_ns  // saturate
+            ? kForever
+            : c.to_ns + reach;
+    if (eff_from < to_ns && eff_to > from_ns) return true;
+  }
+  return false;
 }
 
 std::vector<core::EpochWindow> RtFaultPlan::epoch_timeline(
@@ -328,6 +443,17 @@ std::string RtFaultPlan::summary() const {
   }
   for (const auto& ev : membership_) {
     out << "  view " << core::describe(ev) << "ns\n";
+  }
+  for (const auto& c : clock_faults_) {
+    out << "  clock " << to_string(c.kind) << " t" << c.tid << " ["
+        << c.from_ns << ", ";
+    if (c.to_ns == RtClockFaultEvent::kForeverNs) {
+      out << "forever";
+    } else {
+      out << c.to_ns;
+    }
+    out << ")ns mag=" << c.magnitude
+        << (c.kind == RtClockFaultKind::Drift ? "ppm" : "ns") << "\n";
   }
   if (empty()) out << "  (empty)\n";
   return out.str();

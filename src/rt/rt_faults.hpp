@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "core/membership.hpp"
+#include "rt/rt_clock.hpp"
 #include "rt/rt_registers.hpp"
 
 namespace tbwf::rt {
@@ -98,6 +99,13 @@ class RtFaultPlan {
   RtFaultPlan& leave(std::uint32_t tid, std::uint64_t at_ns);
   RtFaultPlan& replace(std::uint32_t out, std::uint32_t in,
                        std::uint64_t at_ns);
+  /// Clock-fault window on one thread's perceived time (applied by the
+  /// supervisor's FaultClock; see rt_clock.hpp for the distortion
+  /// semantics). `magnitude` is signed ns for skew/jumps, signed ppm
+  /// for drift, ignored for freeze.
+  RtFaultPlan& clock_fault(RtClockFaultKind kind, std::uint32_t tid,
+                           std::uint64_t from_ns, std::uint64_t to_ns,
+                           std::int64_t magnitude);
 
   // -- random generation --------------------------------------------------------
   struct GenOptions {
@@ -141,6 +149,26 @@ class RtFaultPlan {
     int churn_tid = -1;
     /// Chance a cycle is a single replace event instead of leave+join.
     double p_replace = 0.25;
+    /// Clock faults, off by default: plans generated without them are
+    /// unchanged draw for draw (clock draws append after every other
+    /// family), so existing seeds replay byte for byte.
+    int max_clock_faults = 0;
+    /// Tid whose clock the generated faults distort; -1 draws one per
+    /// fault.
+    int clock_tid = -1;
+    std::uint64_t min_clock_fault_ns = 1000000;  // 1 ms
+    std::uint64_t max_clock_fault_ns = 6000000;  // 6 ms
+    /// Skew and jump magnitudes (ns) are drawn in this band, the sign
+    /// split evenly (jumps fix their sign by kind).
+    std::uint64_t min_clock_skew_ns = 200000;   // 0.2 ms
+    std::uint64_t max_clock_skew_ns = 4000000;  // 4 ms
+    /// Drift rates (ppm) drawn in this band, sign split evenly.
+    std::uint64_t min_clock_drift_ppm = 20000;   // 2%
+    std::uint64_t max_clock_drift_ppm = 200000;  // 20%
+    /// Chance a clock fault never closes. Only Skew and Drift are left
+    /// permanent -- a permanent jump is a skew, a permanent freeze
+    /// would deny the thread any clock at all.
+    double p_clock_permanent = 0.25;
   };
 
   /// Deterministic: the same (seed, options) always yields the same plan.
@@ -155,16 +183,29 @@ class RtFaultPlan {
   const std::vector<core::MembershipEvent>& membership() const {
     return membership_;
   }
+  const std::vector<RtClockFaultEvent>& clock_faults() const {
+    return clock_faults_;
+  }
   bool empty() const {
     return kills_.empty() && stalls_.empty() && storms_.empty() &&
-           reg_faults_.empty() && membership_.empty();
+           reg_faults_.empty() && membership_.empty() &&
+           clock_faults_.empty();
   }
 
   /// Offset of the last event boundary (kill, restart, stall end, storm
-  /// end, membership event, finite reg-fault end; a permanent reg fault
-  /// contributes its start); 0 for an empty plan. Everything after is
-  /// the stable tail.
+  /// end, membership event, finite reg-fault or clock-fault end; a
+  /// permanent reg/clock fault contributes its start); 0 for an empty
+  /// plan. Everything after is the stable tail.
   std::uint64_t last_event_ns() const;
+
+  /// True iff a clock fault on `tid` can distort timestamps inside
+  /// [from_ns, to_ns). Windows are extended by their worst-case
+  /// distortion reach on both sides: a +3 ms skew window stamps events
+  /// up to 3 ms past its close, a freeze stamps them up to its whole
+  /// duration before it. Conformance uses this to void timely verdicts
+  /// a faulted clock cannot earn (and excuse blame it cannot carry).
+  bool clock_faulted_in(std::uint32_t tid, std::uint64_t from_ns,
+                        std::uint64_t to_ns) const;
 
   /// Epoch timeline for a run of nthreads ending at run_end_ns: one
   /// window per view, everyone a member of epoch 0.
@@ -200,6 +241,7 @@ class RtFaultPlan {
   std::vector<RtStorm> storms_;
   std::vector<RtRegFaultEvent> reg_faults_;
   std::vector<core::MembershipEvent> membership_;
+  std::vector<RtClockFaultEvent> clock_faults_;
 };
 
 }  // namespace tbwf::rt

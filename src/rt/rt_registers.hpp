@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "registers/reg_faults.hpp"
+#include "rt/rt_clock.hpp"
 #include "util/cacheline.hpp"
 
 namespace tbwf::rt {
@@ -99,12 +100,10 @@ class RtAbortInjector {
   /// (Drop/Torn a read, Stale a write) are skipped.
   RtRegFault fire_op(bool is_write) {
     if (windows_.empty()) return RtRegFault::None;
-    const std::uint64_t now =
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now().time_since_epoch())
-                .count()) -
-        origin_ns_;
+    // Window position is judged on the calling thread's perceived
+    // clock (FaultClock::read): a clock-faulted worker sees register
+    // fault windows shifted exactly as it sees everything else.
+    const std::uint64_t now = FaultClock::read() - origin_ns_;
     for (const auto& w : windows_) {
       if (now < w.from_ns || (w.to_ns != kForeverNs && now >= w.to_ns)) {
         continue;

@@ -77,10 +77,11 @@ RtSupervisor::~RtSupervisor() {
 }
 
 std::uint64_t RtSupervisor::steady_now_ns() const {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+  // The injectable seam (satellite of the clock-fault layer): bound
+  // worker threads read their per-thread distorted clock, everyone
+  // else reads the raw monotone source. With no clock faults armed the
+  // two are identical.
+  return FaultClock::read();
 }
 
 void RtSupervisor::spawn(std::uint32_t tid) {
@@ -95,6 +96,12 @@ void RtSupervisor::spawn(std::uint32_t tid) {
 
 void RtSupervisor::worker_main(std::uint32_t tid,
                                std::uint32_t incarnation) {
+  // Bound for the thread's whole life: the worker perceives time --
+  // fault points, trace stamps, lease reads -- through its (possibly
+  // faulted) clock. The plan's own fault offsets are thereby judged in
+  // the victim's timeline, which keeps kill/stall logging and the
+  // plan's accounting self-consistent.
+  FaultClock::Binding bind(&clock_, tid);
   RtWorkerContext ctx(this, tid, incarnation,
                       plan_.seed() ^ (static_cast<std::uint64_t>(tid) << 32)
                           ^ incarnation);
@@ -170,6 +177,7 @@ void RtSupervisor::run() {
   TBWF_ASSERT(!ran_, "RtSupervisor::run may be called once");
   ran_ = true;
   origin_ns_ = steady_now_ns();
+  clock_.arm(origin_ns_, plan_.clock_faults());
   injector_.arm(plan_.seed() ^ 0x53544F524DULL /* "STORM" */, origin_ns_,
                 plan_.fault_windows());
   for (std::uint32_t tid = 0; tid < slots_.size(); ++tid) spawn(tid);

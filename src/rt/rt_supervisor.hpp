@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "rt/rt_clock.hpp"
 #include "rt/rt_faults.hpp"
 #include "rt/rt_registers.hpp"
 #include "rt/rt_trace.hpp"
@@ -137,6 +138,13 @@ class RtSupervisor {
   /// Attach to the workload's registers before calling run().
   RtAbortInjector& injector() { return injector_; }
 
+  /// The run's time seam, armed with the plan's clock faults at run()
+  /// start. Every worker thread is bound to it for its whole life, so
+  /// FaultClock::read() (and everything built on it: ctx.now_ns, trace
+  /// timestamps, lease clocks, injector windows) sees the distorted
+  /// per-thread time; the monitor thread stays unbound and honest.
+  const FaultClock& clock() const { return clock_; }
+
   const RtFaultPlan& plan() const { return plan_; }
   std::uint64_t origin_ns() const { return origin_ns_; }
   /// Wall-clock length of the finished run (ns since origin).
@@ -177,6 +185,8 @@ class RtSupervisor {
     std::uint64_t restarts = 0;
   };
 
+  /// The calling thread's perceived absolute time: distorted for bound
+  /// workers, the raw monotone source for the monitor/main thread.
   std::uint64_t steady_now_ns() const;
   std::uint64_t since_origin_ns() const { return steady_now_ns() - origin_ns_; }
   void spawn(std::uint32_t tid);
@@ -191,6 +201,7 @@ class RtSupervisor {
   RtWorkerBody body_;
   RtTrace trace_;
   RtAbortInjector injector_;
+  FaultClock clock_;
   util::Counters counters_;
   std::vector<std::vector<FaultEvent>> fault_seq_;
   /// Plan membership events sorted by at_ns; cursor advanced by the

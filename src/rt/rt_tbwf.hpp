@@ -48,6 +48,11 @@ class LeaseCalibrator {
     double multiplier = 16.0;          ///< term = multiplier * ewma
     std::uint64_t floor_ns = 2000;     ///< never shorter than this
     std::uint64_t ceil_ns = 20000000;  ///< never longer than this (20 ms)
+    /// Drift-margin guard: assume own clock may run up to this many
+    /// ppm FAST and shorten the claimed term accordingly, so a
+    /// drifting leaseholder undershoots rather than overshoots the
+    /// expiry everyone else computes. 0 (default) changes nothing.
+    std::uint64_t drift_margin_ppm = 0;
   };
 
   LeaseCalibrator() : LeaseCalibrator(Options{}) {}
@@ -79,10 +84,17 @@ class LeaseCalibrator {
     return ewma_ns_->load(std::memory_order_relaxed);
   }
 
-  /// The calibrated lease term: multiplier * ewma, clamped.
+  /// The calibrated lease term: multiplier * ewma, drift-discounted,
+  /// clamped.
   std::uint64_t term_ns() const {
-    const double raw =
-        options_.multiplier * static_cast<double>(ewma_ns());
+    double raw = options_.multiplier * static_cast<double>(ewma_ns());
+    if (options_.drift_margin_ppm > 0) {
+      // A clock d ppm fast inflates both the observed latencies and the
+      // holder's idea of "now + term"; discounting by the same factor
+      // keeps the true expiry at or before the claimed one.
+      raw = raw * 1e6 /
+            (1e6 + static_cast<double>(options_.drift_margin_ppm));
+    }
     auto term = static_cast<std::uint64_t>(raw);
     if (term < options_.floor_ns) term = options_.floor_ns;
     if (term > options_.ceil_ns) term = options_.ceil_ns;
@@ -137,6 +149,21 @@ class LeaseCalibrator {
 /// revoke) bumps the fence. This is what makes supervisor restarts
 /// safe: revoke(tid) on the dead incarnation's behalf fences off any
 /// token the revived worker may have captured before dying.
+///
+/// Clock hardening (the drift-tolerant leasing layer):
+///   - every clock read is MONOTONE-CLAMPED against the largest value
+///     any thread has fed this elector, so a thread whose own source
+///     jumps backward or freezes still judges leases at (at least) the
+///     global high-water mark -- a backward jump can neither resurrect
+///     an expired lease nor stretch a live one;
+///   - try_lead detects FORWARD JUMPS: a raw reading that leaps past
+///     the high-water mark by more than jump_suspect_ns means the
+///     caller's clock (or scheduling) left the calibrated regime, so
+///     its own lease state is suspect -- it revokes itself (monotone
+///     fence bump, the supervisor-restart path), resets the attached
+///     calibrator, and reports the election lost. The default
+///     threshold (1 s) sits far above any term the calibrator can
+///     produce and far below operator-scale clock steps.
 class LeaseElector {
  public:
   using ClockFn = std::uint64_t (*)();  ///< monotone nanoseconds
@@ -149,6 +176,8 @@ class LeaseElector {
   static constexpr std::uint64_t kHalfWindow = 1ULL << 39;
   /// Hard cap on the term so expiry stays well inside the half-window.
   static constexpr std::uint64_t kMaxTermNs = 1ULL << 36;  // ~68.7 s
+  /// Default forward-jump suspicion threshold (see class comment).
+  static constexpr std::uint64_t kDefaultJumpSuspectNs = 1000000000;  // 1 s
 
   explicit LeaseElector(std::chrono::nanoseconds term,
                         ClockFn clock = nullptr)
@@ -158,9 +187,29 @@ class LeaseElector {
   /// non-null) receives the token to pass to validate() before any
   /// commit performed under this lease. A sitting leader renews its
   /// expiry via CAS -- if the renewal CAS fails the lease was stolen or
-  /// revoked and the call reports failure.
+  /// revoked and the call reports failure. A caller whose clock jumped
+  /// forward past the suspicion threshold fences itself off instead
+  /// (see the class comment) and reports failure.
   bool try_lead(std::uint32_t tid, std::uint64_t* fence_out = nullptr) {
-    const std::uint64_t now = now_ns();
+    const std::uint64_t raw = raw_clock();
+    // relaxed: the high-water mark is self-contained numeric state (see
+    // mono_clamp); the jump test only compares magnitudes.
+    const std::uint64_t seen = last_raw_->load(std::memory_order_relaxed);
+    const std::uint64_t now = mono_clamp(raw) & kTimeMask;
+    if (jump_suspect_ns_ != 0 && seen != 0 && raw > seen &&
+        raw - seen >= jump_suspect_ns_) {
+      // Own clock leapt out of the calibrated regime: every duration
+      // this thread believes about its lease is untrustworthy. Treat
+      // the lease as lost the safe way -- revoke (frees + fence bump,
+      // the same path a supervisor restart takes) and start the
+      // calibrator over rather than poison the EWMA with jump-spanning
+      // samples.
+      revoke(tid);
+      if (calibrator_ != nullptr) calibrator_->reset();
+      // relaxed: monotone diagnostic tally.
+      jumps_detected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     // acquire pairs with the release half of the CAS that last
     // transferred ownership: observing a freed/expired word implies
     // observing the fence value of that tenure.
@@ -248,6 +297,15 @@ class LeaseElector {
     calibrator_ = calibrator;
   }
 
+  /// Forward-jump suspicion threshold; 0 disables detection. Set from a
+  /// quiescent point, like set_calibrator.
+  void set_jump_suspect(std::uint64_t ns) { jump_suspect_ns_ = ns; }
+
+  /// How many times try_lead refused a caller because its clock jumped.
+  std::uint64_t jumps_detected() const {
+    return jumps_detected_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t current_term_ns() const {
     if (calibrator_ != nullptr) {
       const std::uint64_t t = calibrator_->term_ns();
@@ -281,8 +339,29 @@ class LeaseElector {
             .count());
   }
 
+  std::uint64_t raw_clock() const {
+    return clock_ != nullptr ? clock_() : steady_clock_ns();
+  }
+
+  /// Fold `raw` into the elector-wide high-water mark and return the
+  /// clamped (monotone) reading. All orders relaxed: the mark is
+  /// self-contained numeric state -- nothing is published through it,
+  /// and a marginally stale maximum only makes the clamp marginally
+  /// weaker for one read. A lost CAS race means someone stored an even
+  /// larger value, which the reload picks up.
+  std::uint64_t mono_clamp(std::uint64_t raw) const {
+    std::uint64_t seen = last_raw_->load(std::memory_order_relaxed);
+    while (raw > seen) {
+      if (last_raw_->compare_exchange_weak(seen, raw,
+                                           std::memory_order_relaxed)) {
+        return raw;
+      }
+    }
+    return seen;
+  }
+
   std::uint64_t now_ns() const {
-    return (clock_ != nullptr ? clock_() : steady_clock_ns()) & kTimeMask;
+    return mono_clamp(raw_clock()) & kTimeMask;
   }
 
   /// The two contended words, isolated together on one line. They stay
@@ -297,7 +376,14 @@ class LeaseElector {
     std::atomic<std::uint64_t> fence{0};
   };
   HotWords hot_;
+  /// Unmasked clock high-water mark across every reader of this
+  /// elector. Its own line: every try_lead/validate of every thread
+  /// touches it, and it must not bounce the lease/fence line or sit on
+  /// the read-only configuration below.
+  mutable util::CachelinePadded<std::atomic<std::uint64_t>> last_raw_{0};
+  std::atomic<std::uint64_t> jumps_detected_{0};
   std::uint64_t term_ns_;
+  std::uint64_t jump_suspect_ns_ = kDefaultJumpSuspectNs;
   LeaseCalibrator* calibrator_ = nullptr;
   ClockFn clock_;
 };

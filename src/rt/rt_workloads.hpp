@@ -54,7 +54,10 @@ class LeasedCounterWorkload {
  public:
   explicit LeasedCounterWorkload(int nthreads,
                                  std::uint64_t rotation_wait_ns = 200000)
-      : elector_(std::chrono::microseconds(500)),
+      // Time through the shared seam: identical to raw steady_clock on
+      // unbound threads, per-plan distorted once the supervisor binds
+      // its workers to an armed FaultClock.
+      : elector_(std::chrono::microseconds(500), &FaultClock::read),
         cell_(0),
         commits_(std::make_unique<
                  util::CachelinePadded<std::atomic<std::uint64_t>>[]>(

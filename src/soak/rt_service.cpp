@@ -20,17 +20,30 @@ const registers::BoundedBackoff& pump_backoff() {
   return backoff;
 }
 
+/// A clock-fault window edge can step a bound worker's clock BACKWARD
+/// between the two reads of a latency sample; the interval spans the
+/// step and means nothing, so it clamps to zero instead of wrapping to
+/// ~2^64 and detonating the SLO percentiles. A no-op for honest clocks
+/// (per-thread reads of the monotone source never regress).
+std::uint64_t elapsed_ns(std::uint64_t from, std::uint64_t to) {
+  return to >= from ? to - from : 0;
+}
+
 }  // namespace
 
 RtLeaderService::RtLeaderService(int nthreads, RtServiceOptions options)
     : options_(std::move(options)),
       nthreads_(nthreads),
-      elector_(options_.lease_term),
+      // The elector reads time through the shared seam: identical to a
+      // raw steady_clock when the calling thread is unbound, distorted
+      // per the plan when the supervisor bound it to a FaultClock.
+      elector_(options_.lease_term, &rt::FaultClock::read),
       calibrator_(
           {.alpha = 0.125,
            .multiplier = 32.0,
            .floor_ns = options_.term_floor_ns,
-           .ceil_ns = options_.term_ceil_ns},
+           .ceil_ns = options_.term_ceil_ns,
+           .drift_margin_ppm = options_.drift_margin_ppm},
           static_cast<std::uint64_t>(options_.lease_term.count()) / 32),
       membership_(nthreads),
       state_(0),
@@ -156,7 +169,7 @@ void RtLeaderService::client_pump(rt::RtWorkerContext& ctx, Slot& slot) {
   while (!slot.pending.empty() &&
          slot.pending.front().seq <= slot.commit_seen) {
     const Pending& req = slot.pending.front();
-    slot.stats.commit.record(now - req.submitted_ns);
+    slot.stats.commit.record(elapsed_ns(req.submitted_ns, now));
     ++slot.stats.completed;
     slot.stats.last_commit_at = now;
     slot.pending.pop_front();
@@ -176,7 +189,7 @@ void RtLeaderService::client_pump(rt::RtWorkerContext& ctx, Slot& slot) {
   for (Pending& req : slot.pending) {
     if (req.acked || req.seq > slot.ack_seen) continue;
     req.acked = true;
-    slot.stats.ack.record(now - req.submitted_ns);
+    slot.stats.ack.record(elapsed_ns(req.submitted_ns, now));
   }
 
   const int batch = options_.batch;
@@ -186,7 +199,7 @@ void RtLeaderService::client_pump(rt::RtWorkerContext& ctx, Slot& slot) {
   }
   const std::uint64_t route_start = ctx.now_ns();
   if (!route(ctx, slot)) return;  // leaderless; retry next pump
-  slot.stats.route.record_n(ctx.now_ns() - route_start,
+  slot.stats.route.record_n(elapsed_ns(route_start, ctx.now_ns()),
                             static_cast<std::uint64_t>(batch));
 
   const std::uint64_t submitted_at = ctx.now_ns();

@@ -91,6 +91,11 @@ struct RtServiceOptions {
   std::chrono::nanoseconds lease_term = std::chrono::milliseconds(4);
   std::uint64_t term_floor_ns = 2000000;
   std::uint64_t term_ceil_ns = 20000000;
+  /// Drift-margin guard forwarded to the LeaseCalibrator: assume own
+  /// clock may run this many ppm fast and shorten claimed terms
+  /// accordingly. 0 (default) = trust the clock, exactly the pre-PR-8
+  /// behaviour; the soak harness sets it when clock faults are on.
+  std::uint64_t drift_margin_ppm = 0;
 };
 
 class RtLeaderService {

@@ -346,6 +346,12 @@ rt::RtFaultPlan::GenOptions rt_gen_options(const RtSoakOptions& options) {
     gen.max_membership_cycles = 2;
     gen.churn_tid = options.nthreads - 1;
   }
+  if (options.clock_faults) {
+    // Clock draws append after membership: plans without them are
+    // unchanged draw for draw. Any seat may be hit -- the conformance
+    // escape, not seat placement, is what keeps the run judgeable.
+    gen.max_clock_faults = 2;
+  }
   return gen;
 }
 
@@ -360,7 +366,14 @@ RtSoakResult run_rt_soak(const RtSoakOptions& options) {
                                  options.seed, rt_gen_options(options))
                            : rt::RtFaultPlan(options.seed));
 
-  RtLeaderService service(options.nthreads, options.service);
+  RtServiceOptions service_options = options.service;
+  if (options.clock_faults && service_options.drift_margin_ppm == 0) {
+    // Defend against the worst drift the generator can draw: the
+    // calibrator shortens claimed terms so a fast-clocked leaseholder
+    // undershoots the expiry everyone else computes.
+    service_options.drift_margin_ppm = 200000;
+  }
+  RtLeaderService service(options.nthreads, service_options);
   rt::RtSupervisorOptions sup_options;
   sup_options.nthreads = options.nthreads;
   sup_options.run_for =
@@ -452,6 +465,25 @@ rt::RtFaultPlan rt_view_thrash_plan(std::uint64_t seed, int nthreads,
     } else {
       plan.join(spare, at);
     }
+  }
+  return plan;
+}
+
+rt::RtFaultPlan rt_clock_breach_plan(std::uint64_t seed, int nthreads,
+                                     int windows, std::uint64_t first_ns,
+                                     std::uint64_t spacing_ns) {
+  rt::RtFaultPlan plan(seed);
+  const std::uint32_t spare = static_cast<std::uint32_t>(nthreads - 1);
+  for (int k = 0; k < windows; ++k) {
+    const std::uint64_t at =
+        first_ns + static_cast<std::uint64_t>(k) * spacing_ns;
+    // Alternating-sign skew, each window half the spacing: the spare
+    // seat's clock flaps while every other seat stays honest. Kept
+    // well under the elector's jump-suspect threshold -- the breach is
+    // about the conformance axis, not the self-fencing defense.
+    plan.clock_fault(rt::RtClockFaultKind::Skew, spare, at,
+                     at + spacing_ns / 2,
+                     (k % 2 == 0) ? 1500000 : -1500000);
   }
   return plan;
 }

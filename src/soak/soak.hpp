@@ -176,6 +176,15 @@ struct RtSoakOptions {
   /// (kStaleFenceBlocked), and the conformance checker grades each
   /// epoch independently.
   bool membership_churn = false;
+  /// Adds generated clock faults (skew / drift / jumps / freezes on
+  /// individual seats, applied through the supervisor's FaultClock) to
+  /// the fault plan, and arms the service's drift-margin guard so a
+  /// fast-clocked leaseholder undershoots its claimed term. Clock
+  /// draws append after every other family: plans without them are
+  /// unchanged draw for draw. Conformance grades the faulted seats as
+  /// clock-degraded (excused, never timely) -- the sweep asserts the
+  /// losses are exactly the excused ones.
+  bool clock_faults = false;
   /// Replaces the generated plan when set (must outlive the call).
   const rt::RtFaultPlan* plan_override = nullptr;
   RtServiceOptions service;
@@ -227,5 +236,17 @@ rt::RtFaultPlan jammed_medium_plan(std::uint64_t seed,
 rt::RtFaultPlan rt_view_thrash_plan(std::uint64_t seed, int nthreads,
                                     int flips, std::uint64_t first_ns,
                                     std::uint64_t spacing_ns);
+
+/// Clock-fault breach (the clock twin of rt_view_thrash_plan):
+/// `windows` alternating-sign skew windows on the spare seat
+/// nthreads-1, spaced `spacing_ns` apart from `first_ns`. With a
+/// spacing that carries the flapping through the end of the run the
+/// global stable suffix never fits, so progress fails as inconclusive
+/// ("stable suffix too short") while the well-clocked seats keep
+/// serving and the SLO stays green -- only the TBWF axis flips, and
+/// every timeliness loss is the excused clock-degraded kind.
+rt::RtFaultPlan rt_clock_breach_plan(std::uint64_t seed, int nthreads,
+                                     int windows, std::uint64_t first_ns,
+                                     std::uint64_t spacing_ns);
 
 }  // namespace tbwf::soak

@@ -1,0 +1,366 @@
+// Clock-fault injection and drift-tolerant leasing, unit scale.
+//
+// Four layers under test:
+//   - the generated clock-fault family appends after every older family
+//     (pinned digests: old seeds replay byte for byte with the family
+//     disabled, and adding it leaves every older draw untouched);
+//   - FaultClock's distortion math (skew / drift / jumps / freeze,
+//     window summing, origin clamping, thread binding);
+//   - LeaseElector's clock hardening: the monotone clamp (a backward
+//     jump can neither resurrect an expired lease nor stretch a live
+//     one), forward-jump self-fencing, the 40-bit expiry ring across
+//     wraparound under contention, and the calibrator's drift margin;
+//   - the soak-level breach: a clock-fault plan that fails exactly the
+//     TBWF axis of the joint verdict while the SLO stays green.
+//
+// Suite names keep the Rt-/LeaseElector- prefix: the tsan CI jobs
+// select rt tests with ctest -R '^(Rt|LeaseElector)'.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rt/rt_clock.hpp"
+#include "rt/rt_faults.hpp"
+#include "rt/rt_tbwf.hpp"
+#include "soak/soak.hpp"
+#include "util/hash.hpp"
+
+namespace tbwf::rt {
+namespace {
+
+// -- plan family: append-only draws --------------------------------------------
+
+RtFaultPlan::GenOptions all_family_options() {
+  RtFaultPlan::GenOptions g;
+  g.nthreads = 4;
+  g.max_reg_faults = 2;
+  g.max_membership_cycles = 2;
+  return g;
+}
+
+/// `summary()` minus the clock lines: the prefix every pre-clock family
+/// contributes.
+std::string strip_clock_lines(const std::string& summary) {
+  std::istringstream in(summary);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("  clock ", 0) == 0) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+// Digests captured on the commit BEFORE the clock family existed: any
+// change here means old seeds no longer replay bit-identically and the
+// acceptance contract ("re-run with the seed reproduces the exact
+// plan") is broken for every plan already recorded in CI artifacts.
+TEST(RtClockPlanTest, PinnedDigestsReplayWithFamilyDisabled) {
+  const std::uint64_t kAllFamilies[6] = {
+      0xcd8da26cbe17bb1eull, 0xc600e188bebb4520ull, 0x1e27b7dcfd2bd13cull,
+      0xc52a09724fce0f65ull, 0x72d614b7e8f537dcull, 0x800b1ec0af73556full};
+  const std::uint64_t kSweepDefaults[6] = {
+      0x51abfb63890f5d64ull, 0xd52b2dbcebae754bull, 0x1e27b7dcfd2bd13cull,
+      0x9c29b3c9d61c7366ull, 0x00259bc141ecea52ull, 0x800b1ec0af73556full};
+  const auto all = all_family_options();
+  RtFaultPlan::GenOptions sweep;
+  sweep.nthreads = 4;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    EXPECT_EQ(util::fnv1a(RtFaultPlan::generate(seed, all).summary()),
+              kAllFamilies[seed - 1])
+        << "all-families seed " << seed;
+    EXPECT_EQ(util::fnv1a(RtFaultPlan::generate(seed, sweep).summary()),
+              kSweepDefaults[seed - 1])
+        << "sweep-defaults seed " << seed;
+  }
+}
+
+TEST(RtClockPlanTest, ClockDrawsAppendAfterEveryOlderFamily) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const auto base = all_family_options();
+    auto with_clock = base;
+    with_clock.max_clock_faults = 3;
+    const RtFaultPlan a = RtFaultPlan::generate(seed, base);
+    const RtFaultPlan b = RtFaultPlan::generate(seed, with_clock);
+    const std::string stripped = strip_clock_lines(b.summary());
+    const std::string header = "rt plan seed=" + std::to_string(seed) + "\n";
+    if (stripped == header && !b.clock_faults().empty()) {
+      // Every older draw came up zero: the base plan (and only it)
+      // gets the generator's never-empty fallback stall, because the
+      // clock events already keep plan b non-empty.
+      EXPECT_NE(a.summary().find("  stall "), std::string::npos)
+          << "seed " << seed;
+      continue;
+    }
+    // Every older family's draws are untouched by enabling the clock
+    // family: the plans differ only in appended clock lines.
+    EXPECT_EQ(a.summary(), stripped) << "seed " << seed;
+  }
+}
+
+TEST(RtClockPlanTest, GeneratedWindowsRespectTheQuietTail) {
+  RtFaultPlan::GenOptions g;
+  g.nthreads = 4;
+  g.max_clock_faults = 4;
+  const auto hi = static_cast<std::uint64_t>(
+      static_cast<double>(g.horizon_ns) * (1.0 - g.quiet_tail));
+  bool saw_any = false;
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    const RtFaultPlan plan = RtFaultPlan::generate(seed, g);
+    EXPECT_LE(plan.last_event_ns(), hi) << "seed " << seed;
+    for (const auto& c : plan.clock_faults()) {
+      saw_any = true;
+      EXPECT_LT(c.tid, static_cast<std::uint32_t>(g.nthreads));
+      EXPECT_LT(c.from_ns, hi);
+      if (c.to_ns == RtClockFaultEvent::kForeverNs) {
+        // Only the kinds whose distortion is a stable property may
+        // stay open forever.
+        EXPECT_TRUE(c.kind == RtClockFaultKind::Skew ||
+                    c.kind == RtClockFaultKind::Drift);
+      } else {
+        EXPECT_LT(c.from_ns, c.to_ns);
+        EXPECT_LE(c.to_ns, hi);
+      }
+      if (c.kind != RtClockFaultKind::Freeze) {
+        EXPECT_NE(c.magnitude, 0) << to_string(c.kind);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_any);
+}
+
+// -- FaultClock distortion math ------------------------------------------------
+
+constexpr std::uint64_t kOrigin = 5000000000ull;
+
+TEST(RtFaultClockTest, SkewOffsetsOnlyInsideTheWindow) {
+  FaultClock clock;
+  clock.arm(kOrigin, {{RtClockFaultKind::Skew, /*tid=*/1, 100, 200, 500}});
+  EXPECT_EQ(clock.observed_ns(1, kOrigin + 50), kOrigin + 50);
+  EXPECT_EQ(clock.observed_ns(1, kOrigin + 100), kOrigin + 600);
+  EXPECT_EQ(clock.observed_ns(1, kOrigin + 199), kOrigin + 699);
+  EXPECT_EQ(clock.observed_ns(1, kOrigin + 200), kOrigin + 200);
+  // Another thread is untouched.
+  EXPECT_EQ(clock.observed_ns(0, kOrigin + 150), kOrigin + 150);
+}
+
+TEST(RtFaultClockTest, DriftGrowsLinearlyFromTheWindowStart) {
+  FaultClock clock;
+  // +100000 ppm = 10% fast from rel 1000, forever.
+  clock.arm(kOrigin, {{RtClockFaultKind::Drift, 0, 1000,
+                       RtClockFaultEvent::kForeverNs, 100000}});
+  EXPECT_EQ(clock.observed_ns(0, kOrigin + 1000), kOrigin + 1000);
+  EXPECT_EQ(clock.observed_ns(0, kOrigin + 2000), kOrigin + 2100);
+  EXPECT_EQ(clock.observed_ns(0, kOrigin + 11000), kOrigin + 12000);
+}
+
+TEST(RtFaultClockTest, FreezeOverridesAndSnapsBack) {
+  FaultClock clock;
+  clock.arm(kOrigin, {{RtClockFaultKind::Freeze, 2, 300, 400, 0},
+                      {RtClockFaultKind::Skew, 2, 0,
+                       RtClockFaultEvent::kForeverNs, 7}});
+  // Inside the freeze the skew is overridden, not summed.
+  EXPECT_EQ(clock.observed_ns(2, kOrigin + 350), kOrigin + 300);
+  // After it closes, time snaps back to the (skewed) source.
+  EXPECT_EQ(clock.observed_ns(2, kOrigin + 400), kOrigin + 407);
+}
+
+TEST(RtFaultClockTest, OverlappingWindowsSumAndClampAtOrigin) {
+  FaultClock clock;
+  clock.arm(kOrigin, {{RtClockFaultKind::Skew, 0, 100, 300, 40},
+                      {RtClockFaultKind::JumpForward, 0, 200, 300, 60},
+                      {RtClockFaultKind::JumpBackward, 3, 100, 200, -9999}});
+  EXPECT_EQ(clock.observed_ns(0, kOrigin + 250), kOrigin + 350);
+  // A backward fault larger than the elapsed run clamps at the origin
+  // instead of underflowing the 64-bit clock.
+  EXPECT_EQ(clock.observed_ns(3, kOrigin + 150), kOrigin);
+}
+
+TEST(RtFaultClockTest, BindingRoutesReadAndRestoresOnExit) {
+  FaultClock clock;
+  clock.arm(0, {{RtClockFaultKind::Skew, 7, 0,
+                 RtClockFaultEvent::kForeverNs, 3600000000000ll}});
+  ASSERT_FALSE(FaultClock::bound());
+  const std::uint64_t before = FaultClock::read();
+  {
+    FaultClock::Binding bind(&clock, 7);
+    ASSERT_TRUE(FaultClock::bound());
+    // An hour of skew dwarfs any scheduling delay between the reads.
+    EXPECT_GT(FaultClock::read(), before + 3000000000000ull);
+    {
+      FaultClock::Binding inner(nullptr, 0);
+      EXPECT_FALSE(FaultClock::bound());
+      EXPECT_LT(FaultClock::read(), before + 3000000000000ull);
+    }
+    EXPECT_TRUE(FaultClock::bound());
+  }
+  EXPECT_FALSE(FaultClock::bound());
+  EXPECT_LT(FaultClock::read(), before + 3000000000000ull);
+}
+
+// -- LeaseElector clock hardening ----------------------------------------------
+
+// Synthetic time source: a plain function over an atomic, usable as
+// LeaseElector::ClockFn. relaxed throughout -- the tests sequence their
+// own mutations, and the stress test only needs atomicity.
+std::atomic<std::uint64_t> g_fake_now{0};
+std::uint64_t fake_clock() {
+  return g_fake_now.load(std::memory_order_relaxed);
+}
+
+TEST(LeaseElectorClockTest, BackwardJumpCannotResurrectAnExpiredLease) {
+  g_fake_now.store(1000000000ull, std::memory_order_relaxed);
+  LeaseElector elector(std::chrono::milliseconds(1), &fake_clock);
+  std::uint64_t token = 0;
+  ASSERT_TRUE(elector.try_lead(0, &token));
+  ASSERT_TRUE(elector.validate(0, token));
+  // Let the lease expire on the true timeline...
+  g_fake_now.fetch_add(2000000, std::memory_order_relaxed);
+  EXPECT_FALSE(elector.validate(0, token));
+  EXPECT_EQ(elector.owner(), LeaseElector::kNoOwner);
+  // ...then jump the source 10 ms backward. The monotone clamp keeps
+  // judging at the high-water mark: the corpse stays expired and the
+  // seat is immediately electable by someone honest.
+  g_fake_now.fetch_sub(10000000, std::memory_order_relaxed);
+  EXPECT_FALSE(elector.validate(0, token));
+  EXPECT_EQ(elector.owner(), LeaseElector::kNoOwner);
+  std::uint64_t token1 = 0;
+  EXPECT_TRUE(elector.try_lead(1, &token1));
+  EXPECT_TRUE(elector.validate(1, token1));
+  EXPECT_EQ(elector.jumps_detected(), 0u);
+}
+
+TEST(LeaseElectorClockTest, ForwardJumpFencesTheJumperAndResetsCalibration) {
+  g_fake_now.store(2000000000ull, std::memory_order_relaxed);
+  LeaseElector elector(std::chrono::milliseconds(1), &fake_clock);
+  LeaseCalibrator calibrator;
+  elector.set_calibrator(&calibrator);
+  calibrator.observe(40000);
+  calibrator.observe(40000);
+  ASSERT_GT(calibrator.samples(), 0u);
+  std::uint64_t token = 0;
+  ASSERT_TRUE(elector.try_lead(0, &token));
+  // The source leaps 2 s forward -- past the default 1 s suspicion
+  // threshold. The jumper must lose: self-revoked (its token is dead),
+  // tallied, and the jump-spanning latency samples discarded.
+  g_fake_now.fetch_add(2000000000ull, std::memory_order_relaxed);
+  EXPECT_FALSE(elector.try_lead(0, &token));
+  EXPECT_EQ(elector.jumps_detected(), 1u);
+  EXPECT_FALSE(elector.validate(0, token));
+  EXPECT_EQ(calibrator.samples(), 0u);
+  // The detection consumed the jump (the high-water mark caught up):
+  // the same thread re-elects cleanly under a fresh fence.
+  std::uint64_t fresh = 0;
+  EXPECT_TRUE(elector.try_lead(0, &fresh));
+  EXPECT_NE(fresh, token);
+  EXPECT_TRUE(elector.validate(0, fresh));
+  EXPECT_EQ(elector.jumps_detected(), 1u);
+}
+
+TEST(LeaseElectorClockTest, ZeroSuspicionThresholdDisablesDetection) {
+  g_fake_now.store(3000000000ull, std::memory_order_relaxed);
+  LeaseElector elector(std::chrono::milliseconds(1), &fake_clock);
+  elector.set_jump_suspect(0);
+  std::uint64_t token = 0;
+  ASSERT_TRUE(elector.try_lead(0, &token));
+  g_fake_now.fetch_add(10000000000ull, std::memory_order_relaxed);
+  EXPECT_TRUE(elector.try_lead(0, &token));
+  EXPECT_EQ(elector.jumps_detected(), 0u);
+}
+
+// The 40-bit expiry ring under contention, across the wrap boundary,
+// with small backward stutters thrown in: at most one thread may hold
+// a validated lease at any instant, before, across and after the wrap.
+// (Registered RUN_SERIAL: four spinning threads on a timesliced box.)
+TEST(LeaseElectorClockTest, WraparoundStressKeepsLeasesExclusive) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 4000;
+  // Start 6 ms short of the 40-bit wrap; the threads advance the source
+  // far past it. The 100 ms term dwarfs the total advancement between a
+  // successful validate and the matching release, so expiry can never
+  // race the exclusivity window itself.
+  g_fake_now.store((1ULL << 40) - 6000000, std::memory_order_relaxed);
+  LeaseElector elector(std::chrono::milliseconds(100), &fake_clock);
+  std::atomic<int> active{0};
+  std::atomic<int> overlap{0};
+  std::atomic<std::uint64_t> held{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        g_fake_now.fetch_add(1000, std::memory_order_relaxed);
+        if (t == 0 && i % 64 == 0) {
+          // A small backward stutter; the monotone clamp absorbs it.
+          g_fake_now.fetch_sub(700, std::memory_order_relaxed);
+        }
+        std::uint64_t token = 0;
+        if (!elector.try_lead(static_cast<std::uint32_t>(t), &token)) {
+          continue;
+        }
+        if (elector.validate(static_cast<std::uint32_t>(t), token)) {
+          if (active.fetch_add(1, std::memory_order_acq_rel) != 0) {
+            overlap.fetch_add(1, std::memory_order_relaxed);
+          }
+          held.fetch_add(1, std::memory_order_relaxed);
+          active.fetch_sub(1, std::memory_order_acq_rel);
+        }
+        elector.release(static_cast<std::uint32_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(overlap.load(std::memory_order_relaxed), 0);
+  EXPECT_GT(held.load(std::memory_order_relaxed), 0u);
+  // The run crossed the wrap: the masked clock is far below where it
+  // started, yet elections kept working the whole way.
+  EXPECT_GT(g_fake_now.load(std::memory_order_relaxed), 1ULL << 40);
+  EXPECT_EQ(elector.jumps_detected(), 0u);
+}
+
+TEST(RtCalibratorClockTest, DriftMarginShortensTermNeverLengthens) {
+  LeaseCalibrator::Options plain;
+  plain.floor_ns = 1;
+  LeaseCalibrator::Options guarded = plain;
+  guarded.drift_margin_ppm = 200000;  // tolerate clocks up to 20% fast
+  LeaseCalibrator a(plain, /*initial_latency_ns=*/120000);
+  LeaseCalibrator b(guarded, /*initial_latency_ns=*/120000);
+  EXPECT_LT(b.term_ns(), a.term_ns());
+  // Exactly the discount factor: term * 1e6 / (1e6 + margin).
+  EXPECT_EQ(b.term_ns(),
+            static_cast<std::uint64_t>(static_cast<double>(a.term_ns()) *
+                                       1e6 / 1.2e6));
+  // margin 0 is the default: the legacy formula, bit for bit.
+  EXPECT_EQ(LeaseCalibrator::Options{}.drift_margin_ppm, 0u);
+}
+
+// -- the soak-level breach ------------------------------------------------------
+
+// The clock twin of ViewThrashFailsOnlyTheProgressAxis: skew windows
+// flapping on the spare seat through the end of the run keep the
+// plan's last edge moving, so the stable suffix never fits -- the TBWF
+// axis fails as inconclusive while the well-clocked seats keep serving
+// and the SLO stays green.
+TEST(RtClockSoakTest, ClockBreachFailsOnlyTheProgressAxis) {
+  auto options = soak::RtSoakOptions::quick(21);
+  const auto breach = soak::rt_clock_breach_plan(21, options.nthreads, 40,
+                                                 4000000, 700000);
+  options.plan_override = &breach;
+  const auto result = soak::run_rt_soak(options);
+  EXPECT_FALSE(result.joint.progress_ok);
+  EXPECT_TRUE(result.slo.ok) << result.joint.summary();
+  ASSERT_FALSE(result.progress.violations.empty());
+  EXPECT_NE(result.progress.violations.front().find(
+                "stable suffix too short"),
+            std::string::npos)
+      << result.progress.violations.front();
+}
+
+}  // namespace
+}  // namespace tbwf::rt

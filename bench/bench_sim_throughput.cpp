@@ -3,6 +3,13 @@
 // paper experiment -- an engineering dial that tells users how many
 // model steps their budget buys (all sim-based experiments are priced
 // in steps).
+//
+// E19 (batching ablation, sim side): the post hook additionally runs
+// DETERMINISTIC saturating workloads -- batched announce/combine/help
+// engine vs the plain per-op QA construction -- for a fixed step
+// budget and records ops completed per budget (gated, unit "rounds")
+// and shared-register writes per op (the Alistarh et al. lower-bound
+// axis, informational). Unbatched rows carry variant "before".
 #include <benchmark/benchmark.h>
 
 #include "bench_json_gbench.hpp"
@@ -10,6 +17,8 @@
 #include <memory>
 
 #include "core/tbwf.hpp"
+#include "qa/qa_batched.hpp"
+#include "qa/qa_universal.hpp"
 #include "sim/schedule.hpp"
 #include "sim/world.hpp"
 
@@ -79,12 +88,139 @@ void BM_FullTbwfStackSteps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 
+// Saturating multi-producer batched engine: steps/second of the whole
+// announce/combine/help machinery under contention.
+void BM_BatchedEngineSteps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::World world(n, std::make_unique<sim::RandomSchedule>(1));
+  qa::BatchedQaUniversal<qa::Counter> obj(world, 0);
+  struct Worker {
+    static sim::Task run(sim::SimEnv& env,
+                         qa::BatchedQaUniversal<qa::Counter>& obj) {
+      for (;;) (void)co_await obj.apply(env, qa::Counter::Op{1});
+    }
+  };
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](sim::SimEnv& env) {
+      return Worker::run(env, obj);
+    });
+  }
+  for (auto _ : state) {
+    world.run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+// -- E19 deterministic ablation rows ------------------------------------------
+
+constexpr sim::Step kBudget = 60000;
+
+struct AblationPoint {
+  std::uint64_t ops = 0;
+  std::uint64_t writes = 0;
+};
+
+AblationPoint run_batched(int n) {
+  sim::World world(n, std::make_unique<sim::RandomSchedule>(7));
+  qa::BatchedQaUniversal<qa::Counter> obj(world, 0);
+  std::vector<std::uint64_t> done(n, 0);
+  struct Worker {
+    static sim::Task run(sim::SimEnv& env,
+                         qa::BatchedQaUniversal<qa::Counter>& obj,
+                         std::uint64_t& done) {
+      for (;;) {
+        (void)co_await obj.apply(env, qa::Counter::Op{1});
+        ++done;
+      }
+    }
+  };
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&, p](sim::SimEnv& env) {
+      return Worker::run(env, obj, done[static_cast<std::size_t>(p)]);
+    });
+  }
+  world.run(kBudget);
+  AblationPoint point;
+  for (sim::Pid p = 0; p < n; ++p) {
+    point.ops += done[static_cast<std::size_t>(p)];
+    point.writes += obj.shared_writes(p);
+  }
+  return point;
+}
+
+AblationPoint run_unbatched(int n) {
+  sim::World world(n, std::make_unique<sim::RandomSchedule>(7));
+  qa::QaUniversal<qa::Counter> obj(world, 0);
+  std::vector<std::uint64_t> done(n, 0);
+  struct Worker {
+    static sim::Task run(sim::SimEnv& env, qa::QaUniversal<qa::Counter>& obj,
+                         std::uint64_t& done) {
+      for (;;) {
+        auto r = co_await obj.invoke(env, qa::Counter::Op{1});
+        while (r.bottom()) {
+          r = co_await obj.query(env);
+          if (r.bottom()) co_await env.yield();
+        }
+        if (r.ok()) ++done;
+      }
+    }
+  };
+  for (sim::Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&, p](sim::SimEnv& env) {
+      return Worker::run(env, obj, done[static_cast<std::size_t>(p)]);
+    });
+  }
+  world.run(kBudget);
+  AblationPoint point;
+  for (sim::Pid p = 0; p < n; ++p) {
+    point.ops += done[static_cast<std::size_t>(p)];
+    point.writes += obj.publishes(p);
+  }
+  return point;
+}
+
+void derive_ablation_rows(tbwf::bench::JsonReporter& json,
+                          const std::vector<tbwf::bench::GBenchRow>&) {
+  using tbwf::bench::fmt_f;
+  using tbwf::bench::fmt_i;
+  using tbwf::bench::fmt_u;
+  for (const int n : {2, 4, 8}) {
+    const AblationPoint batched = run_batched(n);
+    const AblationPoint unbatched = run_unbatched(n);
+    const std::string budget = fmt_u(kBudget);
+    json.row("ops_per_budget", static_cast<double>(batched.ops), "rounds",
+             /*seed=*/7,
+             {{"engine", "batched"}, {"n", fmt_i(n)}, {"steps", budget}});
+    json.row("ops_per_budget", static_cast<double>(unbatched.ops), "rounds",
+             /*seed=*/7,
+             {{"engine", "unbatched"}, {"n", fmt_i(n)}, {"steps", budget},
+              {"variant", "before"}});
+    if (batched.ops > 0) {
+      json.row("writes_per_op",
+               static_cast<double>(batched.writes) /
+                   static_cast<double>(batched.ops),
+               "writes/op", /*seed=*/7,
+               {{"engine", "batched"}, {"n", fmt_i(n)}, {"steps", budget}});
+    }
+    if (unbatched.ops > 0) {
+      json.row("writes_per_op",
+               static_cast<double>(unbatched.writes) /
+                   static_cast<double>(unbatched.ops),
+               "writes/op", /*seed=*/7,
+               {{"engine", "unbatched"}, {"n", fmt_i(n)}, {"steps", budget},
+                {"variant", "before"}});
+    }
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_YieldOnlySteps)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_RegisterOpSteps)->Arg(1)->Arg(4)->Arg(16);
 BENCHMARK(BM_FullTbwfStackSteps)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_BatchedEngineSteps)->Arg(2)->Arg(4)->Arg(8);
 
 int main(int argc, char** argv) {
-  return tbwf::bench::run_gbench_with_json(argc, argv, "sim_throughput");
+  return tbwf::bench::run_gbench_with_json(argc, argv, "sim_throughput", {},
+                                           derive_ablation_rows);
 }

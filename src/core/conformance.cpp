@@ -813,6 +813,123 @@ RtConformanceReport check_rt_conformance(const rt::RtTraceSnapshot& trace,
 
 // -- safety x progress grading --------------------------------------------------
 
+// -- batch-epoch front-end ------------------------------------------------------
+
+std::string BatchConformanceReport::summary() const {
+  std::ostringstream out;
+  out << "batch conformance [" << suffix_from << ", " << run_end << ") "
+      << (ok ? "OK" : "VIOLATED") << " commits=" << suffix_commits
+      << " judged=" << judged_announces
+      << " max_inclusion=" << max_inclusion_observed
+      << " mean_batch=" << mean_batch_size << "\n";
+  for (const auto& v : violations) out << "  VIOLATION: " << v << "\n";
+  return out.str();
+}
+
+BatchConformanceReport check_batch_conformance(
+    const BatchLog& log, const BatchConformanceOptions& options) {
+  BatchConformanceReport report;
+  report.suffix_from = options.suffix_from;
+  report.run_end = options.run_end;
+  report.mean_batch_size = log.mean_batch_size();
+
+  // Commit steps are journalled in slot order == step order.
+  std::vector<sim::Step> commit_steps;
+  commit_steps.reserve(log.commits.size());
+  for (const auto& c : log.commits) {
+    commit_steps.push_back(c.step);
+    if (c.step >= options.suffix_from && c.step < options.run_end) {
+      ++report.suffix_commits;
+    }
+  }
+
+  const auto is_timely = [&options](sim::Pid p) {
+    for (const sim::Pid t : options.timely) {
+      if (t == p) return true;
+    }
+    return false;
+  };
+  // Batches committed in (announced_at, applied_at] -- the number of
+  // batch epochs the announce waited through before inclusion.
+  const auto epochs_between = [&commit_steps](sim::Step from, sim::Step to) {
+    const auto lo = std::upper_bound(commit_steps.begin(), commit_steps.end(),
+                                     from);
+    const auto hi = std::upper_bound(commit_steps.begin(), commit_steps.end(),
+                                     to);
+    return static_cast<std::uint64_t>(hi - lo);
+  };
+
+  bool any_pending_demand = false;
+  for (const auto& a : log.announces) {
+    if (a.announced_at < options.suffix_from ||
+        a.announced_at >= options.run_end) {
+      continue;
+    }
+    if (a.voided) continue;  // fate sealed F by the owner's own query
+    const bool applied = a.applied_at != BatchAnnounceEvent::kNever;
+    const bool excused_young =
+        !applied &&
+        options.run_end - a.announced_at <= options.end_grace;
+
+    // Lock-freedom demand: SOME batch must commit soon after any
+    // pending announce, timely owner or not (the merged stream serves
+    // everyone).
+    if (!excused_young) {
+      any_pending_demand = true;
+      const auto next_commit = std::upper_bound(
+          commit_steps.begin(), commit_steps.end(), a.announced_at);
+      const sim::Step served_by =
+          next_commit != commit_steps.end() ? *next_commit : options.run_end;
+      if (served_by - a.announced_at > options.max_commit_gap) {
+        report.violations.push_back(
+            "lock-freedom: no batch committed within " +
+            std::to_string(options.max_commit_gap) + " steps of p" +
+            std::to_string(a.owner) + "'s announce at step " +
+            std::to_string(a.announced_at));
+      }
+    }
+
+    if (!is_timely(a.owner)) continue;
+    if (excused_young) continue;
+    ++report.judged_announces;
+    if (!applied) {
+      report.violations.push_back(
+          "wait-freedom: timely p" + std::to_string(a.owner) +
+          "'s announce (uid " + std::to_string(a.uid) + ", step " +
+          std::to_string(a.announced_at) + ") was never included in a batch");
+      continue;
+    }
+    const std::uint64_t epochs = epochs_between(a.announced_at, a.applied_at);
+    report.max_inclusion_observed =
+        std::max(report.max_inclusion_observed, epochs);
+    if (epochs > options.max_inclusion_batches) {
+      report.violations.push_back(
+          "wait-freedom: timely p" + std::to_string(a.owner) +
+          "'s announce waited " + std::to_string(epochs) +
+          " batch epochs (bound " +
+          std::to_string(options.max_inclusion_batches) + ")");
+    }
+    if (a.applied_at - a.announced_at > options.max_inclusion_steps) {
+      report.violations.push_back(
+          "wait-freedom: timely p" + std::to_string(a.owner) +
+          "'s announce waited " +
+          std::to_string(a.applied_at - a.announced_at) + " steps (bound " +
+          std::to_string(options.max_inclusion_steps) + ")");
+    }
+  }
+
+  // Obstruction-freedom: demand in the window with live announcers but
+  // not a single committed batch is a stall even without timely pids.
+  if (any_pending_demand && report.suffix_commits == 0) {
+    report.violations.push_back(
+        "obstruction-freedom: announces pending in the suffix but no batch "
+        "committed at all");
+  }
+
+  report.ok = report.violations.empty();
+  return report;
+}
+
 SafetySummary safety_from_oracle(const verify::OracleResult& oracle) {
   SafetySummary safety;
   safety.checked = true;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch_log.hpp"
 #include "core/tbwf_object.hpp"
 #include "rt/rt_faults.hpp"
 #include "rt/rt_trace.hpp"
@@ -121,6 +122,71 @@ ConformanceReport check_chaos_conformance(
     const sim::Trace& trace, const OpLog& log, const sim::FaultPlan& plan,
     const std::vector<sim::Pid>& issuing, const ConformanceOptions& options,
     util::Counters* metrics = nullptr);
+
+// -- batch-epoch front-end ------------------------------------------------------
+//
+// The batched throughput engine (qa/qa_batched.hpp) commits one BATCH
+// of announced ops per decided slot, so the paper's graded guarantees
+// restate per *batch epoch* (= one committed batch):
+//
+//   timely => wait-free     every announce by a suffix-timely process
+//                           is INCLUDED in a committed batch within
+//                           max_inclusion_batches epochs of its
+//                           announce (and within max_inclusion_steps);
+//   one timely => lock-free while any announce is pending in the
+//                           suffix, some batch commits within
+//                           max_commit_gap steps of it -- the merged
+//                           batch stream never stalls against demand;
+//   solo => obstruction-free a suffix with announces and at least one
+//                           live announcer must commit at least one
+//                           batch.
+//
+// The same run can therefore be judged twice -- per-op by
+// check_chaos_conformance over the completion log, per-epoch by
+// check_batch_conformance over the batch log -- and the two verdicts
+// must agree (tests/batch_conformance_test.cpp asserts they do).
+
+struct BatchConformanceOptions {
+  /// Stable-suffix window [suffix_from, run_end) the guarantees are
+  /// judged over (take them from a per-op ConformanceReport to compare
+  /// verdicts on the same footing).
+  sim::Step suffix_from = 0;
+  sim::Step run_end = 0;
+  /// Announcers held to the per-op inclusion bound (suffix-timely).
+  std::vector<sim::Pid> timely;
+  /// Wait-freedom: max committed batches between a timely announce and
+  /// its inclusion.
+  std::uint64_t max_inclusion_batches = 16;
+  /// Wait-freedom: max steps between a timely announce and inclusion.
+  sim::Step max_inclusion_steps = 100000;
+  /// Lock-freedom: max steps an announce may pend with no batch
+  /// committing at all.
+  sim::Step max_commit_gap = 100000;
+  /// Announces younger than this at run end are excused (still in
+  /// flight when the run stopped).
+  sim::Step end_grace = 100000;
+};
+
+struct BatchConformanceReport {
+  bool ok = false;
+  sim::Step suffix_from = 0;
+  sim::Step run_end = 0;
+  /// Batches committed inside the judged window.
+  std::uint64_t suffix_commits = 0;
+  /// Announces judged (timely owners, inside the window, not excused).
+  std::uint64_t judged_announces = 0;
+  /// Largest observed announce-to-inclusion distance, in batch epochs.
+  std::uint64_t max_inclusion_observed = 0;
+  double mean_batch_size = 0.0;
+  std::vector<std::string> violations;
+
+  std::string summary() const;
+};
+
+/// Judge one finished batched run against the per-batch-epoch
+/// restatement of the graded guarantees.
+BatchConformanceReport check_batch_conformance(
+    const BatchLog& log, const BatchConformanceOptions& options);
 
 // -- rt front-end --------------------------------------------------------------
 //

@@ -53,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -192,6 +193,7 @@ class QaUniversal {
     pending_slot_.assign(n_, 0);
     pending_uid_.assign(n_, 0);
     ops_started_.assign(n_, 0);
+    publishes_.assign(n_, 0);
   }
 
   /// Apply `op` to the object; may return bottom under contention.
@@ -257,6 +259,33 @@ class QaUniversal {
     }
     co_return Response::make_bottom();
   }
+
+  /// One wait-free read pass over all records: the decided frontier as
+  /// currently visible to the caller (nullopt if a base read aborted).
+  /// Read-only w.r.t. shared memory; refreshes the caller's local
+  /// decided cache. The batched engine polls this between announces.
+  sim::Co<std::optional<StateRec>> read_frontier(sim::SimEnv& env) {
+    const sim::Pid p = env.pid();
+    auto recs = co_await read_all(env, p);
+    if (!recs.has_value()) co_return std::nullopt;
+    StateRec d = frontier(*recs, p);
+    if (d.seq > local_decided_[p].seq) local_decided_[p] = d;
+    co_return d;
+  }
+
+  /// Hook fired at the moment a slot is decided, before the best-effort
+  /// decide publish: (decider, global step, slot s-1 state, slot s
+  /// state). The batched engine uses it to journal batch commits; it
+  /// takes no simulator step and must not touch shared registers.
+  using DecideHook =
+      std::function<void(sim::Pid, sim::Step, const StateRec&,
+                         const StateRec&)>;
+  void set_decide_hook(DecideHook hook) { decide_hook_ = std::move(hook); }
+
+  /// Shared-register writes this process has issued through the
+  /// construction (promise/accept/decide publishes), for the E19
+  /// write-contention accounting.
+  std::uint64_t publishes(sim::Pid p) const { return publishes_[p]; }
 
   /// Non-step introspection for tests/benches: the highest decided
   /// record currently visible in shared memory.
@@ -358,6 +387,7 @@ class QaUniversal {
   sim::Co<bool> publish(sim::SimEnv& env, sim::Pid p) {
     // mine_[p] holds the record we want visible; the register write may
     // abort under an abortable base.
+    ++publishes_[p];
     co_return co_await Base::template write<Record>(env, regs_[p],
                                                     mine_[p]);
   }
@@ -438,6 +468,7 @@ class QaUniversal {
     }
 
     // Decided. Step 6: publish (best effort -- see file comment).
+    if (decide_hook_) decide_hook_(p, env.now(), d, value);
     local_decided_[p] = value;
     mine_[p].decided = value;
     (void)co_await publish(env, p);
@@ -466,7 +497,9 @@ class QaUniversal {
   std::vector<std::uint64_t> pending_slot_;
   std::vector<std::uint64_t> pending_uid_;
   std::vector<std::uint64_t> ops_started_;
+  std::vector<std::uint64_t> publishes_;
   QaMutations mutations_;
+  DecideHook decide_hook_;
 };
 
 }  // namespace tbwf::qa

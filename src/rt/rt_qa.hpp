@@ -124,6 +124,24 @@ class RtQaUniversal {
     return Response::make_bottom();
   }
 
+  /// One try-lock read pass over all records: the decided frontier as
+  /// currently visible to `tid` (nullopt if a base read aborted).
+  /// Refreshes tid's local decided cache. Called by tid's thread only.
+  std::optional<StateRec> read_frontier(Tid tid) {
+    auto recs = read_all(tid);
+    if (!recs.has_value()) return std::nullopt;
+    StateRec d = frontier(*recs, tid);
+    Local& me = locals_[tid];
+    if (d.seq > me.local_decided.seq) me.local_decided = d;
+    return d;
+  }
+
+  /// The highest decided record tid itself has observed. Called by
+  /// tid's thread only (per-thread slice, no synchronization).
+  const StateRec& local_decided(Tid tid) const {
+    return locals_[tid].local_decided;
+  }
+
   /// Best-effort snapshot of the decided frontier (retries briefly).
   StateRec frontier_snapshot() {
     StateRec best = locals_[0].local_decided;

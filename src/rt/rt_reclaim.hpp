@@ -1,0 +1,157 @@
+// Wait-free-friendly memory reclamation for the rt throughput engine.
+//
+// The batched engine (rt_qa_batched.hpp) publishes immutable frontier
+// snapshot nodes through a single atomic pointer; the displaced node
+// must eventually be freed while any number of waiter threads may still
+// be reading it. The telamon exemplar (SNIPPETS.md #2/#3) flags its
+// allocator as the unsolved wait-freedom hole -- this header is the
+// "do better": bounded per-thread retire rings drained against
+// single-slot hazard pointers.
+//
+//   * every thread owns ONE hazard slot (it reads at most one node at a
+//     time) and ONE retire ring of fixed capacity;
+//   * retiring into a full ring runs a scan: load all n hazard slots,
+//     free every pending node not currently protected. At most n nodes
+//     can be protected, and the capacity exceeds n, so every scan frees
+//     at least capacity - n nodes -- the ring NEVER grows past its
+//     capacity and total live garbage is bounded by
+//     nthreads * capacity + nthreads at all times;
+//   * no operation blocks: protect() is a validated load that retries
+//     only while the pointer it chases moves (each retry makes global
+//     progress -- somebody published), retire()/scan() are O(n * cap)
+//     straight-line code, and nothing ever waits on another thread.
+//
+// Memory-order discipline (docs/MODEL.md, "The rt memory model"):
+//   seq_cst   the hazard publish, its validation re-read, and the
+//             reclaimer's hazard scan. The classic hazard-pointer
+//             argument needs a single total order between "I stored my
+//             hazard then re-validated the source" and "I swapped the
+//             node out then scanned the hazards": if the validation
+//             still saw the node, the scan that could free it must see
+//             the hazard. release/acquire alone cannot order the two
+//             independent locations.
+//   acquire   first load of the source pointer (pairs with the
+//             publisher's CAS: the node's fields are fully built).
+//   release   hazard unprotect (nothing is published through it;
+//             release keeps the preceding reads from sinking below).
+//   relaxed   free/alloc tallies -- monotone statistics only.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/cacheline.hpp"
+
+namespace tbwf::rt {
+
+template <class Node>
+class HazardDomain {
+ public:
+  explicit HazardDomain(int nthreads, std::size_t ring_capacity = 0)
+      : n_(nthreads),
+        cap_(ring_capacity != 0
+                 ? ring_capacity
+                 : static_cast<std::size_t>(2 * nthreads + 8)),
+        hazards_(n_),
+        rings_(n_) {
+    TBWF_ASSERT(cap_ > static_cast<std::size_t>(n_),
+                "retire ring must outsize the hazard-slot count");
+    TBWF_ASSERT(n_ <= kMaxHazards, "hazard scan buffer too small");
+    for (auto& ring : rings_) {
+      ring->pending.reserve(cap_ + 1);
+    }
+  }
+
+  ~HazardDomain() {
+    // Callers guarantee quiescence before destruction (threads joined).
+    for (auto& ring : rings_) {
+      for (const Node* node : ring->pending) {
+        delete node;
+        freed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  /// Protect the current value of `src` for thread `tid`: after return,
+  /// the node is safe to dereference until unprotect(tid). Lock-free: each
+  /// retry means the pointer moved, i.e. another thread completed a
+  /// publish.
+  const Node* protect(int tid, const std::atomic<const Node*>& src) {
+    const Node* candidate = src.load(std::memory_order_acquire);
+    for (;;) {
+      hazards_[tid]->store(candidate, std::memory_order_seq_cst);
+      const Node* again = src.load(std::memory_order_seq_cst);
+      if (again == candidate) return candidate;
+      candidate = again;
+    }
+  }
+
+  void unprotect(int tid) {
+    hazards_[tid]->store(nullptr, std::memory_order_release);
+  }
+
+  /// Hand a displaced node to thread tid's ring. Must be called at most
+  /// once per node, by the thread that unlinked it.
+  void retire(int tid, const Node* node) {
+    Ring& ring = *rings_[tid];
+    ring.pending.push_back(node);
+    if (ring.pending.size() > ring.high_water) {
+      ring.high_water = ring.pending.size();
+    }
+    if (ring.pending.size() >= cap_) scan(ring);
+  }
+
+  /// Highest pending-count thread tid's ring ever reached. Read it only
+  /// from tid's thread or after joining it.
+  std::size_t high_water(int tid) const { return rings_[tid]->high_water; }
+  std::size_t capacity() const { return cap_; }
+  std::uint64_t freed() const { return freed_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Ring {
+    std::vector<const Node*> pending;
+    std::size_t high_water = 0;
+  };
+
+  void scan(Ring& ring) {
+    const Node* held[kMaxHazards];
+    int held_count = 0;
+    for (int t = 0; t < n_; ++t) {
+      const Node* h = hazards_[t]->load(std::memory_order_seq_cst);
+      if (h != nullptr) held[held_count++] = h;
+    }
+    std::size_t kept = 0;
+    for (const Node* node : ring.pending) {
+      bool protected_now = false;
+      for (int i = 0; i < held_count; ++i) {
+        if (held[i] == node) {
+          protected_now = true;
+          break;
+        }
+      }
+      if (protected_now) {
+        ring.pending[kept++] = node;
+      } else {
+        delete node;
+        freed_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ring.pending.resize(kept);
+  }
+
+  static constexpr int kMaxHazards = 64;
+
+  int n_;
+  std::size_t cap_;
+  std::vector<util::CachelinePadded<std::atomic<const Node*>>> hazards_;
+  std::vector<util::CachelinePadded<Ring>> rings_;
+  std::atomic<std::uint64_t> freed_{0};
+};
+
+}  // namespace tbwf::rt

@@ -1,0 +1,208 @@
+// Explorer harness for the BATCHED QA engine: the same bounded workload
+// and oracle grading as qa_harness.hpp, run against
+// BatchedQaUniversal<S, Base> so the bounded-DFS explorer can drive the
+// combiner seam -- announce interleavings, drain races, adoption of
+// floating batches, tombstone sealing -- and the Wing-Gong oracle can
+// judge every history in terms of the INNER type S (histories are over
+// S ops/results; batching is invisible to the oracle, exactly as it
+// must be to clients).
+//
+// The fingerprint covers the inner construction's records, the announce
+// array, the engine's per-process progress state and the history fates.
+#pragma once
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qa/qa_batched.hpp"
+#include "qa/qa_universal.hpp"
+#include "qa/sequential_type.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "verify/explorer.hpp"
+#include "verify/history.hpp"
+#include "verify/lin_oracle.hpp"
+#include "verify/qa_harness.hpp"
+
+namespace tbwf::verify {
+
+template <qa::Sequential S, class Base = qa::AtomicBase>
+struct QaBatchedExploreConfig {
+  int n = 2;
+  std::uint64_t world_seed = 1;
+  typename S::State initial{};
+  /// ops[p] = the operations process p issues, in order.
+  std::vector<std::vector<typename S::Op>> ops;
+  bool query_to_resolve = true;
+  /// Engine tuning: small patience keeps explored runs short.
+  typename qa::BatchedQaUniversal<S, Base>::Options engine{};
+  /// Protocol faults under test (all off = the real engine).
+  qa::BatchMutations mutations{};
+  registers::AbortPolicy* policy = nullptr;
+  std::uint64_t oracle_max_states = 200000;
+};
+
+template <qa::Sequential S, class Base = qa::AtomicBase>
+class QaBatchedExploredRun final : public ExploredRun {
+ public:
+  QaBatchedExploredRun(const QaBatchedExploreConfig<S, Base>& config,
+                       std::unique_ptr<sim::Schedule> schedule)
+      : config_(config),
+        world_(config.n, std::move(schedule), world_options(config)),
+        object_(world_, config.initial, config.policy, config.engine) {
+    TBWF_ASSERT(static_cast<int>(config_.ops.size()) == config_.n,
+                "QaBatchedExploreConfig::ops needs one op list per process");
+    object_.set_mutations(config_.mutations);
+    for (sim::Pid p = 0; p < config_.n; ++p) {
+      world_.spawn(p, "qa-batched-explore", [this](sim::SimEnv& env) {
+        return worker(env, *this);
+      });
+    }
+  }
+
+  sim::World& world() override { return world_; }
+  std::uint64_t seed() const override { return config_.world_seed; }
+
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = util::kFnvOffset;
+    const auto& inner = object_.inner();
+    for (sim::Pid p = 0; p < config_.n; ++p) {
+      // Combiners hold drained batches in coroutine locals the folds
+      // below cannot see; folding each process's own step count keeps
+      // state pruning to genuinely commuted interleavings.
+      h = util::hash_mix(h, world_.local_steps(p));
+      h = fold_record(h, inner.peek_record(p));
+      h = fold_record(h, inner.local_mine(p));
+      h = fold_state_rec(h, inner.local_decided_rec(p));
+      h = util::hash_mix(h, inner.round(p));
+      h = fold_announce(h, object_.peek_announce(p));
+      h = fold_announce(h, object_.local_announce(p));
+      h = util::hash_mix(h, object_.last_real_uid(p));
+    }
+    for (const HistoryOp<S>& op : recorder_.history()) {
+      h = util::hash_mix(h, op.pid);
+      h = util::hash_mix(h, op.status);
+      h = util::hash_mix(h, op.responses);
+      if (op.status == OpStatus::Ok) h = detail::fold_value(h, op.result);
+    }
+    return h;
+  }
+
+  std::string check() override {
+    typename LinOracle<S>::Options opt;
+    opt.max_states = config_.oracle_max_states;
+    oracle_ = LinOracle<S>(opt).check(recorder_.history(), config_.initial);
+    if (oracle_.linearizable()) return {};
+    return oracle_.summary();
+  }
+
+  std::string describe() const override {
+    std::ostringstream out;
+    out << "batched history (" << recorder_.size() << " ops):\n"
+        << recorder_.render();
+    out << "oracle: " << oracle_.summary() << "\n";
+    return out.str();
+  }
+
+  const OracleResult& oracle() const { return oracle_; }
+  const HistoryRecorder<S>& recorder() const { return recorder_; }
+  const qa::BatchedQaUniversal<S, Base>& object() const { return object_; }
+
+ private:
+  using Obj = qa::BatchedQaUniversal<S, Base>;
+  using Inner = typename Obj::Inner;
+
+  static sim::WorldOptions world_options(
+      const QaBatchedExploreConfig<S, Base>& config) {
+    sim::WorldOptions options;
+    options.track_accesses = true;
+    options.seed = config.world_seed;
+    return options;
+  }
+
+  static sim::Task worker(sim::SimEnv& env, QaBatchedExploredRun& self) {
+    const sim::Pid p = env.pid();
+    for (const typename S::Op& op : self.config_.ops[p]) {
+      auto response = co_await self.recorder_.invoke(self.object_, env, op);
+      if (self.config_.query_to_resolve && response.bottom()) {
+        (void)co_await self.recorder_.query(self.object_, env);
+      }
+    }
+  }
+
+  static std::uint64_t fold_token(std::uint64_t h,
+                                  const typename Inner::Token& t) {
+    h = util::hash_mix(h, t.seq);
+    h = util::hash_mix(h, t.round);
+    return util::hash_mix(h, t.pid);
+  }
+  static std::uint64_t fold_state_rec(std::uint64_t h,
+                                      const typename Inner::StateRec& r) {
+    h = util::hash_mix(h, r.seq);
+    h = detail::fold_value(h, r.state.inner);
+    h = util::hash_range(h, r.state.done_uid);
+    h = util::hash_range(h, r.state.done_void);
+    h = util::hash_mix(h, r.state.done_result.size());
+    for (const typename S::Result& res : r.state.done_result) {
+      h = detail::fold_value(h, res);
+    }
+    h = util::hash_range(h, r.last_uid);
+    return util::hash_range(h, r.last_result);
+  }
+  static std::uint64_t fold_record(std::uint64_t h,
+                                   const typename Inner::Record& rec) {
+    h = fold_token(h, rec.promised);
+    h = fold_token(h, rec.accepted);
+    h = fold_state_rec(h, rec.accepted_state);
+    return fold_state_rec(h, rec.decided);
+  }
+  static std::uint64_t fold_announce(std::uint64_t h,
+                                     const typename Obj::Announce& a) {
+    h = util::hash_mix(h, a.uid);
+    return util::hash_mix(h, a.has_op);
+  }
+
+  QaBatchedExploreConfig<S, Base> config_;
+  sim::World world_;
+  Obj object_;
+  HistoryRecorder<S> recorder_;
+  OracleResult oracle_;
+};
+
+/// Factory adapter for Explorer; the config is copied into every run.
+template <qa::Sequential S, class Base = qa::AtomicBase>
+RunFactory make_qa_batched_run_factory(QaBatchedExploreConfig<S, Base> config) {
+  return [config](std::unique_ptr<sim::Schedule> schedule)
+             -> std::unique_ptr<ExploredRun> {
+    return std::make_unique<QaBatchedExploredRun<S, Base>>(
+        config, std::move(schedule));
+  };
+}
+
+/// The canonical batched explorer workload: n processes, each issuing
+/// `ops_per_process` Counter increments of distinct powers of two (any
+/// credited-but-dropped increment corrupts every later Ok result).
+inline QaBatchedExploreConfig<qa::Counter> batched_counter_explore_config(
+    int n, int ops_per_process, std::uint64_t world_seed = 1) {
+  QaBatchedExploreConfig<qa::Counter> config;
+  config.n = n;
+  config.world_seed = world_seed;
+  config.engine.patience = 1;
+  config.engine.combine_attempts = 2;
+  config.ops.resize(n);
+  for (int p = 0; p < n; ++p) {
+    for (int k = 0; k < ops_per_process; ++k) {
+      config.ops[p].push_back(
+          qa::Counter::Op{std::int64_t{1} << (p * ops_per_process + k)});
+    }
+  }
+  return config;
+}
+
+}  // namespace tbwf::verify

@@ -1,0 +1,246 @@
+// The batch-epoch restatement of the graded guarantees must agree with
+// the per-op grading on the SAME runs: a FaultPlan chaos sweep drives
+// the batched engine, each run is judged twice -- per-op by
+// check_chaos_conformance over the completion log, per-epoch by
+// check_batch_conformance over the batch journal -- and the verdicts
+// must match. A deliberate helping breach (nobody ever combines) must
+// fail BOTH checkers, and the epoch checker's individual bounds are
+// unit-tested on hand-built journals.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch_log.hpp"
+#include "core/conformance.hpp"
+#include "core/tbwf_object.hpp"
+#include "qa/qa_batched.hpp"
+#include "sim/faultplan.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace tbwf::core {
+namespace {
+
+using qa::BatchedQaUniversal;
+using qa::Counter;
+using sim::Pid;
+using sim::SimEnv;
+using sim::Step;
+using sim::Task;
+using sim::World;
+
+constexpr int kN = 3;
+
+std::vector<Pid> issuing_under(const sim::FaultPlan& plan, int n) {
+  std::vector<Pid> issuing;
+  for (Pid p = 0; p < n; ++p) {
+    if (!plan.crashed_at_end(p)) issuing.push_back(p);
+  }
+  return issuing;
+}
+
+ConformanceOptions per_op_options() {
+  ConformanceOptions copt;
+  copt.timely_bound = 64;
+  copt.stabilization = 1000000;
+  copt.max_completion_gap = 600000;
+  copt.min_suffix = 500000;
+  return copt;
+}
+
+BatchConformanceOptions batch_options_from(const ConformanceReport& report) {
+  BatchConformanceOptions bopt;
+  bopt.suffix_from = report.suffix_from;
+  bopt.run_end = report.run_end;
+  bopt.timely = report.suffix_timely;
+  bopt.max_inclusion_batches = 64;
+  bopt.max_inclusion_steps = 600000;
+  bopt.max_commit_gap = 600000;
+  bopt.end_grace = 600000;
+  return bopt;
+}
+
+struct RunResult {
+  ConformanceReport per_op;
+  BatchConformanceReport per_epoch;
+};
+
+// Run the batched engine under a generated crash/stutter plan and judge
+// it both ways. With `breach` set, every slow path is disabled
+// (combine_attempts = 0 and invoke-only workers that never query):
+// announces keep flowing but no batch can ever commit.
+RunResult chaos_run(std::uint64_t seed, bool breach) {
+  sim::FaultPlan::GenOptions gopt;
+  gopt.n = kN;
+  gopt.horizon = 400000;
+  gopt.quiet_tail = 0.5;
+  gopt.max_crash_cycles = 2;
+  gopt.max_stutters = 2;
+  gopt.max_storms = 0;
+  sim::FaultPlan plan = sim::FaultPlan::generate(seed, gopt);
+
+  World world(kN, plan.wrap(std::make_unique<sim::RandomSchedule>(
+                      seed * 977 + 13)));
+  BatchedQaUniversal<Counter>::Options opt;
+  opt.patience = 4;
+  if (breach) opt.combine_attempts = 0;
+  BatchedQaUniversal<Counter> obj(world, 0, nullptr, opt);
+  OpLog log(kN);
+  for (Pid p = 0; p < kN; ++p) {
+    world.spawn(p, "batched-inc", [&, p, breach](SimEnv& env) -> Task {
+      for (;;) {
+        ++log.started[p];
+        if (breach) {
+          // Bounded invoke, never query: each retry re-announces, and
+          // with the slow path off nothing ever commits.
+          auto r = co_await obj.invoke(env, Counter::Op{1});
+          if (!r.ok()) continue;
+        } else {
+          (void)co_await obj.apply(env, Counter::Op{1});
+        }
+        log.completions[p].push_back(env.now());
+      }
+    });
+  }
+  plan.install(world);
+  world.run(2000000);
+
+  RunResult out;
+  out.per_op = check_chaos_conformance(world.trace(), log, plan,
+                                       issuing_under(plan, kN),
+                                       per_op_options());
+  out.per_epoch =
+      check_batch_conformance(obj.batch_log(), batch_options_from(out.per_op));
+  return out;
+}
+
+class BatchChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchChaosSweep, PerEpochVerdictMatchesPerOp) {
+  const RunResult r = chaos_run(GetParam(), /*breach=*/false);
+  EXPECT_TRUE(r.per_op.ok) << r.per_op.summary();
+  EXPECT_TRUE(r.per_epoch.ok) << r.per_epoch.summary();
+  EXPECT_EQ(r.per_op.ok, r.per_epoch.ok)
+      << "per-op:\n"
+      << r.per_op.summary() << "per-epoch:\n"
+      << r.per_epoch.summary();
+  // The sweep actually exercised batching in the judged window.
+  EXPECT_GT(r.per_epoch.suffix_commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, BatchChaosSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// The breach: with the slow path disabled, announces pend forever, no
+// batch commits, nothing completes. BOTH graders must fail.
+TEST(BatchConformanceBreach, DisabledHelpingFailsBothCheckers) {
+  const RunResult r = chaos_run(3, /*breach=*/true);
+  EXPECT_FALSE(r.per_op.ok) << r.per_op.summary();
+  EXPECT_FALSE(r.per_epoch.ok) << r.per_epoch.summary();
+  EXPECT_EQ(r.per_op.ok, r.per_epoch.ok);
+  EXPECT_EQ(r.per_epoch.suffix_commits, 0u);
+}
+
+// -- hand-built journals: each bound fires individually ------------------------
+
+BatchLog commits_every(Step period, Step from, Step to) {
+  BatchLog log;
+  std::uint64_t slot = 0;
+  for (Step s = from; s < to; s += period) {
+    BatchCommitEvent c;
+    c.slot = ++slot;
+    c.decider = 0;
+    c.step = s;
+    c.batch_size = 1;
+    log.commits.push_back(c);
+  }
+  return log;
+}
+
+BatchConformanceOptions tight_options() {
+  BatchConformanceOptions bopt;
+  bopt.suffix_from = 1000;
+  bopt.run_end = 100000;
+  bopt.timely = {0};
+  bopt.max_inclusion_batches = 4;
+  bopt.max_inclusion_steps = 50000;
+  bopt.max_commit_gap = 50000;
+  bopt.end_grace = 1000;
+  return bopt;
+}
+
+TEST(ConformanceEdgeBatch, TimelyAnnounceIncludedLateInEpochsViolates) {
+  BatchLog log = commits_every(100, 1000, 100000);
+  BatchAnnounceEvent a;
+  a.owner = 0;
+  a.uid = 42;
+  a.announced_at = 2000;
+  a.applied_at = 3000;  // 10 epochs later with period 100 > bound 4
+  a.applied_slot = 1;
+  log.announces.push_back(a);
+  const auto report = check_batch_conformance(log, tight_options());
+  ASSERT_FALSE(report.ok) << report.summary();
+  EXPECT_GE(report.max_inclusion_observed, 4u);
+  bool wait_violation = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("wait-free") != std::string::npos) wait_violation = true;
+  }
+  EXPECT_TRUE(wait_violation) << report.summary();
+}
+
+TEST(ConformanceEdgeBatch, PromptInclusionPasses) {
+  BatchLog log = commits_every(100, 1000, 100000);
+  BatchAnnounceEvent a;
+  a.owner = 0;
+  a.uid = 42;
+  a.announced_at = 2000;
+  a.applied_at = 2150;  // within 2 epochs
+  a.applied_slot = 1;
+  log.announces.push_back(a);
+  const auto report = check_batch_conformance(log, tight_options());
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.judged_announces, 1u);
+}
+
+TEST(ConformanceEdgeBatch, StalledBatchStreamViolatesLockFreedom) {
+  // One early commit, then silence while an announce pends far longer
+  // than max_commit_gap.
+  BatchLog log = commits_every(100, 1000, 1200);
+  BatchAnnounceEvent a;
+  a.owner = 1;  // NOT timely: only the lock-freedom axis judges it
+  a.uid = 7;
+  a.announced_at = 2000;
+  log.announces.push_back(a);
+  const auto report = check_batch_conformance(log, tight_options());
+  ASSERT_FALSE(report.ok) << report.summary();
+  bool lock_violation = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("lock-free") != std::string::npos) lock_violation = true;
+  }
+  EXPECT_TRUE(lock_violation) << report.summary();
+}
+
+TEST(ConformanceEdgeBatch, VoidedAndYoungAnnouncesAreExcused) {
+  BatchLog log = commits_every(100, 1000, 100000);
+  BatchAnnounceEvent voided;
+  voided.owner = 0;
+  voided.uid = 9;
+  voided.announced_at = 2000;
+  voided.applied_at = 90000;  // way past every bound, but voided
+  voided.applied_slot = 880;
+  voided.voided = true;
+  log.announces.push_back(voided);
+  BatchAnnounceEvent young;
+  young.owner = 0;
+  young.uid = 12;
+  young.announced_at = 99500;  // within end_grace of run_end
+  log.announces.push_back(young);
+  const auto report = check_batch_conformance(log, tight_options());
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.judged_announces, 0u);
+}
+
+}  // namespace
+}  // namespace tbwf::core

@@ -17,8 +17,11 @@
 //     a single hazard-protected load plus three vector lookups;
 //   * displaced frontier nodes are reclaimed through HazardDomain
 //     (rt_reclaim.hpp): bounded per-thread retire rings, no locks, no
-//     unbounded garbage -- live nodes never exceed
-//     nthreads * ring_capacity + nthreads + 1;
+//     unbounded garbage -- live nodes never exceed the
+//     live_node_bound() of nthreads * ring_capacity + 2 * nthreads + 1
+//     (rings at capacity, one unpublished allocation plus one
+//     displaced-awaiting-retire node per thread, the published
+//     frontier);
 //   * a combiner gate (advisory try-flag) damps slot duels: waiters
 //     whose patience expires while another combiner is mid-flight spin
 //     briefly before combining anyway. The gate is bounded-bypass, so
@@ -213,7 +216,7 @@ class RtQaBatched {
           ++polls > patience_of(me)) {
         polls = 0;
         combined = true;
-        (void)combine_once(tid, /*tombstone_uid=*/0);
+        (void)combine_once(tid, /*tombstone_uid=*/0, /*self_lane=*/lane);
       } else if (polls % options_.yield_every == 0) {
         std::this_thread::yield();
       }
@@ -249,7 +252,8 @@ class RtQaBatched {
       }
     }
     for (int attempt = 0; attempt < options_.combine_attempts; ++attempt) {
-      (void)combine_once(tid, /*tombstone_uid=*/0);
+      (void)combine_once(tid, /*tombstone_uid=*/0,
+                         /*self_lane=*/static_cast<int>(tid));
       auto fr = inner_.read_frontier(tid);
       if (fr.has_value()) {
         if (auto r = resolve(*fr, tid, uid)) return *r;
@@ -284,6 +288,10 @@ class RtQaBatched {
   /// retrying aborted cells); for exactness checks after quiescence.
   InnerStateRec state_snapshot() { return inner_.frontier_snapshot(); }
 
+  /// Quiescent-only: dereferences the frontier without a hazard slot,
+  /// so it is safe only while no thread can publish (before the worker
+  /// threads start or after they are joined). Concurrent readers must
+  /// go through collect()/invoke(), which pin the node first.
   std::uint64_t frontier_seq() const {
     return frontier_.load(std::memory_order_acquire)->seq;
   }
@@ -368,10 +376,15 @@ class RtQaBatched {
     return Response::make_ok(fr.state.done_result[tid]);
   }
 
-  /// Drain + commit one batch; publish the new frontier node. Returns
-  /// true iff a batch containing this caller's item decided (or nothing
-  /// was pending).
-  bool combine_once(Tid tid, std::uint64_t tombstone_uid) {
+  /// Drain + commit one batch; publish the new frontier node. The
+  /// caller's own pending item is always part of the drained batch: a
+  /// tombstone_uid != 0 is pushed directly, and self_lane's staged op
+  /// is self-included from the lane_slots_ local mirror (the caller is
+  /// that lane's single writer), never from the duel-prone abortable
+  /// cell. Returns true iff a batch containing the caller's item
+  /// decided, or the caller had nothing pending.
+  bool combine_once(Tid tid, std::uint64_t tombstone_uid,
+                    int self_lane = -1) {
     // Advisory duel damper: one combiner at a time preferred, bounded
     // bypass so a stalled holder can only delay, never block.
     std::uint32_t expected = 0;
@@ -386,12 +399,12 @@ class RtQaBatched {
             std::memory_order_relaxed);
       }
     }
-    const bool ok = run_combine(tid, tombstone_uid);
+    const bool ok = run_combine(tid, tombstone_uid, self_lane);
     if (gated) combiner_gate_.store(0, std::memory_order_release);
     return ok;
   }
 
-  bool run_combine(Tid tid, std::uint64_t tombstone_uid) {
+  bool run_combine(Tid tid, std::uint64_t tombstone_uid, int self_lane) {
     Local& me = locals_[tid];
     auto fr = inner_.read_frontier(tid);
     if (!fr.has_value()) return false;
@@ -407,6 +420,18 @@ class RtQaBatched {
       batch.push_back(std::move(item));
     }
     for (int lane = 0; lane < lanes_; ++lane) {
+      if (lane == self_lane) {
+        // Self-include from the local mirror (the sim engine's
+        // ann_mine_ move): we are this lane's single writer, so the
+        // mirror is exact, and reading our own abortable cell could
+        // abort against a concurrent drain copy and silently drop our
+        // own op from our own batch.
+        const Announce& mine = lane_slots_[lane].ann;
+        if (mine.has_op && mine.uid > done[lane]) {
+          batch.push_back(qa::BatchItem<S>{lane, mine.uid, mine.op});
+        }
+        continue;
+      }
       auto a = ann_[lane]->read();
       if (!a.has_value()) continue;  // busy cell: helped next round
       if (a->has_op && a->uid > done[lane]) {
@@ -426,9 +451,23 @@ class RtQaBatched {
     return resp.ok();
   }
 
+  /// Publishes `rec` as a new frontier node unless a newer one is
+  /// already up. Pins `cur` with the caller's hazard slot (free at
+  /// every call site -- run_combine holds no hazard) across the seq
+  /// read and the CAS: the combiner gate is advisory with bounded
+  /// bypass, so a concurrent publisher can swing the frontier, retire
+  /// the old node, and free it via a scan between an unprotected load
+  /// and its dereference -- and a recycled allocation at the same
+  /// address could then win the CAS with an older seq (ABA). A
+  /// protected node cannot be freed, and every node is published at
+  /// most once, so a CAS that succeeds against the pinned `cur` really
+  /// did displace it.
   void publish_frontier(Tid tid, const InnerStateRec& rec) {
-    const FrontierNode* cur = frontier_.load(std::memory_order_acquire);
-    if (rec.seq <= cur->seq) return;
+    const FrontierNode* cur = domain_.protect(tid, frontier_);
+    if (rec.seq <= cur->seq) {
+      domain_.unprotect(tid);
+      return;
+    }
     auto* node = new FrontierNode;
     node->seq = rec.seq;
     node->done_uid = rec.state.done_uid;
@@ -436,17 +475,22 @@ class RtQaBatched {
     node->done_result = rec.state.done_result;
     nodes_allocated_.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
+      const FrontierNode* expected = cur;
+      // seq_cst success pairs with the hazard validation (rt_reclaim).
+      if (frontier_.compare_exchange_strong(expected, node,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_acquire)) {
+        domain_.unprotect(tid);
+        domain_.retire(static_cast<int>(tid), cur);
+        return;
+      }
+      // Lost the race: re-pin whatever is current and re-check recency.
+      cur = domain_.protect(tid, frontier_);
       if (rec.seq <= cur->seq) {
+        domain_.unprotect(tid);
         // Lost to a newer publish; the node was never visible.
         delete node;
         nodes_allocated_.fetch_sub(1, std::memory_order_relaxed);
-        return;
-      }
-      // seq_cst success pairs with the hazard validation (rt_reclaim).
-      if (frontier_.compare_exchange_weak(cur, node,
-                                          std::memory_order_seq_cst,
-                                          std::memory_order_acquire)) {
-        domain_.retire(static_cast<int>(tid), cur);
         return;
       }
     }

@@ -14,8 +14,13 @@
 //     free every pending node not currently protected. At most n nodes
 //     can be protected, and the capacity exceeds n, so every scan frees
 //     at least capacity - n nodes -- the ring NEVER grows past its
-//     capacity and total live garbage is bounded by
-//     nthreads * capacity + nthreads at all times;
+//     capacity, so retired-but-unfreed nodes total at most
+//     nthreads * capacity at all times. Clients add their own
+//     in-flight terms on top: the batched engine's live_node_bound()
+//     (rt_qa_batched.hpp) is nthreads * capacity + 2 * nthreads + 1 --
+//     rings at capacity, plus per thread one allocated-but-unpublished
+//     node and one displaced node between a successful publish and its
+//     retire() handoff, plus the one published frontier;
 //   * no operation blocks: protect() is a validated load that retries
 //     only while the pointer it chases moves (each retry makes global
 //     progress -- somebody published), retire()/scan() are O(n * cap)

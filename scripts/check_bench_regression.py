@@ -87,14 +87,37 @@ def main():
               "nothing to compare against (skipping)")
         sys.exit(0)
 
-    with open(args.baseline) as f:
-        base_doc = json.load(f)
-    with open(args.fresh) as f:
-        fresh_doc = json.load(f)
+    # A brand-new experiment often lands with an empty / truncated /
+    # hand-started baseline file before the first real run regenerates
+    # it. Like a missing baseline, that is a visible gap, not a
+    # regression: warn and pass rather than crash with a traceback.
+    try:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"WARNING: baseline {args.baseline} is not readable JSON "
+              f"({exc}); nothing to compare against (skipping)")
+        sys.exit(0)
+    if not isinstance(base_doc, dict) or \
+            not isinstance(base_doc.get("rows"), list):
+        print(f"WARNING: baseline {args.baseline} has no rows array; "
+              "nothing to compare against (skipping)")
+        sys.exit(0)
+    # The fresh file is the one this run just produced -- if IT is
+    # unreadable the producing bench is broken, and that must fail.
+    try:
+        with open(args.fresh) as f:
+            fresh_doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"{args.fresh}: not readable JSON ({exc})")
     if base_doc.get("schema") != "tbwf-bench-v1":
-        sys.exit(f"{args.baseline}: not a tbwf-bench-v1 document")
+        print(f"WARNING: baseline {args.baseline} is not a tbwf-bench-v1 "
+              "document; nothing to compare against (skipping)")
+        sys.exit(0)
     if fresh_doc.get("schema") != "tbwf-bench-v1":
         sys.exit(f"{args.fresh}: not a tbwf-bench-v1 document")
+    if not isinstance(fresh_doc.get("rows"), list):
+        sys.exit(f"{args.fresh}: no rows array")
 
     base = after_rows(base_doc)
     fresh = after_rows(fresh_doc)

@@ -116,6 +116,35 @@ Node make_node(const sim::World& world, int preemptions) {
   return node;
 }
 
+/// One prior expansion of a visited state: how much depth remained and
+/// under which sleep set it was explored. Caching sleep-set-restricted
+/// expansions by fingerprint alone is unsound (Godefroid): a revisit
+/// with FEWER sleepers has more freedom below the same state, and
+/// pruning it against a more-restricted earlier visit can hide real
+/// interleavings (a dropped-fence queue mutation escaped exactly this
+/// way). A revisit may only be pruned against a visit that was at
+/// least as deep AND at least as permissive.
+struct VisitEntry {
+  std::size_t remaining = 0;
+  std::vector<sim::Pid> sleep;  ///< sorted sleeping pids at expansion
+};
+
+std::vector<sim::Pid> sleep_pids(const Node& node) {
+  std::vector<sim::Pid> out;
+  out.reserve(node.sleep.size());
+  for (const SleepEntry& e : node.sleep) out.push_back(e.pid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// a subseteq b, both sorted. A sleeping pid's pending accesses are a
+/// function of the state, so comparing pid sets is enough under equal
+/// fingerprints.
+bool sleep_subset(const std::vector<sim::Pid>& a,
+                  const std::vector<sim::Pid>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
 }  // namespace
 
 Explorer::Explorer(RunFactory factory, ExplorerOptions options)
@@ -130,8 +159,8 @@ ExploreResult Explorer::explore() {
   // stack[i] = node after i steps; path[i] = pid taken from stack[i].
   std::vector<Node> stack;
   std::vector<sim::Pid> path;
-  // fingerprint -> largest remaining depth already expanded from it.
-  std::unordered_map<std::uint64_t, std::size_t> visited;
+  // fingerprint -> prior expansions (remaining depth + sleep set each).
+  std::unordered_map<std::uint64_t, std::vector<VisitEntry>> visited;
 
   for (;;) {
     if (stats.runs >= options_.max_runs) {
@@ -155,7 +184,8 @@ ExploreResult Explorer::explore() {
     if (stack.empty()) {
       stack.push_back(make_node(world, 0));
       if (options_.state_pruning) {
-        visited.emplace(node_fingerprint(*run, world), options_.max_depth);
+        visited[node_fingerprint(*run, world)].push_back(
+            VisitEntry{options_.max_depth, {}});
       }
     }
 
@@ -204,14 +234,22 @@ ExploreResult Explorer::explore() {
       if (options_.state_pruning) {
         const std::uint64_t fp = node_fingerprint(*run, world);
         const std::size_t remaining = options_.max_depth - path.size();
-        auto [it, inserted] = visited.try_emplace(fp, remaining);
-        if (!inserted) {
-          if (it->second >= remaining) {
+        const std::vector<sim::Pid> sleepers = sleep_pids(child);
+        std::vector<VisitEntry>& entries = visited[fp];
+        for (const VisitEntry& e : entries) {
+          if (e.remaining >= remaining && sleep_subset(e.sleep, sleepers)) {
             pruned = true;
             ++stats.state_prunes;
-          } else {
-            it->second = remaining;
+            break;
           }
+        }
+        if (!pruned) {
+          // This visit will explore at least as much as any entry it
+          // dominates; drop those before recording it.
+          std::erase_if(entries, [&](const VisitEntry& e) {
+            return e.remaining <= remaining && sleep_subset(sleepers, e.sleep);
+          });
+          entries.push_back(VisitEntry{remaining, sleepers});
         }
       }
       if (pruned) {

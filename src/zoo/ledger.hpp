@@ -1,0 +1,202 @@
+// Handwritten register-based ledger/map -- the specialist twin of
+// QaUniversal<LedgerType>.
+//
+// One single-writer append-only log per process. put(k, v) collects
+// all logs, picks ts = (max timestamp seen) + 1, and appends
+// {k, v, ts} to its own log with a single write; get(k) collects all
+// logs and returns the binding with the lexicographically greatest
+// (ts, pid). Both operations are one or two collects plus at most one
+// write -- wait-free point reads and writes with O(n) register
+// operations, no helping needed because logs are append-only and
+// single-writer.
+//
+// Linearizability sketch: between two non-overlapping puts the later
+// one collects the earlier one's entry, so its ts is strictly larger
+// -- (ts, pid) order extends the real-time order, ties arise only
+// between overlapping puts and are broken consistently for every
+// reader. A get linearizes at its last collect read.
+//
+// Mutation seam: stale_ts makes put skip the collect and use a
+// process-local counter -- two *sequential* puts by different
+// processes can then order newest-first, which the Wing-Gong oracle
+// flags as non-linearizable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qa/qa_object.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+#include "util/hash.hpp"
+#include "zoo/zoo_types.hpp"
+
+namespace tbwf::zoo {
+
+struct LedgerMutations {
+  /// put uses a process-local timestamp instead of a fresh collect.
+  bool stale_ts = false;
+};
+
+class WfLedger {
+ public:
+  using S = LedgerType;
+  using Result = S::Result;
+  using Response = qa::QaResponse<Result>;
+
+  WfLedger(sim::World& world, S::State initial)
+      : world_(world), n_(world.n()) {
+    Log genesis;
+    // Pre-existing bindings (the spec's initial log) live in a
+    // virtual log owned by no process, replicated into p0's genesis.
+    for (std::size_t i = 0; i + 1 < initial.size(); i += 2) {
+      genesis.entries.push_back(
+          Entry{initial[i], initial[i + 1], 0});
+    }
+    logs_.reserve(n_);
+    for (sim::Pid p = 0; p < n_; ++p) {
+      logs_.push_back(world.make_atomic<Log>(
+          "zoo.ledger.log." + std::to_string(p), p == 0 ? genesis : Log{}));
+    }
+    last_.assign(n_, Response::make_not_applied());
+    has_op_.assign(n_, false);
+    local_ts_.assign(n_, 0);
+    op_digest_.assign(n_, 0);
+  }
+
+  void set_mutations(LedgerMutations m) { mut_ = m; }
+
+  sim::Co<Response> invoke(sim::SimEnv& env, S::Op op) {
+    const sim::Pid p = env.pid();
+    const std::size_t i = static_cast<std::size_t>(p);
+    has_op_[i] = true;
+    op_digest_[i] = util::kFnvOffset;
+    if (op.is_put) {
+      std::uint64_t ts;
+      if (mut_.stale_ts) {
+        ts = ++local_ts_[i];
+      } else {
+        std::uint64_t max_ts = 0;
+        for (sim::Pid q = 0; q < n_; ++q) {
+          const Log log = co_await env.read(logs_[static_cast<std::size_t>(q)]);
+          fold_read(p, log);
+          for (const Entry& e : log.entries) {
+            if (e.ts > max_ts) max_ts = e.ts;
+          }
+        }
+        ts = max_ts + 1;
+      }
+      Log mine = co_await env.read(logs_[i]);
+      fold_read(p, mine);
+      mine.entries.push_back(Entry{op.key, op.value, ts});
+      co_await env.write(logs_[i], mine);
+      last_[i] = Response::make_ok(op.value);
+    } else {
+      std::int64_t value = S::kAbsent;
+      std::uint64_t best_ts = 0;
+      sim::Pid best_pid = -1;
+      for (sim::Pid q = 0; q < n_; ++q) {
+        const Log log = co_await env.read(logs_[static_cast<std::size_t>(q)]);
+        fold_read(p, log);
+        for (const Entry& e : log.entries) {
+          if (e.key != op.key) continue;
+          if (value == S::kAbsent || e.ts > best_ts ||
+              (e.ts == best_ts && q > best_pid)) {
+            value = e.value;
+            best_ts = e.ts;
+            best_pid = q;
+          }
+        }
+      }
+      last_[i] = Response::make_ok(value);
+    }
+    // The op is done; its locals no longer constrain future behaviour.
+    op_digest_[i] = 0;
+    co_return last_[i];
+  }
+
+  sim::Co<Response> query(sim::SimEnv& env) {
+    const std::size_t i = static_cast<std::size_t>(env.pid());
+    co_await env.yield();
+    co_return has_op_[i] ? last_[i] : Response::make_not_applied();
+  }
+
+  /// Quiescent-only: replay all entries in (ts, pid) order through the
+  /// spec to obtain the abstract append log.
+  S::State abstract_state() const {
+    std::vector<Entry> all;
+    for (sim::Pid p = 0; p < n_; ++p) {
+      const Log& log = world_.peek<Log>(logs_[static_cast<std::size_t>(p)]);
+      for (const Entry& e : log.entries) {
+        Entry tagged = e;
+        tagged.pid_tiebreak = p;
+        all.push_back(tagged);
+      }
+    }
+    std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+      return a.ts != b.ts ? a.ts < b.ts : a.pid_tiebreak < b.pid_tiebreak;
+    });
+    S::State state;
+    for (const Entry& e : all) {
+      state.push_back(e.key);
+      state.push_back(e.value);
+    }
+    return state;
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = util::kFnvOffset;
+    for (sim::Pid p = 0; p < n_; ++p) {
+      const Log& log = world_.peek<Log>(logs_[static_cast<std::size_t>(p)]);
+      h = util::hash_mix(h, log.entries.size());
+      for (const Entry& e : log.entries) {
+        h = util::hash_mix(h, e.key);
+        h = util::hash_mix(h, e.value);
+        h = util::hash_mix(h, e.ts);
+      }
+    }
+    // Keep in-flight ops with different partial collects distinct under
+    // explorer state caching (continuations are a function of values
+    // read so far in the current op).
+    for (sim::Pid p = 0; p < n_; ++p) {
+      h = util::hash_mix(h, op_digest_[static_cast<std::size_t>(p)]);
+    }
+    return h;
+  }
+
+  int n() const { return n_; }
+
+ private:
+  struct Entry {
+    std::int64_t key = 0;
+    std::int64_t value = 0;
+    std::uint64_t ts = 0;
+    sim::Pid pid_tiebreak = 0;  ///< only used by abstract_state()
+  };
+  struct Log {
+    std::vector<Entry> entries;
+  };
+
+  void fold_read(sim::Pid p, const Log& log) {
+    std::uint64_t& h = op_digest_[static_cast<std::size_t>(p)];
+    h = util::hash_mix(h, log.entries.size());
+    for (const Entry& e : log.entries) {
+      h = util::hash_mix(h, e.key);
+      h = util::hash_mix(h, e.value);
+      h = util::hash_mix(h, e.ts);
+    }
+  }
+
+  sim::World& world_;
+  int n_;
+  std::vector<sim::AtomicReg<Log>> logs_;
+  std::vector<Response> last_;
+  std::vector<bool> has_op_;
+  std::vector<std::uint64_t> local_ts_;
+  std::vector<std::uint64_t> op_digest_;  ///< per-pid in-flight read digest
+  LedgerMutations mut_;
+};
+
+}  // namespace tbwf::zoo

@@ -1,0 +1,206 @@
+// Handwritten wait-free atomic snapshot -- the specialist twin of
+// QaUniversal<SnapshotType>.
+//
+// Classic bounded double-collect construction (Afek et al., and the
+// canonical presentation in Aspnes's notes): one single-writer atomic
+// segment per process holding {value, seq, embedded view}. An update
+// first performs a full scan and embeds it next to the new value; a
+// scan repeats collects until either two consecutive collects agree
+// (a clean double-collect -- the view was atomic at any point between
+// them) or some updater is seen to move TWICE, in which case its
+// second embedded view was taken entirely inside the scanner's
+// interval and can be borrowed. By pigeonhole a scan finishes within
+// n + 2 collects, so both operations are wait-free with O(n^2) reads.
+//
+// The specialist lives on the same T_QA surface as the universal twin
+// (invoke/query returning QaResponse) so HistoryRecorder and the zoo
+// explorer harness drive either interchangeably; being built on atomic
+// single-writer registers it simply never answers bottom.
+//
+// Mutation seams (verification bites, see zoo_snapshot_test):
+//  - drop_embedded_scan: updates embed a stale (genesis) view; a
+//    scanner that borrows returns a view that never existed -> the
+//    Wing-Gong oracle flags the history as non-linearizable.
+//  - never_borrow: scans refuse to borrow and keep re-collecting; under
+//    continuous updates the scanner starves -> the TBWF conformance
+//    checker flags a wait-freedom violation for a timely process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qa/qa_object.hpp"
+#include "sim/env.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "zoo/zoo_types.hpp"
+
+namespace tbwf::zoo {
+
+struct SnapshotMutations {
+  /// Updates embed the genesis view instead of a fresh scan.
+  bool drop_embedded_scan = false;
+  /// Scans never borrow an embedded view (unbounded retry loop).
+  bool never_borrow = false;
+};
+
+class WfSnapshot {
+ public:
+  using S = SnapshotType;
+  using Result = S::Result;
+  using Response = qa::QaResponse<Result>;
+
+  WfSnapshot(sim::World& world, S::State initial)
+      : world_(world), n_(world.n()) {
+    TBWF_ASSERT(static_cast<int>(initial.size()) == n_,
+                "WfSnapshot: one segment per process (use "
+                "SnapshotType::initial(n))");
+    segs_.reserve(n_);
+    for (sim::Pid p = 0; p < n_; ++p) {
+      Seg seg;
+      seg.value = initial[static_cast<std::size_t>(p)];
+      segs_.push_back(world.make_atomic<Seg>(
+          "zoo.snap.seg." + std::to_string(p), seg));
+    }
+    last_.assign(n_, Response::make_not_applied());
+    has_op_.assign(n_, false);
+    op_digest_.assign(n_, 0);
+  }
+
+  void set_mutations(SnapshotMutations m) { mut_ = m; }
+
+  /// Specialist updates write the caller's own segment (single-writer
+  /// base registers); workloads must use op.index == pid.
+  sim::Co<Response> invoke(sim::SimEnv& env, S::Op op) {
+    const sim::Pid p = env.pid();
+    has_op_[static_cast<std::size_t>(p)] = true;
+    op_digest_[static_cast<std::size_t>(p)] = util::kFnvOffset;
+    if (op.is_update) {
+      TBWF_ASSERT(op.index == p,
+                  "WfSnapshot specialist: a process updates its own "
+                  "segment");
+      Seg seg;
+      if (!mut_.drop_embedded_scan) {
+        seg.view = co_await scan(env);
+      } else {
+        seg.view.assign(static_cast<std::size_t>(n_), 0);
+      }
+      const Seg mine = co_await env.read(segs_[static_cast<std::size_t>(p)]);
+      fold_read(p, mine);
+      seg.value = op.value;
+      seg.seq = mine.seq + 1;
+      co_await env.write(segs_[static_cast<std::size_t>(p)], seg);
+      last_[static_cast<std::size_t>(p)] = Response::make_ok(Result{});
+    } else {
+      Result view = co_await scan(env);
+      last_[static_cast<std::size_t>(p)] = Response::make_ok(view);
+    }
+    // The op is done: its coroutine locals are dead, so the in-flight
+    // digest no longer constrains future behaviour.
+    op_digest_[static_cast<std::size_t>(p)] = 0;
+    co_return last_[static_cast<std::size_t>(p)];
+  }
+
+  /// The specialist never answers bottom, so query just restates the
+  /// last operation's (already final) fate.
+  sim::Co<Response> query(sim::SimEnv& env) {
+    const sim::Pid p = env.pid();
+    co_await env.yield();
+    co_return has_op_[static_cast<std::size_t>(p)]
+        ? last_[static_cast<std::size_t>(p)]
+        : Response::make_not_applied();
+  }
+
+  /// Quiescent-only abstract state for differential cross-checks.
+  S::State abstract_state() const {
+    S::State state;
+    state.reserve(static_cast<std::size_t>(n_));
+    for (sim::Pid p = 0; p < n_; ++p) {
+      state.push_back(world_.peek<Seg>(segs_[static_cast<std::size_t>(p)]).value);
+    }
+    return state;
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = util::kFnvOffset;
+    for (sim::Pid p = 0; p < n_; ++p) {
+      const Seg& seg = world_.peek<Seg>(segs_[static_cast<std::size_t>(p)]);
+      h = util::hash_mix(h, seg.value);
+      h = util::hash_mix(h, seg.seq);
+      h = util::hash_range(h, seg.view);
+    }
+    // In-flight coroutine locals (prev collect, moved counters) are a
+    // deterministic function of the values each pending op has read so
+    // far; folding the per-pid read digests keeps states with different
+    // continuations distinct under explorer state caching.
+    for (sim::Pid p = 0; p < n_; ++p) {
+      h = util::hash_mix(h, op_digest_[static_cast<std::size_t>(p)]);
+    }
+    return h;
+  }
+
+  int n() const { return n_; }
+
+ private:
+  struct Seg {
+    std::int64_t value = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::int64_t> view;  ///< writer-embedded scan
+  };
+
+  void fold_read(sim::Pid p, const Seg& seg) {
+    std::uint64_t& h = op_digest_[static_cast<std::size_t>(p)];
+    h = util::hash_mix(h, seg.value);
+    h = util::hash_mix(h, seg.seq);
+    h = util::hash_range(h, seg.view);
+  }
+
+  sim::Co<std::vector<Seg>> collect(sim::SimEnv& env) {
+    const sim::Pid p = env.pid();
+    std::vector<Seg> out;
+    out.reserve(static_cast<std::size_t>(n_));
+    for (sim::Pid q = 0; q < n_; ++q) {
+      out.push_back(co_await env.read(segs_[static_cast<std::size_t>(q)]));
+      fold_read(p, out.back());
+    }
+    co_return out;
+  }
+
+  sim::Co<Result> scan(sim::SimEnv& env) {
+    std::vector<int> moved(static_cast<std::size_t>(n_), 0);
+    std::vector<Seg> prev = co_await collect(env);
+    for (;;) {
+      std::vector<Seg> cur = co_await collect(env);
+      bool clean = true;
+      for (sim::Pid q = 0; q < n_; ++q) {
+        const std::size_t i = static_cast<std::size_t>(q);
+        if (cur[i].seq != prev[i].seq) {
+          clean = false;
+          if (++moved[i] >= 2 && !mut_.never_borrow) {
+            // q moved twice since we started: its latest embedded view
+            // was scanned entirely inside our interval.
+            co_return cur[i].view;
+          }
+        }
+      }
+      if (clean) {
+        Result view;
+        view.reserve(static_cast<std::size_t>(n_));
+        for (const Seg& seg : cur) view.push_back(seg.value);
+        co_return view;
+      }
+      prev = std::move(cur);
+    }
+  }
+
+  sim::World& world_;
+  int n_;
+  std::vector<sim::AtomicReg<Seg>> segs_;
+  std::vector<Response> last_;
+  std::vector<bool> has_op_;
+  std::vector<std::uint64_t> op_digest_;  ///< per-pid in-flight read digest
+  SnapshotMutations mut_;
+};
+
+}  // namespace tbwf::zoo

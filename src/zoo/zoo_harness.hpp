@@ -1,0 +1,459 @@
+// The zoo's shared object interface and its explorer harness.
+//
+// Every zoo object -- handwritten specialist or QA-universal twin --
+// exposes the same T_QA surface the verify stack already speaks:
+//
+//   sim::Co<QaResponse<Result>> invoke(SimEnv&, Op)
+//   sim::Co<QaResponse<Result>> query(SimEnv&)
+//   std::uint64_t fingerprint() const          (state-hash pruning)
+//   S::State abstract_state() const            (quiescent differential)
+//
+// ZooObject pins that contract; UniversalZoo / BatchedZoo adapt
+// QaUniversal / BatchedQaUniversal onto it (adding the fingerprint and
+// abstract-state accessors the harnesses need); the specialists
+// (snapshot.hpp, turn_queue.hpp, ledger.hpp) implement it natively.
+// ZooExploredRun then drives ANY such object through the bounded-DFS
+// explorer and grades every interleaving with the Wing-Gong oracle
+// against the shared sequential spec -- the same harness code verifies
+// both twins, which is the point.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qa/qa_batched.hpp"
+#include "qa/qa_universal.hpp"
+#include "qa/sequential_type.hpp"
+#include "registers/abort_policy.hpp"
+#include "sim/env.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+#include "util/assert.hpp"
+#include "util/hash.hpp"
+#include "verify/explorer.hpp"
+#include "verify/history.hpp"
+#include "verify/lin_oracle.hpp"
+#include "verify/qa_harness.hpp"
+#include "zoo/zoo_types.hpp"
+
+namespace tbwf::zoo {
+
+/// The shared zoo object contract (see file comment).
+template <class Obj, class S>
+concept ZooObject = qa::Sequential<S> &&
+    requires(Obj o, const Obj co, sim::SimEnv& env, typename S::Op op) {
+      { o.invoke(env, op) }
+          -> std::same_as<sim::Co<qa::QaResponse<typename S::Result>>>;
+      { o.query(env) }
+          -> std::same_as<sim::Co<qa::QaResponse<typename S::Result>>>;
+      { co.fingerprint() } -> std::convertible_to<std::uint64_t>;
+      { co.abstract_state() } -> std::convertible_to<typename S::State>;
+    };
+
+/// QaUniversal adapted onto the zoo contract.
+template <qa::Sequential S, class Base = qa::AtomicBase>
+class UniversalZoo {
+ public:
+  using Inner = qa::QaUniversal<S, Base>;
+  using Result = typename S::Result;
+  using Response = qa::QaResponse<Result>;
+
+  UniversalZoo(sim::World& world, typename S::State initial,
+               registers::AbortPolicy* policy = nullptr)
+      : n_(world.n()), inner_(world, std::move(initial), policy) {}
+
+  void set_mutations(qa::QaMutations m) { inner_.set_mutations(m); }
+
+  sim::Co<Response> invoke(sim::SimEnv& env, typename S::Op op) {
+    return inner_.invoke(env, std::move(op));
+  }
+  sim::Co<Response> query(sim::SimEnv& env) { return inner_.query(env); }
+
+  typename S::State abstract_state() const {
+    return inner_.peek_frontier().state;
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = util::kFnvOffset;
+    for (sim::Pid p = 0; p < n_; ++p) {
+      h = fold_record(h, inner_.peek_record(p));
+      h = fold_record(h, inner_.local_mine(p));
+      h = fold_state_rec(h, inner_.local_decided_rec(p));
+      h = util::hash_mix(h, inner_.round(p));
+      h = util::hash_mix(h, inner_.pending_uid(p));
+      h = util::hash_mix(h, inner_.pending_slot(p));
+      h = util::hash_mix(h, inner_.last_real_uid(p));
+    }
+    return h;
+  }
+
+  Inner& inner() { return inner_; }
+  const Inner& inner() const { return inner_; }
+
+ private:
+  static std::uint64_t fold_token(std::uint64_t h,
+                                  const typename Inner::Token& t) {
+    h = util::hash_mix(h, t.seq);
+    h = util::hash_mix(h, t.round);
+    return util::hash_mix(h, t.pid);
+  }
+  static std::uint64_t fold_state_rec(std::uint64_t h,
+                                      const typename Inner::StateRec& r) {
+    h = util::hash_mix(h, r.seq);
+    h = verify::detail::fold_value(h, r.state);
+    h = util::hash_range(h, r.last_uid);
+    h = util::hash_mix(h, r.last_result.size());
+    for (const Result& res : r.last_result) {
+      h = verify::detail::fold_value(h, res);
+    }
+    return h;
+  }
+  static std::uint64_t fold_record(std::uint64_t h,
+                                   const typename Inner::Record& rec) {
+    h = fold_token(h, rec.promised);
+    h = fold_token(h, rec.accepted);
+    h = fold_state_rec(h, rec.accepted_state);
+    return fold_state_rec(h, rec.decided);
+  }
+
+  int n_;
+  Inner inner_;
+};
+
+/// BatchedQaUniversal adapted onto the zoo contract (T_QA surface:
+/// invoke/query; the saturating apply() stays reachable via engine()).
+template <qa::Sequential S, class Base = qa::AtomicBase>
+class BatchedZoo {
+ public:
+  using Engine = qa::BatchedQaUniversal<S, Base>;
+  using Inner = typename Engine::Inner;
+  using Result = typename S::Result;
+  using Response = qa::QaResponse<Result>;
+
+  BatchedZoo(sim::World& world, typename S::State initial,
+             registers::AbortPolicy* policy = nullptr,
+             typename Engine::Options options = {})
+      : n_(world.n()),
+        engine_(world, std::move(initial), policy, options) {}
+
+  void set_mutations(qa::BatchMutations m) { engine_.set_mutations(m); }
+
+  sim::Co<Response> invoke(sim::SimEnv& env, typename S::Op op) {
+    return engine_.invoke(env, std::move(op));
+  }
+  sim::Co<Response> query(sim::SimEnv& env) { return engine_.query(env); }
+  sim::Co<Result> apply(sim::SimEnv& env, typename S::Op op) {
+    return engine_.apply(env, std::move(op));
+  }
+
+  typename S::State abstract_state() const {
+    return engine_.inner().peek_frontier().state.inner;
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = util::kFnvOffset;
+    const Inner& inner = engine_.inner();
+    for (sim::Pid p = 0; p < n_; ++p) {
+      h = fold_record(h, inner.peek_record(p));
+      h = fold_record(h, inner.local_mine(p));
+      h = fold_state_rec(h, inner.local_decided_rec(p));
+      h = util::hash_mix(h, inner.round(p));
+      h = fold_announce(h, engine_.peek_announce(p));
+      h = fold_announce(h, engine_.local_announce(p));
+    }
+    return h;
+  }
+
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+
+ private:
+  static std::uint64_t fold_token(std::uint64_t h,
+                                  const typename Inner::Token& t) {
+    h = util::hash_mix(h, t.seq);
+    h = util::hash_mix(h, t.round);
+    return util::hash_mix(h, t.pid);
+  }
+  static std::uint64_t fold_state_rec(std::uint64_t h,
+                                      const typename Inner::StateRec& r) {
+    h = util::hash_mix(h, r.seq);
+    h = verify::detail::fold_value(h, r.state.inner);
+    h = util::hash_range(h, r.state.done_uid);
+    h = util::hash_range(h, r.state.done_void);
+    for (const Result& res : r.state.done_result) {
+      h = verify::detail::fold_value(h, res);
+    }
+    h = util::hash_range(h, r.last_uid);
+    return util::hash_range(h, r.last_result);
+  }
+  static std::uint64_t fold_record(std::uint64_t h,
+                                   const typename Inner::Record& rec) {
+    h = fold_token(h, rec.promised);
+    h = fold_token(h, rec.accepted);
+    h = fold_state_rec(h, rec.accepted_state);
+    return fold_state_rec(h, rec.decided);
+  }
+  static std::uint64_t fold_announce(std::uint64_t h,
+                                     const typename Engine::Announce& a) {
+    h = util::hash_mix(h, a.uid);
+    return util::hash_mix(h, a.has_op);
+  }
+
+  int n_;
+  Engine engine_;
+};
+
+// -- explorer harness -----------------------------------------------------
+
+template <qa::Sequential S>
+struct ZooExploreConfig {
+  int n = 2;
+  std::uint64_t world_seed = 1;
+  typename S::State initial{};
+  /// ops[p] = the operations process p issues, in order.
+  std::vector<std::vector<typename S::Op>> ops;
+  /// Chase each bottom response with one query to resolve its fate.
+  bool query_to_resolve = true;
+  /// Oracle node budget per run.
+  std::uint64_t oracle_max_states = 200000;
+};
+
+/// One bounded workload over any ZooObject, packaged as an ExploredRun.
+/// The fingerprint covers the object's shared/private protocol state
+/// (via its own fingerprint()), each process's local step count
+/// (specialist scan loops carry coroutine-local state -- moved
+/// counters, previous collects -- invisible to the object fingerprint,
+/// exactly the batched-harness precedent), and the history fates.
+template <qa::Sequential S, class Obj>
+  requires ZooObject<Obj, S>
+class ZooExploredRun final : public verify::ExploredRun {
+ public:
+  /// Builds the object under test. Receives the config's initial
+  /// abstract state so the object and the oracle can never disagree
+  /// about where the run starts.
+  using Maker = std::function<std::unique_ptr<Obj>(
+      sim::World&, const typename S::State&)>;
+
+  ZooExploredRun(const ZooExploreConfig<S>& config, const Maker& maker,
+                 std::unique_ptr<sim::Schedule> schedule)
+      : config_(config),
+        world_(config.n, std::move(schedule), world_options(config)),
+        object_(maker(world_, config.initial)) {
+    TBWF_ASSERT(static_cast<int>(config_.ops.size()) == config_.n,
+                "ZooExploreConfig::ops needs one op list per process");
+    for (sim::Pid p = 0; p < config_.n; ++p) {
+      world_.spawn(p, "zoo-explore", [this](sim::SimEnv& env) {
+        return worker(env, *this);
+      });
+    }
+  }
+
+  sim::World& world() override { return world_; }
+  std::uint64_t seed() const override { return config_.world_seed; }
+
+  std::uint64_t fingerprint() const override {
+    std::uint64_t h = object_->fingerprint();
+    for (sim::Pid p = 0; p < config_.n; ++p) {
+      h = util::hash_mix(h, world_.local_steps(p));
+    }
+    for (const verify::HistoryOp<S>& op : recorder_.history()) {
+      h = util::hash_mix(h, op.pid);
+      h = util::hash_mix(h, op.status);
+      h = util::hash_mix(h, op.responses);
+      if (op.status == verify::OpStatus::Ok) {
+        h = verify::detail::fold_value(h, op.result);
+      }
+    }
+    return h;
+  }
+
+  std::string check() override {
+    typename verify::LinOracle<S>::Options opt;
+    opt.max_states = config_.oracle_max_states;
+    oracle_ = verify::LinOracle<S>(opt).check(recorder_.history(),
+                                              config_.initial);
+    if (oracle_.linearizable()) return {};
+    return oracle_.summary();
+  }
+
+  std::string describe() const override {
+    std::ostringstream out;
+    out << "history (" << recorder_.size() << " ops):\n"
+        << recorder_.render();
+    out << "oracle: " << oracle_.summary() << "\n";
+    return out.str();
+  }
+
+  const verify::OracleResult& oracle() const { return oracle_; }
+  const verify::HistoryRecorder<S>& recorder() const { return recorder_; }
+  const Obj& object() const { return *object_; }
+
+ private:
+  static sim::WorldOptions world_options(const ZooExploreConfig<S>& config) {
+    sim::WorldOptions options;
+    options.track_accesses = true;
+    options.seed = config.world_seed;
+    return options;
+  }
+
+  static sim::Task worker(sim::SimEnv& env, ZooExploredRun& self) {
+    const sim::Pid p = env.pid();
+    for (const typename S::Op& op : self.config_.ops[p]) {
+      auto response = co_await self.recorder_.invoke(*self.object_, env, op);
+      if (self.config_.query_to_resolve && response.bottom()) {
+        (void)co_await self.recorder_.query(*self.object_, env);
+      }
+    }
+  }
+
+  ZooExploreConfig<S> config_;
+  sim::World world_;
+  std::unique_ptr<Obj> object_;
+  verify::HistoryRecorder<S> recorder_;
+  verify::OracleResult oracle_;
+};
+
+/// Factory adapter for Explorer. Config and maker are copied into
+/// every run; the maker must be pure up to its World argument.
+template <qa::Sequential S, class Obj>
+  requires ZooObject<Obj, S>
+verify::RunFactory make_zoo_run_factory(
+    ZooExploreConfig<S> config,
+    typename ZooExploredRun<S, Obj>::Maker maker) {
+  return [config, maker](std::unique_ptr<sim::Schedule> schedule)
+             -> std::unique_ptr<verify::ExploredRun> {
+    return std::make_unique<ZooExploredRun<S, Obj>>(config, maker,
+                                                    std::move(schedule));
+  };
+}
+
+// -- canned workloads (the n=2,3 explorer configs) ------------------------
+
+/// Each process updates its own segment with a distinct value, then
+/// scans; a lost, duplicated or time-travelling update is visible in
+/// every later scan.
+inline ZooExploreConfig<SnapshotType> snapshot_explore_config(
+    int n, int rounds = 1, std::uint64_t world_seed = 1) {
+  ZooExploreConfig<SnapshotType> config;
+  config.n = n;
+  config.world_seed = world_seed;
+  config.initial = SnapshotType::initial(n);
+  config.ops.resize(n);
+  for (int p = 0; p < n; ++p) {
+    for (int k = 0; k < rounds; ++k) {
+      config.ops[p].push_back(SnapshotType::update(
+          p, std::int64_t{1} << (p * rounds + k)));
+      config.ops[p].push_back(SnapshotType::scan());
+    }
+  }
+  return config;
+}
+
+/// Each process enqueues a distinct value then dequeues once; FIFO,
+/// exactly-once and the capacity bound are all observable.
+template <int Cap>
+ZooExploreConfig<BoundedQueueOf<Cap>> queue_explore_config(
+    int n, std::uint64_t world_seed = 1) {
+  ZooExploreConfig<BoundedQueueOf<Cap>> config;
+  config.n = n;
+  config.world_seed = world_seed;
+  config.ops.resize(n);
+  for (int p = 0; p < n; ++p) {
+    config.ops[p].push_back(BoundedQueueOf<Cap>::enqueue(100 + p));
+    config.ops[p].push_back(BoundedQueueOf<Cap>::dequeue());
+  }
+  return config;
+}
+
+/// All processes contend on one key (writes must order), plus a
+/// per-process private key (reads must not lose bindings).
+inline ZooExploreConfig<LedgerType> ledger_explore_config(
+    int n, std::uint64_t world_seed = 1) {
+  ZooExploreConfig<LedgerType> config;
+  config.n = n;
+  config.world_seed = world_seed;
+  config.ops.resize(n);
+  for (int p = 0; p < n; ++p) {
+    config.ops[p].push_back(LedgerType::put(7, 10 + p));
+    config.ops[p].push_back(LedgerType::get(7));
+  }
+  return config;
+}
+
+// -- differential cross-check ---------------------------------------------
+
+template <qa::Sequential S>
+struct ZooRunOutcome {
+  bool completed = false;      ///< all processes finished their op lists
+  bool linearizable = false;   ///< Wing-Gong verdict over the history
+  std::vector<verify::HistoryOp<S>> history;
+  typename S::State final_state{};  ///< object's quiescent abstract state
+  std::string oracle_summary;
+};
+
+/// Run a config's workload to completion under RandomSchedule(seed)
+/// and grade it: the engine of the differential universal-vs-specialist
+/// cross-check (identical seeds, identical op lists, both twins must
+/// linearize; matching Ok multisets must yield matching final states).
+template <qa::Sequential S, class Obj>
+  requires ZooObject<Obj, S>
+ZooRunOutcome<S> run_zoo_workload(
+    const ZooExploreConfig<S>& config,
+    const typename ZooExploredRun<S, Obj>::Maker& maker,
+    sim::Step budget = 2000000) {
+  struct Driver {
+    const ZooExploreConfig<S>* config = nullptr;
+    Obj* object = nullptr;
+    verify::HistoryRecorder<S>* recorder = nullptr;
+    int done = 0;
+
+    static sim::Task run(sim::SimEnv& env, Driver& self) {
+      const sim::Pid p = env.pid();
+      for (const typename S::Op& op : self.config->ops[p]) {
+        auto response =
+            co_await self.recorder->invoke(*self.object, env, op);
+        // Chase bottoms until the fate settles (F or Ok): the
+        // differential check wants fully resolved histories.
+        int chases = 0;
+        while (response.bottom() && chases++ < 64) {
+          response = co_await self.recorder->query(*self.object, env);
+          if (response.bottom()) co_await env.yield();
+        }
+      }
+      ++self.done;
+    }
+  };
+
+  sim::WorldOptions options;
+  options.seed = config.world_seed;
+  sim::World world(config.n,
+                   std::make_unique<sim::RandomSchedule>(config.world_seed),
+                   options);
+  std::unique_ptr<Obj> object = maker(world, config.initial);
+  verify::HistoryRecorder<S> recorder;
+  Driver driver{&config, object.get(), &recorder, 0};
+  for (sim::Pid p = 0; p < config.n; ++p) {
+    world.spawn(p, "zoo-diff", [&driver](sim::SimEnv& env) {
+      return Driver::run(env, driver);
+    });
+  }
+  world.run_until([&] { return driver.done == config.n; }, budget);
+
+  ZooRunOutcome<S> outcome;
+  outcome.completed = driver.done == config.n;
+  typename verify::LinOracle<S>::Options opt;
+  opt.max_states = config.oracle_max_states;
+  auto verdict = verify::LinOracle<S>(opt).check(recorder.history(),
+                                                 config.initial);
+  outcome.linearizable = verdict.linearizable();
+  outcome.oracle_summary = verdict.summary();
+  outcome.history = recorder.history();
+  outcome.final_state = object->abstract_state();
+  return outcome;
+}
+
+}  // namespace tbwf::zoo

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/batch_log.hpp"
 #include "core/conformance.hpp"
 #include "core/tbwf.hpp"
 #include "qa/qa_universal.hpp"
@@ -15,6 +16,8 @@
 #include "sim/faultplan.hpp"
 #include "sim/schedule.hpp"
 #include "sim/world.hpp"
+#include "zoo/ledger.hpp"
+#include "zoo/zoo_types.hpp"
 
 namespace tbwf {
 namespace {
@@ -180,6 +183,83 @@ TEST(ConformanceEdge, TimelinessOnlyInTheSuffixStillEarnsTheVerdict) {
     }
   }
   EXPECT_TRUE(untimely_early) << report.summary();
+}
+
+// -- batch-epoch grading of non-QA histories --------------------------------
+//
+// The per-epoch checker was written for the batched engine, but it must
+// degrade gracefully on runs that never touched it: a register-based
+// specialist commits no batches and announces nothing, so there is
+// nothing to judge -- the verdict is a vacuous pass, never a crash and
+// never an invented violation.
+
+TEST(ConformanceEdgeBatch, EmptyBatchLogOverAnEmptyWindowDemandsNothing) {
+  const core::BatchLog log;
+  const core::BatchConformanceOptions opt;  // suffix_from = run_end = 0
+  const auto report = core::check_batch_conformance(log, opt);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.suffix_commits, 0u);
+  EXPECT_EQ(report.judged_announces, 0u);
+}
+
+TEST(ConformanceEdgeBatch, EmptyBatchLogOverARealWindowIsVacuouslyClean) {
+  const core::BatchLog log;
+  core::BatchConformanceOptions opt;
+  opt.suffix_from = 100000;
+  opt.run_end = 300000;
+  opt.timely = {0, 1};
+  const auto report = core::check_batch_conformance(log, opt);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.judged_announces, 0u);
+  EXPECT_EQ(report.mean_batch_size, 0.0);
+}
+
+TEST(ConformanceEdgeBatch, SpecialistOnlyRunGradesVacuouslyPerEpoch) {
+  // A zoo specialist's history is graded per-op over its real
+  // completion log; the per-epoch grading of the same run sees an empty
+  // batch log on the same stable-suffix window and must agree there is
+  // nothing to flag.
+  const int n = 2;
+  World world(n, std::make_unique<sim::RandomSchedule>(11));
+  zoo::WfLedger ledger(world, zoo::LedgerType::State{});
+  core::OpLog log(n);
+  struct Worker {
+    static Task run(SimEnv& env, zoo::WfLedger& ledger, core::OpLog& log) {
+      const Pid p = env.pid();
+      for (std::int64_t v = 0;; ++v) {
+        ++log.started[p];
+        (void)co_await ledger.invoke(env, zoo::LedgerType::put(p, v));
+        log.completions[p].push_back(env.now());
+      }
+    }
+  };
+  for (Pid p = 0; p < n; ++p) {
+    world.spawn(p, "w", [&](SimEnv& env) {
+      return Worker::run(env, ledger, log);
+    });
+  }
+  // Modest budget: the ledger's append-only logs make each put O(log
+  // size), so long runs are quadratic in wall-clock.
+  world.run(30000);
+
+  core::ConformanceOptions copt;
+  copt.timely_bound = 64;
+  copt.stabilization = 5000;
+  copt.max_completion_gap = 5000;
+  copt.min_suffix = 10000;
+  const auto per_op = core::check_chaos_conformance(world.trace(), log,
+                                                    FaultPlan{}, {0, 1}, copt);
+  EXPECT_TRUE(per_op.ok) << per_op.summary();
+
+  core::BatchConformanceOptions bopt;
+  bopt.suffix_from = per_op.suffix_from;
+  bopt.run_end = per_op.run_end;
+  bopt.timely = per_op.suffix_timely;
+  const auto per_epoch =
+      core::check_batch_conformance(core::BatchLog{}, bopt);
+  EXPECT_TRUE(per_epoch.ok) << per_epoch.summary();
+  EXPECT_EQ(per_epoch.suffix_commits, 0u);
+  EXPECT_EQ(per_epoch.judged_announces, 0u);
 }
 
 }  // namespace

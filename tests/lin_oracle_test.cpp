@@ -11,6 +11,7 @@
 #include "qa/sequential_type.hpp"
 #include "verify/history.hpp"
 #include "verify/lin_oracle.hpp"
+#include "zoo/zoo_types.hpp"
 
 namespace tbwf::verify {
 namespace {
@@ -219,6 +220,87 @@ TEST(LinOracle, NonZeroInitialStateIsRespected) {
   EXPECT_TRUE(check_linearizable<Counter>(h, 41).linearizable());
   EXPECT_EQ(check_linearizable<Counter>(h, 0).verdict,
             LinVerdict::kViolation);
+}
+
+// -- T_QA fates over vector results -------------------------------------------
+//
+// The zoo's snapshot type returns a whole vector per scan. The oracle
+// compares vector results by value through the spec, so every fate rule
+// exercised above on scalar counters must hold verbatim when results
+// are multi-valued -- including partial-effect shapes scalars cannot
+// express (a scan vector that mixes states which never coexisted).
+
+using Snap = zoo::SnapshotType;
+
+HistoryOp<Snap> snap_op(sim::Pid pid, Snap::Op o, OpStatus status, Step inv,
+                        Step resp, Snap::Result result = {}) {
+  HistoryOp<Snap> h;
+  h.pid = pid;
+  h.op = o;
+  h.status = status;
+  h.invoked_at = inv;
+  h.responded_at = resp;
+  h.responses = resp == kNoStep ? 0 : 1;
+  if (status == OpStatus::Ok) h.result = std::move(result);
+  return h;
+}
+
+TEST(LinOracle, VectorResultsLinearizeSequentially) {
+  std::vector<HistoryOp<Snap>> h;
+  h.push_back(snap_op(0, Snap::update(0, 7), OpStatus::Ok, 0, 1));
+  h.push_back(snap_op(1, Snap::scan(), OpStatus::Ok, 2, 3, {7, 0}));
+  ASSERT_TRUE(check_linearizable<Snap>(h, {0, 0}).linearizable());
+  // The same scan claiming the pre-update view out of order is a
+  // violation: {0, 0} after a committed update(0, 7) never existed.
+  h[1] = snap_op(1, Snap::scan(), OpStatus::Ok, 2, 3, {0, 0});
+  EXPECT_EQ(check_linearizable<Snap>(h, {0, 0}).verdict,
+            LinVerdict::kViolation);
+}
+
+TEST(LinOracle, MixedVectorThatNeverCoexistedIsAViolation) {
+  // p0 writes segment 0 then segment 1 sequentially; a later scan
+  // reporting the NEW segment 1 with the OLD segment 0 tore the
+  // snapshot -- the exact shape the drop_embedded_scan mutation
+  // produces, undetectable with scalar results.
+  std::vector<HistoryOp<Snap>> h;
+  h.push_back(snap_op(0, Snap::update(0, 5), OpStatus::Ok, 0, 1));
+  h.push_back(snap_op(0, Snap::update(1, 6), OpStatus::Ok, 2, 3));
+  h.push_back(snap_op(1, Snap::scan(), OpStatus::Ok, 4, 5, {0, 6}));
+  EXPECT_EQ(check_linearizable<Snap>(h, {0, 0}).verdict,
+            LinVerdict::kViolation);
+}
+
+TEST(LinOracle, BottomUpdateMayTakeEffectInAVectorResult) {
+  // Adoption over vectors: the aborted update's value surfaces in the
+  // scan, so the oracle must be willing to linearize the bottom op...
+  std::vector<HistoryOp<Snap>> h;
+  h.push_back(snap_op(0, Snap::update(0, 9), OpStatus::Bottom, 0, 1));
+  h.push_back(snap_op(1, Snap::scan(), OpStatus::Ok, 2, 3, {9, 0}));
+  ASSERT_TRUE(check_linearizable<Snap>(h, {0, 0}).linearizable());
+  // ...and equally willing to drop it.
+  h[1] = snap_op(1, Snap::scan(), OpStatus::Ok, 2, 3, {0, 0});
+  EXPECT_TRUE(check_linearizable<Snap>(h, {0, 0}).linearizable());
+}
+
+TEST(LinOracle, NotAppliedUpdateVisibleInAVectorResultIsAViolation) {
+  // F is final: a fate resolved to NotApplied must never surface, even
+  // through a single component of a later vector.
+  std::vector<HistoryOp<Snap>> h;
+  h.push_back(snap_op(0, Snap::update(0, 9), OpStatus::NotApplied, 0, 1));
+  h.push_back(snap_op(1, Snap::scan(), OpStatus::Ok, 2, 3, {9, 0}));
+  const auto r = check_linearizable<Snap>(h, {0, 0});
+  EXPECT_EQ(r.verdict, LinVerdict::kViolation);
+  EXPECT_EQ(r.forbidden, 1u);
+}
+
+TEST(LinOracle, PendingUpdateAtTraceEndIsOptionalOverVectors) {
+  for (const std::int64_t seen : {0, 9}) {
+    std::vector<HistoryOp<Snap>> h;
+    h.push_back(snap_op(0, Snap::update(0, 9), OpStatus::Pending, 0, kNoStep));
+    h.push_back(snap_op(1, Snap::scan(), OpStatus::Ok, 2, 3, {seen, 0}));
+    EXPECT_TRUE(check_linearizable<Snap>(h, {0, 0}).linearizable())
+        << "seen=" << seen;
+  }
 }
 
 // -- safety x progress grading ------------------------------------------------

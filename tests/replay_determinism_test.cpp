@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <string>
 
 #include "core/tbwf.hpp"
 #include "omega/candidate_drivers.hpp"
@@ -20,6 +22,10 @@
 #include "sim/schedule.hpp"
 #include "sim/world.hpp"
 #include "soak/soak.hpp"
+#include "verify/artifact.hpp"
+#include "verify/explorer.hpp"
+#include "zoo/turn_queue.hpp"
+#include "zoo/zoo_harness.hpp"
 
 namespace tbwf {
 namespace {
@@ -121,6 +127,65 @@ TEST(ReplayDeterminism, SoakSloVerdictsReplayIdentically) {
 TEST(ReplayDeterminism, SoakSeedsDiverge) {
   EXPECT_NE(soak::run_sim_soak(soak::SimSoakOptions::quick(1)).trace_digest,
             soak::run_sim_soak(soak::SimSoakOptions::quick(9)).trace_digest);
+}
+
+// -- zoo counterexample artifacts -----------------------------------------
+
+/// The zoo's canonical counterexample generator: two dequeuers race for
+/// one item through a TurnQueue whose claim-validation collect is
+/// mutated away, and both walk off with the same value. The artifact
+/// the explorer emits for that violation must replay bit-identically --
+/// twice, and through the on-disk save/load round trip, because what CI
+/// uploads is exactly what a developer replays locally.
+TEST(ReplayDeterminism, ZooCounterexampleArtifactReplaysBitIdentically) {
+  using Q = zoo::BoundedQueueOf<4>;
+  using Spec = zoo::TurnQueue<4>;
+
+  zoo::ZooExploreConfig<Q> config;
+  config.n = 2;
+  config.initial = {100};
+  config.ops.resize(2);
+  config.ops[0] = {Q::dequeue()};
+  config.ops[1] = {Q::dequeue()};
+
+  const typename zoo::ZooExploredRun<Q, Spec>::Maker maker =
+      [](sim::World& w, const Q::State& init) {
+        auto obj = std::make_unique<Spec>(w, init);
+        obj->set_mutations(zoo::TurnQueueMutations{.drop_claim_fence = true});
+        return obj;
+      };
+  const verify::RunFactory factory =
+      zoo::make_zoo_run_factory<Q, Spec>(config, maker);
+
+  verify::ExplorerOptions opt;
+  opt.name = "replay-zoo-queue-dropfence";
+  opt.max_depth = 500;
+  opt.max_runs = 60000;
+  const verify::ExploreResult result = verify::Explorer(factory, opt).explore();
+  ASSERT_TRUE(result.violation_found) << result.summary();
+  ASSERT_FALSE(result.artifact.schedule.empty());
+
+  // Round-trip the artifact through its file format first; all replays
+  // below run from the LOADED copy, not the in-memory original.
+  const std::string path = ::testing::TempDir() + "zoo_dropfence_cex.txt";
+  ASSERT_TRUE(result.artifact.save(path));
+  const auto loaded = verify::CounterexampleArtifact::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->schedule, result.artifact.schedule);
+  EXPECT_EQ(loaded->trace_digest, result.artifact.trace_digest);
+  EXPECT_EQ(loaded->world_seed, result.artifact.world_seed);
+  EXPECT_EQ(loaded->n, 2);
+
+  for (int round = 0; round < 2; ++round) {
+    auto run = factory(
+        std::make_unique<sim::ScriptedSchedule>(loaded->schedule));
+    run->world().run(static_cast<Step>(loaded->schedule.size()));
+    EXPECT_EQ(run->world().trace().digest(), loaded->trace_digest)
+        << "replay round " << round;
+    const std::string verdict = run->check();
+    EXPECT_NE(verdict.find("VIOLATION"), std::string::npos) << verdict;
+  }
 }
 
 }  // namespace
